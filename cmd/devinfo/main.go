@@ -1,0 +1,62 @@
+// Command devinfo prints the simulated GPU catalogue in the style of the
+// paper's Tables 1-3: per-model architecture, SM geometry, clocks, memory
+// and compute capability, plus the modeled docking-kernel throughput.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"github.com/metascreen/metascreen/internal/cudasim"
+	"github.com/metascreen/metascreen/internal/tables"
+)
+
+func main() {
+	machine := flag.String("machine", "", "print one platform's node (Jupiter or Hertz) instead of the catalogue")
+	flag.Parse()
+
+	model := cudasim.DefaultCostModel()
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer w.Flush()
+
+	if *machine != "" {
+		m, err := tables.MachineByName(*machine)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "devinfo:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "%s: %d CPU cores @ %.0f MHz (modeled %.2f Gpairs/s)\n",
+			m.Name, m.CPUCores, m.CPUClockMHz,
+			model.CPURate(m.CPUCores, m.CPUClockMHz)/1e9)
+		printHeader(w)
+		for i, g := range m.GPUs {
+			printSpec(w, fmt.Sprintf("gpu%d", i), g, model)
+		}
+		return
+	}
+
+	fmt.Fprintln(w, "Simulated GPU catalogue (parameters from the paper's Tables 1-3)")
+	printHeader(w)
+	for _, s := range cudasim.Catalogue() {
+		printSpec(w, "", s, model)
+	}
+}
+
+func printHeader(w *tabwriter.Writer) {
+	fmt.Fprintln(w, "\tname\tarch\tyear\tSMs\tcores/SM\tcores\tMHz\tshared KB\tmem MB\tGB/s\tCCC\tTDP W\tscore Gpairs/s\timprove Gpairs/s\toccupancy")
+}
+
+func printSpec(w *tabwriter.Writer, tag string, s cudasim.DeviceSpec, model cudasim.CostModel) {
+	occStr := "n/a"
+	if occ, err := cudasim.ComputeOccupancy(s, cudasim.DockingKernelResources()); err == nil {
+		occStr = fmt.Sprintf("%.0f%% (%s)", 100*occ.Fraction, occ.Limiter)
+	}
+	fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%d\t%d\t%d\t%.0f\t%d\t%d\t%.1f\t%s\t%.0f\t%.2f\t%.2f\t%s\n",
+		tag, s.Name, s.Arch, s.Year, s.SMs, s.CoresPerSM, s.Cores(), s.ClockMHz,
+		s.SharedMemKB, s.GlobalMemMB, s.MemBandwidthGBs, s.CCC, s.TDPWatts(),
+		model.PairRate(s, cudasim.KernelScoring)/1e9,
+		model.PairRate(s, cudasim.KernelImprove)/1e9,
+		occStr)
+}

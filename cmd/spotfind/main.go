@@ -1,0 +1,99 @@
+// Command spotfind detects the surface spots of a receptor — the
+// independent docking regions of the BINDSURF strategy — and prints them
+// with exposure and geometry information.
+//
+// Usage:
+//
+//	spotfind -dataset 2BXG
+//	spotfind -pdb receptor.pdb -spots 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/metascreen/metascreen/internal/core"
+	"github.com/metascreen/metascreen/internal/molecule"
+	"github.com/metascreen/metascreen/internal/surface"
+)
+
+func main() {
+	dataset := flag.String("dataset", "", "benchmark dataset (2BSM or 2BXG)")
+	pdbPath := flag.String("pdb", "", "receptor PDB file (alternative to -dataset)")
+	spots := flag.Int("spots", 0, "number of spots (0 = receptorAtoms/100)")
+	sep := flag.Float64("sep", 0, "minimum spot separation in angstroms (0 = default 6)")
+	out := flag.String("out", "", "write the spots as a PDB of marker pseudo-atoms (view alongside the receptor)")
+	flag.Parse()
+
+	var rec *molecule.Molecule
+	switch {
+	case *dataset != "":
+		ds, err := core.DatasetByName(*dataset)
+		if err != nil {
+			fatal(err)
+		}
+		rec = ds.Receptor
+	case *pdbPath != "":
+		f, err := os.Open(*pdbPath)
+		if err != nil {
+			fatal(err)
+		}
+		var rerr error
+		rec, rerr = molecule.ReadPDB(f)
+		f.Close()
+		if rerr != nil {
+			fatal(rerr)
+		}
+	default:
+		fatal(fmt.Errorf("need -dataset or -pdb"))
+	}
+
+	found, err := surface.FindSpots(rec, surface.Options{
+		MaxSpots:      *spots,
+		MinSeparation: *sep,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	b := rec.Bounds()
+	fmt.Printf("%s: %d atoms, bounds %.1f x %.1f x %.1f A, %d spots\n",
+		rec.Name, rec.NumAtoms(), b.Size().X, b.Size().Y, b.Size().Z, len(found))
+	fmt.Println("  id  anchor-atom  exposure  center                          normal")
+	for _, s := range found {
+		fmt.Printf("  %2d  %11d  %8.3f  %-30v  %v\n",
+			s.ID, s.AtomIndex, s.Exposure, s.Center, s.Normal)
+	}
+
+	if *out != "" {
+		markers := make([]molecule.Atom, 0, len(found))
+		for _, s := range found {
+			markers = append(markers, molecule.Atom{
+				Name:    "SPT",
+				Element: molecule.Phosphorus, // visually distinct marker
+				Pos:     s.Center,
+				Residue: s.ID + 1,
+			})
+		}
+		m := molecule.New(rec.Name+"-spots", markers)
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		werr := molecule.WritePDB(f, m)
+		cerr := f.Close()
+		if werr != nil {
+			fatal(werr)
+		}
+		if cerr != nil {
+			fatal(cerr)
+		}
+		fmt.Printf("spot markers written to %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spotfind:", err)
+	os.Exit(1)
+}

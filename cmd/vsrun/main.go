@@ -1,0 +1,275 @@
+// Command vsrun executes one real (force-field-evaluated) virtual-screening
+// run and reports the best poses found per surface spot.
+//
+// Usage:
+//
+//	vsrun -dataset 2BSM -mh M3 -mh-scale 0.05
+//	vsrun -receptor rec.pdb -ligand lig.pdb -spots 16 -mh M2
+//	vsrun -dataset 2BSM -backend pool -machine Hertz -mode heterogeneous
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/metascreen/metascreen/internal/analysis"
+	"github.com/metascreen/metascreen/internal/conformation"
+	"github.com/metascreen/metascreen/internal/core"
+	"github.com/metascreen/metascreen/internal/forcefield"
+	"github.com/metascreen/metascreen/internal/metaheuristic"
+	"github.com/metascreen/metascreen/internal/molecule"
+	"github.com/metascreen/metascreen/internal/report"
+	"github.com/metascreen/metascreen/internal/sched"
+	"github.com/metascreen/metascreen/internal/surface"
+	"github.com/metascreen/metascreen/internal/tables"
+	"github.com/metascreen/metascreen/internal/trace"
+)
+
+func main() {
+	dataset := flag.String("dataset", "", "benchmark dataset (2BSM or 2BXG)")
+	receptorPath := flag.String("receptor", "", "receptor PDB file (alternative to -dataset)")
+	ligandPath := flag.String("ligand", "", "ligand PDB file (alternative to -dataset)")
+	mh := flag.String("mh", "M3", "metaheuristic: M1..M4, or sa/tabu/pso extensions")
+	mhScale := flag.Float64("mh-scale", 0.05, "budget scale for the paper metaheuristics (full scale is hours of real compute)")
+	spots := flag.Int("spots", 0, "number of surface spots (0 = receptorAtoms/100)")
+	backendKind := flag.String("backend", "host", "backend: host or pool")
+	machine := flag.String("machine", "Hertz", "pool backend: platform (Jupiter or Hertz)")
+	mode := flag.String("mode", "heterogeneous", "pool backend: homogeneous, heterogeneous or dynamic")
+	coulomb := flag.Bool("coulomb", false, "add the Coulomb term to the scoring function")
+	seed := flag.Uint64("seed", 42, "random seed")
+	top := flag.Int("top", 5, "number of best spots to print")
+	gantt := flag.Bool("gantt", false, "pool backend: print a device timeline chart after the run")
+	multistart := flag.Int("multistart", 1, "independent stochastic executions; the best wins")
+	flexible := flag.Bool("flexible", false, "dock the ligand flexibly (rotatable bonds become search dimensions)")
+	budget := flag.Float64("budget", 0, "simulated-time deadline in seconds (0 = run to the End condition)")
+	modes := flag.Float64("modes", 0, "cluster spot winners into binding modes at this RMSD cutoff in angstroms (0 = off)")
+	historyPath := flag.String("history", "", "write the convergence history (generation, sim time, best) to this CSV file")
+	flag.Parse()
+
+	rec, lig, err := loadMolecules(*dataset, *receptorPath, *ligandPath)
+	if err != nil {
+		fatal(err)
+	}
+	problem, err := core.NewProblem(rec, lig,
+		surface.Options{MaxSpots: *spots},
+		forcefield.Options{Coulomb: *coulomb})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *flexible {
+		dof := problem.EnableFlexibility()
+		fmt.Printf("flexible docking: %d rotatable bonds\n", dof)
+	}
+
+	alg, err := pickAlgorithm(*mh, *mhScale)
+	if err != nil {
+		fatal(err)
+	}
+
+	var recorder *trace.Recorder
+	if *gantt && *backendKind == "pool" {
+		recorder = &trace.Recorder{}
+	}
+	backend, err := pickBackend(problem, *backendKind, *machine, *mode, *seed, recorder)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("screening %s (%d atoms) vs %s (%d atoms): %d spots, %s on %s\n",
+		rec.Name, rec.NumAtoms(), lig.Name, lig.NumAtoms(),
+		len(problem.Spots), alg.Name(), backend.Name())
+
+	var res *core.Result
+	if *multistart > 1 {
+		ms, err := core.RunMultiStart(problem,
+			func() (metaheuristic.Algorithm, error) { return pickAlgorithm(*mh, *mhScale) },
+			func(p *core.Problem) (core.Backend, error) {
+				return pickBackend(p, *backendKind, *machine, *mode, *seed, nil)
+			},
+			*multistart, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("multi-start: %d independent executions, winner below\n", len(ms.Runs))
+		res = ms.Best
+	} else if *budget > 0 {
+		res, err = core.RunBudget(problem, alg, backend, *seed, *budget)
+		if err != nil {
+			fatal(err)
+		}
+		if res.DeadlineHit {
+			fmt.Printf("deadline of %.3fs (simulated) reached after %d generations\n",
+				*budget, res.Generations)
+		}
+	} else {
+		res, err = core.Run(problem, alg, backend, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("done: %d generations, %d evaluations, %.2fs wall",
+		res.Generations, res.Evaluations, res.WallSeconds)
+	if res.SimulatedSeconds > 0 {
+		fmt.Printf(", %.4fs simulated", res.SimulatedSeconds)
+	}
+	fmt.Println()
+
+	ranked := append([]core.SpotResult(nil), res.Spots...)
+	sort.Slice(ranked, func(i, j int) bool {
+		return ranked[i].Best.Score < ranked[j].Best.Score
+	})
+	n := *top
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	fmt.Printf("best %d spots:\n", n)
+	for i := 0; i < n; i++ {
+		sr := ranked[i]
+		fmt.Printf("  spot %2d  score %10.3f kcal/mol  center %v  pose %v\n",
+			sr.Spot.ID, sr.Best.Score, sr.Spot.Center, sr.Best.Translation)
+	}
+	fmt.Printf("overall best: spot %d, %.3f kcal/mol\n", res.Best.Spot, res.Best.Score)
+
+	if *modes > 0 {
+		poses := make([]conformation.Conformation, 0, len(res.Spots))
+		for _, sr := range res.Spots {
+			poses = append(poses, sr.Best)
+		}
+		clusters, err := analysis.ClusterModes(problem.TorsionSet(), problem.LigandPositions(), poses, *modes)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n%d distinct binding modes at %.1f A RMSD:\n", len(clusters), *modes)
+		for i, m := range clusters {
+			fmt.Printf("  mode %d: %d poses, best %.3f kcal/mol (spot %d), mean %.3f\n",
+				i+1, m.Members, m.Representative.Score, m.Representative.Spot, m.MeanScore)
+		}
+	}
+
+	if res.EnergyJoules > 0 {
+		fmt.Printf("modeled energy: %.1f J\n", res.EnergyJoules)
+	}
+
+	if *historyPath != "" {
+		f, err := os.Create(*historyPath)
+		if err != nil {
+			fatal(err)
+		}
+		werr := report.HistoryCSV(f, res)
+		cerr := f.Close()
+		if werr != nil {
+			fatal(werr)
+		}
+		if cerr != nil {
+			fatal(cerr)
+		}
+		fmt.Printf("convergence history written to %s\n", *historyPath)
+	}
+
+	if recorder != nil && recorder.Len() > 0 {
+		fmt.Println("\ndevice timeline (w=warmup, s=scoring, i=improve, h/d=transfers):")
+		if err := recorder.WriteGantt(os.Stdout, 100); err != nil {
+			fatal(err)
+		}
+		for i, u := range recorder.Utilization() {
+			fmt.Printf("  device %d utilization: %.0f%%\n", i, 100*u)
+		}
+	}
+}
+
+func loadMolecules(dataset, receptorPath, ligandPath string) (*molecule.Molecule, *molecule.Molecule, error) {
+	if dataset != "" {
+		ds, err := core.DatasetByName(dataset)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ds.Receptor, ds.Ligand, nil
+	}
+	if receptorPath == "" || ligandPath == "" {
+		return nil, nil, fmt.Errorf("need -dataset, or both -receptor and -ligand")
+	}
+	rec, err := readPDB(receptorPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	lig, err := readPDB(ligandPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rec, lig, nil
+}
+
+func readPDB(path string) (*molecule.Molecule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return molecule.ReadPDB(f)
+}
+
+func pickAlgorithm(name string, scale float64) (metaheuristic.Algorithm, error) {
+	switch name {
+	case "M1", "M2", "M3", "M4":
+		return metaheuristic.NewPaper(name, scale)
+	case "sa":
+		return metaheuristic.NewSimulatedAnnealing("sa", extensionParams(scale))
+	case "tabu":
+		return metaheuristic.NewTabuSearch("tabu", extensionParams(scale))
+	case "pso":
+		return metaheuristic.NewParticleSwarm("pso", extensionParams(scale))
+	}
+	return nil, fmt.Errorf("unknown metaheuristic %q", name)
+}
+
+func extensionParams(scale float64) metaheuristic.Params {
+	gens := int(200*scale + 0.5)
+	if gens < 5 {
+		gens = 5
+	}
+	return metaheuristic.Params{
+		PopulationPerSpot: 32,
+		SelectFraction:    1,
+		Generations:       gens,
+	}
+}
+
+func pickBackend(p *core.Problem, kind, machineName, modeName string, seed uint64, rec *trace.Recorder) (core.Backend, error) {
+	switch kind {
+	case "host":
+		return core.NewHostBackend(p, core.HostConfig{Real: true})
+	case "pool":
+		m, err := tables.MachineByName(machineName)
+		if err != nil {
+			return nil, err
+		}
+		var mode sched.Mode
+		switch modeName {
+		case "homogeneous":
+			mode = sched.Homogeneous
+		case "heterogeneous":
+			mode = sched.Heterogeneous
+		case "dynamic":
+			mode = sched.Dynamic
+		default:
+			return nil, fmt.Errorf("unknown mode %q", modeName)
+		}
+		return core.NewPoolBackend(p, core.PoolConfig{
+			Real:  true,
+			Specs: m.GPUs,
+			Mode:  mode,
+			Seed:  seed,
+			Trace: rec,
+		})
+	}
+	return nil, fmt.Errorf("unknown backend %q", kind)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vsrun:", err)
+	os.Exit(1)
+}

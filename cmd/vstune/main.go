@@ -1,0 +1,106 @@
+// Command vstune runs the metaheuristic parameter-tuning process the
+// paper's introduction describes: a configuration space is searched by
+// exhaustive grid search or by racing (configurations are eliminated as
+// soon as they fall measurably behind), with each configuration scored by
+// real screening runs.
+//
+// Usage:
+//
+//	vstune                             # race the default space on 2BSM
+//	vstune -method grid -reps 8
+//	vstune -mh ga -dataset 2BXG -spots 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/metascreen/metascreen/internal/core"
+	"github.com/metascreen/metascreen/internal/forcefield"
+	"github.com/metascreen/metascreen/internal/metaheuristic"
+	"github.com/metascreen/metascreen/internal/surface"
+	"github.com/metascreen/metascreen/internal/tuning"
+)
+
+func main() {
+	dataset := flag.String("dataset", "2BSM", "benchmark dataset (2BSM or 2BXG)")
+	spots := flag.Int("spots", 3, "surface spots (small: every configuration runs many times)")
+	mh := flag.String("mh", "ss", "metaheuristic family to tune: ga or ss")
+	method := flag.String("method", "race", "tuning method: grid or race")
+	reps := flag.Int("reps", 6, "replications (grid) / max rounds (race)")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	flag.Parse()
+
+	ds, err := core.DatasetByName(*dataset)
+	if err != nil {
+		fatal(err)
+	}
+	problem, err := core.NewProblem(ds.Receptor, ds.Ligand,
+		surface.Options{MaxSpots: *spots}, forcefield.Options{})
+	if err != nil {
+		fatal(err)
+	}
+
+	base := metaheuristic.Params{
+		PopulationPerSpot: 16,
+		SelectFraction:    1,
+		Generations:       6,
+	}
+	var factory tuning.AlgorithmFactory
+	switch *mh {
+	case "ga":
+		factory = func(p metaheuristic.Params) (metaheuristic.Algorithm, error) {
+			return metaheuristic.NewGenetic("tuned-ga", p)
+		}
+	case "ss":
+		factory = func(p metaheuristic.Params) (metaheuristic.Algorithm, error) {
+			return metaheuristic.NewScatterSearch("tuned-ss", p)
+		}
+	default:
+		fatal(fmt.Errorf("unknown family %q (want ga or ss)", *mh))
+	}
+
+	space := tuning.Space{Dims: []tuning.Dimension{
+		{Name: tuning.ParamPopulation, Values: []float64{8, 16, 32}},
+		{Name: tuning.ParamImproveFraction, Values: []float64{0, 0.2, 1.0}},
+		{Name: tuning.ParamImproveMoves, Values: []float64{2, 6}},
+	}}
+	obj := tuning.MetaheuristicObjective(problem, base, factory)
+	opts := tuning.Options{Replications: *reps, Seed: *seed}
+
+	fmt.Printf("tuning %s on %s (%d spots): %d configurations, method=%s\n",
+		*mh, *dataset, *spots, space.Size(), *method)
+
+	var results []tuning.Evaluated
+	switch *method {
+	case "grid":
+		results, err = tuning.GridSearch(space, obj, opts)
+	case "race":
+		results, err = tuning.Race(space, obj, opts)
+	default:
+		err = fmt.Errorf("unknown method %q (want grid or race)", *method)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	total := 0
+	for _, r := range results {
+		total += len(r.Scores)
+	}
+	fmt.Printf("evaluations used: %d (exhaustive would use %d)\n\n", total, space.Size()**reps)
+	fmt.Println("rank  mean energy    std  reps  configuration")
+	for i, r := range results {
+		if i >= 10 {
+			fmt.Printf("  ... %d more\n", len(results)-i)
+			break
+		}
+		fmt.Printf("  %2d  %11.3f %6.3f  %4d  %s\n", i+1, r.Mean, r.Std, len(r.Scores), r.Config)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vstune:", err)
+	os.Exit(1)
+}

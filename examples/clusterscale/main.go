@@ -1,0 +1,53 @@
+// Cluster scaling: the paper's future-work scenario — several
+// multicore+multiGPU nodes cooperating through message passing. Spots are
+// distributed across simulated nodes and the makespan is measured as the
+// node count grows.
+//
+//	go run ./examples/clusterscale
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/metascreen/metascreen/internal/cluster"
+	"github.com/metascreen/metascreen/internal/core"
+	"github.com/metascreen/metascreen/internal/cudasim"
+	"github.com/metascreen/metascreen/internal/forcefield"
+	"github.com/metascreen/metascreen/internal/sched"
+)
+
+func main() {
+	// The larger 2BXG benchmark (86 spots) gives the cluster something to
+	// chew on.
+	problem, err := core.NewProblemFromDataset(core.Dataset2BXG(), forcefield.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	node := []cudasim.DeviceSpec{cudasim.TeslaK40c, cudasim.GTX580}
+
+	fmt.Printf("distributing %d spots of 2BXG across Hertz-like nodes (M3, 1/4 budget):\n",
+		len(problem.Spots))
+	fmt.Println("  nodes  compute(s)  network(s)  makespan(s)  speed-up  efficiency")
+
+	var t1 float64
+	for _, nodes := range []int{1, 2, 4, 8} {
+		res, err := cluster.Run(problem, "M3", 0.25, cluster.Config{
+			Nodes:       nodes,
+			GPUsPerNode: node,
+			Mode:        sched.Heterogeneous,
+		}, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if nodes == 1 {
+			t1 = res.SimulatedSeconds
+		}
+		speedup := t1 / res.SimulatedSeconds
+		fmt.Printf("  %5d  %10.3f  %10.6f  %11.3f  %8.2fx  %9.1f%%\n",
+			nodes, res.ComputeSeconds, res.NetworkSeconds, res.SimulatedSeconds,
+			speedup, 100*speedup/float64(nodes))
+	}
+	fmt.Println("\n(spots are independent sub-problems, so scaling is near-linear until")
+	fmt.Println(" the per-node spot count gets too small to fill the GPUs)")
+}

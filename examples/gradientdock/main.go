@@ -1,0 +1,62 @@
+// Gradient docking: compares the paper's stochastic local search with
+// rigid-body gradient descent on analytic Lennard-Jones forces — the kind
+// of scoring-function exploration the paper's conclusions anticipate. Both
+// improvers run the same metaheuristic on the same problem with the same
+// move budget; gradient descent extracts more progress per evaluation.
+//
+//	go run ./examples/gradientdock
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/metascreen/metascreen/internal/core"
+	"github.com/metascreen/metascreen/internal/forcefield"
+	"github.com/metascreen/metascreen/internal/metaheuristic"
+	"github.com/metascreen/metascreen/internal/molecule"
+	"github.com/metascreen/metascreen/internal/surface"
+)
+
+func main() {
+	rec := molecule.SyntheticProtein("receptor", 1500, 101)
+	lig := molecule.SyntheticLigand("ligand", 24, 102)
+	problem, err := core.NewProblem(rec, lig, surface.Options{MaxSpots: 6}, forcefield.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	params := metaheuristic.Params{
+		PopulationPerSpot: 24,
+		SelectFraction:    1,
+		ImproveFraction:   1,
+		ImproveMoves:      8,
+		Generations:       10,
+	}
+
+	fmt.Printf("docking %s (%d atoms) at %d spots, %d generations, %d local-search moves\n\n",
+		lig.Name, lig.NumAtoms(), len(problem.Spots), params.Generations, params.ImproveMoves)
+
+	for _, improver := range []string{"stochastic", "gradient"} {
+		alg, err := metaheuristic.NewScatterSearch("ss", params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		backend, err := core.NewHostBackend(problem, core.HostConfig{
+			Real:     true,
+			Improver: improver,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.Run(problem, alg, backend, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-11s improver: best %9.3f kcal/mol (spot %d), %d evaluations, %.2fs wall\n",
+			improver, res.Best.Score, res.Best.Spot, res.Evaluations, res.WallSeconds)
+	}
+
+	fmt.Println("\n(gradient descent follows the analytic force/torque of the pose;")
+	fmt.Println(" stochastic search is the paper's random perturbation moves)")
+}

@@ -1,0 +1,3 @@
+module github.com/metascreen/metascreen
+
+go 1.22

@@ -1,0 +1,129 @@
+// Package analysis provides post-docking pose analysis: RMSD between
+// poses, clustering of results into distinct binding modes, and summary
+// statistics over spot results — the standard downstream of a virtual
+// screen, where "the needles in the haystacks" (the paper's phrase) are
+// separated from redundant rediscoveries of the same site.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/metascreen/metascreen/internal/conformation"
+	"github.com/metascreen/metascreen/internal/molecule"
+	"github.com/metascreen/metascreen/internal/vec"
+)
+
+// PoseRMSD returns the root-mean-square deviation in angstroms between two
+// poses of the same (possibly flexible) ligand: both conformations are
+// applied to the ligand coordinates and compared atom by atom.
+func PoseRMSD(ts *molecule.TorsionSet, ligand []vec.V3, a, b conformation.Conformation) float64 {
+	if len(ligand) == 0 {
+		return 0
+	}
+	pa := make([]vec.V3, len(ligand))
+	pb := make([]vec.V3, len(ligand))
+	a.ApplyFlex(ts, ligand, pa)
+	b.ApplyFlex(ts, ligand, pb)
+	sum := 0.0
+	for i := range pa {
+		sum += pa[i].Dist2(pb[i])
+	}
+	return math.Sqrt(sum / float64(len(ligand)))
+}
+
+// Mode is one cluster of poses: a distinct binding mode.
+type Mode struct {
+	// Representative is the best-scoring pose of the cluster.
+	Representative conformation.Conformation
+	// Members is the number of poses in the cluster.
+	Members int
+	// MeanScore averages the members' scores.
+	MeanScore float64
+}
+
+// ClusterModes groups evaluated poses into binding modes by greedy leader
+// clustering: poses are visited best-first, each joining the first
+// existing mode whose representative is within rmsdCutoff, or founding a
+// new mode. Modes are returned best-representative-first. Unevaluated
+// poses are ignored.
+func ClusterModes(ts *molecule.TorsionSet, ligand []vec.V3,
+	poses []conformation.Conformation, rmsdCutoff float64) ([]Mode, error) {
+	if rmsdCutoff <= 0 {
+		return nil, fmt.Errorf("analysis: RMSD cutoff %g", rmsdCutoff)
+	}
+	var evaluated []conformation.Conformation
+	for _, p := range poses {
+		if p.Evaluated() {
+			evaluated = append(evaluated, p)
+		}
+	}
+	sort.SliceStable(evaluated, func(i, j int) bool {
+		return evaluated[i].Score < evaluated[j].Score
+	})
+	var modes []Mode
+	sums := []float64{}
+	for _, p := range evaluated {
+		placed := false
+		for mi := range modes {
+			if PoseRMSD(ts, ligand, modes[mi].Representative, p) <= rmsdCutoff {
+				modes[mi].Members++
+				sums[mi] += p.Score
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			modes = append(modes, Mode{Representative: p, Members: 1})
+			sums = append(sums, p.Score)
+		}
+	}
+	for i := range modes {
+		modes[i].MeanScore = sums[i] / float64(modes[i].Members)
+	}
+	return modes, nil
+}
+
+// Stats summarizes a set of scores.
+type Stats struct {
+	N                int
+	Best, Worst      float64
+	Mean, Std, Range float64
+}
+
+// Summarize computes statistics over the evaluated poses' scores.
+func Summarize(poses []conformation.Conformation) Stats {
+	s := Stats{Best: math.Inf(1), Worst: math.Inf(-1)}
+	sum := 0.0
+	for _, p := range poses {
+		if !p.Evaluated() {
+			continue
+		}
+		s.N++
+		sum += p.Score
+		if p.Score < s.Best {
+			s.Best = p.Score
+		}
+		if p.Score > s.Worst {
+			s.Worst = p.Score
+		}
+	}
+	if s.N == 0 {
+		return Stats{}
+	}
+	s.Mean = sum / float64(s.N)
+	var ss float64
+	for _, p := range poses {
+		if !p.Evaluated() {
+			continue
+		}
+		d := p.Score - s.Mean
+		ss += d * d
+	}
+	if s.N > 1 {
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	s.Range = s.Worst - s.Best
+	return s
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"github.com/metascreen/metascreen/internal/conformation"
+	"github.com/metascreen/metascreen/internal/molecule"
+	"github.com/metascreen/metascreen/internal/rng"
+	"github.com/metascreen/metascreen/internal/vec"
+)
+
+func ligand() []vec.V3 {
+	return molecule.SyntheticLigand("lig", 15, 3).Positions()
+}
+
+func scored(t vec.V3, q vec.Quat, score float64) conformation.Conformation {
+	c := conformation.New(0, t, q)
+	c.Score = score
+	return c
+}
+
+func TestPoseRMSDIdentical(t *testing.T) {
+	lig := ligand()
+	a := scored(vec.New(1, 2, 3), vec.IdentityQuat, -5)
+	if got := PoseRMSD(nil, lig, a, a); got != 0 {
+		t.Errorf("self RMSD = %v", got)
+	}
+}
+
+func TestPoseRMSDPureTranslation(t *testing.T) {
+	lig := ligand()
+	a := scored(vec.Zero, vec.IdentityQuat, 0)
+	b := scored(vec.New(3, 4, 0), vec.IdentityQuat, 0)
+	// Every atom moves exactly 5 A, so RMSD = 5.
+	if got := PoseRMSD(nil, lig, a, b); math.Abs(got-5) > 1e-9 {
+		t.Errorf("translation RMSD = %v, want 5", got)
+	}
+}
+
+func TestPoseRMSDRotationSensitive(t *testing.T) {
+	lig := ligand()
+	a := scored(vec.Zero, vec.IdentityQuat, 0)
+	b := scored(vec.Zero, vec.QuatFromAxisAngle(vec.New(0, 0, 1), 1.0), 0)
+	if got := PoseRMSD(nil, lig, a, b); got <= 0 {
+		t.Errorf("rotation RMSD = %v, want > 0", got)
+	}
+}
+
+func TestPoseRMSDFlexible(t *testing.T) {
+	m := molecule.SyntheticLigand("flex", 20, 9)
+	ts := molecule.NewTorsionSet(m)
+	if ts.Len() == 0 {
+		t.Skip("no torsions")
+	}
+	lig := m.Positions()
+	a := scored(vec.Zero, vec.IdentityQuat, 0)
+	a.Torsions = make([]float64, ts.Len())
+	b := a
+	b.Torsions = make([]float64, ts.Len())
+	b.Torsions[0] = 1.5
+	if got := PoseRMSD(ts, lig, a, b); got <= 0 {
+		t.Errorf("torsion change RMSD = %v, want > 0", got)
+	}
+}
+
+func TestClusterModes(t *testing.T) {
+	lig := ligand()
+	// Two clusters: three poses near the origin, two near (30,0,0); plus
+	// one unevaluated pose to ignore.
+	poses := []conformation.Conformation{
+		scored(vec.New(0, 0, 0), vec.IdentityQuat, -10),
+		scored(vec.New(0.3, 0, 0), vec.IdentityQuat, -8),
+		scored(vec.New(0, 0.4, 0), vec.IdentityQuat, -6),
+		scored(vec.New(30, 0, 0), vec.IdentityQuat, -9),
+		scored(vec.New(30.2, 0, 0), vec.IdentityQuat, -5),
+		conformation.New(0, vec.New(99, 0, 0), vec.IdentityQuat), // unscored
+	}
+	modes, err := ClusterModes(nil, lig, poses, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(modes) != 2 {
+		t.Fatalf("%d modes, want 2: %+v", len(modes), modes)
+	}
+	// Best mode first, with the best representative.
+	if modes[0].Representative.Score != -10 || modes[0].Members != 3 {
+		t.Errorf("mode 0 = %+v", modes[0])
+	}
+	if modes[1].Representative.Score != -9 || modes[1].Members != 2 {
+		t.Errorf("mode 1 = %+v", modes[1])
+	}
+	if math.Abs(modes[0].MeanScore-(-8)) > 1e-12 {
+		t.Errorf("mode 0 mean = %v", modes[0].MeanScore)
+	}
+}
+
+func TestClusterModesCutoffMatters(t *testing.T) {
+	lig := ligand()
+	poses := []conformation.Conformation{
+		scored(vec.New(0, 0, 0), vec.IdentityQuat, -10),
+		scored(vec.New(4, 0, 0), vec.IdentityQuat, -9),
+	}
+	tight, err := ClusterModes(nil, lig, poses, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := ClusterModes(nil, lig, poses, 10.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tight) != 2 || len(loose) != 1 {
+		t.Errorf("tight %d / loose %d modes", len(tight), len(loose))
+	}
+	if _, err := ClusterModes(nil, lig, poses, 0); err == nil {
+		t.Error("zero cutoff accepted")
+	}
+}
+
+func TestClusterModesEmpty(t *testing.T) {
+	modes, err := ClusterModes(nil, ligand(), nil, 1)
+	if err != nil || len(modes) != 0 {
+		t.Errorf("empty input: %v, %v", modes, err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	poses := []conformation.Conformation{
+		scored(vec.Zero, vec.IdentityQuat, -10),
+		scored(vec.Zero, vec.IdentityQuat, -6),
+		scored(vec.Zero, vec.IdentityQuat, -2),
+		conformation.New(0, vec.Zero, vec.IdentityQuat), // unscored
+	}
+	s := Summarize(poses)
+	if s.N != 3 || s.Best != -10 || s.Worst != -2 || s.Range != 8 {
+		t.Errorf("stats = %+v", s)
+	}
+	if math.Abs(s.Mean-(-6)) > 1e-12 || math.Abs(s.Std-4) > 1e-12 {
+		t.Errorf("mean/std = %v/%v", s.Mean, s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Best != 0 {
+		t.Errorf("empty stats = %+v", z)
+	}
+}
+
+func TestRMSDProperties(t *testing.T) {
+	lig := ligand()
+	r := rng.New(5)
+	for trial := 0; trial < 30; trial++ {
+		a := scored(r.InSphere(20), r.Quat(), 0)
+		b := scored(r.InSphere(20), r.Quat(), 0)
+		ab := PoseRMSD(nil, lig, a, b)
+		ba := PoseRMSD(nil, lig, b, a)
+		if math.Abs(ab-ba) > 1e-9 {
+			t.Fatalf("RMSD not symmetric: %v vs %v", ab, ba)
+		}
+		if ab < 0 {
+			t.Fatalf("negative RMSD %v", ab)
+		}
+		// Triangle inequality against a third pose.
+		c := scored(r.InSphere(20), r.Quat(), 0)
+		if PoseRMSD(nil, lig, a, c) > ab+PoseRMSD(nil, lig, b, c)+1e-9 {
+			t.Fatal("RMSD violates the triangle inequality")
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/metascreen/metascreen/internal/conformation"
+	"github.com/metascreen/metascreen/internal/core"
+	"github.com/metascreen/metascreen/internal/cudasim"
+	"github.com/metascreen/metascreen/internal/metaheuristic"
+	"github.com/metascreen/metascreen/internal/sched"
+)
+
+// Config describes a simulated cluster of multicore+multiGPU nodes. Nodes
+// are identical (Nodes x GPUsPerNode) unless NodeGPUs is set, which gives
+// each node its own device list — a heterogeneous cluster, the second
+// heterogeneity level the paper's future work anticipates.
+type Config struct {
+	// Nodes is the node count (ignored when NodeGPUs is set).
+	Nodes int
+	// GPUsPerNode lists each node's devices for a homogeneous cluster.
+	GPUsPerNode []cudasim.DeviceSpec
+	// NodeGPUs, when non-empty, defines a heterogeneous cluster: one
+	// device list per node.
+	NodeGPUs [][]cudasim.DeviceSpec
+	// Mode is the intra-node partitioning strategy.
+	Mode sched.Mode
+	// Network models the interconnect; zero value means DefaultNetwork.
+	Network Network
+	// WarpsPerBlock is the CUDA block granularity; 0 means 8.
+	WarpsPerBlock int
+	// WeightedSpots splits spots proportionally to each node's modeled
+	// throughput instead of equally — the cluster-level analogue of the
+	// paper's heterogeneous computation. Essential when NodeGPUs mixes
+	// fast and slow nodes.
+	WeightedSpots bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Network == (Network{}) {
+		c.Network = DefaultNetwork()
+	}
+	if c.WarpsPerBlock <= 0 {
+		c.WarpsPerBlock = 8
+	}
+	return c
+}
+
+// nodeDevices resolves the per-node device lists.
+func (c Config) nodeDevices() ([][]cudasim.DeviceSpec, error) {
+	if len(c.NodeGPUs) > 0 {
+		for i, gpus := range c.NodeGPUs {
+			if len(gpus) == 0 {
+				return nil, fmt.Errorf("cluster: node %d has no GPUs", i)
+			}
+		}
+		return c.NodeGPUs, nil
+	}
+	if c.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: %d nodes", c.Nodes)
+	}
+	if len(c.GPUsPerNode) == 0 {
+		return nil, fmt.Errorf("cluster: nodes with no GPUs")
+	}
+	out := make([][]cudasim.DeviceSpec, c.Nodes)
+	for i := range out {
+		out[i] = c.GPUsPerNode
+	}
+	return out, nil
+}
+
+// nodeWeights returns each node's modeled scoring throughput.
+func nodeWeights(nodes [][]cudasim.DeviceSpec) []float64 {
+	model := cudasim.DefaultCostModel()
+	w := make([]float64, len(nodes))
+	for i, gpus := range nodes {
+		for _, g := range gpus {
+			w[i] += model.PairRate(g, cudasim.KernelScoring)
+		}
+	}
+	return w
+}
+
+// NodeResult is one node's contribution.
+type NodeResult struct {
+	// Rank is the node's rank.
+	Rank int
+	// Spots is the number of spots the node optimized.
+	Spots int
+	// SimulatedSeconds is the node's compute time.
+	SimulatedSeconds float64
+	// Best is the node's best conformation (spot IDs are global).
+	Best conformation.Conformation
+}
+
+// Result is a whole-cluster run.
+type Result struct {
+	// Nodes holds the per-node outcomes in rank order.
+	Nodes []NodeResult
+	// Best is the global winner gathered at rank 0.
+	Best conformation.Conformation
+	// ComputeSeconds is the slowest node's compute time.
+	ComputeSeconds float64
+	// NetworkSeconds is the modeled communication cost.
+	NetworkSeconds float64
+	// SimulatedSeconds is ComputeSeconds + NetworkSeconds, the modeled
+	// end-to-end makespan.
+	SimulatedSeconds float64
+}
+
+// bestMsg is the gather payload: a node's best conformation, with the
+// global spot ID restored.
+type bestMsg struct {
+	best conformation.Conformation
+	time float64
+	n    int
+}
+
+// wire size of a gathered best: pose (56 bytes) + score + spot id.
+const bestBytes = 72
+
+// Run executes the screening distributed over a simulated cluster: spots
+// are split contiguously across ranks, every node runs the metaheuristic
+// on its share with its own multi-GPU pool (Modeled mode), and rank 0
+// gathers the winners. Nodes execute as real concurrent goroutines
+// exchanging messages through the Comm layer.
+func Run(p *core.Problem, algName string, scale float64, cfg Config, seed uint64) (*Result, error) {
+	cfg = cfg.withDefaults()
+	nodeGPUs, err := cfg.nodeDevices()
+	if err != nil {
+		return nil, err
+	}
+	nNodes := len(nodeGPUs)
+	if nNodes > len(p.Spots) {
+		return nil, fmt.Errorf("cluster: %d nodes for %d spots", nNodes, len(p.Spots))
+	}
+	comms, err := NewComms(nNodes, cfg.Network)
+	if err != nil {
+		return nil, err
+	}
+
+	// Contiguous spot partition: equal by count, or proportional to node
+	// throughput for heterogeneous clusters.
+	var shares []int
+	if cfg.WeightedSpots {
+		shares = sched.SplitProportional(len(p.Spots), nodeWeights(nodeGPUs))
+	} else {
+		shares = sched.SplitEqual(len(p.Spots), nNodes)
+	}
+	offsets := make([]int, nNodes+1)
+	for i, s := range shares {
+		offsets[i+1] = offsets[i] + s
+	}
+
+	results := make([]NodeResult, nNodes)
+	errs := make([]error, nNodes)
+	var gathered []any
+	var wg sync.WaitGroup
+	for rank := 0; rank < nNodes; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			comm := comms[rank]
+			lo, hi := offsets[rank], offsets[rank+1]
+			if lo == hi {
+				// A node with no spots still participates in the gather.
+				results[rank] = NodeResult{
+					Rank: rank,
+					Best: conformation.Conformation{Score: conformation.Unscored},
+				}
+				g, err := comm.Gather(0, 1, bestMsg{
+					best: results[rank].Best,
+				}, bestBytes)
+				if err != nil {
+					errs[rank] = err
+					return
+				}
+				if rank == 0 {
+					gathered = g
+				}
+				return
+			}
+			idx := make([]int, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				idx = append(idx, i)
+			}
+			sub, err := p.SubsetSpots(idx)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			alg, err := metaheuristic.NewPaper(algName, scale)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			backend, err := core.NewPoolBackend(sub, core.PoolConfig{
+				Specs:         nodeGPUs[rank],
+				Mode:          cfg.Mode,
+				WarpsPerBlock: cfg.WarpsPerBlock,
+				Seed:          seed + uint64(rank),
+			})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			res, err := core.Run(sub, alg, backend, seed+uint64(rank))
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			best := res.Best
+			best.Spot += lo // restore the global spot ID
+			results[rank] = NodeResult{
+				Rank:             rank,
+				Spots:            hi - lo,
+				SimulatedSeconds: res.SimulatedSeconds,
+				Best:             best,
+			}
+			g, err := comm.Gather(0, 1, bestMsg{best: best, time: res.SimulatedSeconds, n: hi - lo}, bestBytes)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			if rank == 0 {
+				gathered = g
+			}
+		}(rank)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := &Result{Nodes: results}
+	out.Best = conformation.Conformation{Score: conformation.Unscored}
+	for _, g := range gathered {
+		m := g.(bestMsg)
+		if m.best.Better(out.Best) {
+			out.Best = m.best
+		}
+		if m.time > out.ComputeSeconds {
+			out.ComputeSeconds = m.time
+		}
+	}
+	out.NetworkSeconds = comms[0].NetTime()
+	out.SimulatedSeconds = out.ComputeSeconds + out.NetworkSeconds
+	sort.Slice(out.Nodes, func(i, j int) bool { return out.Nodes[i].Rank < out.Nodes[j].Rank })
+	return out, nil
+}

@@ -1,0 +1,326 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/metascreen/metascreen/internal/core"
+	"github.com/metascreen/metascreen/internal/cudasim"
+	"github.com/metascreen/metascreen/internal/forcefield"
+	"github.com/metascreen/metascreen/internal/sched"
+)
+
+func TestCommSendRecv(t *testing.T) {
+	comms, err := NewComms(2, DefaultNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := comms[0].Send(1, 7, "hello", 5); err != nil {
+			t.Error(err)
+		}
+	}()
+	var got any
+	go func() {
+		defer wg.Done()
+		var err error
+		got, err = comms[1].Recv(0, 7)
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+	if got != "hello" {
+		t.Errorf("received %v", got)
+	}
+	if comms[0].NetTime() <= 0 {
+		t.Error("network time not charged")
+	}
+}
+
+func TestCommTagMismatch(t *testing.T) {
+	comms, err := NewComms(2, DefaultNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := comms[0].Send(1, 1, "x", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := comms[1].Recv(0, 2); err == nil {
+		t.Error("tag mismatch not detected")
+	}
+}
+
+func TestCommRankBounds(t *testing.T) {
+	comms, _ := NewComms(2, DefaultNetwork())
+	if err := comms[0].Send(5, 1, "x", 1); err == nil {
+		t.Error("out-of-range send accepted")
+	}
+	if _, err := comms[0].Recv(-1, 1); err == nil {
+		t.Error("out-of-range recv accepted")
+	}
+	if _, err := NewComms(0, DefaultNetwork()); err == nil {
+		t.Error("zero-size world accepted")
+	}
+}
+
+func TestCommBroadcastGather(t *testing.T) {
+	const n = 4
+	comms, err := NewComms(n, DefaultNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	bcast := make([]any, n)
+	var gathered []any
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			v, err := comms[r].Broadcast(0, 1, 42, 8)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			bcast[r] = v
+			g, err := comms[r].Gather(0, 2, r*10, 8)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if r == 0 {
+				gathered = g
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r, v := range bcast {
+		if v != 42 {
+			t.Errorf("rank %d broadcast value %v", r, v)
+		}
+	}
+	if len(gathered) != n {
+		t.Fatalf("gathered %d values", len(gathered))
+	}
+	for r, v := range gathered {
+		if v != r*10 {
+			t.Errorf("gathered[%d] = %v", r, v)
+		}
+	}
+}
+
+func clusterProblem(t *testing.T) *core.Problem {
+	t.Helper()
+	p, err := core.NewProblemFromDataset(core.Dataset2BSM(), forcefield.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func hertzNode() []cudasim.DeviceSpec {
+	return []cudasim.DeviceSpec{cudasim.TeslaK40c, cudasim.GTX580}
+}
+
+func TestClusterRun(t *testing.T) {
+	p := clusterProblem(t)
+	res, err := Run(p, "M3", 0.1, Config{
+		Nodes:       4,
+		GPUsPerNode: hertzNode(),
+		Mode:        sched.Heterogeneous,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 4 {
+		t.Fatalf("%d node results", len(res.Nodes))
+	}
+	totalSpots := 0
+	for r, nr := range res.Nodes {
+		if nr.Rank != r {
+			t.Errorf("node %d has rank %d", r, nr.Rank)
+		}
+		if nr.SimulatedSeconds <= 0 {
+			t.Errorf("node %d: no simulated time", r)
+		}
+		totalSpots += nr.Spots
+	}
+	if totalSpots != len(p.Spots) {
+		t.Errorf("nodes covered %d spots, problem has %d", totalSpots, len(p.Spots))
+	}
+	if !res.Best.Evaluated() {
+		t.Error("no global best gathered")
+	}
+	if res.Best.Spot < 0 || res.Best.Spot >= len(p.Spots) {
+		t.Errorf("global best spot ID %d out of range", res.Best.Spot)
+	}
+	if res.NetworkSeconds <= 0 {
+		t.Error("no network time modeled")
+	}
+	if res.SimulatedSeconds < res.ComputeSeconds {
+		t.Error("makespan below compute time")
+	}
+}
+
+func TestClusterScales(t *testing.T) {
+	// More nodes -> shorter makespan (spots are independent).
+	p := clusterProblem(t)
+	run := func(nodes int) float64 {
+		res, err := Run(p, "M3", 0.1, Config{
+			Nodes:       nodes,
+			GPUsPerNode: hertzNode(),
+			Mode:        sched.Homogeneous,
+		}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SimulatedSeconds
+	}
+	t1, t4 := run(1), run(4)
+	if t4 >= t1 {
+		t.Errorf("4 nodes (%v) not faster than 1 node (%v)", t4, t1)
+	}
+	speedup := t1 / t4
+	if speedup < 2 || speedup > 4.5 {
+		t.Errorf("4-node speed-up = %v, want roughly linear", speedup)
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	p := clusterProblem(t)
+	if _, err := Run(p, "M3", 0.1, Config{Nodes: 0, GPUsPerNode: hertzNode()}, 1); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := Run(p, "M3", 0.1, Config{Nodes: 2}, 1); err == nil {
+		t.Error("no GPUs accepted")
+	}
+	if _, err := Run(p, "M3", 0.1, Config{Nodes: 1000, GPUsPerNode: hertzNode()}, 1); err == nil {
+		t.Error("more nodes than spots accepted")
+	}
+	if _, err := Run(p, "M9", 0.1, Config{Nodes: 2, GPUsPerNode: hertzNode()}, 1); err == nil {
+		t.Error("unknown metaheuristic accepted")
+	}
+}
+
+func TestHeterogeneousClusterWeightedSpots(t *testing.T) {
+	// A mixed cluster: one strong node (Hertz-like) and one weak node
+	// (single GTX 580). Weighted spot partition must beat the equal one.
+	p := clusterProblem(t)
+	mixed := [][]cudasim.DeviceSpec{
+		hertzNode(),
+		{cudasim.GTX580},
+	}
+	run := func(weighted bool) *Result {
+		// Scale 0.4 keeps per-generation batches large enough that node
+		// time tracks spot count (at tiny scales fixed per-launch
+		// overheads dominate and no partition helps).
+		res, err := Run(p, "M3", 0.4, Config{
+			NodeGPUs:      mixed,
+			Mode:          sched.Heterogeneous,
+			WeightedSpots: weighted,
+		}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	eq := run(false)
+	wt := run(true)
+	if wt.SimulatedSeconds >= eq.SimulatedSeconds {
+		t.Errorf("weighted spots (%v) not faster than equal (%v)",
+			wt.SimulatedSeconds, eq.SimulatedSeconds)
+	}
+	// The strong node must have received more spots.
+	if wt.Nodes[0].Spots <= wt.Nodes[1].Spots {
+		t.Errorf("strong node got %d spots, weak node %d",
+			wt.Nodes[0].Spots, wt.Nodes[1].Spots)
+	}
+	// All spots still covered.
+	if wt.Nodes[0].Spots+wt.Nodes[1].Spots != len(p.Spots) {
+		t.Error("spot coverage broken under weighted partition")
+	}
+}
+
+func TestHeterogeneousClusterValidation(t *testing.T) {
+	p := clusterProblem(t)
+	if _, err := Run(p, "M3", 0.1, Config{
+		NodeGPUs: [][]cudasim.DeviceSpec{hertzNode(), {}},
+	}, 1); err == nil {
+		t.Error("node with no GPUs accepted")
+	}
+}
+
+func TestCommNetworkAccounting(t *testing.T) {
+	net := Network{LatencySeconds: 1e-3, BandwidthBytesPerSec: 1e6}
+	comms, err := NewComms(2, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 MB at 1 MB/s + 1 ms latency = 1.001 s.
+	if err := comms[0].Send(1, 1, "payload", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := comms[1].Recv(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	got := comms[0].NetTime()
+	want := 1e-3 + float64(1<<20)/1e6
+	if got < want*0.999 || got > want*1.001 {
+		t.Errorf("network time = %v, want %v", got, want)
+	}
+	// Zero-bandwidth network charges only latency.
+	zc, err := NewComms(2, Network{LatencySeconds: 5e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := zc[0].Send(1, 1, "x", 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := zc[0].NetTime(); got != 5e-6 {
+		t.Errorf("latency-only network time = %v", got)
+	}
+}
+
+func TestGatherNonRootReturnsNil(t *testing.T) {
+	comms, err := NewComms(2, DefaultNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan []any, 1)
+	go func() {
+		g, err := comms[0].Gather(0, 3, "root", 4)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- g
+	}()
+	g1, err := comms[1].Gather(0, 3, "leaf", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != nil {
+		t.Error("non-root Gather returned data")
+	}
+	if g0 := <-done; len(g0) != 2 || g0[1] != "leaf" {
+		t.Errorf("root gathered %v", g0)
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	p := clusterProblem(t)
+	cfg := Config{Nodes: 3, GPUsPerNode: hertzNode(), Mode: sched.Heterogeneous}
+	a, err := Run(p, "M3", 0.1, cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, "M3", 0.1, cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best.Score != b.Best.Score || a.SimulatedSeconds != b.SimulatedSeconds {
+		t.Error("same-seed cluster runs differ")
+	}
+}

@@ -1,0 +1,163 @@
+// Package cluster simulates the paper's future-work platform ("several
+// computational nodes working together with the message-passing paradigm,
+// and each node with several computational components"): a set of
+// multicore+multiGPU nodes connected by a modeled interconnect, with an
+// MPI-like communicator for rank-to-rank messages and collectives.
+//
+// Each node optimizes a disjoint subset of the receptor's surface spots
+// (spots are independent sub-problems, so the partition is embarrassingly
+// parallel); rank 0 gathers the per-spot winners. Simulated time is the
+// slowest node's compute time plus the modeled gather cost.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is one point-to-point payload.
+type message struct {
+	from    int
+	tag     int
+	payload any
+}
+
+// Comm is an MPI-like communicator over in-process channels. Each rank
+// must use its own *Comm handle from a single goroutine.
+type Comm struct {
+	rank  int
+	size  int
+	boxes [][]chan message // boxes[to][from]
+
+	netMu   *sync.Mutex
+	netTime *float64 // accumulated modeled network seconds
+	latency float64
+	bandwdt float64
+}
+
+// Network describes the modeled interconnect.
+type Network struct {
+	// LatencySeconds is the per-message latency.
+	LatencySeconds float64
+	// BandwidthBytesPerSec is the link bandwidth.
+	BandwidthBytesPerSec float64
+}
+
+// DefaultNetwork returns FDR-InfiniBand-like parameters (2 us, 6 GB/s),
+// period-appropriate for the paper's clusters.
+func DefaultNetwork() Network {
+	return Network{LatencySeconds: 2e-6, BandwidthBytesPerSec: 6e9}
+}
+
+// NewComms creates the communicators for a world of the given size.
+func NewComms(size int, net Network) ([]*Comm, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("cluster: world size %d", size)
+	}
+	boxes := make([][]chan message, size)
+	for to := range boxes {
+		boxes[to] = make([]chan message, size)
+		for from := range boxes[to] {
+			boxes[to][from] = make(chan message, 64)
+		}
+	}
+	var mu sync.Mutex
+	var netTime float64
+	comms := make([]*Comm, size)
+	for r := range comms {
+		comms[r] = &Comm{
+			rank: r, size: size, boxes: boxes,
+			netMu: &mu, netTime: &netTime,
+			latency: net.LatencySeconds, bandwdt: net.BandwidthBytesPerSec,
+		}
+	}
+	return comms, nil
+}
+
+// Rank returns this communicator's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.size }
+
+// chargeNet accounts the modeled cost of moving n bytes.
+func (c *Comm) chargeNet(bytes int) {
+	cost := c.latency
+	if c.bandwdt > 0 {
+		cost += float64(bytes) / c.bandwdt
+	}
+	c.netMu.Lock()
+	*c.netTime += cost
+	c.netMu.Unlock()
+}
+
+// NetTime returns the accumulated modeled network seconds across all ranks.
+func (c *Comm) NetTime() float64 {
+	c.netMu.Lock()
+	defer c.netMu.Unlock()
+	return *c.netTime
+}
+
+// Send delivers payload to rank `to` with a tag. bytes is the modeled wire
+// size. Send blocks only when the destination mailbox is full.
+func (c *Comm) Send(to, tag int, payload any, bytes int) error {
+	if to < 0 || to >= c.size {
+		return fmt.Errorf("cluster: send to rank %d of %d", to, c.size)
+	}
+	c.chargeNet(bytes)
+	c.boxes[to][c.rank] <- message{from: c.rank, tag: tag, payload: payload}
+	return nil
+}
+
+// Recv blocks until a message with the tag arrives from rank `from`.
+// Messages from one sender are delivered in order; a message with a
+// different tag at the head of the mailbox is an error (this simulator
+// uses disciplined tag protocols, not out-of-order matching).
+func (c *Comm) Recv(from, tag int) (any, error) {
+	if from < 0 || from >= c.size {
+		return nil, fmt.Errorf("cluster: recv from rank %d of %d", from, c.size)
+	}
+	m := <-c.boxes[c.rank][from]
+	if m.tag != tag {
+		return nil, fmt.Errorf("cluster: rank %d expected tag %d from %d, got %d", c.rank, tag, from, m.tag)
+	}
+	return m.payload, nil
+}
+
+// Broadcast sends payload from root to every other rank (root returns the
+// payload unchanged; other ranks receive it).
+func (c *Comm) Broadcast(root, tag int, payload any, bytes int) (any, error) {
+	if c.rank == root {
+		for r := 0; r < c.size; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.Send(r, tag, payload, bytes); err != nil {
+				return nil, err
+			}
+		}
+		return payload, nil
+	}
+	return c.Recv(root, tag)
+}
+
+// Gather collects one payload per rank at root, indexed by rank. Non-root
+// ranks return nil.
+func (c *Comm) Gather(root, tag int, payload any, bytes int) ([]any, error) {
+	if c.rank != root {
+		return nil, c.Send(root, tag, payload, bytes)
+	}
+	out := make([]any, c.size)
+	out[root] = payload
+	for r := 0; r < c.size; r++ {
+		if r == root {
+			continue
+		}
+		p, err := c.Recv(r, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = p
+	}
+	return out, nil
+}

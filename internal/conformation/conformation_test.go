@@ -1,0 +1,226 @@
+package conformation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/metascreen/metascreen/internal/rng"
+	"github.com/metascreen/metascreen/internal/surface"
+	"github.com/metascreen/metascreen/internal/vec"
+)
+
+func testSpot() surface.Spot {
+	return surface.Spot{
+		ID:     3,
+		Center: vec.New(10, 0, 0),
+		Normal: vec.New(1, 0, 0),
+		Radius: 8,
+	}
+}
+
+func TestNewIsUnscored(t *testing.T) {
+	c := New(1, vec.Zero, vec.IdentityQuat)
+	if c.Evaluated() {
+		t.Error("fresh conformation reports evaluated")
+	}
+	c.Score = -5
+	if !c.Evaluated() {
+		t.Error("scored conformation reports unevaluated")
+	}
+}
+
+func TestApplyIdentity(t *testing.T) {
+	lig := []vec.V3{vec.New(1, 0, 0), vec.New(0, 2, 0)}
+	c := New(0, vec.New(5, 5, 5), vec.IdentityQuat)
+	got := c.Posed(lig)
+	if !got[0].ApproxEq(vec.New(6, 5, 5), 1e-12) || !got[1].ApproxEq(vec.New(5, 7, 5), 1e-12) {
+		t.Errorf("posed = %v", got)
+	}
+}
+
+func TestApplyRotation(t *testing.T) {
+	lig := []vec.V3{vec.New(1, 0, 0)}
+	q := vec.QuatFromAxisAngle(vec.New(0, 0, 1), math.Pi/2)
+	c := New(0, vec.Zero, q)
+	got := c.Posed(lig)
+	if !got[0].ApproxEq(vec.New(0, 1, 0), 1e-9) {
+		t.Errorf("rotated pose = %v", got[0])
+	}
+}
+
+func TestApplyPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on mismatched dst")
+		}
+	}()
+	New(0, vec.Zero, vec.IdentityQuat).Apply([]vec.V3{vec.Zero}, make([]vec.V3, 2))
+}
+
+func TestApplyPreservesShape(t *testing.T) {
+	// Rigid-body transform: all pairwise distances preserved.
+	f := func(tx, ty, tz, ax, ay, az, angle float64) bool {
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 1
+			}
+			return math.Mod(v, 50)
+		}
+		c := New(0,
+			vec.New(clamp(tx), clamp(ty), clamp(tz)),
+			vec.QuatFromAxisAngle(vec.New(clamp(ax), clamp(ay), clamp(az)), clamp(angle)))
+		lig := []vec.V3{vec.Zero, vec.New(1.5, 0, 0), vec.New(0, 2.5, 1)}
+		posed := c.Posed(lig)
+		for i := range lig {
+			for j := i + 1; j < len(lig); j++ {
+				if math.Abs(posed[i].Dist(posed[j])-lig[i].Dist(lig[j])) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBetter(t *testing.T) {
+	a := New(0, vec.Zero, vec.IdentityQuat)
+	b := New(0, vec.Zero, vec.IdentityQuat)
+	a.Score = -10
+	b.Score = -5
+	if !a.Better(b) || b.Better(a) {
+		t.Error("Better ordering wrong")
+	}
+	un := New(0, vec.Zero, vec.IdentityQuat)
+	if un.Better(b) {
+		t.Error("unscored conformation beat a scored one")
+	}
+}
+
+func TestSamplerRandomInRegion(t *testing.T) {
+	s := NewSampler(testSpot(), 3)
+	r := rng.New(1)
+	for i := 0; i < 500; i++ {
+		c := s.Random(r)
+		if c.Spot != 3 {
+			t.Fatalf("spot = %d", c.Spot)
+		}
+		if !s.Contains(c) {
+			t.Fatalf("random conformation outside region: %v", c.Translation)
+		}
+		if math.Abs(c.Orientation.Norm()-1) > 1e-9 {
+			t.Fatal("non-unit orientation")
+		}
+	}
+}
+
+func TestSamplerCombineStaysInRegion(t *testing.T) {
+	s := NewSampler(testSpot(), 3)
+	r := rng.New(2)
+	for i := 0; i < 200; i++ {
+		a, b := s.Random(r), s.Random(r)
+		child := s.Combine(r, a, b)
+		if !s.Contains(child) {
+			t.Fatalf("child outside region: %v", child.Translation)
+		}
+		if child.Evaluated() {
+			t.Fatal("child born with a score")
+		}
+		if child.Spot != a.Spot {
+			t.Fatal("child changed spot")
+		}
+	}
+}
+
+func TestSamplerCombineBlends(t *testing.T) {
+	s := NewSampler(testSpot(), 3)
+	r := rng.New(3)
+	a, b := s.Random(r), s.Random(r)
+	child := s.Combine(r, a, b)
+	// Child translation lies on the segment between the parents.
+	ab := b.Translation.Sub(a.Translation)
+	ac := child.Translation.Sub(a.Translation)
+	if ab.Norm() > 1e-9 {
+		cross := ab.Cross(ac).Norm()
+		if cross > 1e-6*(1+ab.Norm()*ac.Norm()) {
+			t.Errorf("child off the parent segment (cross=%v)", cross)
+		}
+		if d := ac.Norm(); d > ab.Norm()+1e-9 {
+			t.Errorf("child beyond parent b (%v > %v)", d, ab.Norm())
+		}
+	}
+}
+
+func TestSamplerPerturbBounded(t *testing.T) {
+	s := NewSampler(testSpot(), 3)
+	r := rng.New(4)
+	scale := MoveScale{MaxTranslate: 0.5, MaxRotate: 0.2}
+	orig := s.Random(r)
+	for i := 0; i < 300; i++ {
+		p := s.Perturb(r, orig, scale)
+		if !s.Contains(p) {
+			t.Fatalf("perturbed pose escaped region: %v", p.Translation)
+		}
+		// Translation step bounded unless the clamp pulled it back, which
+		// can only shrink the distance to the region; allow for that by
+		// checking against the unclamped bound.
+		if d := p.Translation.Dist(orig.Translation); d > scale.MaxTranslate+2*testSpot().Radius {
+			t.Fatalf("translation step %v", d)
+		}
+		if a := p.Orientation.AngleTo(orig.Orientation); a > scale.MaxRotate+1e-9 {
+			t.Fatalf("rotation step %v > %v", a, scale.MaxRotate)
+		}
+		if p.Evaluated() {
+			t.Fatal("perturbed pose born with a score")
+		}
+	}
+}
+
+func TestSamplerPerturbTranslationTight(t *testing.T) {
+	// A pose at the region center cannot hit the clamp, so the raw bound
+	// applies exactly.
+	spot := testSpot()
+	s := NewSampler(spot, 3)
+	base := spot.Center.Add(spot.Normal.Scale(4.5))
+	orig := New(spot.ID, base, vec.IdentityQuat)
+	r := rng.New(5)
+	scale := MoveScale{MaxTranslate: 0.5, MaxRotate: 0.2}
+	for i := 0; i < 300; i++ {
+		p := s.Perturb(r, orig, scale)
+		if d := p.Translation.Dist(orig.Translation); d > scale.MaxTranslate+1e-9 {
+			t.Fatalf("translation step %v > %v", d, scale.MaxTranslate)
+		}
+	}
+}
+
+func TestClampProjectsToSphere(t *testing.T) {
+	spot := testSpot()
+	s := NewSampler(spot, 3)
+	far := New(spot.ID, spot.Center.Add(vec.New(100, 100, 100)), vec.IdentityQuat)
+	r := rng.New(6)
+	p := s.Perturb(r, far, MoveScale{MaxTranslate: 0.01, MaxRotate: 0.01})
+	if !s.Contains(p) {
+		t.Error("clamp failed to project far pose into region")
+	}
+}
+
+func TestSamplerSpotAccessor(t *testing.T) {
+	s := NewSampler(testSpot(), 3)
+	if s.Spot().ID != 3 {
+		t.Errorf("Spot() = %+v", s.Spot())
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	c := New(1, vec.Zero, vec.IdentityQuat)
+	if c.String() == "" {
+		t.Error("empty unscored String")
+	}
+	c.Score = 1.5
+	if c.String() == "" {
+		t.Error("empty scored String")
+	}
+}

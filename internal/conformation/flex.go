@@ -1,0 +1,127 @@
+package conformation
+
+import (
+	"math"
+
+	"github.com/metascreen/metascreen/internal/molecule"
+	"github.com/metascreen/metascreen/internal/rng"
+	"github.com/metascreen/metascreen/internal/vec"
+)
+
+// Flexible-ligand poses. A rigid Conformation optionally carries a vector
+// of torsion angles (radians), one per rotatable bond of the ligand's
+// TorsionSet. ApplyFlex bends the ligand's internal geometry first, then
+// applies the rigid-body transform, so every branch remains a rigid body
+// and all bond lengths are preserved.
+
+// ApplyFlex writes the posed coordinates of a flexible ligand into dst:
+// torsion rotations about each rotatable bond, then the conformation's
+// rigid-body transform. A nil TorsionSet or empty Torsions vector reduces
+// to Apply. The i-th torsion angle corresponds to ts.Torsions[i].
+func (c Conformation) ApplyFlex(ts *molecule.TorsionSet, ligand []vec.V3, dst []vec.V3) {
+	if ts.Len() == 0 || len(c.Torsions) == 0 {
+		c.Apply(ligand, dst)
+		return
+	}
+	if len(c.Torsions) != ts.Len() {
+		panic("conformation: torsion vector length does not match torsion set")
+	}
+	// Bend into dst (internal coordinates), then transform in place.
+	copy(dst, ligand)
+	for k, tor := range ts.Torsions {
+		angle := c.Torsions[k]
+		if angle == 0 {
+			continue
+		}
+		a := dst[tor.Axis.I]
+		b := dst[tor.Axis.J]
+		q := vec.QuatFromAxisAngle(b.Sub(a), angle)
+		for _, idx := range tor.Moving {
+			dst[idx] = a.Add(q.Rotate(dst[idx].Sub(a)))
+		}
+	}
+	m := c.Orientation.Mat3()
+	for i := range dst {
+		dst[i] = m.MulV(dst[i]).Add(c.Translation)
+	}
+}
+
+// CloneTorsions returns a copy of c with an independent torsion vector, so
+// mutating the copy's angles never aliases the original.
+func (c Conformation) CloneTorsions() Conformation {
+	if c.Torsions == nil {
+		return c
+	}
+	t := make([]float64, len(c.Torsions))
+	copy(t, c.Torsions)
+	c.Torsions = t
+	return c
+}
+
+// WrapAngle maps an angle to (-pi, pi].
+func WrapAngle(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// SetTorsions attaches a torsion topology to the sampler: subsequent
+// Random poses get uniform torsion angles, Perturb jitters them within
+// MoveScale.MaxTorsion, and Combine blends them along the shortest arc.
+// Pass nil to return to rigid sampling.
+func (s *Sampler) SetTorsions(ts *molecule.TorsionSet) { s.torsions = ts }
+
+// TorsionSet returns the sampler's torsion topology (nil when rigid).
+func (s *Sampler) TorsionSet() *molecule.TorsionSet { return s.torsions }
+
+// randomTorsions samples uniform angles for every rotatable bond.
+func (s *Sampler) randomTorsions(r *rng.Source) []float64 {
+	if s.torsions.Len() == 0 {
+		return nil
+	}
+	t := make([]float64, s.torsions.Len())
+	for i := range t {
+		t[i] = r.Range(-math.Pi, math.Pi)
+	}
+	return t
+}
+
+// perturbTorsions jitters angles by at most maxStep each.
+func (s *Sampler) perturbTorsions(r *rng.Source, base []float64, maxStep float64) []float64 {
+	if s.torsions.Len() == 0 {
+		return nil
+	}
+	t := make([]float64, s.torsions.Len())
+	for i := range t {
+		v := 0.0
+		if i < len(base) {
+			v = base[i]
+		}
+		t[i] = WrapAngle(v + r.Range(-maxStep, maxStep))
+	}
+	return t
+}
+
+// combineTorsions blends two angle vectors along the shortest arc at
+// parameter u.
+func (s *Sampler) combineTorsions(a, b []float64, u float64) []float64 {
+	if s.torsions.Len() == 0 {
+		return nil
+	}
+	t := make([]float64, s.torsions.Len())
+	for i := range t {
+		var va, vb float64
+		if i < len(a) {
+			va = a[i]
+		}
+		if i < len(b) {
+			vb = b[i]
+		}
+		t[i] = WrapAngle(va + WrapAngle(vb-va)*u)
+	}
+	return t
+}

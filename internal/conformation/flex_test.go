@@ -1,0 +1,212 @@
+package conformation
+
+import (
+	"math"
+	"testing"
+
+	"github.com/metascreen/metascreen/internal/molecule"
+	"github.com/metascreen/metascreen/internal/rng"
+	"github.com/metascreen/metascreen/internal/vec"
+)
+
+// flexLigand is a 6-atom chain with covalent spacing and its torsion set.
+func flexLigand() (*molecule.Molecule, *molecule.TorsionSet, []vec.V3) {
+	atoms := make([]molecule.Atom, 6)
+	for i := range atoms {
+		atoms[i] = molecule.Atom{Element: molecule.Carbon, Pos: vec.New(float64(i)*1.54, 0, 0)}
+	}
+	m := molecule.New("chain", atoms)
+	return m, molecule.NewTorsionSet(m), m.Positions()
+}
+
+func TestApplyFlexZeroAnglesMatchesRigid(t *testing.T) {
+	_, ts, lig := flexLigand()
+	c := New(0, vec.New(3, 4, 5), vec.QuatFromAxisAngle(vec.New(0, 0, 1), 0.7))
+	c.Torsions = make([]float64, ts.Len())
+	flex := make([]vec.V3, len(lig))
+	rigid := make([]vec.V3, len(lig))
+	c.ApplyFlex(ts, lig, flex)
+	c.Apply(lig, rigid)
+	for i := range lig {
+		if !flex[i].ApproxEq(rigid[i], 1e-12) {
+			t.Errorf("atom %d: flex %v != rigid %v", i, flex[i], rigid[i])
+		}
+	}
+}
+
+func TestApplyFlexNilTorsionSet(t *testing.T) {
+	_, _, lig := flexLigand()
+	c := New(0, vec.Zero, vec.IdentityQuat)
+	dst := make([]vec.V3, len(lig))
+	c.ApplyFlex(nil, lig, dst) // must not panic, behaves rigid
+	if !dst[3].ApproxEq(lig[3], 1e-12) {
+		t.Error("nil torsion set changed geometry")
+	}
+}
+
+func TestApplyFlexPreservesBondLengths(t *testing.T) {
+	m, ts, lig := flexLigand()
+	bonds := molecule.InferBonds(m)
+	r := rng.New(5)
+	dst := make([]vec.V3, len(lig))
+	for trial := 0; trial < 50; trial++ {
+		c := New(0, r.InSphere(10), r.Quat())
+		c.Torsions = make([]float64, ts.Len())
+		for i := range c.Torsions {
+			c.Torsions[i] = r.Range(-math.Pi, math.Pi)
+		}
+		c.ApplyFlex(ts, lig, dst)
+		for _, b := range bonds {
+			orig := lig[b.I].Dist(lig[b.J])
+			posed := dst[b.I].Dist(dst[b.J])
+			if math.Abs(orig-posed) > 1e-9 {
+				t.Fatalf("trial %d: bond %v length %v -> %v", trial, b, orig, posed)
+			}
+		}
+	}
+}
+
+func TestApplyFlexChangesNonBondedDistances(t *testing.T) {
+	// Bending must actually bend: distances across the rotated bond
+	// change for a nonzero angle.
+	_, ts, lig := flexLigand()
+	c := New(0, vec.Zero, vec.IdentityQuat)
+	c.Torsions = make([]float64, ts.Len())
+	c.Torsions[0] = math.Pi / 2
+	dst := make([]vec.V3, len(lig))
+	c.ApplyFlex(ts, lig, dst)
+	// A straight chain bent in the middle: end-to-end distance shrinks...
+	// except a straight chain is degenerate (atoms on the axis line!).
+	// Give the chain a kink first instead: use a real synthetic ligand.
+	lig2 := Synthetic2BSMLigandPositions()
+	ts2 := molecule.NewTorsionSet(syntheticLigand())
+	if ts2.Len() == 0 {
+		t.Skip("no torsions on synthetic ligand")
+	}
+	c2 := New(0, vec.Zero, vec.IdentityQuat)
+	c2.Torsions = make([]float64, ts2.Len())
+	dst0 := make([]vec.V3, len(lig2))
+	c2.ApplyFlex(ts2, lig2, dst0)
+	c2.Torsions[0] = math.Pi / 2
+	dst1 := make([]vec.V3, len(lig2))
+	c2.ApplyFlex(ts2, lig2, dst1)
+	moved := 0
+	for i := range dst0 {
+		if dst0[i].Dist(dst1[i]) > 1e-6 {
+			moved++
+		}
+	}
+	tor := ts2.Torsions[0]
+	if moved == 0 {
+		t.Error("nonzero torsion moved nothing")
+	}
+	if moved > len(tor.Moving) {
+		t.Errorf("torsion moved %d atoms, its branch has %d", moved, len(tor.Moving))
+	}
+}
+
+// syntheticLigand and Synthetic2BSMLigandPositions adapt the molecule
+// package's generator for this test.
+func syntheticLigand() *molecule.Molecule {
+	return molecule.SyntheticLigand("flex-lig", 20, 99)
+}
+
+func Synthetic2BSMLigandPositions() []vec.V3 {
+	return syntheticLigand().Positions()
+}
+
+func TestApplyFlexPanicsOnLengthMismatch(t *testing.T) {
+	_, ts, lig := flexLigand()
+	if ts.Len() == 0 {
+		t.Skip("chain has no torsions")
+	}
+	c := New(0, vec.Zero, vec.IdentityQuat)
+	c.Torsions = []float64{0.5} // wrong length
+	if len(c.Torsions) == ts.Len() {
+		t.Skip("lengths coincide")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on torsion length mismatch")
+		}
+	}()
+	c.ApplyFlex(ts, lig, make([]vec.V3, len(lig)))
+}
+
+func TestFlexSampler(t *testing.T) {
+	m := syntheticLigand()
+	ts := molecule.NewTorsionSet(m)
+	if ts.Len() == 0 {
+		t.Skip("no torsions")
+	}
+	s := NewSampler(testSpot(), 3)
+	s.SetTorsions(ts)
+	if s.TorsionSet() != ts {
+		t.Error("TorsionSet accessor wrong")
+	}
+	r := rng.New(6)
+	c := s.Random(r)
+	if len(c.Torsions) != ts.Len() {
+		t.Fatalf("random pose has %d torsions, want %d", len(c.Torsions), ts.Len())
+	}
+	for _, a := range c.Torsions {
+		if a < -math.Pi || a > math.Pi {
+			t.Errorf("torsion angle %v outside (-pi, pi]", a)
+		}
+	}
+	// Perturb bounds the per-bond step.
+	scale := MoveScale{MaxTranslate: 0.5, MaxRotate: 0.2, MaxTorsion: 0.1}
+	p := s.Perturb(r, c, scale)
+	for i := range p.Torsions {
+		d := math.Abs(WrapAngle(p.Torsions[i] - c.Torsions[i]))
+		if d > 0.1+1e-9 {
+			t.Errorf("torsion %d stepped %v > 0.1", i, d)
+		}
+	}
+	// Perturb must not alias the parent's slice.
+	p.Torsions[0] = 99
+	if c.Torsions[0] == 99 {
+		t.Error("perturbed torsions alias the original")
+	}
+	// Combine blends along the short arc.
+	a, b := s.Random(r), s.Random(r)
+	child := s.Combine(r, a, b)
+	if len(child.Torsions) != ts.Len() {
+		t.Fatal("child lost torsions")
+	}
+	for i := range child.Torsions {
+		da := math.Abs(WrapAngle(child.Torsions[i] - a.Torsions[i]))
+		dab := math.Abs(WrapAngle(b.Torsions[i] - a.Torsions[i]))
+		if da > dab+1e-9 {
+			t.Errorf("torsion %d blend outside the parent arc: %v > %v", i, da, dab)
+		}
+	}
+}
+
+func TestCloneTorsions(t *testing.T) {
+	c := New(0, vec.Zero, vec.IdentityQuat)
+	if got := c.CloneTorsions(); got.Torsions != nil {
+		t.Error("clone of rigid pose gained torsions")
+	}
+	c.Torsions = []float64{1, 2}
+	d := c.CloneTorsions()
+	d.Torsions[0] = 9
+	if c.Torsions[0] == 9 {
+		t.Error("CloneTorsions aliases")
+	}
+}
+
+func TestWrapAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{-2.5 * math.Pi, -0.5 * math.Pi},
+	}
+	for _, c := range cases {
+		if got := WrapAngle(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("WrapAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

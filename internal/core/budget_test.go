@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/metascreen/metascreen/internal/cudasim"
+	"github.com/metascreen/metascreen/internal/forcefield"
+	"github.com/metascreen/metascreen/internal/metaheuristic"
+	"github.com/metascreen/metascreen/internal/molecule"
+	"github.com/metascreen/metascreen/internal/sched"
+	"github.com/metascreen/metascreen/internal/surface"
+)
+
+// budgetProblem is a modeled workload big enough that scheduling matters.
+func budgetProblem(t *testing.T) *Problem {
+	t.Helper()
+	rec := molecule.SyntheticProtein("rec", 3000, 61)
+	lig := molecule.SyntheticLigand("lig", 20, 62)
+	p, err := NewProblem(rec, lig, surface.Options{MaxSpots: 8}, forcefield.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func budgetAlg(t *testing.T) metaheuristic.Algorithm {
+	t.Helper()
+	alg, err := metaheuristic.NewScatterSearch("budget-ss", metaheuristic.Params{
+		PopulationPerSpot: 256,
+		SelectFraction:    1,
+		ImproveFraction:   0.5,
+		ImproveMoves:      4,
+		Generations:       400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return alg
+}
+
+func TestRunHistoryMonotone(t *testing.T) {
+	p := smallProblem(t)
+	b, err := NewHostBackend(p, HostConfig{Real: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, smallAlg(t), b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != res.Generations {
+		t.Fatalf("history has %d points for %d generations", len(res.History), res.Generations)
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i].Best > res.History[i-1].Best {
+			t.Errorf("best worsened at generation %d: %v -> %v",
+				i+1, res.History[i-1].Best, res.History[i].Best)
+		}
+		if res.History[i].SimSeconds < res.History[i-1].SimSeconds {
+			t.Errorf("simulated time went backwards at generation %d", i+1)
+		}
+		if res.History[i].Generation != i+1 {
+			t.Errorf("generation numbering broken at %d", i)
+		}
+	}
+	if res.DeadlineHit {
+		t.Error("unbudgeted run reports a deadline hit")
+	}
+	// The final history point matches the result.
+	last := res.History[len(res.History)-1]
+	if last.Best != res.Best.Score {
+		t.Errorf("history end %v != best %v", last.Best, res.Best.Score)
+	}
+}
+
+func TestRunBudgetStopsAtDeadline(t *testing.T) {
+	p := budgetProblem(t)
+	b, err := NewPoolBackend(p, PoolConfig{
+		Specs: []cudasim.DeviceSpec{cudasim.TeslaK40c, cudasim.GTX580},
+		Mode:  sched.Homogeneous,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First find the unbudgeted time.
+	full, err := Run(p, budgetAlg(t), b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := full.SimulatedSeconds / 4
+
+	b2, err := NewPoolBackend(p, PoolConfig{
+		Specs: []cudasim.DeviceSpec{cudasim.TeslaK40c, cudasim.GTX580},
+		Mode:  sched.Homogeneous,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunBudget(p, budgetAlg(t), b2, 1, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DeadlineHit {
+		t.Error("quarter-budget run did not hit the deadline")
+	}
+	if res.Generations >= full.Generations {
+		t.Errorf("budgeted run did %d generations, full run %d", res.Generations, full.Generations)
+	}
+	// The run stops within one generation of the budget.
+	if res.SimulatedSeconds > budget*1.1+0.01 {
+		t.Errorf("run overshot the budget: %v > %v", res.SimulatedSeconds, budget)
+	}
+}
+
+func TestRunBudgetRejectsNonPositive(t *testing.T) {
+	p := smallProblem(t)
+	b, err := NewHostBackend(p, HostConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunBudget(p, smallAlg(t), b, 1, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestHeterogeneousBuysQualityWithinDeadline(t *testing.T) {
+	// The paper's abstract: cooperative scheduling "optimizes the quality
+	// of the solution and the overall performance". Same deadline, same
+	// algorithm: the heterogeneous split completes more generations and
+	// therefore reaches a better (surrogate) solution.
+	p := budgetProblem(t)
+	run := func(mode sched.Mode) *Result {
+		b, err := NewPoolBackend(p, PoolConfig{
+			Specs: []cudasim.DeviceSpec{cudasim.TeslaK40c, cudasim.GTX580},
+			Mode:  mode,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunBudget(p, budgetAlg(t), b, 1, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	hom := run(sched.Homogeneous)
+	het := run(sched.Heterogeneous)
+	if het.Generations <= hom.Generations {
+		t.Errorf("heterogeneous did %d generations, homogeneous %d (same deadline)",
+			het.Generations, hom.Generations)
+	}
+	if het.Best.Score > hom.Best.Score {
+		t.Errorf("heterogeneous quality %v worse than homogeneous %v within the deadline",
+			het.Best.Score, hom.Best.Score)
+	}
+}

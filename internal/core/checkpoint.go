@@ -1,0 +1,159 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/metascreen/metascreen/internal/conformation"
+	"github.com/metascreen/metascreen/internal/forcefield"
+	"github.com/metascreen/metascreen/internal/molecule"
+	"github.com/metascreen/metascreen/internal/surface"
+	"github.com/metascreen/metascreen/internal/vec"
+)
+
+// Checkpointing for library screens. A screen over a large library is the
+// long-running production workload (the paper: "hundreds of CPU hours for
+// each ligand"); the checkpoint records every completed ligand so an
+// interrupted screen resumes where it stopped instead of re-docking.
+
+// PoseRecord is a serializable conformation.
+type PoseRecord struct {
+	Spot        int        `json:"spot"`
+	Translation vec.V3     `json:"translation"`
+	Orientation [4]float64 `json:"orientation"` // w, x, y, z
+	Torsions    []float64  `json:"torsions,omitempty"`
+	Score       float64    `json:"score"`
+}
+
+// poseRecord converts a conformation.
+func poseRecord(c conformation.Conformation) PoseRecord {
+	return PoseRecord{
+		Spot:        c.Spot,
+		Translation: c.Translation,
+		Orientation: [4]float64{c.Orientation.W, c.Orientation.X, c.Orientation.Y, c.Orientation.Z},
+		Torsions:    c.Torsions,
+		Score:       c.Score,
+	}
+}
+
+// Conformation converts back.
+func (p PoseRecord) Conformation() conformation.Conformation {
+	c := conformation.New(p.Spot, p.Translation, vec.Quat{
+		W: p.Orientation[0], X: p.Orientation[1], Y: p.Orientation[2], Z: p.Orientation[3],
+	})
+	c.Torsions = p.Torsions
+	c.Score = p.Score
+	return c
+}
+
+// LigandRecord is one completed ligand job in a checkpoint.
+type LigandRecord struct {
+	Name             string     `json:"name"`
+	Atoms            int        `json:"atoms"`
+	Best             PoseRecord `json:"best"`
+	Evaluations      int64      `json:"evaluations"`
+	SimulatedSeconds float64    `json:"simulated_seconds"`
+}
+
+// Checkpoint is a resumable screen state. The zero value is an empty
+// checkpoint ready for use.
+type Checkpoint struct {
+	// Seed must match the screen's seed; resuming with a different seed
+	// would silently mix runs.
+	Seed uint64 `json:"seed"`
+	// Ligands holds completed jobs keyed by ligand name.
+	Ligands map[string]LigandRecord `json:"ligands"`
+}
+
+// SaveCheckpoint serializes the checkpoint as JSON.
+func SaveCheckpoint(w io.Writer, cp *Checkpoint) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cp)
+}
+
+// LoadCheckpoint deserializes a checkpoint.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if cp.Ligands == nil {
+		cp.Ligands = map[string]LigandRecord{}
+	}
+	return &cp, nil
+}
+
+// ScreenResumable is Screen with checkpointing: ligands already present in
+// cp are skipped (their recorded results are used), and every newly
+// completed ligand is added to cp before the next job starts. On error the
+// checkpoint still holds everything completed so far, so callers can save
+// it and resume later.
+func ScreenResumable(receptor *molecule.Molecule, library []*molecule.Molecule,
+	spotOpts surface.Options, ff forcefield.Options,
+	algf AlgorithmFactory, backf BackendFactory, seed uint64, cp *Checkpoint) (*ScreenResult, error) {
+	if cp == nil {
+		return nil, fmt.Errorf("core: nil checkpoint (use Screen for one-shot runs)")
+	}
+	if cp.Ligands == nil {
+		cp.Ligands = map[string]LigandRecord{}
+		cp.Seed = seed
+	}
+	if cp.Seed != seed {
+		return nil, fmt.Errorf("core: checkpoint seed %d does not match run seed %d", cp.Seed, seed)
+	}
+	if len(library) == 0 {
+		return nil, fmt.Errorf("core: empty ligand library")
+	}
+	seen := map[string]bool{}
+	for _, lig := range library {
+		if seen[lig.Name] {
+			return nil, fmt.Errorf("core: duplicate ligand name %q (checkpoints key by name)", lig.Name)
+		}
+		seen[lig.Name] = true
+	}
+
+	out := &ScreenResult{}
+	for i, lig := range library {
+		if rec, done := cp.Ligands[lig.Name]; done {
+			res := &Result{
+				Best:             rec.Best.Conformation(),
+				Evaluations:      rec.Evaluations,
+				SimulatedSeconds: rec.SimulatedSeconds,
+			}
+			out.Ranking = append(out.Ranking, ScreenEntry{Ligand: lig, Result: res})
+			out.SimulatedSeconds += rec.SimulatedSeconds
+			out.Evaluations += rec.Evaluations
+			continue
+		}
+		problem, err := NewProblem(receptor, lig, spotOpts, ff)
+		if err != nil {
+			return nil, fmt.Errorf("core: ligand %q: %w", lig.Name, err)
+		}
+		alg, err := algf()
+		if err != nil {
+			return nil, err
+		}
+		backend, err := backf(problem)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Run(problem, alg, backend, seed+uint64(i)*0x9e37)
+		if err != nil {
+			return nil, fmt.Errorf("core: ligand %q: %w", lig.Name, err)
+		}
+		cp.Ligands[lig.Name] = LigandRecord{
+			Name:             lig.Name,
+			Atoms:            lig.NumAtoms(),
+			Best:             poseRecord(res.Best),
+			Evaluations:      res.Evaluations,
+			SimulatedSeconds: res.SimulatedSeconds,
+		}
+		out.Ranking = append(out.Ranking, ScreenEntry{Ligand: lig, Result: res})
+		out.SimulatedSeconds += res.SimulatedSeconds
+		out.Evaluations += res.Evaluations
+	}
+	sortRanking(out)
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/metascreen/metascreen/internal/forcefield"
+	"github.com/metascreen/metascreen/internal/molecule"
+	"github.com/metascreen/metascreen/internal/surface"
+)
+
+func checkpointFixtures() (*molecule.Molecule, []*molecule.Molecule) {
+	rec := molecule.SyntheticProtein("rec", 400, 71)
+	lib := []*molecule.Molecule{
+		molecule.SyntheticLigand("cp-a", 8, 1),
+		molecule.SyntheticLigand("cp-b", 12, 2),
+		molecule.SyntheticLigand("cp-c", 10, 3),
+	}
+	return rec, lib
+}
+
+func TestScreenResumableMatchesScreen(t *testing.T) {
+	rec, lib := checkpointFixtures()
+	plain, err := Screen(rec, lib, surface.Options{MaxSpots: 2}, forcefield.Options{},
+		screenAlgFactory(), HostBackendFactory(HostConfig{Real: true}), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := &Checkpoint{}
+	resumable, err := ScreenResumable(rec, lib, surface.Options{MaxSpots: 2}, forcefield.Options{},
+		screenAlgFactory(), HostBackendFactory(HostConfig{Real: true}), 5, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Ranking {
+		if plain.Ranking[i].Ligand.Name != resumable.Ranking[i].Ligand.Name ||
+			plain.Ranking[i].Result.Best.Score != resumable.Ranking[i].Result.Best.Score {
+			t.Errorf("rank %d differs between Screen and ScreenResumable", i)
+		}
+	}
+	if len(cp.Ligands) != 3 {
+		t.Errorf("checkpoint recorded %d ligands", len(cp.Ligands))
+	}
+}
+
+func TestScreenResumableSkipsCompleted(t *testing.T) {
+	rec, lib := checkpointFixtures()
+	// First pass: only the first two ligands.
+	cp := &Checkpoint{}
+	if _, err := ScreenResumable(rec, lib[:2], surface.Options{MaxSpots: 2}, forcefield.Options{},
+		screenAlgFactory(), HostBackendFactory(HostConfig{Real: true}), 5, cp); err != nil {
+		t.Fatal(err)
+	}
+	firstA := cp.Ligands["cp-a"]
+
+	// Save and reload the checkpoint (exercise the JSON round trip).
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Ligands) != 2 || loaded.Seed != 5 {
+		t.Fatalf("loaded checkpoint = %+v", loaded)
+	}
+
+	// Resume over the full library: the first two come from the
+	// checkpoint (identical results), only the third runs.
+	res, err := ScreenResumable(rec, lib, surface.Options{MaxSpots: 2}, forcefield.Options{},
+		screenAlgFactory(), HostBackendFactory(HostConfig{Real: true}), 5, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranking) != 3 {
+		t.Fatalf("%d entries after resume", len(res.Ranking))
+	}
+	if loaded.Ligands["cp-a"].Best.Score != firstA.Best.Score {
+		t.Error("resume recomputed a completed ligand differently")
+	}
+	if _, ok := loaded.Ligands["cp-c"]; !ok {
+		t.Error("resumed run did not record the new ligand")
+	}
+}
+
+func TestScreenResumableValidation(t *testing.T) {
+	rec, lib := checkpointFixtures()
+	if _, err := ScreenResumable(rec, lib, surface.Options{MaxSpots: 2}, forcefield.Options{},
+		screenAlgFactory(), HostBackendFactory(HostConfig{Real: true}), 5, nil); err == nil {
+		t.Error("nil checkpoint accepted")
+	}
+	cp := &Checkpoint{Seed: 99, Ligands: map[string]LigandRecord{}}
+	if _, err := ScreenResumable(rec, lib, surface.Options{MaxSpots: 2}, forcefield.Options{},
+		screenAlgFactory(), HostBackendFactory(HostConfig{Real: true}), 5, cp); err == nil {
+		t.Error("seed mismatch accepted")
+	}
+	dup := []*molecule.Molecule{lib[0], lib[0]}
+	if _, err := ScreenResumable(rec, dup, surface.Options{MaxSpots: 2}, forcefield.Options{},
+		screenAlgFactory(), HostBackendFactory(HostConfig{Real: true}), 5, &Checkpoint{}); err == nil {
+		t.Error("duplicate ligand names accepted")
+	}
+}
+
+func TestPoseRecordRoundTrip(t *testing.T) {
+	p := smallProblem(t)
+	p.EnableFlexibility()
+	b, err := NewHostBackend(p, HostConfig{Real: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, smallAlg(t), b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := poseRecord(res.Best)
+	back := rec.Conformation()
+	if back.Score != res.Best.Score || back.Translation != res.Best.Translation ||
+		back.Orientation != res.Best.Orientation || back.Spot != res.Best.Spot {
+		t.Errorf("pose round trip: %+v vs %+v", back, res.Best)
+	}
+	if len(back.Torsions) != len(res.Best.Torsions) {
+		t.Error("torsions lost in round trip")
+	}
+}
+
+func TestLoadCheckpointErrors(t *testing.T) {
+	if _, err := LoadCheckpoint(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Error("garbage checkpoint accepted")
+	}
+	cp, err := LoadCheckpoint(bytes.NewReader([]byte("{}")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Ligands == nil {
+		t.Error("empty checkpoint has nil map")
+	}
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/metascreen/metascreen/internal/conformation"
+	"github.com/metascreen/metascreen/internal/metaheuristic"
+	"github.com/metascreen/metascreen/internal/rng"
+	"github.com/metascreen/metascreen/internal/surface"
+)
+
+// SpotResult is the outcome at one surface spot.
+type SpotResult struct {
+	// Spot is the region.
+	Spot surface.Spot
+	// Best is the best conformation found there.
+	Best conformation.Conformation
+}
+
+// Result is the outcome of one screening run.
+type Result struct {
+	// Algorithm names the metaheuristic.
+	Algorithm string
+	// Backend names the compute configuration.
+	Backend string
+	// Spots holds the per-spot outcomes in spot order.
+	Spots []SpotResult
+	// Best is the overall best conformation (the paper: "the final
+	// solution is chosen from all independent executions").
+	Best conformation.Conformation
+	// SimulatedSeconds is the modeled execution time, the quantity the
+	// paper's Tables 6-9 report.
+	SimulatedSeconds float64
+	// WallSeconds is the real time the run took.
+	WallSeconds float64
+	// Evaluations counts scoring-function evaluations (performed or
+	// modeled).
+	Evaluations int64
+	// Generations is the number of template iterations executed.
+	Generations int
+	// EnergyJoules is the modeled energy of the run (0 when the backend
+	// does not model energy).
+	EnergyJoules float64
+	// History records convergence: one point per generation.
+	History []GenPoint
+	// DeadlineHit reports whether a time-budgeted run stopped at its
+	// budget rather than at the metaheuristic's own End condition.
+	DeadlineHit bool
+}
+
+// GenPoint is one generation's convergence sample.
+type GenPoint struct {
+	// Generation is the 1-based generation index.
+	Generation int
+	// SimSeconds is the simulated time when the generation completed.
+	SimSeconds float64
+	// Best is the best score found so far across all spots.
+	Best float64
+}
+
+// energyReporter is implemented by backends that model energy.
+type energyReporter interface {
+	EnergyJoules() float64
+}
+
+// Run executes one virtual-screening run: the metaheuristic optimizes all
+// of the problem's spots simultaneously, with per-generation evaluation
+// batched onto the backend. The same seed, problem, algorithm and backend
+// configuration always produce the same result.
+func Run(p *Problem, alg metaheuristic.Algorithm, backend Backend, seed uint64) (*Result, error) {
+	return run(p, alg, backend, seed, 0)
+}
+
+// RunBudget executes a run under a simulated-time deadline (the paper:
+// "stochastic behaviors where real-time constraints must be fulfilled"):
+// the run ends at the metaheuristic's End condition or as soon as the
+// backend's simulated clock passes budgetSeconds, whichever comes first.
+// Faster scheduling therefore buys more generations — and better
+// solutions — within the same deadline.
+func RunBudget(p *Problem, alg metaheuristic.Algorithm, backend Backend, seed uint64, budgetSeconds float64) (*Result, error) {
+	if budgetSeconds <= 0 {
+		return nil, fmt.Errorf("core: budget %g seconds", budgetSeconds)
+	}
+	return run(p, alg, backend, seed, budgetSeconds)
+}
+
+func run(p *Problem, alg metaheuristic.Algorithm, backend Backend, seed uint64, budget float64) (*Result, error) {
+	if len(p.Spots) == 0 {
+		return nil, fmt.Errorf("core: problem has no spots")
+	}
+	if err := alg.Params().Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	root := rng.New(seed)
+	ligandRadius := p.LigandRadius()
+
+	// Per-spot state with order-independent random streams.
+	states := make([]metaheuristic.SpotState, len(p.Spots))
+	samplers := make([]*conformation.Sampler, len(p.Spots))
+	improveRNGs := make([]*rng.Source, len(p.Spots))
+	for i, s := range p.Spots {
+		samplers[i] = conformation.NewSampler(s, ligandRadius)
+		samplers[i].SetTorsions(p.TorsionSet())
+		ctx := &metaheuristic.SpotContext{
+			Spot:    s,
+			Sampler: samplers[i],
+			RNG:     root.Split(uint64(i)),
+		}
+		states[i] = alg.NewSpotState(ctx)
+		improveRNGs[i] = root.Split(1_000_000 + uint64(i))
+	}
+
+	// Initialize: seed and evaluate the initial populations in one batch.
+	seeds := make([]metaheuristic.Population, len(states))
+	var batch []*conformation.Conformation
+	for i, st := range states {
+		seeds[i] = st.Seed()
+		for j := range seeds[i] {
+			batch = append(batch, &seeds[i][j])
+		}
+	}
+	backend.ScoreBatch(batch)
+	for i, st := range states {
+		st.Begin(seeds[i])
+	}
+
+	params := alg.Params()
+	scale := params.MoveScale
+	if scale == (conformation.MoveScale{}) {
+		scale = conformation.DefaultMoveScale
+	}
+
+	// bestSoFar tracks convergence across generations.
+	bestSoFar := func() float64 {
+		best := conformation.Conformation{Score: conformation.Unscored}
+		for _, st := range states {
+			if b := st.Best(); b.Better(best) {
+				best = b
+			}
+		}
+		return best.Score
+	}
+
+	var history []GenPoint
+	deadlineHit := false
+	gens := 0
+	for gen := 0; !states[0].Done(gen); gen++ {
+		if budget > 0 && backend.SimTime() >= budget {
+			deadlineHit = true
+			break
+		}
+		gens++
+		// Select + Combine on the host, per spot.
+		scoms := make([]metaheuristic.Population, len(states))
+		var toScore []*conformation.Conformation
+		popTotal := 0
+		for i, st := range states {
+			scoms[i] = st.Propose()
+			popTotal += len(scoms[i])
+			for j := range scoms[i] {
+				if !scoms[i][j].Evaluated() {
+					toScore = append(toScore, &scoms[i][j])
+				}
+			}
+		}
+		// Scoring kernel over all spots' offspring.
+		backend.ScoreBatch(toScore)
+
+		// Improve kernel over the selected fraction.
+		if params.ImproveMoves > 0 {
+			var items []ImproveItem
+			for i, st := range states {
+				targets := st.ImproveTargets(scoms[i])
+				for _, ti := range targets {
+					items = append(items, ImproveItem{
+						Conf:    &scoms[i][ti],
+						Sampler: samplers[i],
+						// Stream per (generation, conformation): local
+						// search is reproducible under any parallel order.
+						RNG: improveRNGs[i].Split(uint64(gen)<<20 | uint64(ti)),
+					})
+				}
+			}
+			backend.ImproveBatch(items, params.ImproveMoves, scale)
+		}
+
+		// Include on the host, per spot.
+		for i, st := range states {
+			st.Integrate(scoms[i])
+		}
+		backend.HostOps(popTotal)
+		history = append(history, GenPoint{
+			Generation: gens,
+			SimSeconds: backend.SimTime(),
+			Best:       bestSoFar(),
+		})
+	}
+
+	// Gather results; the overall best is the winner across spots.
+	res := &Result{
+		Algorithm:        alg.Name(),
+		Backend:          backend.Name(),
+		SimulatedSeconds: backend.SimTime(),
+		Evaluations:      backend.Evaluations(),
+		Generations:      gens,
+		History:          history,
+		DeadlineHit:      deadlineHit,
+		Best:             conformation.Conformation{Score: conformation.Unscored},
+	}
+	for i, st := range states {
+		best := st.Best()
+		res.Spots = append(res.Spots, SpotResult{Spot: p.Spots[i], Best: best})
+		if best.Better(res.Best) {
+			res.Best = best
+		}
+	}
+	if er, ok := backend.(energyReporter); ok {
+		res.EnergyJoules = er.EnergyJoules()
+	}
+	res.WallSeconds = time.Since(start).Seconds()
+	return res, nil
+}

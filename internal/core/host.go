@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/metascreen/metascreen/internal/conformation"
+	"github.com/metascreen/metascreen/internal/cudasim"
+	"github.com/metascreen/metascreen/internal/hostpar"
+	"github.com/metascreen/metascreen/internal/vec"
+)
+
+// HostConfig configures the multicore baseline backend (the paper's
+// "OpenMP" column).
+type HostConfig struct {
+	// Real selects actual force-field evaluation; false selects the
+	// modeled surrogate.
+	Real bool
+	// Scorer picks the force-field implementation for Real mode
+	// ("direct", "tiled", "celllist", "grid"); empty means "celllist".
+	Scorer string
+	// Improver selects the local-search strategy for Real mode:
+	// "stochastic" (default, the paper's random perturbation moves) or
+	// "gradient" (rigid-body gradient descent on analytic forces).
+	Improver string
+	// Workers is the number of goroutines used for Real evaluation;
+	// 0 means all CPUs.
+	Workers int
+	// ModelCores and ModelClockMHz describe the simulated machine's CPU
+	// for the timeline (e.g. Jupiter: 12 cores at 2000 MHz).
+	ModelCores    int
+	ModelClockMHz float64
+	// Model holds the cost-model constants; zero value means defaults.
+	Model cudasim.CostModel
+}
+
+// withDefaults fills zero fields.
+func (c HostConfig) withDefaults() HostConfig {
+	if c.Workers <= 0 {
+		c.Workers = hostpar.DefaultThreads()
+	}
+	if c.ModelCores <= 0 {
+		c.ModelCores = c.Workers
+	}
+	if c.ModelClockMHz <= 0 {
+		c.ModelClockMHz = 2000
+	}
+	if c.Model == (cudasim.CostModel{}) {
+		c.Model = cudasim.DefaultCostModel()
+	}
+	return c
+}
+
+// HostBackend evaluates on the (simulated) multicore host: the starting
+// point of the paper's comparison tables.
+type HostBackend struct {
+	cfg   HostConfig
+	comp  compute
+	team  *hostpar.Team
+	pairs int
+
+	simTime float64
+	evals   atomic.Int64
+}
+
+// NewHostBackend builds the multicore backend for a problem.
+func NewHostBackend(p *Problem, cfg HostConfig) (*HostBackend, error) {
+	cfg = cfg.withDefaults()
+	b := &HostBackend{
+		cfg:   cfg,
+		team:  hostpar.NewTeam(cfg.Workers),
+		pairs: p.PairsPerConformation(),
+	}
+	comp, err := newCompute(p, cfg.Real, cfg.Scorer, cfg.Improver)
+	if err != nil {
+		return nil, err
+	}
+	b.comp = comp
+	return b, nil
+}
+
+// Name implements Backend.
+func (b *HostBackend) Name() string {
+	mode := "modeled"
+	if b.cfg.Real {
+		mode = "real"
+	}
+	return fmt.Sprintf("host(%d cores, %s)", b.cfg.ModelCores, mode)
+}
+
+// ScoreBatch implements Backend.
+func (b *HostBackend) ScoreBatch(confs []*conformation.Conformation) {
+	if len(confs) == 0 {
+		return
+	}
+	b.runParallel(len(confs), func(i int, buf []vec.V3) {
+		b.comp.score(confs[i], buf)
+	})
+	b.evals.Add(int64(len(confs)))
+	b.simTime += b.cfg.Model.CPUTime(b.cfg.ModelCores, b.cfg.ModelClockMHz, cudasim.ScoringLaunch{
+		Kind:                 cudasim.KernelScoring,
+		Conformations:        len(confs),
+		PairsPerConformation: b.pairs,
+	})
+}
+
+// ImproveBatch implements Backend.
+func (b *HostBackend) ImproveBatch(items []ImproveItem, moves int, scale conformation.MoveScale) {
+	if len(items) == 0 || moves <= 0 {
+		return
+	}
+	b.runParallel(len(items), func(i int, buf []vec.V3) {
+		b.comp.improve(items[i], moves, scale, buf)
+	})
+	b.evals.Add(int64(len(items)) * int64(moves))
+	b.simTime += b.cfg.Model.CPUTime(b.cfg.ModelCores, b.cfg.ModelClockMHz, cudasim.ScoringLaunch{
+		Kind:                 cudasim.KernelImprove,
+		Conformations:        len(items),
+		PairsPerConformation: b.pairs,
+		EvalsPerConformation: moves,
+	})
+}
+
+// HostOps implements Backend.
+func (b *HostBackend) HostOps(count int) {
+	b.simTime += b.cfg.Model.HostPhaseTime(count)
+}
+
+// SimTime implements Backend.
+func (b *HostBackend) SimTime() float64 { return b.simTime }
+
+// EnergyJoules returns the modeled host package energy for the simulated
+// duration.
+func (b *HostBackend) EnergyJoules() float64 {
+	return cudasim.DefaultCPUEnergy(b.cfg.ModelCores).EnergyJoules(b.simTime)
+}
+
+// Evaluations implements Backend.
+func (b *HostBackend) Evaluations() int64 { return b.evals.Load() }
+
+// runParallel executes body over [0, n) with one scratch pose buffer per
+// worker goroutine.
+func (b *HostBackend) runParallel(n int, body func(i int, buf []vec.V3)) {
+	bufs := make([][]vec.V3, b.team.Size())
+	for t := range bufs {
+		bufs[t] = make([]vec.V3, b.comp.ligandAtoms())
+	}
+	b.team.ForChunk(n, hostpar.Static, 0, func(lo, hi, tid int) {
+		for i := lo; i < hi; i++ {
+			body(i, bufs[tid])
+		}
+	})
+}

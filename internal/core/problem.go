@@ -1,0 +1,201 @@
+// Package core is metascreen's virtual-screening engine: it ties the
+// molecular model, scoring functions, surface spots, metaheuristics,
+// host runtime and GPU simulator together into end-to-end screening runs,
+// reproducing the paper's execution scheme (its sections 3.1-3.3).
+//
+// A run optimizes ligand conformations at every receptor surface spot
+// simultaneously with a chosen metaheuristic. Evaluation is batched across
+// spots each generation and dispatched to a Backend:
+//
+//   - HostBackend is the multicore "OpenMP" baseline;
+//   - PoolBackend drives a simulated multi-GPU node through
+//     internal/sched, in homogeneous, heterogeneous or dynamic mode.
+//
+// Both backends run in one of two compute modes:
+//
+//   - Real: conformation energies are actually computed with
+//     internal/forcefield (used by tests, examples and benchmarks);
+//   - Modeled: energies are synthesized from a smooth deterministic
+//     surrogate and time comes from the calibrated cost model, which lets
+//     the table harness replay the paper's full-scale workloads in
+//     milliseconds.
+package core
+
+import (
+	"fmt"
+
+	"github.com/metascreen/metascreen/internal/forcefield"
+	"github.com/metascreen/metascreen/internal/molecule"
+	"github.com/metascreen/metascreen/internal/surface"
+	"github.com/metascreen/metascreen/internal/vec"
+)
+
+// Problem is one docking problem: a receptor with detected surface spots
+// and a centered ligand.
+type Problem struct {
+	// Receptor is the target protein.
+	Receptor *molecule.Molecule
+	// Ligand is the small molecule, centered on its centroid.
+	Ligand *molecule.Molecule
+	// Spots are the independent surface regions.
+	Spots []surface.Spot
+	// FF selects the scoring terms.
+	FF forcefield.Options
+
+	recTopo  *forcefield.Topology
+	ligTopo  *forcefield.Topology
+	ligPos   []vec.V3
+	torsions *molecule.TorsionSet
+}
+
+// NewProblem validates the molecules, detects surface spots and prepares
+// scoring topologies.
+func NewProblem(receptor, ligand *molecule.Molecule, spotOpts surface.Options, ff forcefield.Options) (*Problem, error) {
+	if err := receptor.Validate(); err != nil {
+		return nil, fmt.Errorf("core: receptor: %w", err)
+	}
+	if err := ligand.Validate(); err != nil {
+		return nil, fmt.Errorf("core: ligand: %w", err)
+	}
+	spots, err := surface.FindSpots(receptor, spotOpts)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	lig := ligand.Centered()
+	p := &Problem{
+		Receptor: receptor,
+		Ligand:   lig,
+		Spots:    spots,
+		FF:       ff,
+		recTopo:  forcefield.NewTopology(receptor),
+		ligTopo:  forcefield.NewTopology(lig),
+	}
+	p.ligPos = p.ligTopo.Pos
+	return p, nil
+}
+
+// PairsPerConformation returns receptorAtoms * ligandAtoms, the work unit
+// of one scoring evaluation.
+func (p *Problem) PairsPerConformation() int {
+	return p.Receptor.NumAtoms() * p.Ligand.NumAtoms()
+}
+
+// LigandRadius returns the centered ligand's bounding radius, which sets
+// the conformation standoff.
+func (p *Problem) LigandRadius() float64 { return p.Ligand.Radius() }
+
+// NewScorer builds a fresh scorer of the given kind ("direct", "tiled",
+// "celllist" or "grid") over the problem's topologies. Scorers are safe
+// for concurrent Score calls. The grid scorer tabulates the receptor field
+// once at construction (BINDSURF-style precomputed potentials).
+func (p *Problem) NewScorer(kind string) (forcefield.Scorer, error) {
+	switch kind {
+	case "direct":
+		return forcefield.NewDirect(p.recTopo, p.ligTopo, p.FF), nil
+	case "tiled":
+		return forcefield.NewTiled(p.recTopo, p.ligTopo, p.FF), nil
+	case "celllist", "":
+		return forcefield.NewCellList(p.recTopo, p.ligTopo, p.FF), nil
+	case "grid":
+		return forcefield.NewGrid(p.recTopo, p.ligTopo, p.FF, 0)
+	}
+	return nil, fmt.Errorf("core: unknown scorer %q", kind)
+}
+
+// NewGradientScorer builds a scorer with analytic forces (the tiled
+// kernel), for gradient-descent local search.
+func (p *Problem) NewGradientScorer() forcefield.GradientScorer {
+	return forcefield.NewTiled(p.recTopo, p.ligTopo, p.FF)
+}
+
+// LigandPositions returns the centered ligand coordinates the scorers and
+// conformations operate on. Callers must not mutate the slice.
+func (p *Problem) LigandPositions() []vec.V3 { return p.ligPos }
+
+// EnableFlexibility switches the problem to flexible-ligand docking: the
+// ligand's rotatable bonds are detected and every conformation gains one
+// torsion angle per bond. It returns the number of torsional degrees of
+// freedom (possibly 0 for rigid ligands). Call before building backends
+// and before Run.
+func (p *Problem) EnableFlexibility() int {
+	p.torsions = molecule.NewTorsionSet(p.Ligand)
+	return p.torsions.Len()
+}
+
+// TorsionSet returns the ligand's torsional topology, nil for rigid runs.
+func (p *Problem) TorsionSet() *molecule.TorsionSet { return p.torsions }
+
+// SubsetSpots returns a problem over a subset of the receptor's spots,
+// re-identified densely from 0. Topologies are shared with the parent (they
+// are immutable). This is how multi-node runs partition the spot set: spots
+// are independent sub-problems, so any partition preserves results.
+func (p *Problem) SubsetSpots(indices []int) (*Problem, error) {
+	if len(indices) == 0 {
+		return nil, fmt.Errorf("core: empty spot subset")
+	}
+	spots := make([]surface.Spot, 0, len(indices))
+	for _, i := range indices {
+		if i < 0 || i >= len(p.Spots) {
+			return nil, fmt.Errorf("core: spot index %d out of range [0,%d)", i, len(p.Spots))
+		}
+		s := p.Spots[i]
+		s.ID = len(spots)
+		spots = append(spots, s)
+	}
+	return &Problem{
+		Receptor: p.Receptor,
+		Ligand:   p.Ligand,
+		Spots:    spots,
+		FF:       p.FF,
+		recTopo:  p.recTopo,
+		ligTopo:  p.ligTopo,
+		ligPos:   p.ligPos,
+		torsions: p.torsions,
+	}, nil
+}
+
+// Dataset is a named receptor-ligand benchmark pair.
+type Dataset struct {
+	// Name is the PDB-style identifier, e.g. "2BSM".
+	Name string
+	// Receptor and Ligand are the molecules.
+	Receptor, Ligand *molecule.Molecule
+}
+
+// Dataset2BSM returns the synthetic stand-in for the paper's PDB:2BSM
+// benchmark (receptor 3264 atoms, ligand 45).
+func Dataset2BSM() Dataset {
+	return Dataset{
+		Name:     "2BSM",
+		Receptor: molecule.Synthetic2BSMReceptor(),
+		Ligand:   molecule.Synthetic2BSMLigand(),
+	}
+}
+
+// Dataset2BXG returns the synthetic stand-in for the paper's PDB:2BXG
+// benchmark (receptor 8609 atoms, ligand 32).
+func Dataset2BXG() Dataset {
+	return Dataset{
+		Name:     "2BXG",
+		Receptor: molecule.Synthetic2BXGReceptor(),
+		Ligand:   molecule.Synthetic2BXGLigand(),
+	}
+}
+
+// DatasetByName returns one of the paper's two benchmark datasets.
+func DatasetByName(name string) (Dataset, error) {
+	switch name {
+	case "2BSM":
+		return Dataset2BSM(), nil
+	case "2BXG":
+		return Dataset2BXG(), nil
+	}
+	return Dataset{}, fmt.Errorf("core: unknown dataset %q (want 2BSM or 2BXG)", name)
+}
+
+// NewProblemFromDataset builds the problem for a benchmark dataset with
+// default spot detection (spots = receptorAtoms/100, as the paper's timing
+// ratios imply).
+func NewProblemFromDataset(d Dataset, ff forcefield.Options) (*Problem, error) {
+	return NewProblem(d.Receptor, d.Ligand, surface.Options{}, ff)
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/metascreen/metascreen/internal/forcefield"
+	"github.com/metascreen/metascreen/internal/metaheuristic"
+	"github.com/metascreen/metascreen/internal/molecule"
+	"github.com/metascreen/metascreen/internal/surface"
+)
+
+// This file is the library-screening layer: the drug-discovery workload
+// the paper motivates ("large libraries of small molecules are explored to
+// search for the structures which best bind to the receptor"), plus
+// multi-start execution ("parallel runs do not incur any communication
+// overhead, and the final solution is chosen from all independent
+// executions, given the stochastic nature of metaheuristics").
+
+// AlgorithmFactory builds a fresh metaheuristic per run. Runs must not
+// share algorithm state, so Screen and RunMultiStart take factories.
+type AlgorithmFactory func() (metaheuristic.Algorithm, error)
+
+// BackendFactory builds a backend for a problem.
+type BackendFactory func(p *Problem) (Backend, error)
+
+// HostBackendFactory returns a BackendFactory for the host configuration.
+func HostBackendFactory(cfg HostConfig) BackendFactory {
+	return func(p *Problem) (Backend, error) { return NewHostBackend(p, cfg) }
+}
+
+// PoolBackendFactory returns a BackendFactory for the pool configuration.
+func PoolBackendFactory(cfg PoolConfig) BackendFactory {
+	return func(p *Problem) (Backend, error) { return NewPoolBackend(p, cfg) }
+}
+
+// ScreenEntry is one ligand's outcome in a library screen.
+type ScreenEntry struct {
+	// Ligand is the screened molecule.
+	Ligand *molecule.Molecule
+	// Result is the full run result.
+	Result *Result
+}
+
+// ScreenResult ranks a ligand library against one receptor.
+type ScreenResult struct {
+	// Ranking holds one entry per ligand, best binding energy first.
+	Ranking []ScreenEntry
+	// SimulatedSeconds is the summed modeled time of all runs (ligand
+	// jobs run back to back on the node).
+	SimulatedSeconds float64
+	// Evaluations is the total scoring work.
+	Evaluations int64
+}
+
+// Screen docks every ligand of a library against the receptor and returns
+// the library ranked by best binding energy — the virtual-screening funnel.
+// Each ligand is an independent job with its own problem, backend and seed
+// lane, so the ranking is deterministic and independent of library order.
+func Screen(receptor *molecule.Molecule, library []*molecule.Molecule,
+	spotOpts surface.Options, ff forcefield.Options,
+	algf AlgorithmFactory, backf BackendFactory, seed uint64) (*ScreenResult, error) {
+	if len(library) == 0 {
+		return nil, fmt.Errorf("core: empty ligand library")
+	}
+	out := &ScreenResult{}
+	for i, lig := range library {
+		problem, err := NewProblem(receptor, lig, spotOpts, ff)
+		if err != nil {
+			return nil, fmt.Errorf("core: ligand %q: %w", lig.Name, err)
+		}
+		alg, err := algf()
+		if err != nil {
+			return nil, err
+		}
+		backend, err := backf(problem)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Run(problem, alg, backend, seed+uint64(i)*0x9e37)
+		if err != nil {
+			return nil, fmt.Errorf("core: ligand %q: %w", lig.Name, err)
+		}
+		out.Ranking = append(out.Ranking, ScreenEntry{Ligand: lig, Result: res})
+		out.SimulatedSeconds += res.SimulatedSeconds
+		out.Evaluations += res.Evaluations
+	}
+	sortRanking(out)
+	return out, nil
+}
+
+// sortRanking orders a screen's ranking best-first.
+func sortRanking(out *ScreenResult) {
+	sort.SliceStable(out.Ranking, func(a, b int) bool {
+		return out.Ranking[a].Result.Best.Score < out.Ranking[b].Result.Best.Score
+	})
+}
+
+// MultiStartResult aggregates independent executions of the same problem.
+type MultiStartResult struct {
+	// Runs holds every execution's result, in start order.
+	Runs []*Result
+	// Best is the winning run (lowest best energy).
+	Best *Result
+	// SimulatedSeconds models the executions running concurrently on
+	// independent resources (the paper's scheme): the slowest run.
+	SimulatedSeconds float64
+}
+
+// RunMultiStart executes n independent stochastic runs of the same
+// problem/algorithm and picks the winner, the paper's independent-
+// executions scheme. Each run gets its own backend (its own simulated
+// node) and a distinct seed lane.
+func RunMultiStart(p *Problem, algf AlgorithmFactory, backf BackendFactory, n int, seed uint64) (*MultiStartResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: %d multi-start runs", n)
+	}
+	out := &MultiStartResult{}
+	for i := 0; i < n; i++ {
+		alg, err := algf()
+		if err != nil {
+			return nil, err
+		}
+		backend, err := backf(p)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Run(p, alg, backend, seed+uint64(i)*0x51f1)
+		if err != nil {
+			return nil, err
+		}
+		out.Runs = append(out.Runs, res)
+		if out.Best == nil || res.Best.Better(out.Best.Best) {
+			out.Best = res
+		}
+		if res.SimulatedSeconds > out.SimulatedSeconds {
+			out.SimulatedSeconds = res.SimulatedSeconds
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/metascreen/metascreen/internal/cudasim"
+	"github.com/metascreen/metascreen/internal/metaheuristic"
+	"github.com/metascreen/metascreen/internal/sched"
+)
+
+// Spot-job scheduling: the alternative execution model the paper's
+// abstract sketches ("dynamic assignment of jobs to heterogeneous
+// resources which perform independent metaheuristic executions under
+// different molecular interactions"). Each spot's entire metaheuristic run
+// is one job placed on one GPU; devices pull the next spot when free.
+//
+// Jobs never synchronize, so there are no barrier losses — but each job's
+// per-generation batch is only one spot's population, which cannot fill a
+// wide device. RunSpotJobs exists to quantify that trade-off against the
+// batched executors (see BenchmarkAblationJobLevel): batching across
+// spots, the design the paper's section 3.2 adopts, wins on wide GPUs.
+
+// SpotJobsResult is the outcome of a job-level schedule.
+type SpotJobsResult struct {
+	// Makespan is the simulated completion time of the last device.
+	Makespan float64
+	// DeviceBusy is each device's total job time.
+	DeviceBusy []float64
+	// JobsPerDevice counts spots placed on each device.
+	JobsPerDevice []int
+	// JobSeconds is the per-spot job duration (same workload per spot, so
+	// one duration per device type), keyed by device index.
+	JobSeconds []float64
+}
+
+// RunSpotJobs simulates the job-level schedule: every spot is an
+// independent single-device run of the metaheuristic; jobs go to the
+// earliest-free device (greedy list scheduling, the discrete-event
+// equivalent of a dynamic job queue).
+func RunSpotJobs(p *Problem, alg metaheuristic.Algorithm, specs []cudasim.DeviceSpec, cfg PoolConfig, seed uint64) (*SpotJobsResult, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("core: spot jobs with no devices")
+	}
+	if len(p.Spots) == 0 {
+		return nil, fmt.Errorf("core: no spots")
+	}
+	// One spot's job duration per device: all spots carry the same
+	// population, so a single-spot modeled run per device spec suffices.
+	sub, err := p.SubsetSpots([]int{0})
+	if err != nil {
+		return nil, err
+	}
+	jobSeconds := make([]float64, len(specs))
+	cache := map[string]float64{}
+	for d, spec := range specs {
+		if t, ok := cache[spec.Name]; ok {
+			jobSeconds[d] = t
+			continue
+		}
+		jcfg := cfg
+		jcfg.Specs = []cudasim.DeviceSpec{spec}
+		jcfg.Mode = sched.Homogeneous // single device: nothing to balance
+		jcfg.Real = false
+		backend, err := NewPoolBackend(sub, jcfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Run(sub, alg, backend, seed)
+		if err != nil {
+			return nil, err
+		}
+		jobSeconds[d] = res.SimulatedSeconds
+		cache[spec.Name] = res.SimulatedSeconds
+	}
+
+	// Greedy earliest-finish assignment of the spot jobs.
+	out := &SpotJobsResult{
+		DeviceBusy:    make([]float64, len(specs)),
+		JobsPerDevice: make([]int, len(specs)),
+		JobSeconds:    jobSeconds,
+	}
+	for range p.Spots {
+		best := 0
+		for d := 1; d < len(specs); d++ {
+			if out.DeviceBusy[d]+jobSeconds[d] < out.DeviceBusy[best]+jobSeconds[best] {
+				best = d
+			}
+		}
+		out.DeviceBusy[best] += jobSeconds[best]
+		out.JobsPerDevice[best]++
+	}
+	for _, busy := range out.DeviceBusy {
+		if busy > out.Makespan {
+			out.Makespan = busy
+		}
+	}
+	return out, nil
+}
+
+// CompareExecutionModels runs the same problem and metaheuristic under the
+// batched (paper) model and the job-level model and returns both simulated
+// times. A ratio above 1 means batching across spots wins.
+func CompareExecutionModels(p *Problem, mh string, scale float64, specs []cudasim.DeviceSpec, seed uint64) (batched, jobs float64, err error) {
+	algB, err := metaheuristic.NewPaper(mh, scale)
+	if err != nil {
+		return 0, 0, err
+	}
+	backend, err := NewPoolBackend(p, PoolConfig{
+		Specs: specs,
+		Mode:  sched.Heterogeneous,
+		Seed:  seed,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	resB, err := Run(p, algB, backend, seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	algJ, err := metaheuristic.NewPaper(mh, scale)
+	if err != nil {
+		return 0, 0, err
+	}
+	resJ, err := RunSpotJobs(p, algJ, specs, PoolConfig{Seed: seed}, seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	return resB.SimulatedSeconds, resJ.Makespan, nil
+}

@@ -1,0 +1,207 @@
+package cudasim
+
+import (
+	"fmt"
+	"math"
+)
+
+// KernelKind distinguishes the two docking kernels, which behave
+// differently on the simulated hardware.
+type KernelKind int
+
+const (
+	// KernelScoring is the tiled Lennard-Jones scoring kernel: regular,
+	// memory-bound, one conformation per warp (paper section 3.2).
+	KernelScoring KernelKind = iota
+	// KernelImprove is the local-search kernel: the same pair loop inside a
+	// data-dependent accept/reject loop, so it diverges. Divergence costs
+	// relatively more on wide-issue Kepler SMs, which is why the paper's
+	// improvement-heavy metaheuristics (M2, M3) gain less from the K40c.
+	KernelImprove
+)
+
+// String implements fmt.Stringer.
+func (k KernelKind) String() string {
+	switch k {
+	case KernelScoring:
+		return "scoring"
+	case KernelImprove:
+		return "improve"
+	}
+	return fmt.Sprintf("KernelKind(%d)", int(k))
+}
+
+// CostModel holds the calibration constants of the execution model. The
+// defaults reproduce the shape of the paper's Tables 6-9 (see DESIGN.md,
+// "Workload calibration").
+type CostModel struct {
+	// CyclesPerPairGPU is the per-lane cycle cost of one atom-pair
+	// interaction in the tiled kernel, including its share of memory
+	// stalls (the kernel is memory-bound).
+	CyclesPerPairGPU float64
+	// CyclesPerPairCPU is the per-core cycle cost of one atom-pair
+	// interaction in the scalar host loop.
+	CyclesPerPairCPU float64
+	// LaunchOverhead is the fixed host-side cost of one kernel launch, in
+	// seconds.
+	LaunchOverhead float64
+	// PCIeBandwidth is the host-device transfer bandwidth in bytes/s.
+	PCIeBandwidth float64
+	// PCIeLatency is the fixed per-transfer latency in seconds.
+	PCIeLatency float64
+	// HostOpTime is the host time per population element per generation
+	// spent in the serial Select/Combine/Include phases, in seconds.
+	HostOpTime float64
+}
+
+// DefaultCostModel returns the calibrated constants.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		CyclesPerPairGPU: 32,
+		CyclesPerPairCPU: 12,
+		LaunchOverhead:   10e-6,
+		PCIeBandwidth:    6e9,
+		PCIeLatency:      20e-6,
+		HostOpTime:       150e-9,
+	}
+}
+
+// archEfficiency returns the sustained fraction of peak issue rate the
+// given architecture achieves on each kernel. Fermi is the calibration
+// baseline. Kepler's 192-core SMs need 6-way ILP/occupancy the docking
+// kernels don't fully supply, and divergence in the improve kernel widens
+// that gap — the effect behind the paper's per-metaheuristic differences
+// on Hertz.
+func archEfficiency(a Arch, k KernelKind) float64 {
+	switch a {
+	case Tesla:
+		return 0.85
+	case Fermi:
+		return 1.0
+	case Kepler:
+		if k == KernelImprove {
+			return 0.60
+		}
+		return 0.78
+	case Maxwell:
+		return 1.05
+	}
+	return 1.0
+}
+
+// PairRate returns the device's sustained atom-pair interaction throughput
+// (pairs/second) for the given kernel, ignoring wave quantization.
+func (m CostModel) PairRate(spec DeviceSpec, kind KernelKind) float64 {
+	return float64(spec.Cores()) * spec.ClockHz() / m.CyclesPerPairGPU * archEfficiency(spec.Arch, kind)
+}
+
+// CPURate returns a host's sustained pair throughput (pairs/second) for
+// cores parallel workers at clockMHz.
+func (m CostModel) CPURate(cores int, clockMHz float64) float64 {
+	return float64(cores) * clockMHz * 1e6 / m.CyclesPerPairCPU
+}
+
+// ScoringLaunch describes one kernel launch: a batch of conformations, each
+// evaluated against the receptor. One conformation maps to one warp, as in
+// the paper's section 3.2.
+type ScoringLaunch struct {
+	// Kind selects the kernel.
+	Kind KernelKind
+	// Conformations is the number of individuals in the batch.
+	Conformations int
+	// PairsPerConformation is receptorAtoms * ligandAtoms.
+	PairsPerConformation int
+	// EvalsPerConformation is the number of full pair-loop evaluations per
+	// individual: 1 for plain scoring, the local-search move count for the
+	// improve kernel.
+	EvalsPerConformation int
+	// WarpsPerBlock is the CUDA block granularity; 0 means 8 (256-thread
+	// blocks, the paper-era default).
+	WarpsPerBlock int
+}
+
+// WithConformations returns a copy of the launch resized to n individuals.
+func (l ScoringLaunch) WithConformations(n int) ScoringLaunch {
+	l.Conformations = n
+	return l
+}
+
+// normalized returns the launch with defaults applied.
+func (l ScoringLaunch) normalized() ScoringLaunch {
+	if l.WarpsPerBlock <= 0 {
+		l.WarpsPerBlock = 8
+	}
+	if l.EvalsPerConformation <= 0 {
+		l.EvalsPerConformation = 1
+	}
+	return l
+}
+
+// Validate checks the launch parameters.
+func (l ScoringLaunch) Validate() error {
+	if l.Conformations <= 0 {
+		return fmt.Errorf("cudasim: launch with %d conformations", l.Conformations)
+	}
+	if l.PairsPerConformation <= 0 {
+		return fmt.Errorf("cudasim: launch with %d pairs per conformation", l.PairsPerConformation)
+	}
+	return nil
+}
+
+// PairOps returns the total pair interactions the launch evaluates.
+func (l ScoringLaunch) PairOps() float64 {
+	l = l.normalized()
+	return float64(l.Conformations) * float64(l.PairsPerConformation) * float64(l.EvalsPerConformation)
+}
+
+// KernelTime returns the simulated execution time of the launch on a device
+// with the given spec, at warp/wave granularity:
+//
+//	warps     = blocks * warpsPerBlock   (partial blocks round up)
+//	waves     = ceil(warps / device warp slots)
+//	warp time = evals * pairs * cycles-per-pair / (warp lanes * clock * eff)
+//	time      = waves * warp time
+//
+// Wave quantization is what makes very small launches (the warm-up phase)
+// cheap but not free, and is the subject of the block-granularity ablation.
+func (m CostModel) KernelTime(spec DeviceSpec, l ScoringLaunch) float64 {
+	l = l.normalized()
+	if err := l.Validate(); err != nil {
+		panic(err)
+	}
+	blocks := (l.Conformations + l.WarpsPerBlock - 1) / l.WarpsPerBlock
+	warps := blocks * l.WarpsPerBlock
+	waves := math.Ceil(float64(warps) / float64(spec.WarpSlots()))
+	eff := archEfficiency(spec.Arch, l.Kind)
+	warpTime := float64(l.EvalsPerConformation) * float64(l.PairsPerConformation) *
+		m.CyclesPerPairGPU / (WarpSize * spec.ClockHz() * eff)
+	return waves*warpTime + m.LaunchOverhead
+}
+
+// TransferTime returns the simulated duration of a host-device copy of the
+// given size in bytes (either direction).
+func (m CostModel) TransferTime(bytes int) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return m.PCIeLatency + float64(bytes)/m.PCIeBandwidth
+}
+
+// CPUTime returns the simulated duration of evaluating the launch's pair
+// operations on a host with cores workers at clockMHz, assuming perfect
+// static load balance (the OpenMP baseline).
+func (m CostModel) CPUTime(cores int, clockMHz float64, l ScoringLaunch) float64 {
+	if err := l.Validate(); err != nil {
+		panic(err)
+	}
+	return l.PairOps() / m.CPURate(cores, clockMHz)
+}
+
+// HostPhaseTime returns the simulated duration of the serial host phases
+// (Select/Combine/Include) over a population of the given size.
+func (m CostModel) HostPhaseTime(population int) float64 {
+	if population < 0 {
+		population = 0
+	}
+	return float64(population) * m.HostOpTime
+}

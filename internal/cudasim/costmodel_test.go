@@ -1,0 +1,198 @@
+package cudasim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPairRateOrdering(t *testing.T) {
+	m := DefaultCostModel()
+	// Scoring kernel: K40c must outrun every Fermi card; among the Fermi
+	// cards, rate follows cores*clock.
+	k40 := m.PairRate(TeslaK40c, KernelScoring)
+	g580 := m.PairRate(GTX580, KernelScoring)
+	g590 := m.PairRate(GTX590, KernelScoring)
+	c2075 := m.PairRate(TeslaC2075, KernelScoring)
+	if !(k40 > g580 && g580 > g590 && g590 > c2075) {
+		t.Errorf("rate ordering wrong: k40=%g 580=%g 590=%g c2075=%g", k40, g580, g590, c2075)
+	}
+}
+
+func TestHertzThroughputRatioMatchesPaperShape(t *testing.T) {
+	// The paper's heterogeneous gain on Hertz peaks at 1.56x for M1, which
+	// implies a K40c/GTX580 scoring ratio near 2.1 (gain = (1+r)/2).
+	m := DefaultCostModel()
+	r := m.PairRate(TeslaK40c, KernelScoring) / m.PairRate(GTX580, KernelScoring)
+	if r < 1.8 || r < 1 || r > 2.6 {
+		t.Errorf("K40c/GTX580 scoring ratio = %v, want ~2.1", r)
+	}
+	// For the divergent improve kernel the ratio shrinks (paper: M2/M3
+	// gains of only ~1.3).
+	ri := m.PairRate(TeslaK40c, KernelImprove) / m.PairRate(GTX580, KernelImprove)
+	if ri >= r {
+		t.Errorf("improve ratio %v should be below scoring ratio %v", ri, r)
+	}
+	if ri < 1.3 || ri > 2.0 {
+		t.Errorf("K40c/GTX580 improve ratio = %v, want ~1.6", ri)
+	}
+}
+
+func TestJupiterDevicesNearlyEqual(t *testing.T) {
+	// GTX590 vs C2075 are both Fermi; paper: "computational capabilities
+	// pretty much the same", heterogeneous gains of only 1-6%.
+	m := DefaultCostModel()
+	r := m.PairRate(GTX590, KernelScoring) / m.PairRate(TeslaC2075, KernelScoring)
+	if r < 1.05 || r > 1.4 {
+		t.Errorf("GTX590/C2075 ratio = %v, want ~1.2", r)
+	}
+}
+
+func TestKernelTimeScalesLinearlyAboveSaturation(t *testing.T) {
+	m := DefaultCostModel()
+	l := ScoringLaunch{
+		Kind:                 KernelScoring,
+		Conformations:        4096,
+		PairsPerConformation: 100000,
+	}
+	t1 := m.KernelTime(GTX580, l)
+	l.Conformations *= 2
+	t2 := m.KernelTime(GTX580, l)
+	ratio := t2 / t1
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("doubling saturated launch scaled time by %v, want ~2", ratio)
+	}
+}
+
+func TestKernelTimeWaveQuantization(t *testing.T) {
+	m := DefaultCostModel()
+	// GTX580 has 16 warp slots; with 8 warps/block, 16 conformations fill
+	// exactly one wave. One conformation costs the same wave.
+	small := ScoringLaunch{Kind: KernelScoring, Conformations: 1, PairsPerConformation: 1000, WarpsPerBlock: 8}
+	fill := small
+	fill.Conformations = 16
+	t1 := m.KernelTime(GTX580, small)
+	t16 := m.KernelTime(GTX580, fill)
+	if math.Abs(t1-t16) > 1e-15 {
+		t.Errorf("launches within one wave differ: %v vs %v", t1, t16)
+	}
+	over := small
+	over.Conformations = 17
+	if m.KernelTime(GTX580, over) <= t16 {
+		t.Error("crossing a wave boundary did not increase time")
+	}
+}
+
+func TestKernelTimeIncludesLaunchOverhead(t *testing.T) {
+	m := DefaultCostModel()
+	l := ScoringLaunch{Kind: KernelScoring, Conformations: 1, PairsPerConformation: 1}
+	if got := m.KernelTime(GTX580, l); got < m.LaunchOverhead {
+		t.Errorf("tiny kernel time %v below launch overhead %v", got, m.LaunchOverhead)
+	}
+}
+
+func TestKernelTimeImproveSlowerOnKepler(t *testing.T) {
+	m := DefaultCostModel()
+	mk := func(k KernelKind) float64 {
+		return m.KernelTime(TeslaK40c, ScoringLaunch{
+			Kind: k, Conformations: 1024, PairsPerConformation: 100000,
+		})
+	}
+	if mk(KernelImprove) <= mk(KernelScoring) {
+		t.Error("improve kernel not slower than scoring on Kepler")
+	}
+}
+
+func TestKernelTimePanicsOnInvalid(t *testing.T) {
+	m := DefaultCostModel()
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for invalid launch")
+		}
+	}()
+	m.KernelTime(GTX580, ScoringLaunch{Conformations: 0, PairsPerConformation: 10})
+}
+
+func TestTransferTime(t *testing.T) {
+	m := DefaultCostModel()
+	if got := m.TransferTime(0); got != 0 {
+		t.Errorf("zero-byte transfer = %v", got)
+	}
+	one := m.TransferTime(1 << 20)
+	two := m.TransferTime(2 << 20)
+	if two <= one {
+		t.Error("transfer time not increasing")
+	}
+	// Latency floor.
+	if tiny := m.TransferTime(1); tiny < m.PCIeLatency {
+		t.Errorf("transfer %v below latency %v", tiny, m.PCIeLatency)
+	}
+}
+
+func TestCPUTimeMatchesRate(t *testing.T) {
+	m := DefaultCostModel()
+	l := ScoringLaunch{Kind: KernelScoring, Conformations: 100, PairsPerConformation: 1000}
+	got := m.CPUTime(12, 2000, l)
+	want := l.PairOps() / m.CPURate(12, 2000)
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("CPUTime = %v, want %v", got, want)
+	}
+}
+
+func TestGPUFasterThanCPUByPaperMagnitude(t *testing.T) {
+	// Jupiter: 4x GTX590 vs 12 CPU cores at 2 GHz -> paper reports ~38-45x
+	// for the homogeneous system.
+	m := DefaultCostModel()
+	gpu := 4 * m.PairRate(GTX590, KernelScoring)
+	cpu := m.CPURate(12, 2000)
+	ratio := gpu / cpu
+	if ratio < 25 || ratio > 60 {
+		t.Errorf("4xGTX590 vs 12-core CPU = %vx, want ~38x", ratio)
+	}
+}
+
+func TestPairOps(t *testing.T) {
+	l := ScoringLaunch{Conformations: 10, PairsPerConformation: 100, EvalsPerConformation: 3}
+	if got := l.PairOps(); got != 3000 {
+		t.Errorf("PairOps = %v", got)
+	}
+	// Defaulted evals.
+	l2 := ScoringLaunch{Conformations: 10, PairsPerConformation: 100}
+	if got := l2.PairOps(); got != 1000 {
+		t.Errorf("PairOps with default evals = %v", got)
+	}
+}
+
+func TestHostPhaseTime(t *testing.T) {
+	m := DefaultCostModel()
+	if m.HostPhaseTime(-5) != 0 {
+		t.Error("negative population not clamped")
+	}
+	if m.HostPhaseTime(1000) <= 0 {
+		t.Error("host phase time not positive")
+	}
+}
+
+func TestQuickKernelTimeMonotonicInWork(t *testing.T) {
+	m := DefaultCostModel()
+	f := func(conf, pairs uint16) bool {
+		c := int(conf%2048) + 1
+		p := int(pairs%50000) + 1
+		l := ScoringLaunch{Kind: KernelScoring, Conformations: c, PairsPerConformation: p}
+		bigger := l
+		bigger.PairsPerConformation = p * 2
+		return m.KernelTime(GTX590, bigger) >= m.KernelTime(GTX590, l)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKernelKindString(t *testing.T) {
+	if KernelScoring.String() != "scoring" || KernelImprove.String() != "improve" {
+		t.Error("kernel kind names wrong")
+	}
+	if KernelKind(9).String() == "" {
+		t.Error("unknown kind has empty name")
+	}
+}

@@ -1,0 +1,187 @@
+package cudasim
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func testContext(t *testing.T, specs ...DeviceSpec) *Context {
+	t.Helper()
+	ctx, err := NewContext(specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func TestContextDeviceCount(t *testing.T) {
+	ctx := testContext(t, GTX590, GTX590, TeslaC2075)
+	if got := ctx.DeviceCount(); got != 3 {
+		t.Errorf("DeviceCount = %d", got)
+	}
+	if ctx.Device(2).Spec.Name != TeslaC2075.Name {
+		t.Error("device 2 has wrong spec")
+	}
+	if ctx.Properties(0).Name != GTX590.Name {
+		t.Error("Properties(0) wrong")
+	}
+	if len(ctx.Devices()) != 3 {
+		t.Error("Devices() length wrong")
+	}
+}
+
+func TestContextRejectsEmptyAndInvalid(t *testing.T) {
+	if _, err := NewContext(); err == nil {
+		t.Error("empty context accepted")
+	}
+	bad := GTX590
+	bad.SMs = 0
+	if _, err := NewContext(bad); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestContextDevicePanicsOutOfRange(t *testing.T) {
+	ctx := testContext(t, GTX590)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for out-of-range device")
+		}
+	}()
+	ctx.Device(5)
+}
+
+func TestDeviceTimelineAdvances(t *testing.T) {
+	ctx := testContext(t, GTX580)
+	d := ctx.Device(0)
+	l := ScoringLaunch{Kind: KernelScoring, Conformations: 64, PairsPerConformation: 10000}
+
+	e1 := d.CopyToDevice(DefaultStream, 1<<20)
+	if e1.Start != 0 || e1.End <= 0 {
+		t.Errorf("first event = %+v", e1)
+	}
+	e2 := d.Launch(DefaultStream, l)
+	if e2.Start != e1.End {
+		t.Errorf("launch started at %v, want %v", e2.Start, e1.End)
+	}
+	e3 := d.CopyToHost(DefaultStream, 1<<10)
+	if e3.Start != e2.End {
+		t.Error("d2h did not queue after kernel")
+	}
+	if got := d.StreamClock(DefaultStream); got != e3.End {
+		t.Errorf("stream clock = %v, want %v", got, e3.End)
+	}
+	if d.Kernels() != 1 {
+		t.Errorf("kernel count = %d", d.Kernels())
+	}
+}
+
+func TestDeviceStreamsIndependent(t *testing.T) {
+	ctx := testContext(t, GTX580)
+	d := ctx.Device(0)
+	l := ScoringLaunch{Kind: KernelScoring, Conformations: 64, PairsPerConformation: 10000}
+	e0 := d.Launch(0, l)
+	e1 := d.Launch(1, l)
+	if e1.Start != 0 {
+		t.Errorf("stream 1 started at %v, want 0 (streams overlap)", e1.Start)
+	}
+	sync := d.Synchronize()
+	if sync != math.Max(e0.End, e1.End) {
+		t.Errorf("Synchronize = %v", sync)
+	}
+}
+
+func TestDeviceIdle(t *testing.T) {
+	ctx := testContext(t, GTX580)
+	d := ctx.Device(0)
+	d.Idle(DefaultStream, 5.0)
+	if got := d.StreamClock(DefaultStream); got != 5.0 {
+		t.Errorf("clock = %v after Idle(5)", got)
+	}
+	// Idle never rewinds.
+	d.Idle(DefaultStream, 1.0)
+	if got := d.StreamClock(DefaultStream); got != 5.0 {
+		t.Errorf("Idle rewound the clock to %v", got)
+	}
+}
+
+func TestDeviceMemoryAccounting(t *testing.T) {
+	ctx := testContext(t, GTX580) // 1536 MB
+	d := ctx.Device(0)
+	if err := d.Malloc(1 << 30); err != nil {
+		t.Fatalf("1 GB alloc failed: %v", err)
+	}
+	if err := d.Malloc(1 << 30); err == nil {
+		t.Error("second 1 GB alloc should exceed 1536 MB")
+	}
+	if d.Allocated() != 1<<30 {
+		t.Errorf("allocated = %d", d.Allocated())
+	}
+	d.Free(1 << 30)
+	if d.Allocated() != 0 {
+		t.Errorf("allocated after free = %d", d.Allocated())
+	}
+	d.Free(1 << 40) // over-free clamps to zero
+	if d.Allocated() != 0 {
+		t.Error("over-free went negative")
+	}
+	if err := d.Malloc(-1); err == nil {
+		t.Error("negative malloc accepted")
+	}
+}
+
+func TestDeviceReset(t *testing.T) {
+	ctx := testContext(t, GTX580, GTX590)
+	l := ScoringLaunch{Kind: KernelScoring, Conformations: 8, PairsPerConformation: 100}
+	ctx.Device(0).Launch(0, l)
+	ctx.Device(1).Launch(0, l)
+	ctx.ResetAll()
+	for i := 0; i < 2; i++ {
+		if ctx.Device(i).Synchronize() != 0 {
+			t.Errorf("device %d clock not reset", i)
+		}
+		if ctx.Device(i).Kernels() != 0 {
+			t.Errorf("device %d kernel count not reset", i)
+		}
+	}
+}
+
+func TestDeviceConcurrentSafety(t *testing.T) {
+	ctx := testContext(t, GTX580)
+	d := ctx.Device(0)
+	l := ScoringLaunch{Kind: KernelScoring, Conformations: 8, PairsPerConformation: 100}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(stream int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				d.Launch(stream, l)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if d.Kernels() != 800 {
+		t.Errorf("kernel count = %d, want 800", d.Kernels())
+	}
+}
+
+func TestEventDuration(t *testing.T) {
+	e := Event{Start: 1.5, End: 2.75}
+	if e.Duration() != 1.25 {
+		t.Errorf("Duration = %v", e.Duration())
+	}
+}
+
+func TestFasterDeviceFinishesSooner(t *testing.T) {
+	// End-to-end sanity for the heterogeneity result: the same workload on
+	// K40c finishes earlier than on GTX580.
+	ctx := testContext(t, TeslaK40c, GTX580)
+	l := ScoringLaunch{Kind: KernelScoring, Conformations: 2048, PairsPerConformation: 146880}
+	fast := ctx.Device(0).Launch(0, l)
+	slow := ctx.Device(1).Launch(0, l)
+	if fast.Duration() >= slow.Duration() {
+		t.Errorf("K40c (%v) not faster than GTX580 (%v)", fast.Duration(), slow.Duration())
+	}
+}

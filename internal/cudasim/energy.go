@@ -1,0 +1,99 @@
+package cudasim
+
+// Energy modeling. The paper's Table 1 tracks performance-per-watt across
+// GPU generations ("power consumption has been reduced by a factor of 2 at
+// each new generation") and its conclusions warn that "heterogeneity may
+// limit acceleration and waste energy". The simulator models board energy
+// as busy time at TDP plus idle time at a fixed idle fraction, which is
+// enough to reproduce the per-generation efficiency shape and to compare
+// the energy cost of scheduling strategies.
+
+// boardTDP returns the board power in watts for the known models, with a
+// per-architecture fallback.
+func boardTDP(s DeviceSpec) float64 {
+	switch s.Name {
+	case "GeForce GTX 590":
+		return 182 // one of the card's two GPUs
+	case "Tesla C2075":
+		return 225
+	case "Tesla K40c":
+		return 235
+	case "GeForce GTX 580":
+		return 244
+	case "Tesla C1060":
+		return 188
+	case "GeForce GTX 980":
+		return 165
+	}
+	switch s.Arch {
+	case Tesla:
+		return 190
+	case Fermi:
+		return 230
+	case Kepler:
+		return 235
+	case Maxwell:
+		return 170
+	}
+	return 200
+}
+
+// idleFraction is the idle power as a fraction of TDP.
+const idleFraction = 0.25
+
+// TDPWatts returns the device's modeled board power at full load.
+func (s DeviceSpec) TDPWatts() float64 { return boardTDP(s) }
+
+// PerfPerWatt returns the modeled docking throughput per watt
+// (pairs/second/W) for a kernel kind — the quantity behind Table 1's
+// normalized performance-per-watt row.
+func (m CostModel) PerfPerWatt(spec DeviceSpec, kind KernelKind) float64 {
+	return m.PairRate(spec, kind) / spec.TDPWatts()
+}
+
+// BusyTime returns the device's total accumulated operation time across
+// all streams (kernels and transfers), in simulated seconds.
+func (d *Device) BusyTime() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.busyTime
+}
+
+// EnergyJoules returns the device's modeled energy consumption so far:
+// busy time at TDP plus idle time (up to the device's latest stream clock)
+// at the idle fraction.
+func (d *Device) EnergyJoules() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	end := 0.0
+	for _, c := range d.streams {
+		if c > end {
+			end = c
+		}
+	}
+	busy := d.busyTime
+	if busy > end {
+		busy = end // overlapping streams cannot exceed wall time at TDP
+	}
+	idle := end - busy
+	tdp := boardTDP(d.Spec)
+	return busy*tdp + idle*tdp*idleFraction
+}
+
+// CPUEnergyModel models host energy for the OpenMP baseline.
+type CPUEnergyModel struct {
+	// TDPWatts is the package power at full load.
+	TDPWatts float64
+}
+
+// DefaultCPUEnergy returns a period-appropriate Xeon package model:
+// ~8 W per core plus 30 W uncore.
+func DefaultCPUEnergy(cores int) CPUEnergyModel {
+	return CPUEnergyModel{TDPWatts: float64(cores)*8 + 30}
+}
+
+// EnergyJoules returns the energy of running the host flat out for the
+// given simulated duration.
+func (m CPUEnergyModel) EnergyJoules(seconds float64) float64 {
+	return m.TDPWatts * seconds
+}

@@ -1,0 +1,94 @@
+package cudasim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTDPKnownModels(t *testing.T) {
+	for _, s := range Catalogue() {
+		if s.TDPWatts() < 100 || s.TDPWatts() > 300 {
+			t.Errorf("%s TDP = %v W, implausible", s.Name, s.TDPWatts())
+		}
+	}
+	// Fallback path for an unknown model.
+	unknown := GTX580
+	unknown.Name = "Mystery GPU"
+	if unknown.TDPWatts() <= 0 {
+		t.Error("fallback TDP not positive")
+	}
+}
+
+func TestPerfPerWattImprovesAcrossGenerations(t *testing.T) {
+	// The shape of the paper's Table 1: each generation delivers more
+	// performance per watt on the scoring kernel.
+	m := DefaultCostModel()
+	tesla, _ := SpecByName("Tesla C1060")
+	maxwell, _ := SpecByName("GeForce GTX 980")
+	ppw := func(s DeviceSpec) float64 { return m.PerfPerWatt(s, KernelScoring) }
+	if !(ppw(tesla) < ppw(GTX580) && ppw(GTX580) < ppw(TeslaK40c) && ppw(TeslaK40c) < ppw(maxwell)) {
+		t.Errorf("perf/watt not increasing: tesla=%.3g fermi=%.3g kepler=%.3g maxwell=%.3g",
+			ppw(tesla), ppw(GTX580), ppw(TeslaK40c), ppw(maxwell))
+	}
+}
+
+func TestDeviceEnergyAccounting(t *testing.T) {
+	ctx := testContext(t, GTX580)
+	d := ctx.Device(0)
+	if d.EnergyJoules() != 0 {
+		t.Error("fresh device has nonzero energy")
+	}
+	l := ScoringLaunch{Kind: KernelScoring, Conformations: 1024, PairsPerConformation: 100000}
+	ev := d.Launch(DefaultStream, l)
+	busy := ev.Duration()
+	if got := d.BusyTime(); math.Abs(got-busy) > 1e-15 {
+		t.Errorf("BusyTime = %v, want %v", got, busy)
+	}
+	// Fully busy: energy = busy * TDP exactly.
+	want := busy * d.Spec.TDPWatts()
+	if got := d.EnergyJoules(); math.Abs(got-want) > 1e-12*want {
+		t.Errorf("energy = %v, want %v", got, want)
+	}
+	// Idling adds energy at the idle fraction.
+	d.Idle(DefaultStream, busy*2)
+	wantIdle := want + busy*d.Spec.TDPWatts()*idleFraction
+	if got := d.EnergyJoules(); math.Abs(got-wantIdle) > 1e-12*wantIdle {
+		t.Errorf("energy after idle = %v, want %v", got, wantIdle)
+	}
+}
+
+func TestDeviceEnergyResets(t *testing.T) {
+	ctx := testContext(t, GTX580)
+	d := ctx.Device(0)
+	d.Launch(DefaultStream, ScoringLaunch{Kind: KernelScoring, Conformations: 64, PairsPerConformation: 1000})
+	ctx.ResetAll()
+	if d.EnergyJoules() != 0 || d.BusyTime() != 0 {
+		t.Error("energy accounting not reset")
+	}
+}
+
+func TestCPUEnergyModel(t *testing.T) {
+	m := DefaultCPUEnergy(12)
+	if m.TDPWatts != 12*8+30 {
+		t.Errorf("TDP = %v", m.TDPWatts)
+	}
+	if got := m.EnergyJoules(10); got != m.TDPWatts*10 {
+		t.Errorf("energy = %v", got)
+	}
+}
+
+func TestIdleDeviceCheaperThanBusy(t *testing.T) {
+	ctx := testContext(t, GTX580, GTX580)
+	l := ScoringLaunch{Kind: KernelScoring, Conformations: 2048, PairsPerConformation: 100000}
+	busyDev := ctx.Device(0)
+	idleDev := ctx.Device(1)
+	ev := busyDev.Launch(DefaultStream, l)
+	idleDev.Idle(DefaultStream, ev.End) // waits at the barrier
+	if idleDev.EnergyJoules() >= busyDev.EnergyJoules() {
+		t.Errorf("idle device (%v J) not cheaper than busy (%v J)",
+			idleDev.EnergyJoules(), busyDev.EnergyJoules())
+	}
+	if idleDev.EnergyJoules() <= 0 {
+		t.Error("idle device consumed nothing")
+	}
+}

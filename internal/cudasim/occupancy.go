@@ -1,0 +1,114 @@
+package cudasim
+
+import "fmt"
+
+// Occupancy calculation, the CUDA-era tool for choosing launch
+// configurations: how many blocks of a kernel can be resident on one
+// multiprocessor given the kernel's thread, register and shared-memory
+// demands, and what fraction of the SM's warp capacity that fills.
+
+// KernelResources describes one kernel's per-block demands.
+type KernelResources struct {
+	// ThreadsPerBlock is the block size.
+	ThreadsPerBlock int
+	// RegsPerThread is the register usage reported by the compiler.
+	RegsPerThread int
+	// SharedMemPerBlock is the static+dynamic shared memory in bytes.
+	SharedMemPerBlock int
+}
+
+// DockingKernelResources returns the resource profile of the tiled
+// scoring kernel: 8 warps per block, moderate register pressure, one
+// receptor tile (32 atoms x 4 floats x 4 bytes, plus ligand staging) of
+// shared memory.
+func DockingKernelResources() KernelResources {
+	return KernelResources{
+		ThreadsPerBlock:   8 * WarpSize,
+		RegsPerThread:     32,
+		SharedMemPerBlock: 4096,
+	}
+}
+
+// maxBlocksPerSM is the architectural cap on resident blocks per SM.
+func maxBlocksPerSM(a Arch) int {
+	switch a {
+	case Tesla, Fermi:
+		return 8
+	case Kepler:
+		return 16
+	case Maxwell:
+		return 32
+	}
+	return 8
+}
+
+// Occupancy is the result of an occupancy calculation.
+type Occupancy struct {
+	// BlocksPerSM is the number of resident blocks per multiprocessor.
+	BlocksPerSM int
+	// WarpsPerSM is the number of resident warps.
+	WarpsPerSM int
+	// Fraction is resident warps over the SM's warp capacity, in [0, 1].
+	Fraction float64
+	// Limiter names the binding constraint: "threads", "registers",
+	// "shared-memory" or "blocks".
+	Limiter string
+}
+
+// ComputeOccupancy calculates the occupancy of a kernel on a device. It
+// returns an error when a single block already exceeds a hardware limit
+// (the launch would fail on real hardware).
+func ComputeOccupancy(spec DeviceSpec, k KernelResources) (Occupancy, error) {
+	if k.ThreadsPerBlock <= 0 || k.ThreadsPerBlock%WarpSize != 0 {
+		return Occupancy{}, fmt.Errorf("cudasim: block of %d threads is not a warp multiple", k.ThreadsPerBlock)
+	}
+	if k.ThreadsPerBlock > spec.MaxThreadsPerBlock {
+		return Occupancy{}, fmt.Errorf("cudasim: %d threads/block exceeds %s limit %d",
+			k.ThreadsPerBlock, spec.Name, spec.MaxThreadsPerBlock)
+	}
+	sharedBytes := spec.SharedMemKB * 1024
+	if k.SharedMemPerBlock > sharedBytes {
+		return Occupancy{}, fmt.Errorf("cudasim: %d B shared/block exceeds %s limit %d",
+			k.SharedMemPerBlock, spec.Name, sharedBytes)
+	}
+	regsPerBlock := k.RegsPerThread * k.ThreadsPerBlock
+	if regsPerBlock > spec.RegistersPerSM {
+		return Occupancy{}, fmt.Errorf("cudasim: %d regs/block exceeds %s register file %d",
+			regsPerBlock, spec.Name, spec.RegistersPerSM)
+	}
+
+	limits := []struct {
+		name   string
+		blocks int
+	}{
+		{"threads", spec.MaxThreadsPerSM / k.ThreadsPerBlock},
+		{"blocks", maxBlocksPerSM(spec.Arch)},
+	}
+	if k.RegsPerThread > 0 {
+		limits = append(limits, struct {
+			name   string
+			blocks int
+		}{"registers", spec.RegistersPerSM / regsPerBlock})
+	}
+	if k.SharedMemPerBlock > 0 {
+		limits = append(limits, struct {
+			name   string
+			blocks int
+		}{"shared-memory", sharedBytes / k.SharedMemPerBlock})
+	}
+
+	best := limits[0]
+	for _, l := range limits[1:] {
+		if l.blocks < best.blocks {
+			best = l
+		}
+	}
+	warps := best.blocks * k.ThreadsPerBlock / WarpSize
+	capacity := spec.MaxThreadsPerSM / WarpSize
+	return Occupancy{
+		BlocksPerSM: best.blocks,
+		WarpsPerSM:  warps,
+		Fraction:    float64(warps) / float64(capacity),
+		Limiter:     best.name,
+	}, nil
+}

@@ -1,0 +1,108 @@
+package cudasim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDockingKernelOccupancy(t *testing.T) {
+	k := DockingKernelResources()
+	for _, spec := range []DeviceSpec{GTX590, TeslaC2075, TeslaK40c, GTX580} {
+		occ, err := ComputeOccupancy(spec, k)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if occ.BlocksPerSM < 1 {
+			t.Errorf("%s: %d blocks/SM", spec.Name, occ.BlocksPerSM)
+		}
+		if occ.Fraction <= 0 || occ.Fraction > 1 {
+			t.Errorf("%s: occupancy %v", spec.Name, occ.Fraction)
+		}
+		if occ.Limiter == "" {
+			t.Errorf("%s: no limiter", spec.Name)
+		}
+	}
+}
+
+func TestOccupancyFermiDockingKernel(t *testing.T) {
+	// Hand check on the GTX 580: 256-thread blocks, 32 regs/thread,
+	// 4 KB shared.
+	//   threads: 1536/256 = 6 blocks
+	//   blocks cap (Fermi): 8
+	//   registers: 32768/(32*256) = 4 blocks  <- binding
+	//   shared: 49152/4096 = 12 blocks
+	occ, err := ComputeOccupancy(GTX580, DockingKernelResources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.BlocksPerSM != 4 || occ.Limiter != "registers" {
+		t.Errorf("occupancy = %+v, want 4 blocks limited by registers", occ)
+	}
+	wantFrac := float64(4*256/32) / float64(1536/32)
+	if math.Abs(occ.Fraction-wantFrac) > 1e-12 {
+		t.Errorf("fraction = %v, want %v", occ.Fraction, wantFrac)
+	}
+}
+
+func TestOccupancyKeplerHigherCaps(t *testing.T) {
+	// The K40c's 64K register file doubles the register-limited block
+	// count relative to Fermi.
+	occ, err := ComputeOccupancy(TeslaK40c, DockingKernelResources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fermi, err := ComputeOccupancy(GTX580, DockingKernelResources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.BlocksPerSM <= fermi.BlocksPerSM {
+		t.Errorf("K40c %d blocks/SM not above GTX580 %d", occ.BlocksPerSM, fermi.BlocksPerSM)
+	}
+}
+
+func TestOccupancyThreadLimited(t *testing.T) {
+	k := KernelResources{ThreadsPerBlock: 1024, RegsPerThread: 8, SharedMemPerBlock: 0}
+	occ, err := ComputeOccupancy(GTX580, k) // 1536/1024 = 1 block
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.BlocksPerSM != 1 || occ.Limiter != "threads" {
+		t.Errorf("occupancy = %+v", occ)
+	}
+}
+
+func TestOccupancySharedMemoryLimited(t *testing.T) {
+	k := KernelResources{ThreadsPerBlock: 64, RegsPerThread: 8, SharedMemPerBlock: 24 * 1024}
+	occ, err := ComputeOccupancy(GTX580, k) // 48K/24K = 2 blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.BlocksPerSM != 2 || occ.Limiter != "shared-memory" {
+		t.Errorf("occupancy = %+v", occ)
+	}
+}
+
+func TestOccupancyBlockCapLimited(t *testing.T) {
+	k := KernelResources{ThreadsPerBlock: 32, RegsPerThread: 1, SharedMemPerBlock: 0}
+	occ, err := ComputeOccupancy(GTX580, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.BlocksPerSM != 8 || occ.Limiter != "blocks" {
+		t.Errorf("occupancy = %+v, want Fermi 8-block cap", occ)
+	}
+}
+
+func TestOccupancyErrors(t *testing.T) {
+	bad := []KernelResources{
+		{ThreadsPerBlock: 100},                                             // not warp multiple
+		{ThreadsPerBlock: 2048},                                            // exceeds block limit
+		{ThreadsPerBlock: 256, SharedMemPerBlock: 1 << 20},                 // too much shared
+		{ThreadsPerBlock: 1024, RegsPerThread: 64, SharedMemPerBlock: 128}, // register file blown
+	}
+	for i, k := range bad {
+		if _, err := ComputeOccupancy(GTX580, k); err == nil {
+			t.Errorf("bad kernel %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package cudasim is a discrete-event simulator of CUDA-capable GPUs. It
+// stands in for the CUDA runtime the paper uses (repro note: no mature CUDA
+// bindings exist for Go, and this environment has no GPUs), reproducing the
+// pieces the paper's scheduling contribution depends on:
+//
+//   - a device catalogue with the published parameters of the paper's four
+//     GPU models (Tables 1-3): GeForce GTX 590, Tesla C2075, Tesla K40c and
+//     GeForce GTX 580, plus the rest of Table 1's generations;
+//   - an execution cost model at warp/block/wave granularity for the two
+//     docking kernels (scoring and local-search improvement), including
+//     per-architecture efficiency, kernel-launch overhead and PCIe
+//     transfers;
+//   - a per-device simulated timeline with streams and events, and
+//     cudaGetDeviceCount / NVML-style property queries.
+//
+// The heterogeneous-scheduling result the paper reports depends only on
+// relative device throughputs and overhead structure, which this model
+// derives from the same published hardware parameters.
+package cudasim
+
+import "fmt"
+
+// Arch is a CUDA hardware generation (the rows of the paper's Table 1).
+type Arch int
+
+// Architectures covered by the paper's Table 1.
+const (
+	Tesla   Arch = iota // 2007, CCC 1.x
+	Fermi               // 2010, CCC 2.x
+	Kepler              // 2012, CCC 3.x
+	Maxwell             // 2014, CCC 5.x
+)
+
+// String returns the generation code name.
+func (a Arch) String() string {
+	switch a {
+	case Tesla:
+		return "Tesla"
+	case Fermi:
+		return "Fermi"
+	case Kepler:
+		return "Kepler"
+	case Maxwell:
+		return "Maxwell"
+	}
+	return fmt.Sprintf("Arch(%d)", int(a))
+}
+
+// WarpSize is the number of threads per warp on every modeled generation.
+const WarpSize = 32
+
+// DeviceSpec describes a GPU model: the static properties a CUDA program
+// reads through cudaGetDeviceProperties and NVML.
+type DeviceSpec struct {
+	// Name is the marketing name, e.g. "Tesla K40c".
+	Name string
+	// Arch is the hardware generation.
+	Arch Arch
+	// Year the model shipped.
+	Year int
+	// SMs is the number of streaming multiprocessors.
+	SMs int
+	// CoresPerSM is the number of CUDA cores per multiprocessor.
+	CoresPerSM int
+	// ClockMHz is the core clock in MHz.
+	ClockMHz float64
+	// SharedMemKB is the maximum shared memory per multiprocessor in KB.
+	SharedMemKB int
+	// RegistersPerSM is the number of 32-bit registers per multiprocessor.
+	RegistersPerSM int
+	// GlobalMemMB is the DRAM size in MB.
+	GlobalMemMB int
+	// MemBandwidthGBs is the DRAM bandwidth in GB/s.
+	MemBandwidthGBs float64
+	// MaxThreadsPerBlock is the per-block thread limit.
+	MaxThreadsPerBlock int
+	// MaxThreadsPerSM is the per-multiprocessor resident-thread limit.
+	MaxThreadsPerSM int
+	// CCC is the CUDA compute capability, e.g. "3.5".
+	CCC string
+}
+
+// Cores returns the total number of CUDA cores.
+func (s DeviceSpec) Cores() int { return s.SMs * s.CoresPerSM }
+
+// ClockHz returns the core clock in Hz.
+func (s DeviceSpec) ClockHz() float64 { return s.ClockMHz * 1e6 }
+
+// WarpSlots returns the number of warps the device can execute
+// concurrently at full rate: one warp lane-set per 32 cores.
+func (s DeviceSpec) WarpSlots() int {
+	slots := s.Cores() / WarpSize
+	if slots < 1 {
+		slots = 1
+	}
+	return slots
+}
+
+// Validate checks the spec for physical plausibility.
+func (s DeviceSpec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("cudasim: spec with empty name")
+	case s.SMs <= 0 || s.CoresPerSM <= 0:
+		return fmt.Errorf("cudasim: %s: non-positive SM geometry", s.Name)
+	case s.ClockMHz <= 0:
+		return fmt.Errorf("cudasim: %s: non-positive clock", s.Name)
+	case s.MaxThreadsPerBlock < WarpSize:
+		return fmt.Errorf("cudasim: %s: MaxThreadsPerBlock below warp size", s.Name)
+	case s.MaxThreadsPerSM < s.MaxThreadsPerBlock:
+		return fmt.Errorf("cudasim: %s: MaxThreadsPerSM below MaxThreadsPerBlock", s.Name)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (s DeviceSpec) String() string {
+	return fmt.Sprintf("%s (%s, %d SMs x %d cores @ %.0f MHz, CCC %s)",
+		s.Name, s.Arch, s.SMs, s.CoresPerSM, s.ClockMHz, s.CCC)
+}
+
+// The four GPU models of the paper's experimental platforms, with the
+// parameters of its Tables 2 and 3.
+var (
+	// GTX590 is the NVIDIA GeForce GTX 590 (one of the two GPUs on the
+	// card; the paper counts four of these in Jupiter).
+	GTX590 = DeviceSpec{
+		Name: "GeForce GTX 590", Arch: Fermi, Year: 2011,
+		SMs: 16, CoresPerSM: 32, ClockMHz: 1215,
+		SharedMemKB: 48, RegistersPerSM: 32768,
+		GlobalMemMB: 1536, MemBandwidthGBs: 163.85,
+		MaxThreadsPerBlock: 1024, MaxThreadsPerSM: 1536, CCC: "2.0",
+	}
+	// TeslaC2075 is the NVIDIA Tesla C2075 (two in Jupiter).
+	TeslaC2075 = DeviceSpec{
+		Name: "Tesla C2075", Arch: Fermi, Year: 2012,
+		SMs: 14, CoresPerSM: 32, ClockMHz: 1147,
+		SharedMemKB: 48, RegistersPerSM: 32768,
+		GlobalMemMB: 5375, MemBandwidthGBs: 144,
+		MaxThreadsPerBlock: 1024, MaxThreadsPerSM: 1536, CCC: "2.0",
+	}
+	// TeslaK40c is the NVIDIA Tesla K40c (the fast GPU in Hertz).
+	TeslaK40c = DeviceSpec{
+		Name: "Tesla K40c", Arch: Kepler, Year: 2014,
+		SMs: 15, CoresPerSM: 192, ClockMHz: 745,
+		SharedMemKB: 48, RegistersPerSM: 65536,
+		GlobalMemMB: 11520, MemBandwidthGBs: 288.38,
+		MaxThreadsPerBlock: 1024, MaxThreadsPerSM: 2048, CCC: "3.5",
+	}
+	// GTX580 is the NVIDIA GeForce GTX 580 (the slow GPU in Hertz).
+	GTX580 = DeviceSpec{
+		Name: "GeForce GTX 580", Arch: Fermi, Year: 2011,
+		SMs: 16, CoresPerSM: 32, ClockMHz: 1544,
+		SharedMemKB: 48, RegistersPerSM: 32768,
+		GlobalMemMB: 1536, MemBandwidthGBs: 192.4,
+		MaxThreadsPerBlock: 1024, MaxThreadsPerSM: 1536, CCC: "2.0",
+	}
+)
+
+// Catalogue lists every built-in device model, the paper's four plus
+// representative models of the remaining Table 1 generations.
+func Catalogue() []DeviceSpec {
+	return []DeviceSpec{
+		GTX590, TeslaC2075, TeslaK40c, GTX580,
+		{
+			Name: "Tesla C1060", Arch: Tesla, Year: 2008,
+			SMs: 30, CoresPerSM: 8, ClockMHz: 1296,
+			SharedMemKB: 16, RegistersPerSM: 16384,
+			GlobalMemMB: 4096, MemBandwidthGBs: 102,
+			MaxThreadsPerBlock: 512, MaxThreadsPerSM: 1024, CCC: "1.3",
+		},
+		{
+			Name: "GeForce GTX 980", Arch: Maxwell, Year: 2014,
+			SMs: 16, CoresPerSM: 128, ClockMHz: 1126,
+			SharedMemKB: 64, RegistersPerSM: 65536,
+			GlobalMemMB: 4096, MemBandwidthGBs: 224,
+			MaxThreadsPerBlock: 1024, MaxThreadsPerSM: 2048, CCC: "5.2",
+		},
+	}
+}
+
+// SpecByName returns the catalogue entry with the given name.
+func SpecByName(name string) (DeviceSpec, bool) {
+	for _, s := range Catalogue() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return DeviceSpec{}, false
+}

@@ -1,0 +1,101 @@
+package cudasim
+
+import "testing"
+
+func TestPaperSpecsMatchTables(t *testing.T) {
+	// Cross-check against the paper's Tables 2 and 3.
+	cases := []struct {
+		spec  DeviceSpec
+		cores int
+		sms   int
+		ccc   string
+	}{
+		{GTX590, 512, 16, "2.0"},
+		{TeslaC2075, 448, 14, "2.0"},
+		{TeslaK40c, 2880, 15, "3.5"},
+		{GTX580, 512, 16, "2.0"},
+	}
+	for _, c := range cases {
+		if got := c.spec.Cores(); got != c.cores {
+			t.Errorf("%s: %d cores, want %d", c.spec.Name, got, c.cores)
+		}
+		if c.spec.SMs != c.sms {
+			t.Errorf("%s: %d SMs, want %d", c.spec.Name, c.spec.SMs, c.sms)
+		}
+		if c.spec.CCC != c.ccc {
+			t.Errorf("%s: CCC %s, want %s", c.spec.Name, c.spec.CCC, c.ccc)
+		}
+		if err := c.spec.Validate(); err != nil {
+			t.Errorf("%s: %v", c.spec.Name, err)
+		}
+	}
+}
+
+func TestWarpSlots(t *testing.T) {
+	if got := GTX590.WarpSlots(); got != 16 {
+		t.Errorf("GTX590 warp slots = %d, want 16", got)
+	}
+	if got := TeslaK40c.WarpSlots(); got != 90 {
+		t.Errorf("K40c warp slots = %d, want 90", got)
+	}
+}
+
+func TestCatalogueValid(t *testing.T) {
+	cat := Catalogue()
+	if len(cat) < 4 {
+		t.Fatalf("catalogue has %d entries", len(cat))
+	}
+	seen := map[string]bool{}
+	for _, s := range cat {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate catalogue entry %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	s, ok := SpecByName("Tesla K40c")
+	if !ok || s.Arch != Kepler {
+		t.Errorf("SpecByName(K40c) = %v, %v", s, ok)
+	}
+	if _, ok := SpecByName("No Such GPU"); ok {
+		t.Error("found a nonexistent GPU")
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	good := GTX580
+	bad := []DeviceSpec{
+		func() DeviceSpec { s := good; s.Name = ""; return s }(),
+		func() DeviceSpec { s := good; s.SMs = 0; return s }(),
+		func() DeviceSpec { s := good; s.ClockMHz = -1; return s }(),
+		func() DeviceSpec { s := good; s.MaxThreadsPerBlock = 16; return s }(),
+		func() DeviceSpec { s := good; s.MaxThreadsPerSM = 512; return s }(),
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestArchString(t *testing.T) {
+	for _, a := range []Arch{Tesla, Fermi, Kepler, Maxwell} {
+		if a.String() == "" {
+			t.Errorf("empty name for arch %d", int(a))
+		}
+	}
+	if Arch(99).String() == "" {
+		t.Error("empty name for unknown arch")
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	if GTX590.String() == "" {
+		t.Error("empty spec string")
+	}
+}

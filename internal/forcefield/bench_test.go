@@ -1,0 +1,85 @@
+package forcefield
+
+import (
+	"testing"
+
+	"github.com/metascreen/metascreen/internal/molecule"
+	"github.com/metascreen/metascreen/internal/rng"
+	"github.com/metascreen/metascreen/internal/vec"
+)
+
+// benchFixtures builds a 2BSM-scale scoring problem with a surface pose.
+func benchFixtures(b *testing.B) (rec, lig *Topology, pose []vec.V3) {
+	b.Helper()
+	recM := molecule.Synthetic2BSMReceptor()
+	ligM := molecule.Synthetic2BSMLigand()
+	rec = NewTopology(recM)
+	lig = NewTopology(ligM)
+	r := rng.New(1)
+	center := recM.Centroid().Add(r.UnitVector().Scale(recM.Radius() * 0.9))
+	pose = make([]vec.V3, lig.Len())
+	for i, p := range lig.Pos {
+		pose[i] = p.Add(center)
+	}
+	return rec, lig, pose
+}
+
+func BenchmarkDirect2BSM(b *testing.B) {
+	rec, lig, pose := benchFixtures(b)
+	s := NewDirect(rec, lig, Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Score(pose)
+	}
+}
+
+func BenchmarkTiled2BSM(b *testing.B) {
+	rec, lig, pose := benchFixtures(b)
+	s := NewTiled(rec, lig, Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Score(pose)
+	}
+}
+
+func BenchmarkCellList2BSM(b *testing.B) {
+	rec, lig, pose := benchFixtures(b)
+	s := NewCellList(rec, lig, Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Score(pose)
+	}
+}
+
+func BenchmarkGrid2BSM(b *testing.B) {
+	rec, lig, pose := benchFixtures(b)
+	g, err := NewGrid(rec, lig, Options{}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Score(pose)
+	}
+}
+
+func BenchmarkGridBuild(b *testing.B) {
+	rec := NewTopology(molecule.SyntheticProtein("rec", 1000, 5))
+	lig := NewTopology(molecule.SyntheticLigand("lig", 20, 6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewGrid(rec, lig, Options{}, 1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScoreForces2BSM(b *testing.B) {
+	rec, lig, pose := benchFixtures(b)
+	s := NewTiled(rec, lig, Options{})
+	forces := make([]vec.V3, lig.Len())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ScoreForces(pose, forces)
+	}
+}

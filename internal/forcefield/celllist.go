@@ -1,0 +1,148 @@
+package forcefield
+
+import (
+	"math"
+
+	"github.com/metascreen/metascreen/internal/vec"
+)
+
+// CellList scores through a uniform spatial grid over the receptor: each
+// ligand atom only visits receptor atoms in the 27 cells around it, so the
+// cost is proportional to the atoms actually within the cutoff rather than
+// to the whole receptor. It is the fast scorer for Real-mode screening runs.
+type CellList struct {
+	lig   *Topology
+	table *PairTable
+	opts  Options
+
+	origin     vec.V3
+	cellSize   float64
+	nx, ny, nz int
+
+	// CSR layout: cellStart[c]..cellStart[c+1] indexes into atomIdx.
+	cellStart []int32
+	atomIdx   []int32
+
+	// Receptor atom data in original order.
+	pos []vec.V3
+	typ []uint8
+	chg []float64
+}
+
+// NewCellList builds the neighbour grid with cell edge equal to the cutoff.
+func NewCellList(rec, lig *Topology, opts Options) *CellList {
+	c := &CellList{
+		lig: lig, table: NewPairTable(), opts: opts,
+		cellSize: Cutoff,
+		pos:      rec.Pos, typ: rec.Type, chg: rec.Charge,
+	}
+	b := vec.BoundPoints(rec.Pos)
+	if b.Empty() {
+		b = vec.NewAABB(vec.Zero, vec.Zero)
+	}
+	c.origin = b.Lo
+	size := b.Size()
+	c.nx = int(size.X/c.cellSize) + 1
+	c.ny = int(size.Y/c.cellSize) + 1
+	c.nz = int(size.Z/c.cellSize) + 1
+
+	nCells := c.nx * c.ny * c.nz
+	counts := make([]int32, nCells+1)
+	cellOf := make([]int32, len(rec.Pos))
+	for i, p := range rec.Pos {
+		cell := c.cellIndex(p)
+		cellOf[i] = cell
+		counts[cell+1]++
+	}
+	for i := 1; i <= nCells; i++ {
+		counts[i] += counts[i-1]
+	}
+	c.cellStart = counts
+	c.atomIdx = make([]int32, len(rec.Pos))
+	cursor := make([]int32, nCells)
+	for i := range rec.Pos {
+		cell := cellOf[i]
+		c.atomIdx[c.cellStart[cell]+cursor[cell]] = int32(i)
+		cursor[cell]++
+	}
+	return c
+}
+
+// cellIndex maps a position to its (clamped) flat cell index.
+func (c *CellList) cellIndex(p vec.V3) int32 {
+	ix := clamp(int((p.X-c.origin.X)/c.cellSize), 0, c.nx-1)
+	iy := clamp(int((p.Y-c.origin.Y)/c.cellSize), 0, c.ny-1)
+	iz := clamp(int((p.Z-c.origin.Z)/c.cellSize), 0, c.nz-1)
+	return int32((ix*c.ny+iy)*c.nz + iz)
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Name implements Scorer.
+func (c *CellList) Name() string { return "celllist" }
+
+// Score implements Scorer.
+func (c *CellList) Score(ligPos []vec.V3) float64 {
+	const cutoff2 = Cutoff * Cutoff
+	e := 0.0
+	for j, lp := range ligPos {
+		lt := c.lig.Type[j]
+		lq := c.lig.Charge[j]
+		// Cell coordinates of the ligand atom, unclamped so that atoms
+		// outside the receptor box still scan the correct border cells.
+		fx := (lp.X - c.origin.X) / c.cellSize
+		fy := (lp.Y - c.origin.Y) / c.cellSize
+		fz := (lp.Z - c.origin.Z) / c.cellSize
+		ix0, ix1 := neighborRange(fx, c.nx)
+		iy0, iy1 := neighborRange(fy, c.ny)
+		iz0, iz1 := neighborRange(fz, c.nz)
+		for ix := ix0; ix <= ix1; ix++ {
+			for iy := iy0; iy <= iy1; iy++ {
+				for iz := iz0; iz <= iz1; iz++ {
+					cell := (ix*c.ny+iy)*c.nz + iz
+					for k := c.cellStart[cell]; k < c.cellStart[cell+1]; k++ {
+						i := c.atomIdx[k]
+						r2 := c.pos[i].Dist2(lp)
+						if r2 > cutoff2 {
+							continue
+						}
+						if r2 < minDist2 {
+							r2 = minDist2
+						}
+						p := c.table.At(c.typ[i], lt)
+						inv2 := 1 / r2
+						inv6 := inv2 * inv2 * inv2
+						e += inv6 * (p.A*inv6 - p.B)
+						if c.opts.Coulomb {
+							e += coulombK * c.chg[i] * lq * inv2 / 4
+						}
+					}
+				}
+			}
+		}
+	}
+	return e
+}
+
+// neighborRange returns the clamped [lo, hi] cell range around fractional
+// cell coordinate f on an axis with n cells. An empty range (lo > hi) means
+// the atom is beyond the cutoff of every cell on that axis.
+func neighborRange(f float64, n int) (lo, hi int) {
+	i := int(math.Floor(f))
+	lo, hi = i-1, i+1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n-1 {
+		hi = n - 1
+	}
+	return lo, hi
+}

@@ -1,0 +1,90 @@
+package forcefield
+
+import "github.com/metascreen/metascreen/internal/vec"
+
+// GradientScorer extends scoring with analytic derivatives: the force on
+// every ligand atom, from which a rigid-body gradient (net force and
+// torque) follows. It powers gradient-descent local search, the
+// deterministic alternative to the stochastic Improve moves.
+type GradientScorer interface {
+	Scorer
+	// ScoreForces returns the energy and writes the per-atom forces
+	// (-dE/dpos, kcal/mol/A) into forces, which must have ligand length.
+	ScoreForces(ligPos []vec.V3, forces []vec.V3) float64
+}
+
+// ScoreForces implements GradientScorer on the tiled kernel.
+//
+// For E = A/r^12 - B/r^6 (+ q1 q2 k / (4 r^2)), the force on the ligand
+// atom is -dE/dl = (12A/r^14 - 6B/r^8 + 2 q1 q2 k / (4 r^4)) * (l - r_rec).
+// Inside the clash clamp the energy is flat, so the force is zero there —
+// matching the scorer exactly, which gradient-descent correctness needs.
+func (t *Tiled) ScoreForces(ligPos []vec.V3, forces []vec.V3) float64 {
+	if len(forces) != len(ligPos) {
+		panic("forcefield: forces buffer length mismatch")
+	}
+	for i := range forces {
+		forces[i] = vec.Zero
+	}
+	const cutoff2 = Cutoff * Cutoff
+	e := 0.0
+	for base := 0; base < t.n; base += TileSize {
+		end := base + TileSize
+		if end > t.n {
+			end = t.n
+		}
+		for j, lp := range ligPos {
+			lt := t.lig.Type[j]
+			lq := t.lig.Charge[j]
+			var f vec.V3
+			for i := base; i < end; i++ {
+				dx := lp.X - t.x[i]
+				dy := lp.Y - t.y[i]
+				dz := lp.Z - t.z[i]
+				r2 := dx*dx + dy*dy + dz*dz
+				if r2 > cutoff2 {
+					continue
+				}
+				clamped := false
+				if r2 < minDist2 {
+					r2 = minDist2
+					clamped = true
+				}
+				p := t.table.At(t.typ[i], lt)
+				inv2 := 1 / r2
+				inv6 := inv2 * inv2 * inv2
+				e += inv6 * (p.A*inv6 - p.B)
+				var coef float64
+				if !clamped {
+					// -dE/dr * (1/r): (12A/r^13 - 6B/r^7)/r
+					coef = (12*p.A*inv6 - 6*p.B) * inv6 * inv2
+				}
+				if t.opts.Coulomb {
+					qq := coulombK * t.chg[i] * lq / 4
+					e += qq * inv2
+					if !clamped {
+						coef += 2 * qq * inv2 * inv2
+					}
+				}
+				if coef != 0 {
+					f.X += coef * dx
+					f.Y += coef * dy
+					f.Z += coef * dz
+				}
+			}
+			forces[j] = forces[j].Add(f)
+		}
+	}
+	return e
+}
+
+// RigidGradient reduces per-atom forces to the rigid-body gradient of a
+// pose: the net force (gradient of energy w.r.t. translation, negated) and
+// the torque about the pose center.
+func RigidGradient(ligPos []vec.V3, forces []vec.V3, center vec.V3) (force, torque vec.V3) {
+	for i := range forces {
+		force = force.Add(forces[i])
+		torque = torque.Add(ligPos[i].Sub(center).Cross(forces[i]))
+	}
+	return force, torque
+}

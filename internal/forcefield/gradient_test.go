@@ -1,0 +1,149 @@
+package forcefield
+
+import (
+	"math"
+	"testing"
+
+	"github.com/metascreen/metascreen/internal/molecule"
+	"github.com/metascreen/metascreen/internal/rng"
+	"github.com/metascreen/metascreen/internal/vec"
+)
+
+func gradFixtures(t *testing.T, opts Options) (*Tiled, *Topology) {
+	t.Helper()
+	rec := NewTopology(molecule.SyntheticProtein("rec", 400, 66))
+	lig := NewTopology(molecule.SyntheticLigand("lig", 10, 67))
+	return NewTiled(rec, lig, opts), lig
+}
+
+// numericalForce estimates -dE/dpos of atom j by central differences.
+func numericalForce(s Scorer, pose []vec.V3, j int, h float64) vec.V3 {
+	probe := func(d vec.V3) float64 {
+		p := make([]vec.V3, len(pose))
+		copy(p, pose)
+		p[j] = p[j].Add(d)
+		return s.Score(p)
+	}
+	return vec.V3{
+		X: -(probe(vec.New(h, 0, 0)) - probe(vec.New(-h, 0, 0))) / (2 * h),
+		Y: -(probe(vec.New(0, h, 0)) - probe(vec.New(0, -h, 0))) / (2 * h),
+		Z: -(probe(vec.New(0, 0, h)) - probe(vec.New(0, 0, -h))) / (2 * h),
+	}
+}
+
+func testForcesMatchNumerical(t *testing.T, opts Options) {
+	t.Helper()
+	s, lig := gradFixtures(t, opts)
+	r := rng.New(68)
+	forces := make([]vec.V3, lig.Len())
+	checked := 0
+	for trial := 0; trial < 200 && checked < 15; trial++ {
+		pose := randomPose(r, lig.Len(), r.InSphere(30), 3)
+		e := s.ScoreForces(pose, forces)
+		if math.Abs(e) < 0.5 || math.Abs(e) > 200 {
+			continue
+		}
+		checked++
+		for j := 0; j < lig.Len(); j += 3 {
+			want := numericalForce(s, pose, j, 1e-5)
+			got := forces[j]
+			scale := 1 + want.Norm()
+			if got.Sub(want).Norm()/scale > 1e-3 {
+				t.Errorf("trial %d atom %d: force %v, numerical %v", trial, j, got, want)
+			}
+		}
+	}
+	if checked < 5 {
+		t.Fatal("not enough checkable poses")
+	}
+}
+
+func TestForcesMatchNumericalLJ(t *testing.T) { testForcesMatchNumerical(t, Options{}) }
+
+func TestForcesMatchNumericalCoulomb(t *testing.T) {
+	testForcesMatchNumerical(t, Options{Coulomb: true})
+}
+
+func TestScoreForcesEnergyMatchesScore(t *testing.T) {
+	s, lig := gradFixtures(t, Options{Coulomb: true})
+	r := rng.New(69)
+	forces := make([]vec.V3, lig.Len())
+	for trial := 0; trial < 20; trial++ {
+		pose := randomPose(r, lig.Len(), r.InSphere(30), 4)
+		e1 := s.Score(pose)
+		e2 := s.ScoreForces(pose, forces)
+		if math.Abs(e1-e2) > 1e-9*(1+math.Abs(e1)) {
+			t.Errorf("energy mismatch: %v vs %v", e1, e2)
+		}
+	}
+}
+
+func TestForcesZeroInsideClamp(t *testing.T) {
+	// Overlapping atoms sit in the flat clamped region: zero force, so
+	// gradient descent does not explode.
+	rec := NewTopology(molecule.New("one", []molecule.Atom{
+		{Element: molecule.Carbon, Pos: vec.Zero},
+	}))
+	lig := NewTopology(molecule.New("one", []molecule.Atom{
+		{Element: molecule.Carbon, Pos: vec.Zero},
+	}))
+	s := NewTiled(rec, lig, Options{})
+	forces := make([]vec.V3, 1)
+	s.ScoreForces([]vec.V3{vec.New(0.1, 0, 0)}, forces)
+	if forces[0] != vec.Zero {
+		t.Errorf("clamped force = %v, want zero", forces[0])
+	}
+}
+
+func TestScoreForcesPanicsOnBufferMismatch(t *testing.T) {
+	s, _ := gradFixtures(t, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on short buffer")
+		}
+	}()
+	s.ScoreForces(make([]vec.V3, 10), make([]vec.V3, 3))
+}
+
+func TestRigidGradient(t *testing.T) {
+	// A single force at an offset produces that net force and the
+	// corresponding torque r x F.
+	pos := []vec.V3{vec.New(1, 0, 0), vec.New(-1, 0, 0)}
+	forces := []vec.V3{vec.New(0, 2, 0), vec.Zero}
+	f, tq := RigidGradient(pos, forces, vec.Zero)
+	if !f.ApproxEq(vec.New(0, 2, 0), 1e-12) {
+		t.Errorf("net force = %v", f)
+	}
+	if !tq.ApproxEq(vec.New(0, 0, 2), 1e-12) {
+		t.Errorf("torque = %v", tq)
+	}
+}
+
+func TestDescentAlongForceLowersEnergy(t *testing.T) {
+	// Moving the whole ligand a small step along the net force must lower
+	// the energy (first-order behaviour of the gradient).
+	s, lig := gradFixtures(t, Options{})
+	r := rng.New(70)
+	forces := make([]vec.V3, lig.Len())
+	checked := 0
+	for trial := 0; trial < 300 && checked < 10; trial++ {
+		pose := randomPose(r, lig.Len(), r.InSphere(30), 3)
+		e := s.ScoreForces(pose, forces)
+		f, _ := RigidGradient(pose, forces, vec.Centroid(pose))
+		if math.Abs(e) < 1 || math.Abs(e) > 100 || f.Norm() < 1e-3 {
+			continue
+		}
+		checked++
+		step := f.Unit().Scale(1e-4)
+		moved := make([]vec.V3, len(pose))
+		for i := range pose {
+			moved[i] = pose[i].Add(step)
+		}
+		if e2 := s.Score(moved); e2 >= e {
+			t.Errorf("trial %d: step along force raised energy %v -> %v", trial, e, e2)
+		}
+	}
+	if checked < 5 {
+		t.Fatal("not enough checkable poses")
+	}
+}

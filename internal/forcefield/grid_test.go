@@ -1,0 +1,174 @@
+package forcefield
+
+import (
+	"math"
+	"testing"
+
+	"github.com/metascreen/metascreen/internal/molecule"
+	"github.com/metascreen/metascreen/internal/rng"
+	"github.com/metascreen/metascreen/internal/vec"
+)
+
+func gridFixtures(t *testing.T, opts Options, spacing float64) (*Grid, *Direct, *Topology) {
+	t.Helper()
+	rec := NewTopology(molecule.SyntheticProtein("rec", 500, 61))
+	lig := NewTopology(molecule.SyntheticLigand("lig", 15, 62))
+	g, err := NewGrid(rec, lig, opts, spacing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, NewDirect(rec, lig, opts), lig
+}
+
+// latticePose snaps a random pose onto exact lattice points of g.
+func latticePose(g *Grid, r *rng.Source, n int) []vec.V3 {
+	pose := make([]vec.V3, n)
+	for i := range pose {
+		ix := 2 + r.Intn(g.nx-4)
+		iy := 2 + r.Intn(g.ny-4)
+		iz := 2 + r.Intn(g.nz-4)
+		pose[i] = vec.V3{
+			X: g.origin.X + float64(ix)*g.spacing,
+			Y: g.origin.Y + float64(iy)*g.spacing,
+			Z: g.origin.Z + float64(iz)*g.spacing,
+		}
+	}
+	return pose
+}
+
+func TestGridExactAtLatticePoints(t *testing.T) {
+	// At lattice points interpolation is exact, so the grid must match
+	// the direct scorer up to float32 tabulation rounding.
+	g, direct, lig := gridFixtures(t, Options{}, 1.0)
+	r := rng.New(63)
+	for trial := 0; trial < 20; trial++ {
+		pose := latticePose(g, r, lig.Len())
+		want := direct.Score(pose)
+		got := g.Score(pose)
+		tol := 1e-4 * (1 + math.Abs(want))
+		if math.Abs(got-want) > tol {
+			t.Errorf("trial %d: grid %v vs direct %v at lattice points", trial, got, want)
+		}
+	}
+}
+
+func TestGridPreservesPoseRanking(t *testing.T) {
+	// What docking needs from a grid is that it ranks poses like the
+	// exact scorer. Compare orderings over moderate-energy poses.
+	g, direct, lig := gridFixtures(t, Options{}, 0.5)
+	r := rng.New(63)
+	type pair struct{ exact, approx float64 }
+	var pts []pair
+	for trial := 0; trial < 400 && len(pts) < 30; trial++ {
+		pose := randomPose(r, lig.Len(), r.InSphere(40), 3)
+		want := direct.Score(pose)
+		if math.Abs(want) < 0.5 || want > 30 {
+			continue // skip empty space and deep clashes
+		}
+		pts = append(pts, pair{exact: want, approx: g.Score(pose)})
+	}
+	if len(pts) < 15 {
+		t.Fatalf("only %d poses in the checkable energy band", len(pts))
+	}
+	// Kendall-style concordance: the fraction of pose pairs ordered the
+	// same way by both scorers.
+	concordant, total := 0, 0
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if math.Abs(pts[i].exact-pts[j].exact) < 0.5 {
+				continue // too close to call
+			}
+			total++
+			if (pts[i].exact < pts[j].exact) == (pts[i].approx < pts[j].approx) {
+				concordant++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no comparable pairs")
+	}
+	frac := float64(concordant) / float64(total)
+	if frac < 0.85 {
+		t.Errorf("grid preserves only %.0f%% of pose orderings", 100*frac)
+	}
+}
+
+func TestGridFinerSpacingIsMoreAccurate(t *testing.T) {
+	coarse, direct, lig := gridFixtures(t, Options{}, 1.5)
+	fine, _, _ := gridFixtures(t, Options{}, 0.4)
+	r := rng.New(64)
+	var errCoarse, errFine float64
+	n := 0
+	for trial := 0; trial < 300 && n < 30; trial++ {
+		pose := randomPose(r, lig.Len(), r.InSphere(35), 3)
+		want := direct.Score(pose)
+		if math.Abs(want) < 1 || math.Abs(want) > 50 {
+			continue
+		}
+		n++
+		errCoarse += math.Abs(coarse.Score(pose) - want)
+		errFine += math.Abs(fine.Score(pose) - want)
+	}
+	if n < 10 {
+		t.Fatal("not enough checkable poses")
+	}
+	if errFine >= errCoarse {
+		t.Errorf("fine grid error %v not below coarse %v", errFine, errCoarse)
+	}
+}
+
+func TestGridFarPoseIsZero(t *testing.T) {
+	g, _, lig := gridFixtures(t, Options{}, 0.75)
+	far := make([]vec.V3, lig.Len())
+	for i := range far {
+		far[i] = vec.New(1000, 1000, 1000)
+	}
+	if got := g.Score(far); got != 0 {
+		t.Errorf("far pose scored %v", got)
+	}
+}
+
+func TestGridCoulomb(t *testing.T) {
+	gQ, directQ, lig := gridFixtures(t, Options{Coulomb: true}, 1.0)
+	g0, _, _ := gridFixtures(t, Options{}, 1.0)
+	r := rng.New(65)
+	// The Coulomb grid must differ from the plain LJ grid and match the
+	// direct Coulomb scorer exactly at lattice points.
+	for trial := 0; trial < 20; trial++ {
+		pose := latticePose(gQ, r, lig.Len())
+		want := directQ.Score(pose)
+		got := gQ.Score(pose)
+		if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+			t.Errorf("trial %d: coulomb grid %v vs direct %v", trial, got, want)
+		}
+		if want != 0 && gQ.Score(pose) == g0.Score(pose) {
+			t.Error("coulomb grid identical to LJ grid on a charged pose")
+		}
+	}
+}
+
+func TestGridEmptyReceptor(t *testing.T) {
+	lig := NewTopology(molecule.SyntheticLigand("lig", 5, 1))
+	if _, err := NewGrid(&Topology{}, lig, Options{}, 0); err == nil {
+		t.Error("empty receptor accepted")
+	}
+}
+
+func TestGridMemoryBytes(t *testing.T) {
+	g, _, _ := gridFixtures(t, Options{Coulomb: true}, 1.0)
+	if g.MemoryBytes() <= 0 {
+		t.Error("no memory reported")
+	}
+	// Finer grid -> more memory.
+	fine, _, _ := gridFixtures(t, Options{Coulomb: true}, 0.5)
+	if fine.MemoryBytes() <= g.MemoryBytes() {
+		t.Error("finer grid not larger")
+	}
+}
+
+func TestGridName(t *testing.T) {
+	g, _, _ := gridFixtures(t, Options{}, 1.5)
+	if g.Name() != "grid" {
+		t.Errorf("Name = %q", g.Name())
+	}
+}

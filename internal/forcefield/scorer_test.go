@@ -1,0 +1,268 @@
+package forcefield
+
+import (
+	"math"
+	"testing"
+
+	"github.com/metascreen/metascreen/internal/molecule"
+	"github.com/metascreen/metascreen/internal/rng"
+	"github.com/metascreen/metascreen/internal/vec"
+)
+
+// pairMolecule builds a one-atom molecule of element e at p with charge q.
+func pairMolecule(e molecule.Element, p vec.V3, q float64) *Topology {
+	return NewTopology(molecule.New("one", []molecule.Atom{
+		{Element: e, Pos: p, Charge: q},
+	}))
+}
+
+// ljPair computes the analytic LJ energy for two atoms of elements a, b at
+// distance r.
+func ljPair(a, b molecule.Element, r float64) float64 {
+	t := NewPairTable()
+	p := t.At(uint8(a), uint8(b))
+	inv6 := 1 / (r * r * r * r * r * r)
+	return inv6 * (p.A*inv6 - p.B)
+}
+
+func TestDirectMatchesAnalyticPair(t *testing.T) {
+	rec := pairMolecule(molecule.Carbon, vec.Zero, 0)
+	lig := pairMolecule(molecule.Oxygen, vec.Zero, 0)
+	s := NewDirect(rec, lig, Options{})
+	for _, r := range []float64{2.5, 3.0, 3.5, 4.0, 6.0, 10.0} {
+		got := s.Score([]vec.V3{vec.New(r, 0, 0)})
+		want := ljPair(molecule.Carbon, molecule.Oxygen, r)
+		if math.Abs(got-want) > 1e-12*math.Abs(want)+1e-15 {
+			t.Errorf("r=%v: got %v, want %v", r, got, want)
+		}
+	}
+}
+
+func TestLJMinimumAtTwoSixthSigma(t *testing.T) {
+	// The LJ minimum for a pair is at r* = 2^(1/6) * sigma_mixed.
+	sigma := (3.40 + 3.40) / 2
+	rstar := math.Pow(2, 1.0/6) * sigma
+	at := func(r float64) float64 { return ljPair(molecule.Carbon, molecule.Carbon, r) }
+	if !(at(rstar) < at(rstar*0.97) && at(rstar) < at(rstar*1.03)) {
+		t.Errorf("no minimum at r* = %v: %v %v %v", rstar, at(rstar*0.97), at(rstar), at(rstar*1.03))
+	}
+	// Well depth equals epsilon.
+	if math.Abs(at(rstar)+0.0860) > 1e-9 {
+		t.Errorf("well depth = %v, want -0.0860", at(rstar))
+	}
+}
+
+func TestCutoff(t *testing.T) {
+	rec := pairMolecule(molecule.Carbon, vec.Zero, 0)
+	lig := pairMolecule(molecule.Carbon, vec.Zero, 0)
+	s := NewDirect(rec, lig, Options{})
+	if got := s.Score([]vec.V3{vec.New(Cutoff+0.01, 0, 0)}); got != 0 {
+		t.Errorf("beyond cutoff: %v, want 0", got)
+	}
+	if got := s.Score([]vec.V3{vec.New(Cutoff-0.01, 0, 0)}); got == 0 {
+		t.Error("just inside cutoff contributed nothing")
+	}
+}
+
+func TestClashClampFinite(t *testing.T) {
+	rec := pairMolecule(molecule.Carbon, vec.Zero, 0)
+	lig := pairMolecule(molecule.Carbon, vec.Zero, 0)
+	s := NewDirect(rec, lig, Options{})
+	got := s.Score([]vec.V3{vec.Zero})
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("overlapping atoms scored %v", got)
+	}
+	if got <= 0 {
+		t.Errorf("clash energy = %v, want strongly positive", got)
+	}
+	// Clamped region is flat: any r below the clamp gives the same energy.
+	alt := s.Score([]vec.V3{vec.New(0.3, 0, 0)})
+	if got != alt {
+		t.Errorf("clamp not flat: %v vs %v", got, alt)
+	}
+}
+
+func TestCoulombTermSigns(t *testing.T) {
+	rec := pairMolecule(molecule.Carbon, vec.Zero, 1)
+	lig := pairMolecule(molecule.Carbon, vec.Zero, -1)
+	withQ := NewDirect(rec, lig, Options{Coulomb: true})
+	noQ := NewDirect(rec, lig, Options{})
+	pose := []vec.V3{vec.New(8, 0, 0)}
+	diff := withQ.Score(pose) - noQ.Score(pose)
+	if diff >= 0 {
+		t.Errorf("opposite charges raised the energy by %v", diff)
+	}
+	want := -coulombK / (8 * 8 * 4)
+	if math.Abs(diff-want) > 1e-9 {
+		t.Errorf("coulomb term = %v, want %v", diff, want)
+	}
+}
+
+func TestScorePanicsOnWrongPoseLength(t *testing.T) {
+	rec := pairMolecule(molecule.Carbon, vec.Zero, 0)
+	lig := pairMolecule(molecule.Carbon, vec.Zero, 0)
+	s := NewDirect(rec, lig, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for wrong pose length")
+		}
+	}()
+	s.Score([]vec.V3{vec.Zero, vec.Zero})
+}
+
+func randomPose(r *rng.Source, n int, around vec.V3, spread float64) []vec.V3 {
+	pose := make([]vec.V3, n)
+	for i := range pose {
+		pose[i] = around.Add(r.InSphere(spread))
+	}
+	return pose
+}
+
+func testScorerAgreement(t *testing.T, opts Options) {
+	t.Helper()
+	rec := NewTopology(molecule.SyntheticProtein("rec", 700, 5))
+	lig := NewTopology(molecule.SyntheticLigand("lig", 20, 6))
+	direct := NewDirect(rec, lig, opts)
+	tiled := NewTiled(rec, lig, opts)
+	cells := NewCellList(rec, lig, opts)
+
+	r := rng.New(77)
+	recCenter := vec.Centroid(rec.Pos)
+	for trial := 0; trial < 40; trial++ {
+		// Poses at the surface, inside, and far outside the receptor.
+		center := recCenter.Add(r.InSphere(40))
+		pose := randomPose(r, lig.Len(), center, 4)
+		d := direct.Score(pose)
+		ti := tiled.Score(pose)
+		ce := cells.Score(pose)
+		tol := 1e-9 * (1 + math.Abs(d))
+		if math.Abs(d-ti) > tol {
+			t.Errorf("trial %d: tiled %v != direct %v", trial, ti, d)
+		}
+		if math.Abs(d-ce) > tol {
+			t.Errorf("trial %d: celllist %v != direct %v", trial, ce, d)
+		}
+	}
+}
+
+func TestScorersAgreeLJ(t *testing.T) { testScorerAgreement(t, Options{}) }
+
+func TestScorersAgreeCoulomb(t *testing.T) { testScorerAgreement(t, Options{Coulomb: true}) }
+
+func TestScoreTranslationInvariance(t *testing.T) {
+	recMol := molecule.SyntheticProtein("rec", 300, 8)
+	lig := NewTopology(molecule.SyntheticLigand("lig", 12, 9))
+	shift := vec.New(13.5, -7, 2)
+	s1 := NewDirect(NewTopology(recMol), lig, Options{})
+	s2 := NewDirect(NewTopology(recMol.Translated(shift)), lig, Options{})
+
+	r := rng.New(10)
+	pose := randomPose(r, lig.Len(), recMol.Centroid(), 15)
+	shifted := make([]vec.V3, len(pose))
+	for i := range pose {
+		shifted[i] = pose[i].Add(shift)
+	}
+	a, b := s1.Score(pose), s2.Score(shifted)
+	if math.Abs(a-b) > 1e-6*(1+math.Abs(a)) {
+		t.Errorf("translation changed energy: %v vs %v", a, b)
+	}
+}
+
+func TestCellListFarPoseIsZero(t *testing.T) {
+	rec := NewTopology(molecule.SyntheticProtein("rec", 300, 11))
+	lig := NewTopology(molecule.SyntheticLigand("lig", 10, 12))
+	cells := NewCellList(rec, lig, Options{})
+	far := vec.BoundPoints(rec.Pos).Hi.Add(vec.New(100, 100, 100))
+	pose := randomPose(rng.New(13), lig.Len(), far, 2)
+	if got := cells.Score(pose); got != 0 {
+		t.Errorf("pose 100 A away scored %v", got)
+	}
+}
+
+func TestPairOps(t *testing.T) {
+	rec := NewTopology(molecule.SyntheticProtein("rec", 100, 14))
+	lig := NewTopology(molecule.SyntheticLigand("lig", 10, 15))
+	ti := NewTiled(rec, lig, Options{})
+	if got := ti.PairOps(); got != 1000 {
+		t.Errorf("PairOps = %d, want 1000", got)
+	}
+}
+
+func TestScorerNames(t *testing.T) {
+	rec := pairMolecule(molecule.Carbon, vec.Zero, 0)
+	lig := pairMolecule(molecule.Carbon, vec.Zero, 0)
+	for _, s := range []Scorer{
+		NewDirect(rec, lig, Options{}),
+		NewTiled(rec, lig, Options{}),
+		NewCellList(rec, lig, Options{}),
+	} {
+		if s.Name() == "" {
+			t.Error("scorer with empty name")
+		}
+	}
+}
+
+func TestGoldenEnergies(t *testing.T) {
+	// Regression net: exact energies of fixed configurations. A change to
+	// parameters, mixing rules or kernel math shows up here first. Values
+	// were computed by this implementation and cross-checked against the
+	// analytic pair formula.
+	rec := NewTopology(molecule.New("golden-rec", []molecule.Atom{
+		{Element: molecule.Carbon, Pos: vec.New(0, 0, 0), Charge: 0.1},
+		{Element: molecule.Oxygen, Pos: vec.New(3, 0, 0), Charge: -0.4},
+		{Element: molecule.Nitrogen, Pos: vec.New(0, 3, 0), Charge: -0.3},
+	}))
+	lig := NewTopology(molecule.New("golden-lig", []molecule.Atom{
+		{Element: molecule.Carbon, Pos: vec.New(0, 0, 0), Charge: 0.2},
+		{Element: molecule.Sulfur, Pos: vec.New(1.8, 0, 0), Charge: -0.1},
+	}))
+	pose := []vec.V3{vec.New(1.5, 1.5, 3.0), vec.New(3.3, 1.5, 3.0)}
+
+	// Golden value from the analytic per-pair sum.
+	table := NewPairTable()
+	want := 0.0
+	wantQ := 0.0
+	for i, rp := range rec.Pos {
+		for j, lp := range pose {
+			r2 := rp.Dist2(lp)
+			p := table.At(rec.Type[i], lig.Type[j])
+			inv6 := 1 / (r2 * r2 * r2)
+			want += inv6 * (p.A*inv6 - p.B)
+			wantQ += coulombK * rec.Charge[i] * lig.Charge[j] / (4 * r2)
+		}
+	}
+	for _, s := range []Scorer{
+		NewDirect(rec, lig, Options{}),
+		NewTiled(rec, lig, Options{}),
+		NewCellList(rec, lig, Options{}),
+	} {
+		if got := s.Score(pose); math.Abs(got-want) > 1e-12*math.Abs(want) {
+			t.Errorf("%s: %v, want %v", s.Name(), got, want)
+		}
+	}
+	withQ := NewDirect(rec, lig, Options{Coulomb: true})
+	if got := withQ.Score(pose); math.Abs(got-(want+wantQ)) > 1e-12*math.Abs(want+wantQ) {
+		t.Errorf("coulomb: %v, want %v", got, want+wantQ)
+	}
+	// Freeze the absolute number too: any change to LJ parameters or
+	// mixing rules must be deliberate.
+	const frozen = -0.6462180350618174
+	if math.Abs(want-frozen) > 1e-12 {
+		t.Errorf("golden energy drifted: %v, frozen %v", want, frozen)
+	}
+}
+
+func TestPairTableSymmetric(t *testing.T) {
+	tab := NewPairTable()
+	for i := 0; i < numTypes; i++ {
+		for j := 0; j < numTypes; j++ {
+			a, b := tab.At(uint8(i), uint8(j)), tab.At(uint8(j), uint8(i))
+			if a != b {
+				t.Errorf("pair table asymmetric at (%d,%d)", i, j)
+			}
+			if a.A <= 0 || a.B <= 0 {
+				t.Errorf("non-positive coefficients at (%d,%d): %+v", i, j, a)
+			}
+		}
+	}
+}

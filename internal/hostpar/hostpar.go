@@ -1,0 +1,195 @@
+// Package hostpar is the host-side parallel runtime of metascreen, the Go
+// analogue of the OpenMP constructs the paper uses: a parallel-for over a
+// fixed thread team with static or dynamic scheduling, and reductions over
+// per-thread results (the paper reduces warm-up timings with omp reduction).
+package hostpar
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Schedule selects how loop iterations map to threads.
+type Schedule int
+
+const (
+	// Static splits the iteration space into one contiguous chunk per
+	// thread, like OpenMP schedule(static).
+	Static Schedule = iota
+	// Dynamic hands out fixed-size chunks from a shared counter as threads
+	// finish, like OpenMP schedule(dynamic, chunk).
+	Dynamic
+	// Guided hands out shrinking chunks — each claim takes half the
+	// remaining work divided by the thread count, floored at the chunk
+	// parameter — like OpenMP schedule(guided, chunk). Large chunks early
+	// amortize claiming overhead; small chunks late smooth the tail.
+	Guided
+)
+
+// DefaultThreads is the thread-team size used when a Team is created with
+// size <= 0: the number of usable CPUs.
+func DefaultThreads() int { return runtime.GOMAXPROCS(0) }
+
+// Team is a fixed-size thread team, the analogue of an OpenMP parallel
+// region's team. The zero value is not usable; create teams with NewTeam.
+type Team struct {
+	n int
+}
+
+// NewTeam returns a team of n threads; n <= 0 means DefaultThreads().
+func NewTeam(n int) *Team {
+	if n <= 0 {
+		n = DefaultThreads()
+	}
+	return &Team{n: n}
+}
+
+// Size returns the number of threads in the team.
+func (t *Team) Size() int { return t.n }
+
+// For runs body(i) for every i in [0, n) across the team with static
+// scheduling. It returns when all iterations complete.
+func (t *Team) For(n int, body func(i int)) {
+	t.ForChunk(n, Static, 0, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForThread runs body(tid) once on each of the team's threads, the analogue
+// of a bare omp parallel region. tid ranges over [0, Size()).
+func (t *Team) ForThread(body func(tid int)) {
+	var wg sync.WaitGroup
+	wg.Add(t.n)
+	for tid := 0; tid < t.n; tid++ {
+		go func(tid int) {
+			defer wg.Done()
+			body(tid)
+		}(tid)
+	}
+	wg.Wait()
+}
+
+// ForChunk runs body(lo, hi, tid) over contiguous chunks covering [0, n).
+// With Static scheduling each thread gets one balanced chunk; with Dynamic,
+// chunks of the given size (0 means a heuristic n/(8*threads), minimum 1)
+// are claimed from a shared counter. Every index is processed exactly once.
+func (t *Team) ForChunk(n int, sched Schedule, chunk int, body func(lo, hi, tid int)) {
+	if n <= 0 {
+		return
+	}
+	threads := t.n
+	if threads > n {
+		threads = n
+	}
+	switch sched {
+	case Static:
+		var wg sync.WaitGroup
+		wg.Add(threads)
+		for tid := 0; tid < threads; tid++ {
+			go func(tid int) {
+				defer wg.Done()
+				lo := n * tid / threads
+				hi := n * (tid + 1) / threads
+				if lo < hi {
+					body(lo, hi, tid)
+				}
+			}(tid)
+		}
+		wg.Wait()
+	case Dynamic:
+		if chunk <= 0 {
+			chunk = n / (8 * threads)
+			if chunk < 1 {
+				chunk = 1
+			}
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(threads)
+		for tid := 0; tid < threads; tid++ {
+			go func(tid int) {
+				defer wg.Done()
+				for {
+					lo := int(next.Add(int64(chunk))) - chunk
+					if lo >= n {
+						return
+					}
+					hi := lo + chunk
+					if hi > n {
+						hi = n
+					}
+					body(lo, hi, tid)
+				}
+			}(tid)
+		}
+		wg.Wait()
+	case Guided:
+		if chunk < 1 {
+			chunk = 1
+		}
+		var mu sync.Mutex
+		next := 0
+		claim := func() (lo, hi int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if next >= n {
+				return n, n
+			}
+			size := (n - next) / (2 * threads)
+			if size < chunk {
+				size = chunk
+			}
+			lo = next
+			hi = lo + size
+			if hi > n {
+				hi = n
+			}
+			next = hi
+			return lo, hi
+		}
+		var wg sync.WaitGroup
+		wg.Add(threads)
+		for tid := 0; tid < threads; tid++ {
+			go func(tid int) {
+				defer wg.Done()
+				for {
+					lo, hi := claim()
+					if lo >= hi {
+						return
+					}
+					body(lo, hi, tid)
+				}
+			}(tid)
+		}
+		wg.Wait()
+	default:
+		panic("hostpar: unknown schedule")
+	}
+}
+
+// ReduceFloat64 runs produce(tid) on every thread and combines the results
+// with combine, starting from init. It is the analogue of omp reduction over
+// a parallel region. The combination order is deterministic (by tid).
+func (t *Team) ReduceFloat64(init float64, produce func(tid int) float64, combine func(a, b float64) float64) float64 {
+	results := make([]float64, t.n)
+	t.ForThread(func(tid int) { results[tid] = produce(tid) })
+	acc := init
+	for _, v := range results {
+		acc = combine(acc, v)
+	}
+	return acc
+}
+
+// MaxFloat64 is a combine function for ReduceFloat64 computing the maximum.
+func MaxFloat64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SumFloat64 is a combine function for ReduceFloat64 computing the sum.
+func SumFloat64(a, b float64) float64 { return a + b }

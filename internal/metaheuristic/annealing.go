@@ -1,0 +1,104 @@
+package metaheuristic
+
+import (
+	"math"
+
+	"github.com/metascreen/metascreen/internal/conformation"
+)
+
+// SimulatedAnnealing is a neighbourhood metaheuristic extension (the paper
+// lists it in section 2.2): a set of independent walkers per spot, each
+// proposing one perturbation per generation and accepting it by the
+// Metropolis criterion under a geometric cooling schedule.
+type SimulatedAnnealing struct {
+	name   string
+	params Params
+	// T0 is the initial temperature in score units; Cooling the geometric
+	// factor applied per generation.
+	T0      float64
+	Cooling float64
+}
+
+// NewSimulatedAnnealing returns a simulated-annealing algorithm. The walker
+// count is Params.PopulationPerSpot.
+func NewSimulatedAnnealing(name string, p Params) (*SimulatedAnnealing, error) {
+	if p.SelectFraction == 0 {
+		p.SelectFraction = 1
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &SimulatedAnnealing{name: name, params: p, T0: 5.0, Cooling: 0.95}, nil
+}
+
+// Name implements Algorithm.
+func (a *SimulatedAnnealing) Name() string { return a.name }
+
+// Params implements Algorithm.
+func (a *SimulatedAnnealing) Params() Params { return a.params }
+
+// NewSpotState implements Algorithm.
+func (a *SimulatedAnnealing) NewSpotState(ctx *SpotContext) SpotState {
+	return &annealState{alg: a, ctx: ctx, temp: a.T0}
+}
+
+type annealState struct {
+	alg  *SimulatedAnnealing
+	ctx  *SpotContext
+	pop  Population // current walkers
+	best conformation.Conformation
+	temp float64
+}
+
+func (s *annealState) Seed() Population {
+	n := s.alg.params.PopulationPerSpot
+	pop := make(Population, n)
+	for i := range pop {
+		pop[i] = s.ctx.Sampler.Random(s.ctx.RNG)
+	}
+	return pop
+}
+
+func (s *annealState) Begin(pop Population) {
+	s.pop = pop.Clone()
+	s.best = conformation.Conformation{Score: conformation.Unscored}
+	if i := s.pop.Best(); i >= 0 {
+		s.best = s.pop[i]
+	}
+}
+
+// Propose perturbs every walker (Select = identity, Combine = neighbourhood
+// move).
+func (s *annealState) Propose() Population {
+	scom := make(Population, len(s.pop))
+	for i, w := range s.pop {
+		scom[i] = s.ctx.Sampler.Perturb(s.ctx.RNG, w, s.alg.params.moveScale())
+	}
+	return scom
+}
+
+// ImproveTargets: annealing has no inner local search; the walk itself is
+// the search.
+func (s *annealState) ImproveTargets(Population) []int { return nil }
+
+// Integrate applies the Metropolis criterion per walker and cools.
+func (s *annealState) Integrate(scom Population) {
+	r := s.ctx.RNG
+	for i := range scom {
+		if i >= len(s.pop) {
+			break
+		}
+		delta := scom[i].Score - s.pop[i].Score
+		if delta <= 0 || (s.temp > 0 && r.Float64() < math.Exp(-delta/s.temp)) {
+			s.pop[i] = scom[i]
+		}
+		s.best = bestOf(s.best, scom[i])
+	}
+	s.temp *= s.alg.Cooling
+}
+
+func (s *annealState) Population() Population { return s.pop }
+
+func (s *annealState) Done(gen int) bool { return gen >= s.alg.params.Generations }
+
+func (s *annealState) Best() conformation.Conformation { return s.best }

@@ -1,0 +1,229 @@
+package metaheuristic
+
+import (
+	"testing"
+
+	"github.com/metascreen/metascreen/internal/conformation"
+	"github.com/metascreen/metascreen/internal/vec"
+)
+
+func extParams() Params {
+	return Params{
+		PopulationPerSpot: 20,
+		SelectFraction:    1,
+		ImproveFraction:   1,
+		ImproveMoves:      4,
+		Generations:       25,
+	}
+}
+
+func TestExtensionsOptimize(t *testing.T) {
+	mks := []func() (Algorithm, error){
+		func() (Algorithm, error) { return NewVariableNeighborhood("vns", extParams()) },
+		func() (Algorithm, error) { return NewGRASP("grasp", extParams()) },
+		func() (Algorithm, error) { return NewAnnealedGenetic("ga-sa", extParams()) },
+	}
+	for _, mk := range mks {
+		alg, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(alg.Name(), func(t *testing.T) {
+			ctx := testCtx(301)
+			eval := quadraticEval{target: ctx.Spot.Center.Add(vec.New(3, -1, 2))}
+			best := drive(t, alg, ctx, eval)
+			if !best.Evaluated() {
+				t.Fatal("no best")
+			}
+			// Must land meaningfully close to the optimum (region radius
+			// is 10, so random poses average squared distance >> 10).
+			if best.Score > 10 {
+				t.Errorf("best score %v, optimization ineffective", best.Score)
+			}
+		})
+	}
+}
+
+func TestVNSEscalatesNeighborhoods(t *testing.T) {
+	alg, err := NewVariableNeighborhood("vns", extParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := testCtx(302)
+	state := alg.NewSpotState(ctx).(*vnsState)
+	seed := state.Seed()
+	for i := range seed {
+		seed[i].Score = 0 // already optimal: every shake fails
+	}
+	state.Begin(seed)
+	scom := state.Propose()
+	for i := range scom {
+		scom[i].Score = 1 // all worse
+	}
+	state.Integrate(scom)
+	for i, k := range state.k {
+		if k != 2 {
+			t.Errorf("walker %d neighborhood = %d after failure, want 2", i, k)
+		}
+	}
+	// A success resets to 1.
+	scom2 := state.Propose()
+	for i := range scom2 {
+		scom2[i].Score = -1 // all better
+	}
+	state.Integrate(scom2)
+	for i, k := range state.k {
+		if k != 1 {
+			t.Errorf("walker %d neighborhood = %d after success, want 1", i, k)
+		}
+	}
+}
+
+func TestVNSNeighborhoodWraps(t *testing.T) {
+	alg, err := NewVariableNeighborhood("vns", extParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := testCtx(303)
+	state := alg.NewSpotState(ctx).(*vnsState)
+	seed := state.Seed()
+	for i := range seed {
+		seed[i].Score = 0
+	}
+	state.Begin(seed)
+	for round := 0; round < alg.KMax+1; round++ {
+		scom := state.Propose()
+		for i := range scom {
+			scom[i].Score = 1
+		}
+		state.Integrate(scom)
+	}
+	for i, k := range state.k {
+		if k < 1 || k > alg.KMax {
+			t.Errorf("walker %d neighborhood = %d outside [1,%d]", i, k, alg.KMax)
+		}
+	}
+}
+
+func TestGRASPEliteSetBounded(t *testing.T) {
+	alg, err := NewGRASP("grasp", extParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := testCtx(304)
+	eval := quadraticEval{target: ctx.Spot.Center.Add(vec.New(2, 2, 2))}
+	state := alg.NewSpotState(ctx)
+	seed := state.Seed()
+	for i := range seed {
+		seed[i].Score = eval.score(seed[i])
+	}
+	state.Begin(seed)
+	for gen := 0; gen < 5; gen++ {
+		scom := state.Propose()
+		for i := range scom {
+			scom[i].Score = eval.score(scom[i])
+		}
+		state.Integrate(scom)
+		if got := len(state.Population()); got > alg.EliteSize {
+			t.Fatalf("elite set grew to %d (cap %d)", got, alg.EliteSize)
+		}
+	}
+}
+
+func TestAnnealedGeneticCoolsToElitism(t *testing.T) {
+	alg, err := NewAnnealedGenetic("ga-sa", extParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := testCtx(305)
+	state := alg.NewSpotState(ctx).(*annealedGeneticState)
+	seed := state.Seed()
+	for i := range seed {
+		seed[i].Score = 0
+	}
+	state.Begin(seed)
+	t0 := state.temp
+	for gen := 0; gen < 10; gen++ {
+		scom := state.Propose()
+		for i := range scom {
+			scom[i].Score = 0.1
+		}
+		state.Integrate(scom)
+	}
+	if state.temp >= t0 {
+		t.Errorf("temperature did not cool: %v -> %v", t0, state.temp)
+	}
+}
+
+func TestExtensionsRejectBadParams(t *testing.T) {
+	bad := Params{PopulationPerSpot: 0, Generations: 5}
+	if _, err := NewVariableNeighborhood("v", bad); err == nil {
+		t.Error("VNS accepted bad params")
+	}
+	if _, err := NewGRASP("g", bad); err == nil {
+		t.Error("GRASP accepted bad params")
+	}
+	if _, err := NewAnnealedGenetic("a", bad); err == nil {
+		t.Error("hybrid accepted bad params")
+	}
+}
+
+func TestExtensionsNeverWorseBest(t *testing.T) {
+	// Best() must be monotone: integrating new offspring never loses the
+	// incumbent best.
+	for _, mk := range []func() (Algorithm, error){
+		func() (Algorithm, error) { return NewVariableNeighborhood("vns", extParams()) },
+		func() (Algorithm, error) { return NewGRASP("grasp", extParams()) },
+		func() (Algorithm, error) { return NewAnnealedGenetic("ga-sa", extParams()) },
+	} {
+		alg, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := testCtx(306)
+		eval := quadraticEval{target: ctx.Spot.Center}
+		state := alg.NewSpotState(ctx)
+		seed := state.Seed()
+		for i := range seed {
+			seed[i].Score = eval.score(seed[i])
+		}
+		state.Begin(seed)
+		prev := state.Best().Score
+		for gen := 0; gen < 8; gen++ {
+			scom := state.Propose()
+			for i := range scom {
+				if !scom[i].Evaluated() {
+					scom[i].Score = eval.score(scom[i])
+				}
+			}
+			state.Integrate(scom)
+			if cur := state.Best().Score; cur > prev {
+				t.Errorf("%s: best worsened %v -> %v at gen %d", alg.Name(), prev, cur, gen)
+			} else {
+				prev = cur
+			}
+		}
+	}
+}
+
+func TestHybridIntegrateBounds(t *testing.T) {
+	// Offspring longer than the population must not panic.
+	alg, err := NewAnnealedGenetic("ga-sa", extParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := testCtx(307)
+	state := alg.NewSpotState(ctx)
+	seed := state.Seed()
+	for i := range seed {
+		seed[i].Score = 1
+	}
+	state.Begin(seed)
+	long := make(Population, len(seed)+5)
+	for i := range long {
+		c := conformation.New(0, vec.Zero, vec.IdentityQuat)
+		c.Score = 0.5
+		long[i] = c
+	}
+	state.Integrate(long) // must not panic
+}

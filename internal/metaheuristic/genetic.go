@@ -1,0 +1,150 @@
+package metaheuristic
+
+import (
+	"sort"
+
+	"github.com/metascreen/metascreen/internal/conformation"
+)
+
+// Genetic is a population-based metaheuristic in the style of the paper's
+// M1: tournament selection from the best individuals, blend recombination,
+// optional local search on a fraction of offspring, and elitist inclusion.
+type Genetic struct {
+	name   string
+	params Params
+	// tournament is the tournament size for parent selection.
+	tournament int
+	// mutation is the probability an offspring is additionally perturbed
+	// (classic GA mutation, one sampler move).
+	mutation float64
+}
+
+// NewGenetic returns a genetic algorithm with the given parameters.
+func NewGenetic(name string, p Params) (*Genetic, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Genetic{name: name, params: p, tournament: 3, mutation: 0.1}, nil
+}
+
+// Name implements Algorithm.
+func (g *Genetic) Name() string { return g.name }
+
+// Params implements Algorithm.
+func (g *Genetic) Params() Params { return g.params }
+
+// NewSpotState implements Algorithm.
+func (g *Genetic) NewSpotState(ctx *SpotContext) SpotState {
+	return &geneticState{alg: g, ctx: ctx}
+}
+
+type geneticState struct {
+	alg *Genetic
+	ctx *SpotContext
+	pop Population
+	gen int
+}
+
+func (s *geneticState) Seed() Population {
+	n := s.alg.params.PopulationPerSpot
+	pop := make(Population, n)
+	for i := range pop {
+		pop[i] = s.ctx.Sampler.Random(s.ctx.RNG)
+	}
+	return pop
+}
+
+func (s *geneticState) Begin(pop Population) {
+	s.pop = pop.Clone()
+	s.pop.SortByScore()
+}
+
+func (s *geneticState) Propose() Population {
+	r := s.ctx.RNG
+	p := s.alg.params
+	// Select: the best SelectFraction of S form the mating pool (Ssel).
+	nsel := int(float64(len(s.pop))*p.SelectFraction + 0.5)
+	if nsel < 2 {
+		nsel = min(2, len(s.pop))
+	}
+	pool := s.pop.Clone()
+	pool.SortByScore()
+	pool = pool[:nsel]
+
+	// Combine: tournament-pick parent pairs and blend them.
+	scom := make(Population, 0, p.PopulationPerSpot)
+	pick := func() int {
+		best := r.Intn(len(pool))
+		for t := 1; t < s.alg.tournament; t++ {
+			c := r.Intn(len(pool))
+			if pool[c].Better(pool[best]) {
+				best = c
+			}
+		}
+		return best
+	}
+	for len(scom) < p.PopulationPerSpot {
+		a, b := pick(), pick()
+		child := s.ctx.Sampler.Combine(r, pool[a], pool[b])
+		if r.Bool(s.alg.mutation) {
+			child = s.ctx.Sampler.Perturb(r, child, p.moveScale())
+		}
+		scom = append(scom, child)
+	}
+	return scom
+}
+
+func (s *geneticState) ImproveTargets(scom Population) []int {
+	return improveFraction(scom, s.alg.params.ImproveFraction)
+}
+
+func (s *geneticState) Integrate(scom Population) {
+	s.pop = elitist(s.pop, scom, s.alg.params.PopulationPerSpot)
+	s.gen++
+}
+
+func (s *geneticState) Population() Population { return s.pop }
+
+func (s *geneticState) Done(gen int) bool { return gen >= s.alg.params.Generations }
+
+func (s *geneticState) Best() conformation.Conformation {
+	if i := s.pop.Best(); i >= 0 {
+		return s.pop[i]
+	}
+	return conformation.Conformation{Score: conformation.Unscored}
+}
+
+// improveFraction returns the indices of the best frac*len(scom) evaluated
+// individuals (rounded to nearest, deterministic order).
+func improveFraction(scom Population, frac float64) []int {
+	if frac <= 0 || len(scom) == 0 {
+		return nil
+	}
+	n := int(float64(len(scom))*frac + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	if n > len(scom) {
+		n = len(scom)
+	}
+	order := make([]int, len(scom))
+	for i := range order {
+		order[i] = i
+	}
+	// Best-first by score; unevaluated last; ties by index.
+	sort.SliceStable(order, func(x, y int) bool {
+		a, b := order[x], order[y]
+		if scom[a].Score != scom[b].Score {
+			return scom[a].Score < scom[b].Score
+		}
+		return a < b
+	})
+	return order[:n]
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

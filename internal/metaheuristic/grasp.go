@@ -1,0 +1,123 @@
+package metaheuristic
+
+import "github.com/metascreen/metascreen/internal/conformation"
+
+// GRASP implements a Greedy Randomized Adaptive Search Procedure (listed
+// in the paper's section 2.2), adapted to continuous pose space: each
+// generation constructs candidate poses semi-greedily — with probability
+// Greediness near a uniformly chosen elite solution, otherwise uniformly in
+// the spot region (the restricted-candidate-list analogue) — applies local
+// search to all of them, and keeps the best solutions as the elite set.
+type GRASP struct {
+	name   string
+	params Params
+	// Greediness is the probability a construction starts from an elite
+	// solution rather than from scratch.
+	Greediness float64
+	// EliteSize is the number of retained elite solutions.
+	EliteSize int
+}
+
+// NewGRASP returns a GRASP algorithm with the given parameters.
+func NewGRASP(name string, p Params) (*GRASP, error) {
+	if p.SelectFraction == 0 {
+		p.SelectFraction = 1
+	}
+	if p.ImproveFraction == 0 {
+		p.ImproveFraction = 1
+	}
+	if p.ImproveMoves == 0 {
+		p.ImproveMoves = 4
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	elite := p.PopulationPerSpot / 4
+	if elite < 1 {
+		elite = 1
+	}
+	return &GRASP{name: name, params: p, Greediness: 0.5, EliteSize: elite}, nil
+}
+
+// Name implements Algorithm.
+func (g *GRASP) Name() string { return g.name }
+
+// Params implements Algorithm.
+func (g *GRASP) Params() Params { return g.params }
+
+// NewSpotState implements Algorithm.
+func (g *GRASP) NewSpotState(ctx *SpotContext) SpotState {
+	return &graspState{alg: g, ctx: ctx}
+}
+
+type graspState struct {
+	alg   *GRASP
+	ctx   *SpotContext
+	elite Population
+	best  conformation.Conformation
+}
+
+func (s *graspState) Seed() Population {
+	n := s.alg.params.PopulationPerSpot
+	pop := make(Population, n)
+	for i := range pop {
+		pop[i] = s.ctx.Sampler.Random(s.ctx.RNG)
+	}
+	return pop
+}
+
+func (s *graspState) Begin(pop Population) {
+	sorted := pop.Clone()
+	sorted.SortByScore()
+	n := s.alg.EliteSize
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	s.elite = sorted[:n].Clone()
+	s.best = conformation.Conformation{Score: conformation.Unscored}
+	if i := sorted.Best(); i >= 0 {
+		s.best = sorted[i]
+	}
+}
+
+// Propose is the construction phase.
+func (s *graspState) Propose() Population {
+	r := s.ctx.RNG
+	scom := make(Population, s.alg.params.PopulationPerSpot)
+	for i := range scom {
+		if len(s.elite) > 0 && r.Bool(s.alg.Greediness) {
+			// Semi-greedy: restart near a random elite solution.
+			seed := s.elite[r.Intn(len(s.elite))]
+			scom[i] = s.ctx.Sampler.Perturb(r, seed, conformation.MoveScale{
+				MaxTranslate: 2.0, MaxRotate: 0.8,
+			})
+		} else {
+			scom[i] = s.ctx.Sampler.Random(r)
+		}
+	}
+	return scom
+}
+
+// ImproveTargets: GRASP local-searches every construction.
+func (s *graspState) ImproveTargets(scom Population) []int {
+	idx := make([]int, len(scom))
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// Integrate refreshes the elite set.
+func (s *graspState) Integrate(scom Population) {
+	s.elite = elitist(s.elite, scom, s.alg.EliteSize)
+	for _, c := range scom {
+		s.best = bestOf(s.best, c)
+	}
+}
+
+// Population returns the elite set (the retained solutions).
+func (s *graspState) Population() Population { return s.elite }
+
+func (s *graspState) Done(gen int) bool { return gen >= s.alg.params.Generations }
+
+func (s *graspState) Best() conformation.Conformation { return s.best }

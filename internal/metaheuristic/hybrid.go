@@ -1,0 +1,123 @@
+package metaheuristic
+
+import (
+	"math"
+
+	"github.com/metascreen/metascreen/internal/conformation"
+)
+
+// AnnealedGenetic is a hybridization of two basic metaheuristics (the
+// paper's introduction: "hybridations of basic metaheuristics"): genetic
+// recombination generates offspring, but inclusion follows simulated
+// annealing — each offspring challenges a population slot and wins by the
+// Metropolis criterion under a cooling temperature. Early generations
+// accept freely (diversification); late generations become elitist
+// (intensification).
+type AnnealedGenetic struct {
+	name   string
+	params Params
+	// T0 and Cooling define the geometric temperature schedule.
+	T0      float64
+	Cooling float64
+	// tournament is the parent-selection tournament size.
+	tournament int
+}
+
+// NewAnnealedGenetic returns the GA x SA hybrid.
+func NewAnnealedGenetic(name string, p Params) (*AnnealedGenetic, error) {
+	if p.SelectFraction == 0 {
+		p.SelectFraction = 1
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &AnnealedGenetic{
+		name: name, params: p,
+		T0: 5.0, Cooling: 0.92, tournament: 3,
+	}, nil
+}
+
+// Name implements Algorithm.
+func (a *AnnealedGenetic) Name() string { return a.name }
+
+// Params implements Algorithm.
+func (a *AnnealedGenetic) Params() Params { return a.params }
+
+// NewSpotState implements Algorithm.
+func (a *AnnealedGenetic) NewSpotState(ctx *SpotContext) SpotState {
+	return &annealedGeneticState{alg: a, ctx: ctx, temp: a.T0}
+}
+
+type annealedGeneticState struct {
+	alg  *AnnealedGenetic
+	ctx  *SpotContext
+	pop  Population
+	temp float64
+	best conformation.Conformation
+}
+
+func (s *annealedGeneticState) Seed() Population {
+	n := s.alg.params.PopulationPerSpot
+	pop := make(Population, n)
+	for i := range pop {
+		pop[i] = s.ctx.Sampler.Random(s.ctx.RNG)
+	}
+	return pop
+}
+
+func (s *annealedGeneticState) Begin(pop Population) {
+	s.pop = pop.Clone()
+	s.best = conformation.Conformation{Score: conformation.Unscored}
+	if i := s.pop.Best(); i >= 0 {
+		s.best = s.pop[i]
+	}
+}
+
+// Propose recombines tournament-selected parents, exactly like Genetic.
+func (s *annealedGeneticState) Propose() Population {
+	r := s.ctx.RNG
+	p := s.alg.params
+	pick := func() int {
+		best := r.Intn(len(s.pop))
+		for t := 1; t < s.alg.tournament; t++ {
+			c := r.Intn(len(s.pop))
+			if s.pop[c].Better(s.pop[best]) {
+				best = c
+			}
+		}
+		return best
+	}
+	scom := make(Population, 0, p.PopulationPerSpot)
+	for len(scom) < p.PopulationPerSpot {
+		a, b := pick(), pick()
+		scom = append(scom, s.ctx.Sampler.Combine(r, s.pop[a], s.pop[b]))
+	}
+	return scom
+}
+
+func (s *annealedGeneticState) ImproveTargets(scom Population) []int {
+	return improveFraction(scom, s.alg.params.ImproveFraction)
+}
+
+// Integrate is the annealing half: offspring i challenges population slot
+// i and replaces it by the Metropolis rule.
+func (s *annealedGeneticState) Integrate(scom Population) {
+	r := s.ctx.RNG
+	for i := range scom {
+		if i >= len(s.pop) {
+			break
+		}
+		delta := scom[i].Score - s.pop[i].Score
+		if delta <= 0 || (s.temp > 0 && r.Float64() < math.Exp(-delta/s.temp)) {
+			s.pop[i] = scom[i]
+		}
+		s.best = bestOf(s.best, scom[i])
+	}
+	s.temp *= s.alg.Cooling
+}
+
+func (s *annealedGeneticState) Population() Population { return s.pop }
+
+func (s *annealedGeneticState) Done(gen int) bool { return gen >= s.alg.params.Generations }
+
+func (s *annealedGeneticState) Best() conformation.Conformation { return s.best }

@@ -1,0 +1,87 @@
+package metaheuristic
+
+import "github.com/metascreen/metascreen/internal/conformation"
+
+// LocalSearch is the paper's M4: a pure neighbourhood metaheuristic that
+// applies one step of intensive local search to every element of a large
+// initial set ("only one step, and so there is no selection of elements
+// after improving").
+type LocalSearch struct {
+	name   string
+	params Params
+}
+
+// NewLocalSearch returns the neighbourhood metaheuristic. Generations is
+// forced to 1 (M4 applies a single step) and ImproveFraction to 1.
+func NewLocalSearch(name string, p Params) (*LocalSearch, error) {
+	p.Generations = 1
+	p.ImproveFraction = 1
+	if p.SelectFraction == 0 {
+		p.SelectFraction = 1 // "does not apply" in the paper's Table 4
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &LocalSearch{name: name, params: p}, nil
+}
+
+// Name implements Algorithm.
+func (l *LocalSearch) Name() string { return l.name }
+
+// Params implements Algorithm.
+func (l *LocalSearch) Params() Params { return l.params }
+
+// NewSpotState implements Algorithm.
+func (l *LocalSearch) NewSpotState(ctx *SpotContext) SpotState {
+	return &localSearchState{alg: l, ctx: ctx}
+}
+
+type localSearchState struct {
+	alg *LocalSearch
+	ctx *SpotContext
+	pop Population
+}
+
+func (s *localSearchState) Seed() Population {
+	n := s.alg.params.PopulationPerSpot
+	pop := make(Population, n)
+	for i := range pop {
+		pop[i] = s.ctx.Sampler.Random(s.ctx.RNG)
+	}
+	return pop
+}
+
+func (s *localSearchState) Begin(pop Population) { s.pop = pop.Clone() }
+
+// Propose hands the whole (already scored) population to the driver; the
+// generation's only work is the improve kernel.
+func (s *localSearchState) Propose() Population { return s.pop.Clone() }
+
+func (s *localSearchState) ImproveTargets(scom Population) []int {
+	idx := make([]int, len(scom))
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// Integrate keeps the element-wise better of the original and improved
+// individual: local search never worsens a solution.
+func (s *localSearchState) Integrate(scom Population) {
+	for i := range scom {
+		if i < len(s.pop) {
+			s.pop[i] = bestOf(s.pop[i], scom[i])
+		}
+	}
+}
+
+func (s *localSearchState) Population() Population { return s.pop }
+
+func (s *localSearchState) Done(gen int) bool { return gen >= 1 }
+
+func (s *localSearchState) Best() conformation.Conformation {
+	if i := s.pop.Best(); i >= 0 {
+		return s.pop[i]
+	}
+	return conformation.Conformation{Score: conformation.Unscored}
+}

@@ -1,0 +1,125 @@
+package metaheuristic
+
+import (
+	"github.com/metascreen/metascreen/internal/conformation"
+	"github.com/metascreen/metascreen/internal/vec"
+)
+
+// ParticleSwarm is a distributed metaheuristic extension: particles move
+// through pose space under inertia plus attraction toward their personal
+// best and the spot's global best. Orientations follow by slerp toward the
+// attractors.
+type ParticleSwarm struct {
+	name   string
+	params Params
+	// Inertia, Cognitive and Social are the standard PSO coefficients.
+	Inertia, Cognitive, Social float64
+	// VMax bounds particle speed in angstroms per generation.
+	VMax float64
+}
+
+// NewParticleSwarm returns a PSO algorithm with the given parameters.
+func NewParticleSwarm(name string, p Params) (*ParticleSwarm, error) {
+	if p.SelectFraction == 0 {
+		p.SelectFraction = 1
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &ParticleSwarm{
+		name: name, params: p,
+		Inertia: 0.72, Cognitive: 1.49, Social: 1.49, VMax: 2.0,
+	}, nil
+}
+
+// Name implements Algorithm.
+func (a *ParticleSwarm) Name() string { return a.name }
+
+// Params implements Algorithm.
+func (a *ParticleSwarm) Params() Params { return a.params }
+
+// NewSpotState implements Algorithm.
+func (a *ParticleSwarm) NewSpotState(ctx *SpotContext) SpotState {
+	return &psoState{alg: a, ctx: ctx}
+}
+
+type psoState struct {
+	alg   *ParticleSwarm
+	ctx   *SpotContext
+	pop   Population // current particle positions (scored)
+	vel   []vec.V3
+	pbest Population
+	gbest conformation.Conformation
+}
+
+func (s *psoState) Seed() Population {
+	n := s.alg.params.PopulationPerSpot
+	pop := make(Population, n)
+	for i := range pop {
+		pop[i] = s.ctx.Sampler.Random(s.ctx.RNG)
+	}
+	return pop
+}
+
+func (s *psoState) Begin(pop Population) {
+	s.pop = pop.Clone()
+	s.pbest = pop.Clone()
+	s.vel = make([]vec.V3, len(pop))
+	for i := range s.vel {
+		s.vel[i] = s.ctx.RNG.InSphere(s.alg.VMax / 2)
+	}
+	s.gbest = conformation.Conformation{Score: conformation.Unscored}
+	if i := s.pop.Best(); i >= 0 {
+		s.gbest = s.pop[i]
+	}
+}
+
+func (s *psoState) Propose() Population {
+	r := s.ctx.RNG
+	a := s.alg
+	scom := make(Population, len(s.pop))
+	for i, part := range s.pop {
+		// Velocity update with per-component stochastic weights.
+		v := s.vel[i].Scale(a.Inertia)
+		v = v.Add(s.pbest[i].Translation.Sub(part.Translation).Scale(a.Cognitive * r.Float64()))
+		if s.gbest.Evaluated() {
+			v = v.Add(s.gbest.Translation.Sub(part.Translation).Scale(a.Social * r.Float64()))
+		}
+		if n := v.Norm(); n > a.VMax {
+			v = v.Scale(a.VMax / n)
+		}
+		s.vel[i] = v
+		// Orientation drifts toward the attractors.
+		q := part.Orientation
+		q = q.Slerp(s.pbest[i].Orientation, 0.3*r.Float64())
+		if s.gbest.Evaluated() {
+			q = q.Slerp(s.gbest.Orientation, 0.3*r.Float64())
+		}
+		next := conformation.New(part.Spot, part.Translation.Add(v), q)
+		// Keep particles inside the spot region via a zero-length perturb.
+		next = s.ctx.Sampler.Perturb(r, next, conformation.MoveScale{MaxTranslate: 1e-12, MaxRotate: 1e-12})
+		scom[i] = next
+	}
+	return scom
+}
+
+func (s *psoState) ImproveTargets(scom Population) []int {
+	return improveFraction(scom, s.alg.params.ImproveFraction)
+}
+
+func (s *psoState) Integrate(scom Population) {
+	for i := range scom {
+		if i >= len(s.pop) {
+			break
+		}
+		s.pop[i] = scom[i]
+		s.pbest[i] = bestOf(s.pbest[i], scom[i])
+		s.gbest = bestOf(s.gbest, scom[i])
+	}
+}
+
+func (s *psoState) Population() Population { return s.pop }
+
+func (s *psoState) Done(gen int) bool { return gen >= s.alg.params.Generations }
+
+func (s *psoState) Best() conformation.Conformation { return s.gbest }

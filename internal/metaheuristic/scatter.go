@@ -1,0 +1,115 @@
+package metaheuristic
+
+import "github.com/metascreen/metascreen/internal/conformation"
+
+// ScatterSearch is the evolutionary method behind the paper's M2 and M3: a
+// reference set of the population size, systematic pairwise combination of
+// the best subset, local search ("Improve") on a configurable fraction of
+// the offspring, and reference-set update by quality.
+type ScatterSearch struct {
+	name   string
+	params Params
+	// refSubset is the number of best individuals whose pairs are combined
+	// each generation.
+	refSubset int
+}
+
+// NewScatterSearch returns a scatter-search algorithm with the given
+// parameters.
+func NewScatterSearch(name string, p Params) (*ScatterSearch, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	sub := 10
+	if sub > p.PopulationPerSpot {
+		sub = p.PopulationPerSpot
+	}
+	return &ScatterSearch{name: name, params: p, refSubset: sub}, nil
+}
+
+// Name implements Algorithm.
+func (s *ScatterSearch) Name() string { return s.name }
+
+// Params implements Algorithm.
+func (s *ScatterSearch) Params() Params { return s.params }
+
+// NewSpotState implements Algorithm.
+func (s *ScatterSearch) NewSpotState(ctx *SpotContext) SpotState {
+	return &scatterState{alg: s, ctx: ctx}
+}
+
+type scatterState struct {
+	alg *ScatterSearch
+	ctx *SpotContext
+	pop Population
+	gen int
+}
+
+func (s *scatterState) Seed() Population {
+	n := s.alg.params.PopulationPerSpot
+	pop := make(Population, n)
+	for i := range pop {
+		pop[i] = s.ctx.Sampler.Random(s.ctx.RNG)
+	}
+	return pop
+}
+
+func (s *scatterState) Begin(pop Population) {
+	s.pop = pop.Clone()
+	s.pop.SortByScore()
+}
+
+func (s *scatterState) Propose() Population {
+	r := s.ctx.RNG
+	p := s.alg.params
+	// Select: the reference subset is the best refSubset individuals of
+	// the SelectFraction pool.
+	pool := s.pop.Clone()
+	pool.SortByScore()
+	nsel := int(float64(len(pool))*p.SelectFraction + 0.5)
+	if nsel < 2 {
+		nsel = min(2, len(pool))
+	}
+	pool = pool[:nsel]
+	b := s.alg.refSubset
+	if b > len(pool) {
+		b = len(pool)
+	}
+
+	// Combine: all ordered pairs of the subset, cycled until the offspring
+	// set reaches the population size (scatter search generates solutions
+	// from systematic subset combinations).
+	scom := make(Population, 0, p.PopulationPerSpot)
+	for len(scom) < p.PopulationPerSpot {
+		for i := 0; i < b && len(scom) < p.PopulationPerSpot; i++ {
+			for j := i + 1; j < b && len(scom) < p.PopulationPerSpot; j++ {
+				scom = append(scom, s.ctx.Sampler.Combine(r, pool[i], pool[j]))
+			}
+		}
+		if b < 2 {
+			// Degenerate subset: fall back to random diversification.
+			scom = append(scom, s.ctx.Sampler.Random(r))
+		}
+	}
+	return scom
+}
+
+func (s *scatterState) ImproveTargets(scom Population) []int {
+	return improveFraction(scom, s.alg.params.ImproveFraction)
+}
+
+func (s *scatterState) Integrate(scom Population) {
+	s.pop = elitist(s.pop, scom, s.alg.params.PopulationPerSpot)
+	s.gen++
+}
+
+func (s *scatterState) Population() Population { return s.pop }
+
+func (s *scatterState) Done(gen int) bool { return gen >= s.alg.params.Generations }
+
+func (s *scatterState) Best() conformation.Conformation {
+	if i := s.pop.Best(); i >= 0 {
+		return s.pop[i]
+	}
+	return conformation.Conformation{Score: conformation.Unscored}
+}

@@ -1,0 +1,120 @@
+package metaheuristic
+
+import (
+	"github.com/metascreen/metascreen/internal/conformation"
+	"github.com/metascreen/metascreen/internal/vec"
+)
+
+// TabuSearch is a neighbourhood metaheuristic extension: each walker keeps
+// a short-term memory of recently visited translations and rejects moves
+// that return within tabuRadius of a remembered position, unless the move
+// improves on the best solution found so far (the aspiration criterion).
+type TabuSearch struct {
+	name   string
+	params Params
+	// Tenure is the tabu-list length per walker.
+	Tenure int
+	// TabuRadius is the exclusion radius in angstroms.
+	TabuRadius float64
+}
+
+// NewTabuSearch returns a tabu-search algorithm with the given parameters.
+func NewTabuSearch(name string, p Params) (*TabuSearch, error) {
+	if p.SelectFraction == 0 {
+		p.SelectFraction = 1
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &TabuSearch{name: name, params: p, Tenure: 12, TabuRadius: 0.5}, nil
+}
+
+// Name implements Algorithm.
+func (t *TabuSearch) Name() string { return t.name }
+
+// Params implements Algorithm.
+func (t *TabuSearch) Params() Params { return t.params }
+
+// NewSpotState implements Algorithm.
+func (t *TabuSearch) NewSpotState(ctx *SpotContext) SpotState {
+	return &tabuState{alg: t, ctx: ctx}
+}
+
+type tabuState struct {
+	alg  *TabuSearch
+	ctx  *SpotContext
+	pop  Population
+	tabu [][]vec.V3 // per-walker ring of recent translations
+	best conformation.Conformation
+}
+
+func (s *tabuState) Seed() Population {
+	n := s.alg.params.PopulationPerSpot
+	pop := make(Population, n)
+	for i := range pop {
+		pop[i] = s.ctx.Sampler.Random(s.ctx.RNG)
+	}
+	return pop
+}
+
+func (s *tabuState) Begin(pop Population) {
+	s.pop = pop.Clone()
+	s.tabu = make([][]vec.V3, len(s.pop))
+	s.best = conformation.Conformation{Score: conformation.Unscored}
+	if i := s.pop.Best(); i >= 0 {
+		s.best = s.pop[i]
+	}
+}
+
+func (s *tabuState) Propose() Population {
+	scom := make(Population, len(s.pop))
+	for i, w := range s.pop {
+		scom[i] = s.ctx.Sampler.Perturb(s.ctx.RNG, w, s.alg.params.moveScale())
+	}
+	return scom
+}
+
+func (s *tabuState) ImproveTargets(Population) []int { return nil }
+
+// isTabu reports whether pos is inside the exclusion radius of any
+// remembered position for walker i.
+func (s *tabuState) isTabu(i int, pos vec.V3) bool {
+	r2 := s.alg.TabuRadius * s.alg.TabuRadius
+	for _, p := range s.tabu[i] {
+		if p.Dist2(pos) < r2 {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *tabuState) remember(i int, pos vec.V3) {
+	s.tabu[i] = append(s.tabu[i], pos)
+	if len(s.tabu[i]) > s.alg.Tenure {
+		s.tabu[i] = s.tabu[i][1:]
+	}
+}
+
+// Integrate accepts each walker's move unless it is tabu; aspiration
+// overrides the tabu status for new global bests. Tabu search always moves
+// (even uphill) when the move is admissible — that is its escape mechanism.
+func (s *tabuState) Integrate(scom Population) {
+	for i := range scom {
+		if i >= len(s.pop) {
+			break
+		}
+		cand := scom[i]
+		aspires := cand.Better(s.best)
+		if aspires || !s.isTabu(i, cand.Translation) {
+			s.remember(i, s.pop[i].Translation)
+			s.pop[i] = cand
+		}
+		s.best = bestOf(s.best, cand)
+	}
+}
+
+func (s *tabuState) Population() Population { return s.pop }
+
+func (s *tabuState) Done(gen int) bool { return gen >= s.alg.params.Generations }
+
+func (s *tabuState) Best() conformation.Conformation { return s.best }

@@ -1,0 +1,126 @@
+package metaheuristic
+
+import "github.com/metascreen/metascreen/internal/conformation"
+
+// VariableNeighborhood implements Variable Neighborhood Search (listed in
+// the paper's section 2.2): each walker shakes within its current
+// neighborhood k (a perturbation whose size grows with k), the shaken
+// pose receives local search, and the walker either accepts the result and
+// resets to the smallest neighborhood or escalates to the next one.
+type VariableNeighborhood struct {
+	name   string
+	params Params
+	// KMax is the number of neighborhood sizes.
+	KMax int
+	// BaseScale is neighborhood 1; neighborhood k scales it by k.
+	BaseScale conformation.MoveScale
+}
+
+// NewVariableNeighborhood returns a VNS algorithm with the given
+// parameters. Walkers per spot come from Params.PopulationPerSpot.
+func NewVariableNeighborhood(name string, p Params) (*VariableNeighborhood, error) {
+	if p.SelectFraction == 0 {
+		p.SelectFraction = 1
+	}
+	if p.ImproveFraction == 0 {
+		p.ImproveFraction = 1
+	}
+	if p.ImproveMoves == 0 {
+		p.ImproveMoves = 4
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &VariableNeighborhood{
+		name: name, params: p,
+		KMax:      4,
+		BaseScale: conformation.MoveScale{MaxTranslate: 0.75, MaxRotate: 0.25},
+	}, nil
+}
+
+// Name implements Algorithm.
+func (v *VariableNeighborhood) Name() string { return v.name }
+
+// Params implements Algorithm.
+func (v *VariableNeighborhood) Params() Params { return v.params }
+
+// NewSpotState implements Algorithm.
+func (v *VariableNeighborhood) NewSpotState(ctx *SpotContext) SpotState {
+	return &vnsState{alg: v, ctx: ctx}
+}
+
+type vnsState struct {
+	alg  *VariableNeighborhood
+	ctx  *SpotContext
+	pop  Population // incumbent per walker
+	k    []int      // current neighborhood per walker
+	best conformation.Conformation
+}
+
+func (s *vnsState) Seed() Population {
+	n := s.alg.params.PopulationPerSpot
+	pop := make(Population, n)
+	for i := range pop {
+		pop[i] = s.ctx.Sampler.Random(s.ctx.RNG)
+	}
+	return pop
+}
+
+func (s *vnsState) Begin(pop Population) {
+	s.pop = pop.Clone()
+	s.k = make([]int, len(s.pop))
+	for i := range s.k {
+		s.k[i] = 1
+	}
+	s.best = conformation.Conformation{Score: conformation.Unscored}
+	if i := s.pop.Best(); i >= 0 {
+		s.best = s.pop[i]
+	}
+}
+
+// Propose shakes every walker within its current neighborhood.
+func (s *vnsState) Propose() Population {
+	scom := make(Population, len(s.pop))
+	for i, w := range s.pop {
+		scale := conformation.MoveScale{
+			MaxTranslate: s.alg.BaseScale.MaxTranslate * float64(s.k[i]),
+			MaxRotate:    s.alg.BaseScale.MaxRotate * float64(s.k[i]),
+		}
+		scom[i] = s.ctx.Sampler.Perturb(s.ctx.RNG, w, scale)
+	}
+	return scom
+}
+
+// ImproveTargets: VNS applies local search to every shaken pose.
+func (s *vnsState) ImproveTargets(scom Population) []int {
+	idx := make([]int, len(scom))
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// Integrate applies the VNS move-or-escalate rule per walker.
+func (s *vnsState) Integrate(scom Population) {
+	for i := range scom {
+		if i >= len(s.pop) {
+			break
+		}
+		if scom[i].Better(s.pop[i]) {
+			s.pop[i] = scom[i]
+			s.k[i] = 1
+		} else {
+			s.k[i]++
+			if s.k[i] > s.alg.KMax {
+				s.k[i] = 1
+			}
+		}
+		s.best = bestOf(s.best, scom[i])
+	}
+}
+
+func (s *vnsState) Population() Population { return s.pop }
+
+func (s *vnsState) Done(gen int) bool { return gen >= s.alg.params.Generations }
+
+func (s *vnsState) Best() conformation.Conformation { return s.best }

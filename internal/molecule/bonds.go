@@ -1,0 +1,215 @@
+package molecule
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/metascreen/metascreen/internal/vec"
+)
+
+// Bond is a covalent bond between two atoms, identified by their 0-based
+// indices with I < J.
+type Bond struct {
+	I, J int
+}
+
+// bondTolerance is the slack added to the sum of covalent radii when
+// inferring bonds from geometry.
+const bondTolerance = 0.45
+
+// covalentRadius returns the single-bond covalent radius in angstroms.
+func (e Element) covalentRadius() float64 {
+	switch e {
+	case Hydrogen:
+		return 0.31
+	case Carbon:
+		return 0.76
+	case Nitrogen:
+		return 0.71
+	case Oxygen:
+		return 0.66
+	case Sulfur:
+		return 1.05
+	case Phosphorus:
+		return 1.07
+	}
+	return 0.76
+}
+
+// InferBonds derives covalent bonds from geometry: two atoms are bonded
+// when their distance is below the sum of covalent radii plus tolerance.
+// A cell grid keeps this near O(N). Bonds are returned sorted (I, then J).
+func InferBonds(m *Molecule) []Bond {
+	if m.NumAtoms() < 2 {
+		return nil
+	}
+	// Maximum bond length bounds the search radius.
+	maxR := 0.0
+	for _, a := range m.Atoms {
+		if r := a.Element.covalentRadius(); r > maxR {
+			maxR = r
+		}
+	}
+	search := 2*maxR + bondTolerance
+
+	grid := newCountGrid(m, search)
+	var bonds []Bond
+	for i, a := range m.Atoms {
+		ri := a.Element.covalentRadius()
+		grid.visit(a.Pos, func(j int32) {
+			if int(j) <= i {
+				return
+			}
+			b := m.Atoms[j]
+			limit := ri + b.Element.covalentRadius() + bondTolerance
+			if a.Pos.Dist2(b.Pos) <= limit*limit {
+				bonds = append(bonds, Bond{I: i, J: int(j)})
+			}
+		})
+	}
+	sort.Slice(bonds, func(x, y int) bool {
+		if bonds[x].I != bonds[y].I {
+			return bonds[x].I < bonds[y].I
+		}
+		return bonds[x].J < bonds[y].J
+	})
+	return bonds
+}
+
+// countGrid gains a visitor for bond inference.
+func (g *countGrid) visit(p vec.V3, fn func(i int32)) {
+	ix := clampInt(int((p.X-g.origin.X)/g.cell), 0, g.nx-1)
+	iy := clampInt(int((p.Y-g.origin.Y)/g.cell), 0, g.ny-1)
+	iz := clampInt(int((p.Z-g.origin.Z)/g.cell), 0, g.nz-1)
+	for x := maxInt(ix-1, 0); x <= minInt(ix+1, g.nx-1); x++ {
+		for y := maxInt(iy-1, 0); y <= minInt(iy+1, g.ny-1); y++ {
+			for z := maxInt(iz-1, 0); z <= minInt(iz+1, g.nz-1); z++ {
+				c := (x*g.ny+y)*g.nz + z
+				for k := g.start[c]; k < g.start[c+1]; k++ {
+					fn(g.idx[k])
+				}
+			}
+		}
+	}
+}
+
+// countGrid is reused from surface-style neighbour counting; it lives in
+// this package for bonds so the molecule package stays self-contained.
+type countGrid struct {
+	origin     vec.V3
+	cell       float64
+	nx, ny, nz int
+	start      []int32
+	idx        []int32
+	pos        []vec.V3
+}
+
+func newCountGrid(m *Molecule, cell float64) *countGrid {
+	g := &countGrid{cell: cell, pos: m.Positions()}
+	b := vec.BoundPoints(g.pos)
+	g.origin = b.Lo
+	size := b.Size()
+	g.nx = int(size.X/cell) + 1
+	g.ny = int(size.Y/cell) + 1
+	g.nz = int(size.Z/cell) + 1
+	n := g.nx * g.ny * g.nz
+	counts := make([]int32, n+1)
+	cellOf := make([]int32, len(g.pos))
+	for i, p := range g.pos {
+		c := g.cellIndex(p)
+		cellOf[i] = c
+		counts[c+1]++
+	}
+	for i := 1; i <= n; i++ {
+		counts[i] += counts[i-1]
+	}
+	g.start = counts
+	g.idx = make([]int32, len(g.pos))
+	cursor := make([]int32, n)
+	for i := range g.pos {
+		c := cellOf[i]
+		g.idx[g.start[c]+cursor[c]] = int32(i)
+		cursor[c]++
+	}
+	return g
+}
+
+func (g *countGrid) cellIndex(p vec.V3) int32 {
+	ix := clampInt(int((p.X-g.origin.X)/g.cell), 0, g.nx-1)
+	iy := clampInt(int((p.Y-g.origin.Y)/g.cell), 0, g.ny-1)
+	iz := clampInt(int((p.Z-g.origin.Z)/g.cell), 0, g.nz-1)
+	return int32((ix*g.ny+iy)*g.nz + iz)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Components returns the connected components induced by the bonds, each a
+// sorted list of atom indices, ordered by their smallest member. Atoms
+// with no bonds form singleton components.
+func Components(numAtoms int, bonds []Bond) [][]int {
+	parent := make([]int, numAtoms)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, b := range bonds {
+		ri, rj := find(b.I), find(b.J)
+		if ri != rj {
+			parent[ri] = rj
+		}
+	}
+	groups := map[int][]int{}
+	for i := 0; i < numAtoms; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	out := make([][]int, 0, len(groups))
+	for _, g := range groups {
+		sort.Ints(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}
+
+// ValidateConnectivity checks that the molecule is a single covalent
+// component — the sanity check for ligand inputs, which must be one
+// molecule, not a complex.
+func ValidateConnectivity(m *Molecule) error {
+	if m.NumAtoms() < 2 {
+		return nil
+	}
+	comps := Components(m.NumAtoms(), InferBonds(m))
+	if len(comps) != 1 {
+		return fmt.Errorf("molecule %q has %d disconnected fragments", m.Name, len(comps))
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package molecule
+
+import (
+	"testing"
+
+	"github.com/metascreen/metascreen/internal/vec"
+)
+
+// chain builds n carbons in a line with the given spacing.
+func chain(n int, spacing float64) *Molecule {
+	atoms := make([]Atom, n)
+	for i := range atoms {
+		atoms[i] = Atom{Name: "C", Element: Carbon, Pos: vec.New(float64(i)*spacing, 0, 0)}
+	}
+	return New("chain", atoms)
+}
+
+func TestInferBondsChain(t *testing.T) {
+	m := chain(5, 1.54) // canonical C-C bond length
+	bonds := InferBonds(m)
+	if len(bonds) != 4 {
+		t.Fatalf("%d bonds, want 4: %v", len(bonds), bonds)
+	}
+	for i, b := range bonds {
+		if b.I != i || b.J != i+1 {
+			t.Errorf("bond %d = %+v", i, b)
+		}
+	}
+}
+
+func TestInferBondsNoFalsePositives(t *testing.T) {
+	m := chain(4, 3.0) // far beyond covalent distance
+	if bonds := InferBonds(m); len(bonds) != 0 {
+		t.Errorf("spurious bonds: %v", bonds)
+	}
+}
+
+func TestInferBondsHydrogens(t *testing.T) {
+	// C-H at 1.09 A bonds; H-H at the same positions apart would not
+	// if placed beyond 2*0.31+0.45.
+	m := New("ch", []Atom{
+		{Element: Carbon, Pos: vec.Zero},
+		{Element: Hydrogen, Pos: vec.New(1.09, 0, 0)},
+	})
+	if len(InferBonds(m)) != 1 {
+		t.Error("C-H bond not found")
+	}
+	hh := New("hh", []Atom{
+		{Element: Hydrogen, Pos: vec.Zero},
+		{Element: Hydrogen, Pos: vec.New(1.2, 0, 0)},
+	})
+	if len(InferBonds(hh)) != 0 {
+		t.Error("H-H at 1.2 A should not bond")
+	}
+}
+
+func TestInferBondsTinyMolecules(t *testing.T) {
+	if InferBonds(New("one", []Atom{{Element: Carbon}})) != nil {
+		t.Error("single atom produced bonds")
+	}
+	if InferBonds(&Molecule{Name: "empty"}) != nil {
+		t.Error("empty molecule produced bonds")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	// Two fragments: 0-1-2 and 3-4; atom 5 isolated.
+	bonds := []Bond{{0, 1}, {1, 2}, {3, 4}}
+	comps := Components(6, bonds)
+	if len(comps) != 3 {
+		t.Fatalf("%d components: %v", len(comps), comps)
+	}
+	want := [][]int{{0, 1, 2}, {3, 4}, {5}}
+	for i := range want {
+		if len(comps[i]) != len(want[i]) {
+			t.Errorf("component %d = %v, want %v", i, comps[i], want[i])
+			continue
+		}
+		for j := range want[i] {
+			if comps[i][j] != want[i][j] {
+				t.Errorf("component %d = %v, want %v", i, comps[i], want[i])
+				break
+			}
+		}
+	}
+}
+
+func TestValidateConnectivity(t *testing.T) {
+	if err := ValidateConnectivity(chain(6, 1.54)); err != nil {
+		t.Errorf("connected chain rejected: %v", err)
+	}
+	broken := New("broken", []Atom{
+		{Element: Carbon, Pos: vec.Zero},
+		{Element: Carbon, Pos: vec.New(1.5, 0, 0)},
+		{Element: Carbon, Pos: vec.New(50, 0, 0)},
+	})
+	if err := ValidateConnectivity(broken); err == nil {
+		t.Error("disconnected molecule accepted")
+	}
+	if err := ValidateConnectivity(New("one", []Atom{{Element: Carbon}})); err != nil {
+		t.Error("single atom rejected")
+	}
+}
+
+func TestSyntheticLigandsAreConnected(t *testing.T) {
+	for _, m := range []*Molecule{
+		Synthetic2BSMLigand(),
+		Synthetic2BXGLigand(),
+		SyntheticLigand("x", 50, 77),
+	} {
+		if err := ValidateConnectivity(m); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestSyntheticProteinBackboneBonded(t *testing.T) {
+	// Protein backbones must form one dominant component containing the
+	// vast majority of atoms (side chains attach to it).
+	m := SyntheticProtein("p", 600, 55)
+	comps := Components(m.NumAtoms(), InferBonds(m))
+	largest := 0
+	for _, c := range comps {
+		if len(c) > largest {
+			largest = len(c)
+		}
+	}
+	if largest < m.NumAtoms()*5/10 {
+		t.Errorf("largest component has %d of %d atoms", largest, m.NumAtoms())
+	}
+}

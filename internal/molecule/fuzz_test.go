@@ -1,0 +1,113 @@
+package molecule
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadPDB checks that arbitrary input never panics the PDB parser and
+// that anything it accepts is a valid molecule that survives a write/read
+// round trip.
+func FuzzReadPDB(f *testing.F) {
+	f.Add(samplePDB)
+	f.Add("ATOM      1  N   ALA A   1      11.104   6.134  -6.504  1.00  0.00           N\n")
+	f.Add("HEADER    X\nEND\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ReadPDB(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if m.NumAtoms() == 0 {
+			t.Fatal("accepted a molecule with no atoms")
+		}
+		for _, a := range m.Atoms {
+			if !a.Pos.IsFinite() {
+				// Parsers may admit inf/NaN literals; Validate must
+				// catch them so downstream code can rely on it.
+				if m.Validate() == nil {
+					t.Fatal("Validate passed a non-finite coordinate")
+				}
+				return
+			}
+		}
+		var buf bytes.Buffer
+		if err := WritePDB(&buf, m); err != nil {
+			// The fixed-column PDB format cannot represent every parsed
+			// coordinate; refusing is correct, corrupting output is not.
+			return
+		}
+		if _, err := ReadPDB(&buf); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}
+
+// FuzzReadXYZ checks the XYZ parser never panics and accepted molecules
+// round-trip.
+func FuzzReadXYZ(f *testing.F) {
+	f.Add(sampleXYZ)
+	f.Add("1\n\nC 0 0 0\n")
+	f.Add("2\nname\nC 1 2 3\nO -1 -2 -3\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ReadXYZ(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if m.NumAtoms() == 0 {
+			t.Fatal("accepted an empty molecule")
+		}
+		for _, a := range m.Atoms {
+			if !a.Pos.IsFinite() {
+				return // Validate covers this; round trip of inf loses precision
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteXYZ(&buf, m); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadXYZ(&buf)
+		if err != nil {
+			// Only rejectable if the name contained a newline-ish thing
+			// the writer cannot represent; tolerate.
+			return
+		}
+		if back.NumAtoms() != m.NumAtoms() {
+			t.Fatalf("round trip changed atom count %d -> %d", m.NumAtoms(), back.NumAtoms())
+		}
+	})
+}
+
+// FuzzInferBonds checks bond inference on arbitrary small geometries:
+// never panics, never produces out-of-range indices or duplicates.
+func FuzzInferBonds(f *testing.F) {
+	f.Add(3, int64(42))
+	f.Add(1, int64(7))
+	f.Fuzz(func(t *testing.T, n int, seed int64) {
+		if n < 1 || n > 64 {
+			return
+		}
+		m := SyntheticLigand("fuzz", n, uint64(seed))
+		bonds := InferBonds(m)
+		seen := map[Bond]bool{}
+		for _, b := range bonds {
+			if b.I < 0 || b.J >= n || b.I >= b.J {
+				t.Fatalf("bad bond %+v for %d atoms", b, n)
+			}
+			if seen[b] {
+				t.Fatalf("duplicate bond %+v", b)
+			}
+			seen[b] = true
+		}
+		// Components must partition the atoms.
+		comps := Components(n, bonds)
+		count := 0
+		for _, c := range comps {
+			count += len(c)
+		}
+		if count != n {
+			t.Fatalf("components cover %d of %d atoms", count, n)
+		}
+	})
+}

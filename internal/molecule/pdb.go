@@ -1,0 +1,121 @@
+package molecule
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadPDB parses a subset of the Protein Data Bank format: ATOM and HETATM
+// records supply atoms; TER and END terminate a chain or the file; all other
+// records are ignored. Column positions follow the PDB 3.3 specification.
+// The molecule name is taken from the HEADER record when present.
+func ReadPDB(r io.Reader) (*Molecule, error) {
+	sc := bufio.NewScanner(r)
+	name := "unnamed"
+	var atoms []Atom
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		switch {
+		case strings.HasPrefix(text, "HEADER"):
+			if len(text) > 62 {
+				if id := strings.TrimSpace(text[62:]); id != "" {
+					name = id
+				}
+			}
+		case strings.HasPrefix(text, "ATOM") || strings.HasPrefix(text, "HETATM"):
+			a, err := parseAtomRecord(text)
+			if err != nil {
+				return nil, fmt.Errorf("pdb line %d: %w", line, err)
+			}
+			atoms = append(atoms, a)
+		case strings.HasPrefix(text, "END"):
+			// END or ENDMDL: stop at the first model.
+			if len(atoms) > 0 {
+				return New(name, atoms), nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("pdb: %w", err)
+	}
+	if len(atoms) == 0 {
+		return nil, fmt.Errorf("pdb: no ATOM or HETATM records")
+	}
+	return New(name, atoms), nil
+}
+
+// field extracts columns [lo, hi) (0-based) of a fixed-width record,
+// tolerating short lines.
+func field(s string, lo, hi int) string {
+	if lo >= len(s) {
+		return ""
+	}
+	if hi > len(s) {
+		hi = len(s)
+	}
+	return strings.TrimSpace(s[lo:hi])
+}
+
+func parseAtomRecord(s string) (Atom, error) {
+	var a Atom
+	a.Name = field(s, 12, 16)
+	x, errX := strconv.ParseFloat(field(s, 30, 38), 64)
+	y, errY := strconv.ParseFloat(field(s, 38, 46), 64)
+	z, errZ := strconv.ParseFloat(field(s, 46, 54), 64)
+	if errX != nil || errY != nil || errZ != nil {
+		return a, fmt.Errorf("bad coordinates in %q", s)
+	}
+	a.Pos.X, a.Pos.Y, a.Pos.Z = x, y, z
+	if res := field(s, 22, 26); res != "" {
+		if n, err := strconv.Atoi(res); err == nil {
+			a.Residue = n
+		}
+	}
+	sym := field(s, 76, 78)
+	if sym == "" {
+		// Fall back to the first letter of the atom name, the usual
+		// convention for files lacking the element column.
+		for _, c := range a.Name {
+			if c >= 'A' && c <= 'Z' {
+				sym = string(c)
+				break
+			}
+		}
+	}
+	a.Element, _ = ElementFromSymbol(strings.ToUpper(sym))
+	return a, nil
+}
+
+// WritePDB writes the molecule as minimal ATOM records followed by END.
+// Output round-trips through ReadPDB. Coordinates outside the format's
+// fixed 8-column fields (beyond [-999.999, 9999.999] angstroms) cannot be
+// represented and are rejected.
+func WritePDB(w io.Writer, m *Molecule) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "HEADER    SYNTHETIC STRUCTURE                     01-JAN-16   %s\n", m.Name)
+	for _, a := range m.Atoms {
+		for _, c := range [3]float64{a.Pos.X, a.Pos.Y, a.Pos.Z} {
+			if c < -999.999 || c > 9999.999 || c != c {
+				return fmt.Errorf("pdb: atom %d coordinate %g exceeds the format's fixed columns", a.Serial, c)
+			}
+		}
+		// Columns per the PDB 3.3 ATOM record layout.
+		fmt.Fprintf(bw, "ATOM  %5d %-4s %-3s A%4d    %8.3f%8.3f%8.3f%6.2f%6.2f          %2s\n",
+			a.Serial%100000, truncate(a.Name, 4), "UNK", a.Residue%10000,
+			a.Pos.X, a.Pos.Y, a.Pos.Z, 1.0, 0.0, a.Element.String())
+	}
+	fmt.Fprintln(bw, "END")
+	return bw.Flush()
+}
+
+func truncate(s string, n int) string {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}

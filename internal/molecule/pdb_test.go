@@ -1,0 +1,127 @@
+package molecule
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/metascreen/metascreen/internal/vec"
+)
+
+const samplePDB = `HEADER    HYDROLASE                               01-JAN-16   1ABC
+REMARK this line is ignored
+ATOM      1  N   ALA A   1      11.104   6.134  -6.504  1.00  0.00           N
+ATOM      2  CA  ALA A   1      11.639   6.071  -5.147  1.00  0.00           C
+ATOM      3  C   ALA A   1      12.689   7.153  -4.936  1.00  0.00           C
+HETATM    4  O1  LIG B   2       1.000   2.000   3.000  1.00  0.00           O
+TER
+END
+`
+
+func TestReadPDB(t *testing.T) {
+	m, err := ReadPDB(strings.NewReader(samplePDB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "1ABC" {
+		t.Errorf("name = %q", m.Name)
+	}
+	if m.NumAtoms() != 4 {
+		t.Fatalf("atoms = %d", m.NumAtoms())
+	}
+	a := m.Atoms[1]
+	if a.Name != "CA" || a.Element != Carbon {
+		t.Errorf("atom 2 = %+v", a)
+	}
+	if math.Abs(a.Pos.X-11.639) > 1e-9 || math.Abs(a.Pos.Z+5.147) > 1e-9 {
+		t.Errorf("atom 2 pos = %v", a.Pos)
+	}
+	if a.Residue != 1 {
+		t.Errorf("residue = %d", a.Residue)
+	}
+	if m.Atoms[3].Element != Oxygen {
+		t.Errorf("HETATM element = %v", m.Atoms[3].Element)
+	}
+}
+
+func TestReadPDBNoAtoms(t *testing.T) {
+	if _, err := ReadPDB(strings.NewReader("REMARK nothing\n")); err == nil {
+		t.Error("no error for atom-free file")
+	}
+}
+
+func TestReadPDBBadCoordinates(t *testing.T) {
+	bad := "ATOM      1  N   ALA A   1      xx.xxx   6.134  -6.504  1.00  0.00           N\n"
+	if _, err := ReadPDB(strings.NewReader(bad)); err == nil {
+		t.Error("no error for malformed coordinates")
+	}
+}
+
+func TestReadPDBElementFallback(t *testing.T) {
+	// No element column: element inferred from the atom name.
+	short := "ATOM      1  ND2 ASN A   1      11.104   6.134  -6.504\nEND\n"
+	m, err := ReadPDB(strings.NewReader(short))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Atoms[0].Element != Nitrogen {
+		t.Errorf("fallback element = %v, want N", m.Atoms[0].Element)
+	}
+}
+
+func TestPDBRoundTrip(t *testing.T) {
+	orig := SyntheticLigand("roundtrip", 25, 3)
+	var buf bytes.Buffer
+	if err := WritePDB(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPDB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumAtoms() != orig.NumAtoms() {
+		t.Fatalf("round trip atoms: %d != %d", back.NumAtoms(), orig.NumAtoms())
+	}
+	for i := range orig.Atoms {
+		if !back.Atoms[i].Pos.ApproxEq(orig.Atoms[i].Pos, 0.001) {
+			t.Errorf("atom %d pos %v != %v", i, back.Atoms[i].Pos, orig.Atoms[i].Pos)
+		}
+		if back.Atoms[i].Element != orig.Atoms[i].Element {
+			t.Errorf("atom %d element changed", i)
+		}
+	}
+}
+
+func TestWritePDBRejectsOverflowingCoordinates(t *testing.T) {
+	// Found by FuzzReadPDB: a coordinate of 10000.0 is 9 characters wide
+	// and silently shifted every later column, corrupting the record.
+	m := New("wide", []Atom{
+		{Element: Carbon, Pos: vec.New(10000.0, 0, 0)},
+	})
+	var buf bytes.Buffer
+	if err := WritePDB(&buf, m); err == nil {
+		t.Error("coordinate beyond the PDB fixed columns accepted")
+	}
+	ok := New("edge", []Atom{
+		{Element: Carbon, Pos: vec.New(9999.999, -999.999, 0)},
+	})
+	buf.Reset()
+	if err := WritePDB(&buf, ok); err != nil {
+		t.Errorf("representable edge coordinates rejected: %v", err)
+	}
+	if _, err := ReadPDB(&buf); err != nil {
+		t.Errorf("edge round trip failed: %v", err)
+	}
+}
+
+func TestReadPDBStopsAtEND(t *testing.T) {
+	two := samplePDB + "ATOM      9  CB  ALA A   3      0.0     0.0     0.0                         C\n"
+	m, err := ReadPDB(strings.NewReader(two))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumAtoms() != 4 {
+		t.Errorf("parsed %d atoms, want parsing to stop at END", m.NumAtoms())
+	}
+}

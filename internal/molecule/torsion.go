@@ -1,0 +1,168 @@
+package molecule
+
+import "sort"
+
+// Torsional flexibility. The paper docks rigid ligand poses "for
+// simplicity"; real docking engines (and the comparative study the paper
+// cites, López-Camacho et al. 2015) also search the ligand's rotatable
+// bonds. TorsionSet identifies those bonds and the atom branch each one
+// moves, turning a rigid pose into a pose plus a torsion-angle vector.
+
+// Torsion is one rotatable bond: rotating by an angle spins Moving around
+// the Axis.I -> Axis.J axis.
+type Torsion struct {
+	// Axis is the bond; atoms Axis.I and Axis.J stay fixed.
+	Axis Bond
+	// Moving lists the atom indices on the Axis.J side, sorted. They are
+	// always the smaller side of the bond, so most of the ligand stays
+	// put and the pose center stays meaningful.
+	Moving []int
+}
+
+// TorsionSet is the ligand's torsional topology.
+type TorsionSet struct {
+	// Torsions lists the rotatable bonds in deterministic order.
+	Torsions []Torsion
+}
+
+// Len returns the number of torsional degrees of freedom.
+func (ts *TorsionSet) Len() int {
+	if ts == nil {
+		return 0
+	}
+	return len(ts.Torsions)
+}
+
+// NewTorsionSet infers the rotatable bonds of a molecule: bridge bonds of
+// the covalent graph (rotating a ring bond would break the ring) between
+// heavy atoms, where both sides have at least two atoms (rotating a
+// terminal atom is a no-op for pair potentials with no improper terms).
+func NewTorsionSet(m *Molecule) *TorsionSet {
+	n := m.NumAtoms()
+	bonds := InferBonds(m)
+	adj := make([][]int, n) // adjacency as bond indices
+	for bi, b := range bonds {
+		adj[b.I] = append(adj[b.I], bi)
+		adj[b.J] = append(adj[b.J], bi)
+	}
+
+	bridges := findBridges(n, bonds, adj)
+
+	ts := &TorsionSet{}
+	for _, bi := range bridges {
+		b := bonds[bi]
+		if m.Atoms[b.I].Element == Hydrogen || m.Atoms[b.J].Element == Hydrogen {
+			continue
+		}
+		// The moving side is the component containing J when the bridge
+		// is removed.
+		side := sideOf(n, bonds, adj, bi, b.J)
+		if len(side) < 2 || n-len(side) < 2 {
+			continue // terminal rotation, no conformational effect
+		}
+		// Keep the smaller side moving.
+		axis := b
+		if len(side) > n-len(side) {
+			axis = Bond{I: b.J, J: b.I}
+			side = sideOf(n, bonds, adj, bi, b.I)
+		}
+		sort.Ints(side)
+		ts.Torsions = append(ts.Torsions, Torsion{Axis: axis, Moving: side})
+	}
+	sort.Slice(ts.Torsions, func(a, b int) bool {
+		ta, tb := ts.Torsions[a].Axis, ts.Torsions[b].Axis
+		if ta.I != tb.I {
+			return ta.I < tb.I
+		}
+		return ta.J < tb.J
+	})
+	return ts
+}
+
+// findBridges returns the indices of bridge bonds (Tarjan's algorithm,
+// iterative to avoid deep recursion on long chains).
+func findBridges(n int, bonds []Bond, adj [][]int) []int {
+	disc := make([]int, n)
+	low := make([]int, n)
+	for i := range disc {
+		disc[i] = -1
+	}
+	var bridges []int
+	timer := 0
+
+	type frame struct {
+		node, parentBond, childIdx int
+	}
+	for start := 0; start < n; start++ {
+		if disc[start] != -1 {
+			continue
+		}
+		stack := []frame{{node: start, parentBond: -1}}
+		disc[start], low[start] = timer, timer
+		timer++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.childIdx < len(adj[f.node]) {
+				bi := adj[f.node][f.childIdx]
+				f.childIdx++
+				if bi == f.parentBond {
+					continue
+				}
+				b := bonds[bi]
+				next := b.I
+				if next == f.node {
+					next = b.J
+				}
+				if disc[next] == -1 {
+					disc[next], low[next] = timer, timer
+					timer++
+					stack = append(stack, frame{node: next, parentBond: bi})
+				} else if disc[next] < low[f.node] {
+					low[f.node] = disc[next]
+				}
+			} else {
+				stack = stack[:len(stack)-1]
+				if len(stack) > 0 {
+					p := &stack[len(stack)-1]
+					if low[f.node] < low[p.node] {
+						low[p.node] = low[f.node]
+					}
+					if low[f.node] > disc[p.node] {
+						bridges = append(bridges, f.parentBond)
+					}
+				}
+			}
+		}
+	}
+	sort.Ints(bridges)
+	return bridges
+}
+
+// sideOf returns the atoms reachable from seed without crossing bond
+// `removed`.
+func sideOf(n int, bonds []Bond, adj [][]int, removed, seed int) []int {
+	seen := make([]bool, n)
+	seen[seed] = true
+	stack := []int{seed}
+	var out []int
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, cur)
+		for _, bi := range adj[cur] {
+			if bi == removed {
+				continue
+			}
+			b := bonds[bi]
+			next := b.I
+			if next == cur {
+				next = b.J
+			}
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return out
+}

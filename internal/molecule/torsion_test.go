@@ -1,0 +1,115 @@
+package molecule
+
+import (
+	"testing"
+
+	"github.com/metascreen/metascreen/internal/vec"
+)
+
+func TestTorsionSetChain(t *testing.T) {
+	// A 6-carbon chain has 3 rotatable bonds: 1-2, 2-3, 3-4 (bonds 0-1 and
+	// 4-5 only spin a terminal atom).
+	m := chain(6, 1.54)
+	ts := NewTorsionSet(m)
+	if ts.Len() != 3 {
+		t.Fatalf("%d torsions, want 3: %+v", ts.Len(), ts.Torsions)
+	}
+	for _, tor := range ts.Torsions {
+		if len(tor.Moving) < 2 {
+			t.Errorf("torsion %+v moves fewer than 2 atoms", tor)
+		}
+		// The moving side is the smaller one.
+		if len(tor.Moving) > m.NumAtoms()/2 {
+			t.Errorf("torsion %+v moves the larger side", tor)
+		}
+		// Neither axis endpoint's fixed side leaks into Moving beyond J.
+		for _, idx := range tor.Moving {
+			if idx == tor.Axis.I {
+				t.Errorf("torsion %+v moves its fixed axis atom", tor)
+			}
+		}
+	}
+}
+
+func TestTorsionSetRingHasNoRotatableRingBonds(t *testing.T) {
+	// A 6-ring (cyclohexane-like): no bridges, no torsions.
+	atoms := make([]Atom, 6)
+	for i := range atoms {
+		q := vec.QuatFromAxisAngle(vec.New(0, 0, 1), float64(i)*3.14159265/3)
+		atoms[i] = Atom{Element: Carbon, Pos: q.Rotate(vec.New(1.54, 0, 0))}
+	}
+	m := New("ring", atoms)
+	if bonds := InferBonds(m); len(bonds) != 6 {
+		t.Fatalf("ring has %d bonds, want 6", len(bonds))
+	}
+	if ts := NewTorsionSet(m); ts.Len() != 0 {
+		t.Errorf("ring reports %d rotatable bonds", ts.Len())
+	}
+}
+
+func TestTorsionSetRingWithTail(t *testing.T) {
+	// A ring plus a 3-atom tail: the ring-tail bond and the first tail
+	// bond rotate, giving 2 torsions (the last tail bond is terminal).
+	atoms := make([]Atom, 0, 9)
+	for i := 0; i < 6; i++ {
+		q := vec.QuatFromAxisAngle(vec.New(0, 0, 1), float64(i)*3.14159265/3)
+		atoms = append(atoms, Atom{Element: Carbon, Pos: q.Rotate(vec.New(1.54, 0, 0))})
+	}
+	base := atoms[0].Pos
+	for i := 1; i <= 3; i++ {
+		atoms = append(atoms, Atom{Element: Carbon, Pos: base.Add(vec.New(float64(i)*1.54, 0, 0))})
+	}
+	m := New("ring-tail", atoms)
+	ts := NewTorsionSet(m)
+	if ts.Len() != 2 {
+		t.Errorf("%d torsions, want 2: %+v", ts.Len(), ts.Torsions)
+	}
+}
+
+func TestTorsionSetSkipsHydrogenBonds(t *testing.T) {
+	// C-C-H-? : bonds to hydrogens never rotate.
+	m := New("ch", []Atom{
+		{Element: Carbon, Pos: vec.Zero},
+		{Element: Carbon, Pos: vec.New(1.54, 0, 0)},
+		{Element: Carbon, Pos: vec.New(3.08, 0, 0)},
+		{Element: Hydrogen, Pos: vec.New(3.08, 1.09, 0)},
+		{Element: Carbon, Pos: vec.New(4.62, 0, 0)},
+	})
+	ts := NewTorsionSet(m)
+	for _, tor := range ts.Torsions {
+		if m.Atoms[tor.Axis.I].Element == Hydrogen || m.Atoms[tor.Axis.J].Element == Hydrogen {
+			t.Errorf("hydrogen bond marked rotatable: %+v", tor)
+		}
+	}
+}
+
+func TestTorsionSetNilAndEmpty(t *testing.T) {
+	var nilTS *TorsionSet
+	if nilTS.Len() != 0 {
+		t.Error("nil torsion set has nonzero length")
+	}
+	one := New("one", []Atom{{Element: Carbon}})
+	if NewTorsionSet(one).Len() != 0 {
+		t.Error("single atom has torsions")
+	}
+}
+
+func TestSyntheticLigandHasTorsions(t *testing.T) {
+	// Branched synthetic ligands are acyclic chains: plenty of rotatable
+	// bonds.
+	lig := Synthetic2BSMLigand()
+	ts := NewTorsionSet(lig)
+	if ts.Len() < 5 {
+		t.Errorf("45-atom ligand has only %d rotatable bonds", ts.Len())
+	}
+	// Deterministic.
+	ts2 := NewTorsionSet(lig)
+	if ts.Len() != ts2.Len() {
+		t.Error("torsion detection not deterministic")
+	}
+	for i := range ts.Torsions {
+		if ts.Torsions[i].Axis != ts2.Torsions[i].Axis {
+			t.Error("torsion order not deterministic")
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package molecule
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadXYZ parses the XYZ chemical file format: an atom count line, a
+// comment line (used as the molecule name when non-empty), then one
+// "symbol x y z" line per atom.
+func ReadXYZ(r io.Reader) (*Molecule, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("xyz: missing atom count line")
+	}
+	count, err := strconv.Atoi(strings.TrimSpace(sc.Text()))
+	if err != nil || count <= 0 {
+		return nil, fmt.Errorf("xyz: bad atom count %q", sc.Text())
+	}
+	name := "unnamed"
+	if sc.Scan() {
+		if c := strings.TrimSpace(sc.Text()); c != "" {
+			name = c
+		}
+	} else {
+		return nil, fmt.Errorf("xyz: missing comment line")
+	}
+	atoms := make([]Atom, 0, count)
+	for i := 0; i < count; i++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("xyz: expected %d atoms, got %d", count, i)
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("xyz: line %d has %d fields, want 4", i+3, len(fields))
+		}
+		x, errX := strconv.ParseFloat(fields[1], 64)
+		y, errY := strconv.ParseFloat(fields[2], 64)
+		z, errZ := strconv.ParseFloat(fields[3], 64)
+		if errX != nil || errY != nil || errZ != nil {
+			return nil, fmt.Errorf("xyz: bad coordinates on line %d", i+3)
+		}
+		el, _ := ElementFromSymbol(strings.ToUpper(fields[0]))
+		atoms = append(atoms, Atom{
+			Name:    fields[0],
+			Element: el,
+		})
+		atoms[len(atoms)-1].Pos.X = x
+		atoms[len(atoms)-1].Pos.Y = y
+		atoms[len(atoms)-1].Pos.Z = z
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("xyz: %w", err)
+	}
+	return New(name, atoms), nil
+}
+
+// WriteXYZ writes the molecule in XYZ format; output round-trips through
+// ReadXYZ.
+func WriteXYZ(w io.Writer, m *Molecule) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d\n%s\n", m.NumAtoms(), m.Name)
+	for _, a := range m.Atoms {
+		fmt.Fprintf(bw, "%-2s %12.6f %12.6f %12.6f\n",
+			a.Element.String(), a.Pos.X, a.Pos.Y, a.Pos.Z)
+	}
+	return bw.Flush()
+}

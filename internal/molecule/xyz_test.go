@@ -1,0 +1,70 @@
+package molecule
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleXYZ = `3
+water-ish
+O   0.000000   0.000000   0.117300
+H   0.000000   0.757200  -0.469200
+H   0.000000  -0.757200  -0.469200
+`
+
+func TestReadXYZ(t *testing.T) {
+	m, err := ReadXYZ(strings.NewReader(sampleXYZ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "water-ish" || m.NumAtoms() != 3 {
+		t.Fatalf("parsed %s with %d atoms", m.Name, m.NumAtoms())
+	}
+	if m.Atoms[0].Element != Oxygen || m.Atoms[1].Element != Hydrogen {
+		t.Error("elements wrong")
+	}
+	if m.Atoms[1].Pos.Y != 0.7572 {
+		t.Errorf("coordinate = %v", m.Atoms[1].Pos.Y)
+	}
+}
+
+func TestReadXYZErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"abc\ncomment\n",
+		"0\ncomment\n",
+		"2\ncomment\nC 0 0 0\n", // truncated
+		"1\ncomment\nC 0 0\n",   // short line
+		"1\ncomment\nC x 0 0\n", // bad number
+		"1",                     // missing comment
+	}
+	for i, s := range bad {
+		if _, err := ReadXYZ(strings.NewReader(s)); err == nil {
+			t.Errorf("bad input %d accepted", i)
+		}
+	}
+}
+
+func TestXYZRoundTrip(t *testing.T) {
+	orig := SyntheticLigand("roundtrip", 17, 4)
+	var buf bytes.Buffer
+	if err := WriteXYZ(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadXYZ(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumAtoms() != orig.NumAtoms() || back.Name != orig.Name {
+		t.Fatalf("round trip: %s/%d vs %s/%d", back.Name, back.NumAtoms(), orig.Name, orig.NumAtoms())
+	}
+	for i := range orig.Atoms {
+		if !back.Atoms[i].Pos.ApproxEq(orig.Atoms[i].Pos, 1e-6) {
+			t.Errorf("atom %d moved", i)
+		}
+		if back.Atoms[i].Element != orig.Atoms[i].Element {
+			t.Errorf("atom %d element changed", i)
+		}
+	}
+}

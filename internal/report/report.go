@@ -1,0 +1,194 @@
+// Package report serializes metascreen results — regenerated paper tables
+// and library-screening rankings — as CSV and JSON for downstream
+// analysis, alongside the human-readable text the tables package renders.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"github.com/metascreen/metascreen/internal/core"
+	"github.com/metascreen/metascreen/internal/tables"
+)
+
+// TableCSV writes one regenerated table as CSV with a header row. NaN
+// cells (columns the paper's table lacks) are empty.
+func TableCSV(w io.Writer, t *tables.Table) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"table", "machine", "dataset", "metaheuristic",
+		"openmp_s", "homogeneous_system_s",
+		"het_homog_computation_s", "het_het_computation_s",
+		"speedup_het", "speedup_openmp",
+		"energy_openmp_j", "energy_het_j",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string {
+		if math.IsNaN(v) {
+			return ""
+		}
+		return strconv.FormatFloat(v, 'g', 8, 64)
+	}
+	for _, r := range t.Rows {
+		rec := []string{
+			strconv.Itoa(t.Number), t.Machine.Name, t.Dataset, r.Metaheuristic,
+			f(r.OpenMP), f(r.HomogeneousSystem),
+			f(r.HetHomogComputation), f(r.HetHetComputation),
+			f(r.SpeedupHetVsHomog()), f(r.SpeedupOpenMPVsHet()),
+			f(r.EnergyOpenMP), f(r.EnergyHetHet),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// tableJSON is the JSON shape of a regenerated table.
+type tableJSON struct {
+	Table   int            `json:"table"`
+	Machine string         `json:"machine"`
+	Dataset string         `json:"dataset"`
+	Rows    []tableRowJSON `json:"rows"`
+}
+
+type tableRowJSON struct {
+	Metaheuristic       string   `json:"metaheuristic"`
+	OpenMP              float64  `json:"openmp_s"`
+	HomogeneousSystem   *float64 `json:"homogeneous_system_s,omitempty"`
+	HetHomogComputation float64  `json:"het_homog_computation_s"`
+	HetHetComputation   float64  `json:"het_het_computation_s"`
+	SpeedupHet          float64  `json:"speedup_het"`
+	SpeedupOpenMP       float64  `json:"speedup_openmp"`
+	EnergyOpenMP        float64  `json:"energy_openmp_j"`
+	EnergyHet           float64  `json:"energy_het_j"`
+}
+
+// TableJSON writes one regenerated table as indented JSON.
+func TableJSON(w io.Writer, t *tables.Table) error {
+	out := tableJSON{Table: t.Number, Machine: t.Machine.Name, Dataset: t.Dataset}
+	for _, r := range t.Rows {
+		row := tableRowJSON{
+			Metaheuristic:       r.Metaheuristic,
+			OpenMP:              r.OpenMP,
+			HetHomogComputation: r.HetHomogComputation,
+			HetHetComputation:   r.HetHetComputation,
+			SpeedupHet:          r.SpeedupHetVsHomog(),
+			SpeedupOpenMP:       r.SpeedupOpenMPVsHet(),
+			EnergyOpenMP:        r.EnergyOpenMP,
+			EnergyHet:           r.EnergyHetHet,
+		}
+		if !math.IsNaN(r.HomogeneousSystem) {
+			v := r.HomogeneousSystem
+			row.HomogeneousSystem = &v
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ScreenCSV writes a library-screening ranking as CSV.
+func ScreenCSV(w io.Writer, s *core.ScreenResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"rank", "ligand", "atoms", "best_kcal_mol", "spot", "evaluations"}); err != nil {
+		return err
+	}
+	for i, e := range s.Ranking {
+		rec := []string{
+			strconv.Itoa(i + 1),
+			e.Ligand.Name,
+			strconv.Itoa(e.Ligand.NumAtoms()),
+			strconv.FormatFloat(e.Result.Best.Score, 'g', 8, 64),
+			strconv.Itoa(e.Result.Best.Spot),
+			strconv.FormatInt(e.Result.Evaluations, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// HistoryCSV writes a run's convergence history (generation, simulated
+// time, best score) as CSV for plotting quality-vs-time curves.
+func HistoryCSV(w io.Writer, res *core.Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"generation", "sim_seconds", "best_kcal_mol"}); err != nil {
+		return err
+	}
+	for _, pt := range res.History {
+		rec := []string{
+			strconv.Itoa(pt.Generation),
+			strconv.FormatFloat(pt.SimSeconds, 'g', 8, 64),
+			strconv.FormatFloat(pt.Best, 'g', 8, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Sparkline renders a score series as a one-line ASCII curve (lower is
+// better, so deeper glyphs mean better scores), for quick terminal
+// inspection of convergence.
+func Sparkline(scores []float64, width int) string {
+	if len(scores) == 0 || width < 1 {
+		return ""
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := scores[0], scores[0]
+	for _, s := range scores {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	out := make([]rune, width)
+	for i := 0; i < width; i++ {
+		s := scores[i*len(scores)/width]
+		frac := 0.0
+		if hi > lo {
+			frac = (hi - s) / (hi - lo) // lower score -> taller bar
+		}
+		gi := int(frac * float64(len(glyphs)-1))
+		out[i] = glyphs[gi]
+	}
+	return string(out)
+}
+
+// Format names an output format.
+type Format string
+
+// Supported formats.
+const (
+	FormatText Format = "text"
+	FormatCSV  Format = "csv"
+	FormatJSON Format = "json"
+)
+
+// WriteTable renders a table in the requested format.
+func WriteTable(w io.Writer, t *tables.Table, f Format) error {
+	switch f {
+	case FormatText, "":
+		return t.Write(w)
+	case FormatCSV:
+		return TableCSV(w, t)
+	case FormatJSON:
+		return TableJSON(w, t)
+	}
+	return fmt.Errorf("report: unknown format %q (want text, csv or json)", f)
+}

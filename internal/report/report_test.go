@@ -1,0 +1,182 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/metascreen/metascreen/internal/core"
+	"github.com/metascreen/metascreen/internal/forcefield"
+	"github.com/metascreen/metascreen/internal/metaheuristic"
+	"github.com/metascreen/metascreen/internal/molecule"
+	"github.com/metascreen/metascreen/internal/surface"
+	"github.com/metascreen/metascreen/internal/tables"
+)
+
+func sampleTable() *tables.Table {
+	return &tables.Table{
+		Number:  8,
+		Machine: tables.Hertz(),
+		Dataset: "2BSM",
+		Rows: []tables.Row{
+			{
+				Metaheuristic: "M1", OpenMP: 100,
+				HomogeneousSystem:   math.NaN(),
+				HetHomogComputation: 4, HetHetComputation: 2.5,
+				EnergyOpenMP: 5000, EnergyHetHet: 700,
+			},
+			{
+				Metaheuristic: "M2", OpenMP: 200,
+				HomogeneousSystem:   math.NaN(),
+				HetHomogComputation: 8, HetHetComputation: 6,
+				EnergyOpenMP: 9000, EnergyHetHet: 1500,
+			},
+		},
+	}
+}
+
+func TestTableCSVRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := TableCSV(&buf, sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("%d records", len(records))
+	}
+	if records[0][0] != "table" {
+		t.Error("missing header")
+	}
+	if records[1][3] != "M1" || records[1][4] != "100" {
+		t.Errorf("M1 row = %v", records[1])
+	}
+	// NaN column is empty.
+	if records[1][5] != "" {
+		t.Errorf("NaN cell rendered as %q", records[1][5])
+	}
+	if records[1][8] != "1.6" { // 4 / 2.5
+		t.Errorf("speedup cell = %q", records[1][8])
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := TableJSON(&buf, sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Table int `json:"table"`
+		Rows  []map[string]any
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded.Table != 8 || len(decoded.Rows) != 2 {
+		t.Errorf("decoded %+v", decoded)
+	}
+	// NaN column omitted entirely (JSON cannot hold NaN).
+	if _, present := decoded.Rows[0]["homogeneous_system_s"]; present {
+		t.Error("NaN column serialized")
+	}
+}
+
+func TestWriteTableFormats(t *testing.T) {
+	for _, f := range []Format{FormatText, FormatCSV, FormatJSON, ""} {
+		var buf bytes.Buffer
+		if err := WriteTable(&buf, sampleTable(), f); err != nil {
+			t.Errorf("format %q: %v", f, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("format %q produced nothing", f)
+		}
+	}
+	if err := WriteTable(&bytes.Buffer{}, sampleTable(), "yaml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestHistoryCSV(t *testing.T) {
+	res := &core.Result{History: []core.GenPoint{
+		{Generation: 1, SimSeconds: 0.1, Best: -3},
+		{Generation: 2, SimSeconds: 0.2, Best: -5},
+	}}
+	var buf bytes.Buffer
+	if err := HistoryCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("%d records", len(records))
+	}
+	if records[2][0] != "2" || records[2][2] != "-5" {
+		t.Errorf("row = %v", records[2])
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil, 10) != "" {
+		t.Error("empty input produced output")
+	}
+	if Sparkline([]float64{1}, 0) != "" {
+		t.Error("zero width produced output")
+	}
+	s := Sparkline([]float64{0, -1, -2, -3}, 4)
+	runes := []rune(s)
+	if len(runes) != 4 {
+		t.Fatalf("width = %d", len(runes))
+	}
+	// Scores decrease (improve), so the bars must not descend.
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Errorf("sparkline descends: %s", s)
+		}
+	}
+	// Flat series renders without panic.
+	if got := Sparkline([]float64{2, 2, 2}, 3); len([]rune(got)) != 3 {
+		t.Errorf("flat sparkline = %q", got)
+	}
+}
+
+func TestScreenCSV(t *testing.T) {
+	rec := molecule.SyntheticProtein("rec", 400, 21)
+	library := []*molecule.Molecule{
+		molecule.SyntheticLigand("lig-a", 8, 1),
+		molecule.SyntheticLigand("lig-b", 12, 2),
+	}
+	algf := func() (metaheuristic.Algorithm, error) {
+		return metaheuristic.NewScatterSearch("ss", metaheuristic.Params{
+			PopulationPerSpot: 8, SelectFraction: 1, Generations: 2,
+		})
+	}
+	res, err := core.Screen(rec, library, surface.Options{MaxSpots: 2}, forcefield.Options{},
+		algf, core.HostBackendFactory(core.HostConfig{Real: true}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ScreenCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("%d records", len(records))
+	}
+	if records[1][0] != "1" || records[2][0] != "2" {
+		t.Error("ranks wrong")
+	}
+	if !strings.HasPrefix(records[1][1], "lig-") {
+		t.Errorf("ligand name = %q", records[1][1])
+	}
+}

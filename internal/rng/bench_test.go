@@ -1,0 +1,45 @@
+package rng
+
+import "testing"
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Uint64()
+	}
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Float64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Intn(1000)
+	}
+}
+
+func BenchmarkSplit(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Split(uint64(i))
+	}
+}
+
+func BenchmarkUnitVector(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.UnitVector()
+	}
+}
+
+func BenchmarkQuat(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Quat()
+	}
+}

@@ -1,0 +1,151 @@
+// Package rng implements a deterministic, splittable pseudo-random number
+// generator used by all stochastic components of metascreen.
+//
+// The paper's metaheuristics run as independent stochastic executions on
+// different devices; reproducing a run bit-for-bit therefore requires that
+// every parallel execution derives its own stream from a single seed in a
+// way that is independent of scheduling order. Source implements
+// xoshiro256**, seeded through SplitMix64, and Split derives statistically
+// independent child streams from named lanes.
+package rng
+
+import "math"
+
+// Source is a xoshiro256** pseudo-random number generator. It is NOT safe
+// for concurrent use; give each goroutine its own Source via Split.
+type Source struct {
+	s [4]uint64
+}
+
+// splitMix64 advances x and returns a well-mixed 64-bit value. It is the
+// recommended seeding procedure for xoshiro generators.
+func splitMix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from seed. Two sources with the same seed
+// produce identical streams.
+func New(seed uint64) *Source {
+	var s Source
+	x := seed
+	for i := range s.s {
+		s.s[i] = splitMix64(&x)
+	}
+	// xoshiro requires a nonzero state; splitMix64 of any seed makes an
+	// all-zero state astronomically unlikely, but guard anyway.
+	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
+		s.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &s
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next value in the stream.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Split derives an independent child stream identified by lane. Splitting
+// does not advance the parent stream, so the set of children is a pure
+// function of (parent state, lane): parallel executions can derive their
+// streams in any order and still reproduce the same run.
+func (r *Source) Split(lane uint64) *Source {
+	var c Source
+	x := r.s[0] ^ rotl(r.s[2], 29) ^ (lane * 0xd2b74407b1ce6e93)
+	for i := range c.s {
+		c.s[i] = splitMix64(&x)
+	}
+	if c.s[0]|c.s[1]|c.s[2]|c.s[3] == 0 {
+		c.s[0] = 1
+	}
+	return &c
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method, unbiased.
+	un := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, un)
+		if lo >= un || lo >= -un%un {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	lo = a * b
+	hi = a1*b1 + t>>32 + (t&mask+a0*b1)>>32
+	return
+}
+
+// Range returns a uniform value in [lo, hi).
+func (r *Source) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// NormFloat64 returns a standard normal deviate using the polar
+// (Marsaglia) method.
+func (r *Source) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle randomizes the order of n elements using the provided swap
+// function, Fisher-Yates style.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Bool returns true with probability p.
+func (r *Source) Bool(p float64) bool { return r.Float64() < p }

@@ -1,0 +1,68 @@
+package rng
+
+import (
+	"math"
+
+	"github.com/metascreen/metascreen/internal/vec"
+)
+
+// UnitVector returns a vector uniformly distributed on the unit sphere.
+func (r *Source) UnitVector() vec.V3 {
+	// Marsaglia (1972): uniform on the sphere without trig in the common path.
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 {
+			continue
+		}
+		f := 2 * math.Sqrt(1-s)
+		return vec.V3{X: u * f, Y: v * f, Z: 1 - 2*s}
+	}
+}
+
+// InSphere returns a point uniformly distributed inside the sphere of the
+// given radius centered at the origin.
+func (r *Source) InSphere(radius float64) vec.V3 {
+	// Rejection from the bounding cube: acceptance ratio pi/6.
+	for {
+		p := vec.V3{
+			X: r.Range(-1, 1),
+			Y: r.Range(-1, 1),
+			Z: r.Range(-1, 1),
+		}
+		if p.Norm2() <= 1 {
+			return p.Scale(radius)
+		}
+	}
+}
+
+// InBox returns a point uniformly distributed inside the box.
+func (r *Source) InBox(b vec.AABB) vec.V3 {
+	if b.Empty() {
+		return vec.Zero
+	}
+	return vec.V3{
+		X: r.Range(b.Lo.X, b.Hi.X),
+		Y: r.Range(b.Lo.Y, b.Hi.Y),
+		Z: r.Range(b.Lo.Z, b.Hi.Z),
+	}
+}
+
+// Quat returns a rotation uniformly distributed over SO(3) (Shoemake's
+// subgroup algorithm).
+func (r *Source) Quat() vec.Quat {
+	u1, u2, u3 := r.Float64(), r.Float64(), r.Float64()
+	a := math.Sqrt(1 - u1)
+	b := math.Sqrt(u1)
+	s2, c2 := math.Sincos(2 * math.Pi * u2)
+	s3, c3 := math.Sincos(2 * math.Pi * u3)
+	return vec.Quat{W: a * s2, X: a * c2, Y: b * s3, Z: b * c3}
+}
+
+// SmallQuat returns a rotation by an angle uniform in [0, maxAngle] radians
+// about a uniformly random axis. It is the perturbation move used by the
+// Improve (local search) phase.
+func (r *Source) SmallQuat(maxAngle float64) vec.Quat {
+	return vec.QuatFromAxisAngle(r.UnitVector(), r.Float64()*maxAngle)
+}

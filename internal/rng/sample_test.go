@@ -1,0 +1,95 @@
+package rng
+
+import (
+	"math"
+	"testing"
+
+	"github.com/metascreen/metascreen/internal/vec"
+)
+
+func TestUnitVectorNorm(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 1000; i++ {
+		v := r.UnitVector()
+		if math.Abs(v.Norm()-1) > 1e-9 {
+			t.Fatalf("norm = %v", v.Norm())
+		}
+	}
+}
+
+func TestUnitVectorIsotropy(t *testing.T) {
+	r := New(2)
+	var mean vec.V3
+	const n = 50000
+	for i := 0; i < n; i++ {
+		mean = mean.Add(r.UnitVector())
+	}
+	mean = mean.Scale(1.0 / n)
+	if mean.Norm() > 0.02 {
+		t.Errorf("mean direction = %v, want ~0", mean)
+	}
+}
+
+func TestInSphereRadius(t *testing.T) {
+	r := New(3)
+	inside60 := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		p := r.InSphere(2)
+		if p.Norm() > 2+1e-12 {
+			t.Fatalf("point outside sphere: %v", p)
+		}
+		// For a uniform ball, P(|p| < 0.843*R) ~ 0.6.
+		if p.Norm() < 2*0.8434 {
+			inside60++
+		}
+	}
+	frac := float64(inside60) / n
+	if math.Abs(frac-0.6) > 0.02 {
+		t.Errorf("radial CDF check: frac = %v, want ~0.6 (non-uniform ball?)", frac)
+	}
+}
+
+func TestInBox(t *testing.T) {
+	r := New(4)
+	b := vec.NewAABB(vec.New(-1, 0, 2), vec.New(1, 5, 3))
+	for i := 0; i < 1000; i++ {
+		if p := r.InBox(b); !b.Contains(p) {
+			t.Fatalf("point outside box: %v", p)
+		}
+	}
+	var empty vec.AABB
+	if r.InBox(empty) != vec.Zero {
+		t.Error("InBox(empty) != zero")
+	}
+}
+
+func TestQuatUnitAndUniform(t *testing.T) {
+	r := New(5)
+	var meanAngle float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		q := r.Quat()
+		if math.Abs(q.Norm()-1) > 1e-9 {
+			t.Fatalf("quat norm = %v", q.Norm())
+		}
+		meanAngle += q.AngleTo(vec.IdentityQuat)
+	}
+	meanAngle /= n
+	// For uniform SO(3), E[angle] = pi/2 + 2/pi.
+	want := math.Pi/2 + 2/math.Pi
+	if math.Abs(meanAngle-want) > 0.02 {
+		t.Errorf("mean rotation angle = %v, want ~%v", meanAngle, want)
+	}
+}
+
+func TestSmallQuatBounded(t *testing.T) {
+	r := New(6)
+	const maxAngle = 0.3
+	for i := 0; i < 1000; i++ {
+		q := r.SmallQuat(maxAngle)
+		if a := q.AngleTo(vec.IdentityQuat); a > maxAngle+1e-9 {
+			t.Fatalf("angle = %v > max %v", a, maxAngle)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package sched
+
+import (
+	"fmt"
+
+	"github.com/metascreen/metascreen/internal/cudasim"
+)
+
+// Batch describes one generation's device work: a prototype launch whose
+// Conformations field the executor replaces with each device's share, plus
+// the per-conformation transfer size.
+type Batch struct {
+	// Proto is the kernel launch prototype (Kind, PairsPerConformation,
+	// EvalsPerConformation, WarpsPerBlock).
+	Proto cudasim.ScoringLaunch
+	// BytesPerConformation is the host-device traffic per individual
+	// (pose down, score back).
+	BytesPerConformation int
+}
+
+// RunStatic executes one barrier-synchronized generation with a fixed
+// assignment: device i receives assign[i] conformations, all devices start
+// together at the pool's current barrier time, and the generation completes
+// when the last device finishes (the paper: "the slowest GPU will determine
+// the overall execution time"). It returns the simulated barrier completion
+// time.
+func (p *Pool) RunStatic(assign []int, b Batch) float64 {
+	if len(assign) != p.Size() {
+		panic(fmt.Sprintf("sched: assignment for %d devices, pool has %d", len(assign), p.Size()))
+	}
+	// Barrier start: no device may begin before all are free.
+	start := 0.0
+	for _, d := range p.ctx.Devices() {
+		if c := d.StreamClock(cudasim.DefaultStream); c > start {
+			start = c
+		}
+	}
+	end := start
+	p.team.ForThread(func(tid int) {
+		if tid >= len(assign) || assign[tid] <= 0 {
+			return
+		}
+		dev := p.ctx.Device(tid)
+		dev.Idle(cudasim.DefaultStream, start)
+		l := b.Proto
+		l.Conformations = assign[tid]
+		p.record(dev.CopyToDevice(cudasim.DefaultStream, assign[tid]*b.BytesPerConformation), "")
+		p.record(dev.Launch(cudasim.DefaultStream, l), "")
+		// One float64 score per conformation comes back.
+		p.record(dev.CopyToHost(cudasim.DefaultStream, assign[tid]*8), "")
+	})
+	for _, d := range p.ctx.Devices() {
+		if c := d.StreamClock(cudasim.DefaultStream); c > end {
+			end = c
+		}
+	}
+	// Close the barrier: every device waits for the slowest.
+	for _, d := range p.ctx.Devices() {
+		d.Idle(cudasim.DefaultStream, end)
+	}
+	return end
+}
+
+// RunDynamic executes one generation of total conformations by cooperative
+// self-scheduling: work is cut into chunks of chunkSize conformations and
+// each chunk goes to the device that becomes free first (greedy
+// earliest-finish assignment, the discrete-event equivalent of a shared
+// work queue). Returns the simulated barrier completion time.
+func (p *Pool) RunDynamic(total, chunkSize int, b Batch) float64 {
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	start := 0.0
+	for _, d := range p.ctx.Devices() {
+		if c := d.StreamClock(cudasim.DefaultStream); c > start {
+			start = c
+		}
+	}
+	for _, d := range p.ctx.Devices() {
+		d.Idle(cudasim.DefaultStream, start)
+	}
+	remaining := total
+	for remaining > 0 {
+		n := chunkSize
+		if n > remaining {
+			n = remaining
+		}
+		remaining -= n
+		// Pick the device that is free earliest.
+		devs := p.ctx.Devices()
+		best := 0
+		for i, d := range devs {
+			if d.StreamClock(cudasim.DefaultStream) < devs[best].StreamClock(cudasim.DefaultStream) {
+				best = i
+			}
+		}
+		dev := devs[best]
+		l := b.Proto
+		l.Conformations = n
+		p.record(dev.CopyToDevice(cudasim.DefaultStream, n*b.BytesPerConformation), "")
+		p.record(dev.Launch(cudasim.DefaultStream, l), "")
+		p.record(dev.CopyToHost(cudasim.DefaultStream, n*8), "")
+	}
+	end := start
+	for _, d := range p.ctx.Devices() {
+		if c := d.StreamClock(cudasim.DefaultStream); c > end {
+			end = c
+		}
+	}
+	for _, d := range p.ctx.Devices() {
+		d.Idle(cudasim.DefaultStream, end)
+	}
+	return end
+}
+
+// Now returns the pool's barrier time: the latest default-stream clock
+// across devices.
+func (p *Pool) Now() float64 {
+	t := 0.0
+	for _, d := range p.ctx.Devices() {
+		if c := d.StreamClock(cudasim.DefaultStream); c > t {
+			t = c
+		}
+	}
+	return t
+}
+
+// Assign computes the per-device conformation counts for a generation of
+// total individuals under the given mode. For Heterogeneous mode the
+// warm-up weights are used; Homogeneous ignores them. gran rounds
+// assignments to whole blocks (pass 1 for warp granularity). Dynamic mode
+// has no static assignment; Assign panics for it.
+func Assign(mode Mode, total int, devices int, weights []float64, gran int) []int {
+	switch mode {
+	case Homogeneous:
+		return RoundToGranularity(SplitEqual(total, devices), gran)
+	case Heterogeneous:
+		return RoundToGranularity(SplitProportional(total, weights), gran)
+	}
+	panic(fmt.Sprintf("sched: Assign called with mode %v", mode))
+}

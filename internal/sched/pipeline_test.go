@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"github.com/metascreen/metascreen/internal/cudasim"
+)
+
+// heavyBatch has large per-conformation transfers, the regime pipelining
+// targets.
+func heavyBatch() Batch {
+	return Batch{
+		Proto: cudasim.ScoringLaunch{
+			Kind:                 cudasim.KernelScoring,
+			PairsPerConformation: 20000,
+		},
+		BytesPerConformation: 64 * 1024,
+	}
+}
+
+func TestPipelinedHidesTransfers(t *testing.T) {
+	assign := []int{1024, 1024}
+
+	plain := hertzPool(t)
+	tPlain := plain.RunStatic(assign, heavyBatch())
+
+	piped := hertzPool(t)
+	tPiped := piped.RunStaticPipelined(assign, heavyBatch(), 8)
+
+	if tPiped >= tPlain {
+		t.Errorf("pipelined (%v) not faster than sequential (%v) on transfer-heavy batch",
+			tPiped, tPlain)
+	}
+	// The gain is bounded by the transfer time itself.
+	if tPiped < tPlain/3 {
+		t.Errorf("pipelined gain implausibly large: %v vs %v", tPiped, tPlain)
+	}
+}
+
+func TestPipelinedDepthOneMatchesStatic(t *testing.T) {
+	assign := []int{512, 512}
+	a := hertzPool(t)
+	tA := a.RunStatic(assign, batch())
+	b := hertzPool(t)
+	tB := b.RunStaticPipelined(assign, batch(), 1)
+	if math.Abs(tA-tB) > 1e-12*tA {
+		t.Errorf("depth-1 pipeline %v != static %v", tB, tA)
+	}
+}
+
+func TestPipelinedBarrierSemantics(t *testing.T) {
+	p := hertzPool(t)
+	end := p.RunStaticPipelined([]int{700, 300}, heavyBatch(), 4)
+	for i, d := range p.Context().Devices() {
+		if got := d.StreamClock(computeStream); math.Abs(got-end) > 1e-15 {
+			t.Errorf("device %d compute stream %v != barrier %v", i, got, end)
+		}
+		if got := d.StreamClock(copyStream); math.Abs(got-end) > 1e-15 {
+			t.Errorf("device %d copy stream %v != barrier %v", i, got, end)
+		}
+	}
+	// Generations compose.
+	end2 := p.RunStaticPipelined([]int{700, 300}, heavyBatch(), 4)
+	if end2 <= end {
+		t.Error("second pipelined generation did not advance the timeline")
+	}
+}
+
+func TestPipelinedKernelWaitsForItsUpload(t *testing.T) {
+	// With one device and depth 2, the first kernel must start no earlier
+	// than the first chunk's upload finishes.
+	ctx, err := cudasim.NewContext(cudasim.GTX580)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(ctx)
+	p.RunStaticPipelined([]int{256}, heavyBatch(), 2)
+	// Reconstruct expectations analytically.
+	model := ctx.Model()
+	up := model.TransferTime(128 * heavyBatch().BytesPerConformation)
+	l := heavyBatch().Proto
+	l.Conformations = 128
+	kern := model.KernelTime(cudasim.GTX580, l)
+	// Sequential would be 2*(up+kern) + d2h; pipelined overlaps the second
+	// upload with the first kernel.
+	overlap := math.Min(up, kern)
+	wantImprovement := overlap
+	seq := 2*(up+kern) + model.TransferTime(256*8)
+	got := ctx.Device(0).Synchronize()
+	if got > seq-wantImprovement+1e-12 {
+		t.Errorf("pipelined end %v, want <= %v (sequential %v minus overlap %v)",
+			got, seq-wantImprovement, seq, overlap)
+	}
+}
+
+func TestPipelinedSkipsZeroAssignments(t *testing.T) {
+	p := hertzPool(t)
+	p.RunStaticPipelined([]int{128, 0}, heavyBatch(), 4)
+	if p.Context().Device(1).Kernels() != 0 {
+		t.Error("zero-assigned device launched kernels")
+	}
+}
+
+func TestPipelinedPanicsOnWrongAssignment(t *testing.T) {
+	p := hertzPool(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for wrong assignment length")
+		}
+	}()
+	p.RunStaticPipelined([]int{1}, heavyBatch(), 2)
+}

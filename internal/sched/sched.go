@@ -1,0 +1,291 @@
+// Package sched implements the paper's heterogeneity-aware scheduling (its
+// sections 3.2-3.3): a device pool driven by one host worker per GPU, a
+// warm-up phase that measures per-device throughput at run time, the
+// Percent factor of the paper's equation 1, and three ways to split a batch
+// of conformations across devices:
+//
+//	Homogeneous   — equal split, the baseline "homogeneous computation";
+//	Heterogeneous — proportional to measured throughput (the contribution);
+//	Dynamic       — cooperative chunk self-scheduling, the "cooperative
+//	                scheduling of jobs" ablation.
+package sched
+
+import (
+	"fmt"
+
+	"github.com/metascreen/metascreen/internal/cudasim"
+	"github.com/metascreen/metascreen/internal/hostpar"
+	"github.com/metascreen/metascreen/internal/rng"
+	"github.com/metascreen/metascreen/internal/trace"
+)
+
+// Mode selects the partitioning strategy.
+type Mode int
+
+const (
+	// Homogeneous assigns every device the same number of conformations,
+	// as if all devices had identical compute capability.
+	Homogeneous Mode = iota
+	// Heterogeneous assigns conformations proportionally to the
+	// throughput measured in the warm-up phase.
+	Heterogeneous
+	// Dynamic self-schedules fixed-size chunks onto whichever device
+	// becomes free first.
+	Dynamic
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Homogeneous:
+		return "homogeneous"
+	case Heterogeneous:
+		return "heterogeneous"
+	case Dynamic:
+		return "dynamic"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Pool drives the devices of one simulated node. Like the paper's
+// implementation, it creates one host worker per device (the paper uses
+// one OpenMP thread per GPU context).
+type Pool struct {
+	ctx  *cudasim.Context
+	team *hostpar.Team
+	rec  *trace.Recorder
+}
+
+// NewPool returns a pool over all devices of the context.
+func NewPool(ctx *cudasim.Context) *Pool {
+	return &Pool{ctx: ctx, team: hostpar.NewTeam(ctx.DeviceCount())}
+}
+
+// SetRecorder attaches a timeline recorder; every subsequent device
+// operation is recorded. Pass nil to stop recording.
+func (p *Pool) SetRecorder(r *trace.Recorder) { p.rec = r }
+
+// record forwards a device event to the recorder, optionally overriding
+// its label.
+func (p *Pool) record(ev cudasim.Event, label string) {
+	if p.rec == nil {
+		return
+	}
+	if label == "" {
+		label = ev.Label
+	}
+	p.rec.Add(trace.Event{Device: ev.Device, Label: label, Start: ev.Start, End: ev.End})
+}
+
+// Size returns the number of devices.
+func (p *Pool) Size() int { return p.ctx.DeviceCount() }
+
+// Context returns the underlying device context.
+func (p *Pool) Context() *cudasim.Context { return p.ctx }
+
+// WarmupResult holds the outcome of the warm-up phase.
+type WarmupResult struct {
+	// Times is the measured per-device execution time of the probe
+	// workload, in simulated seconds (including measurement noise).
+	Times []float64
+	// Percent is the paper's equation 1: Times[i] / max(Times). The
+	// slowest device has Percent = 1.
+	Percent []float64
+	// Weights is the normalized throughput share per device
+	// ((1/Times[i]) / sum(1/Times)), the fraction of the workload the
+	// heterogeneous split assigns to device i.
+	Weights []float64
+}
+
+// Warmup runs the paper's warm-up phase: every device executes iters
+// iterations of the probe launch concurrently (one host worker per device),
+// per-device times are gathered and reduced to the maximum, and Percent and
+// throughput weights are derived.
+//
+// Real measurements are noisy; noiseAmp injects a deterministic relative
+// perturbation in [-noiseAmp, +noiseAmp] per device, derived from seed, so
+// that Modeled runs reproduce the imperfect balance a real warm-up attains.
+// The probe runs on each device's default stream and advances its simulated
+// clock, charging the warm-up cost to the run like the real system does.
+func (p *Pool) Warmup(probe cudasim.ScoringLaunch, iters int, noiseAmp float64, seed uint64) WarmupResult {
+	if iters < 1 {
+		iters = 1
+	}
+	n := p.Size()
+	res := WarmupResult{
+		Times:   make([]float64, n),
+		Percent: make([]float64, n),
+		Weights: make([]float64, n),
+	}
+	base := rng.New(seed)
+	// One host worker per device, as in the paper's OpenMP scheme.
+	p.team.ForThread(func(tid int) {
+		if tid >= n {
+			return
+		}
+		dev := p.ctx.Device(tid)
+		start := dev.StreamClock(cudasim.DefaultStream)
+		var end float64
+		for it := 0; it < iters; it++ {
+			ev := dev.Launch(cudasim.DefaultStream, probe)
+			p.record(ev, "warmup")
+			end = ev.End
+		}
+		t := end - start
+		// Deterministic measurement noise, independent of worker order.
+		noise := 1 + noiseAmp*(2*base.Split(uint64(tid)).Float64()-1)
+		res.Times[tid] = t * noise
+	})
+	// Reduce to the slowest device (the paper uses an OpenMP max
+	// reduction) and derive Percent and weights.
+	slowest := res.Times[0]
+	for _, t := range res.Times[1:] {
+		if t > slowest {
+			slowest = t
+		}
+	}
+	invSum := 0.0
+	for i, t := range res.Times {
+		res.Percent[i] = t / slowest
+		invSum += 1 / t
+	}
+	for i, t := range res.Times {
+		res.Weights[i] = (1 / t) / invSum
+	}
+	return res
+}
+
+// SplitEqual divides total items into n near-equal parts (the homogeneous
+// computation). The first total%n parts get one extra item; the sum always
+// equals total.
+func SplitEqual(total, n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]int, n)
+	base := total / n
+	rem := total % n
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// SplitProportional divides total items according to weights using the
+// largest-remainder method, so the parts sum exactly to total and each part
+// is within one item of its ideal share. Non-positive weights get zero
+// ideal share.
+func SplitProportional(total int, weights []float64) []int {
+	n := len(weights)
+	if n == 0 {
+		return nil
+	}
+	sum := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			sum += w
+		}
+	}
+	out := make([]int, n)
+	if sum == 0 || total <= 0 {
+		if total > 0 {
+			return SplitEqual(total, n)
+		}
+		return out
+	}
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, n)
+	assigned := 0
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		ideal := float64(total) * w / sum
+		out[i] = int(ideal)
+		assigned += out[i]
+		rems[i] = rem{idx: i, frac: ideal - float64(out[i])}
+	}
+	// Distribute the remainder (at most n items, since each floor drops
+	// less than 1) to the largest fractional parts, ties broken by index.
+	for assigned < total {
+		best := -1
+		for j := range rems {
+			if best == -1 || rems[j].frac > rems[best].frac ||
+				(rems[j].frac == rems[best].frac && rems[j].idx < rems[best].idx) {
+				best = j
+			}
+		}
+		out[rems[best].idx]++
+		rems[best].frac = -2 // consumed
+		assigned++
+	}
+	return out
+}
+
+// RoundToGranularity rounds each part of assign to a multiple of gran while
+// conserving the total, modeling CUDA block granularity: a device always
+// receives whole blocks. Parts are rounded to the nearest multiple, then
+// the difference is repaid in gran-sized steps against the largest (or
+// smallest) parts. Totals that are not multiples of gran leave one part
+// ragged.
+func RoundToGranularity(assign []int, gran int) []int {
+	if gran <= 1 || len(assign) == 0 {
+		out := make([]int, len(assign))
+		copy(out, assign)
+		return out
+	}
+	total := 0
+	out := make([]int, len(assign))
+	for i, a := range assign {
+		total += a
+		out[i] = (a + gran/2) / gran * gran
+	}
+	sum := 0
+	for _, a := range out {
+		sum += a
+	}
+	// Repay the rounding difference in gran steps.
+	for sum > total {
+		// Shrink the largest part.
+		best := 0
+		for i := range out {
+			if out[i] > out[best] {
+				best = i
+			}
+		}
+		step := gran
+		if sum-total < gran {
+			step = sum - total
+		}
+		if out[best] < step {
+			step = out[best]
+		}
+		if step == 0 {
+			break
+		}
+		out[best] -= step
+		sum -= step
+	}
+	for sum < total {
+		// Grow the smallest part.
+		best := 0
+		for i := range out {
+			if out[i] < out[best] {
+				best = i
+			}
+		}
+		step := gran
+		if total-sum < gran {
+			step = total - sum
+		}
+		out[best] += step
+		sum += step
+	}
+	return out
+}

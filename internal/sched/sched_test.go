@@ -1,0 +1,233 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/metascreen/metascreen/internal/cudasim"
+)
+
+func hertzPool(t *testing.T) *Pool {
+	t.Helper()
+	ctx, err := cudasim.NewContext(cudasim.TeslaK40c, cudasim.GTX580)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewPool(ctx)
+}
+
+func jupiterPool(t *testing.T) *Pool {
+	t.Helper()
+	ctx, err := cudasim.NewContext(
+		cudasim.GTX590, cudasim.GTX590, cudasim.GTX590, cudasim.GTX590,
+		cudasim.TeslaC2075, cudasim.TeslaC2075)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewPool(ctx)
+}
+
+func probe() cudasim.ScoringLaunch {
+	return cudasim.ScoringLaunch{
+		Kind:                 cudasim.KernelScoring,
+		Conformations:        256,
+		PairsPerConformation: 146880, // 2BSM
+	}
+}
+
+func TestWarmupPercentEquationOne(t *testing.T) {
+	p := hertzPool(t)
+	res := p.Warmup(probe(), 8, 0, 1)
+	// The GTX580 (device 1) is the slowest -> Percent = 1; the K40c is
+	// about twice as fast -> Percent ~ 0.5.
+	if math.Abs(res.Percent[1]-1) > 1e-12 {
+		t.Errorf("slowest Percent = %v, want 1", res.Percent[1])
+	}
+	if res.Percent[0] < 0.4 || res.Percent[0] > 0.6 {
+		t.Errorf("K40c Percent = %v, want ~0.5", res.Percent[0])
+	}
+	// Weights sum to 1 and favor the fast device.
+	sum := 0.0
+	for _, w := range res.Weights {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum = %v", sum)
+	}
+	if res.Weights[0] <= res.Weights[1] {
+		t.Error("fast device did not get the larger weight")
+	}
+}
+
+func TestWarmupChargesDeviceTime(t *testing.T) {
+	p := hertzPool(t)
+	p.Warmup(probe(), 8, 0, 1)
+	for i, d := range p.Context().Devices() {
+		if d.StreamClock(cudasim.DefaultStream) <= 0 {
+			t.Errorf("device %d clock did not advance during warm-up", i)
+		}
+		if d.Kernels() != 8 {
+			t.Errorf("device %d ran %d warm-up kernels, want 8", i, d.Kernels())
+		}
+	}
+}
+
+func TestWarmupNoiseDeterministicAndBounded(t *testing.T) {
+	p1 := hertzPool(t)
+	p2 := hertzPool(t)
+	a := p1.Warmup(probe(), 8, 0.05, 42)
+	b := p2.Warmup(probe(), 8, 0.05, 42)
+	for i := range a.Times {
+		if a.Times[i] != b.Times[i] {
+			t.Errorf("device %d warm-up time differs between same-seed runs", i)
+		}
+	}
+	// Noise must stay within the amplitude.
+	clean := hertzPool(t).Warmup(probe(), 8, 0, 42)
+	for i := range a.Times {
+		ratio := a.Times[i] / clean.Times[i]
+		if ratio < 0.95-1e-9 || ratio > 1.05+1e-9 {
+			t.Errorf("device %d noise ratio %v outside +-5%%", i, ratio)
+		}
+	}
+}
+
+func TestWarmupMinimumOneIteration(t *testing.T) {
+	p := hertzPool(t)
+	res := p.Warmup(probe(), 0, 0, 1)
+	for i, ti := range res.Times {
+		if ti <= 0 {
+			t.Errorf("device %d time = %v", i, ti)
+		}
+	}
+}
+
+func TestSplitEqual(t *testing.T) {
+	if got := SplitEqual(10, 3); got[0] != 4 || got[1] != 3 || got[2] != 3 {
+		t.Errorf("SplitEqual(10,3) = %v", got)
+	}
+	if got := SplitEqual(0, 3); got[0]+got[1]+got[2] != 0 {
+		t.Errorf("SplitEqual(0,3) = %v", got)
+	}
+	if got := SplitEqual(5, 0); got != nil {
+		t.Errorf("SplitEqual(5,0) = %v", got)
+	}
+}
+
+func TestSplitProportional(t *testing.T) {
+	got := SplitProportional(100, []float64{2, 1, 1})
+	if got[0] != 50 || got[1] != 25 || got[2] != 25 {
+		t.Errorf("SplitProportional = %v", got)
+	}
+	// Zero weights fall back to equal.
+	eq := SplitProportional(9, []float64{0, 0, 0})
+	if eq[0]+eq[1]+eq[2] != 9 {
+		t.Errorf("zero-weight split = %v", eq)
+	}
+	if SplitProportional(10, nil) != nil {
+		t.Error("nil weights should give nil")
+	}
+}
+
+func TestQuickSplitsConserveTotal(t *testing.T) {
+	f := func(total uint16, w1, w2, w3 uint8) bool {
+		tot := int(total % 5000)
+		weights := []float64{float64(w1), float64(w2), float64(w3)}
+		sp := SplitProportional(tot, weights)
+		se := SplitEqual(tot, 3)
+		sumP, sumE := 0, 0
+		for i := 0; i < 3; i++ {
+			if sp[i] < 0 || se[i] < 0 {
+				return false
+			}
+			sumP += sp[i]
+			sumE += se[i]
+		}
+		return sumP == tot && sumE == tot
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitProportionalWithinOneOfIdeal(t *testing.T) {
+	got := SplitProportional(101, []float64{3, 2, 1})
+	ideals := []float64{101 * 3.0 / 6, 101 * 2.0 / 6, 101 * 1.0 / 6}
+	for i := range got {
+		if math.Abs(float64(got[i])-ideals[i]) >= 1 {
+			t.Errorf("part %d = %d, ideal %v", i, got[i], ideals[i])
+		}
+	}
+}
+
+func TestRoundToGranularity(t *testing.T) {
+	in := []int{37, 27}
+	out := RoundToGranularity(in, 8)
+	if out[0]+out[1] != 64 {
+		t.Errorf("total not conserved: %v", out)
+	}
+	// At most one part may be ragged (total 64 is a multiple of 8, so
+	// none here).
+	for i, v := range out {
+		if v%8 != 0 {
+			t.Errorf("part %d = %d not block-aligned", i, v)
+		}
+	}
+	// gran 1 and empty input are identity.
+	if got := RoundToGranularity([]int{3, 4}, 1); got[0] != 3 || got[1] != 4 {
+		t.Errorf("gran=1 changed values: %v", got)
+	}
+	if got := RoundToGranularity(nil, 8); len(got) != 0 {
+		t.Errorf("nil input gave %v", got)
+	}
+}
+
+func TestQuickRoundToGranularityConserves(t *testing.T) {
+	f := func(a, b, c uint8, g uint8) bool {
+		in := []int{int(a), int(b), int(c)}
+		gran := int(g%16) + 1
+		out := RoundToGranularity(in, gran)
+		sumIn, sumOut := 0, 0
+		for i := 0; i < 3; i++ {
+			if out[i] < 0 {
+				return false
+			}
+			sumIn += in[i]
+			sumOut += out[i]
+		}
+		return sumIn == sumOut
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssignModes(t *testing.T) {
+	w := []float64{0.68, 0.32}
+	hom := Assign(Homogeneous, 100, 2, w, 1)
+	if hom[0] != 50 || hom[1] != 50 {
+		t.Errorf("homogeneous = %v", hom)
+	}
+	het := Assign(Heterogeneous, 100, 2, w, 1)
+	if het[0] != 68 || het[1] != 32 {
+		t.Errorf("heterogeneous = %v", het)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Assign(Dynamic) did not panic")
+		}
+	}()
+	Assign(Dynamic, 100, 2, w, 1)
+}
+
+func TestModeString(t *testing.T) {
+	for _, m := range []Mode{Homogeneous, Heterogeneous, Dynamic} {
+		if m.String() == "" {
+			t.Error("empty mode name")
+		}
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode has empty name")
+	}
+}

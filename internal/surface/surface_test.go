@@ -1,0 +1,181 @@
+package surface
+
+import (
+	"testing"
+
+	"github.com/metascreen/metascreen/internal/molecule"
+	"github.com/metascreen/metascreen/internal/vec"
+)
+
+func TestFindSpotsDefaultsScaleWithReceptor(t *testing.T) {
+	rec := molecule.Synthetic2BSMReceptor()
+	spots, err := FindSpots(rec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultSpotCount(rec.NumAtoms()) // 3264/100 = 32
+	if len(spots) != want {
+		t.Errorf("got %d spots, want %d", len(spots), want)
+	}
+}
+
+func TestDefaultSpotCount(t *testing.T) {
+	if got := DefaultSpotCount(3264); got != 32 {
+		t.Errorf("3264 atoms -> %d spots", got)
+	}
+	if got := DefaultSpotCount(8609); got != 86 {
+		t.Errorf("8609 atoms -> %d spots", got)
+	}
+	if got := DefaultSpotCount(10); got != 1 {
+		t.Errorf("10 atoms -> %d spots, want minimum 1", got)
+	}
+}
+
+func TestSpotsAreSeparated(t *testing.T) {
+	rec := molecule.SyntheticProtein("rec", 2000, 21)
+	const sep = 7.0
+	spots, err := FindSpots(rec, Options{MaxSpots: 15, MinSeparation: sep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range spots {
+		for j := i + 1; j < len(spots); j++ {
+			if d := spots[i].Center.Dist(spots[j].Center); d < sep {
+				t.Errorf("spots %d and %d are %v A apart, want >= %v", i, j, d, sep)
+			}
+		}
+	}
+}
+
+func TestSpotsDenseIDsAndAnchors(t *testing.T) {
+	rec := molecule.SyntheticProtein("rec", 1500, 22)
+	spots, err := FindSpots(rec, Options{MaxSpots: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range spots {
+		if s.ID != i {
+			t.Errorf("spot %d has ID %d", i, s.ID)
+		}
+		if s.AtomIndex < 0 || s.AtomIndex >= rec.NumAtoms() {
+			t.Errorf("spot %d anchored to atom %d", i, s.AtomIndex)
+		}
+		if s.Center != rec.Atoms[s.AtomIndex].Pos {
+			t.Errorf("spot %d center does not match its anchor atom", i)
+		}
+		if s.Radius <= 0 {
+			t.Errorf("spot %d radius %v", i, s.Radius)
+		}
+		if s.Exposure < 0 || s.Exposure > 1 {
+			t.Errorf("spot %d exposure %v", i, s.Exposure)
+		}
+	}
+}
+
+func TestSpotsAnchoredToAlphaCarbons(t *testing.T) {
+	rec := molecule.SyntheticProtein("rec", 1500, 23)
+	spots, err := FindSpots(rec, Options{MaxSpots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range spots {
+		if !rec.Atoms[s.AtomIndex].IsAlphaCarbon() {
+			t.Errorf("spot %d anchored to %q, want an alpha carbon", s.ID, rec.Atoms[s.AtomIndex].Name)
+		}
+	}
+}
+
+func TestSpotNormalsPointOutward(t *testing.T) {
+	rec := molecule.SyntheticProtein("rec", 2000, 24)
+	spots, err := FindSpots(rec, Options{MaxSpots: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rec.Centroid()
+	for _, s := range spots {
+		out := s.Center.Sub(c).Unit()
+		if s.Normal.Dot(out) < 0.99 {
+			t.Errorf("spot %d normal %v not outward %v", s.ID, s.Normal, out)
+		}
+	}
+}
+
+func TestSpotsPreferExposedAtoms(t *testing.T) {
+	rec := molecule.SyntheticProtein("rec", 3000, 25)
+	spots, err := FindSpots(rec, Options{MaxSpots: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Selected spots must sit in locally sparser (more exposed) regions
+	// than the average alpha-carbon candidate. Count neighbours within 8 A
+	// directly, independent of the package's grid implementation.
+	neighbors := func(p vec.V3) int {
+		n := 0
+		for _, a := range rec.Atoms {
+			if a.Pos.Dist2(p) <= 64 {
+				n++
+			}
+		}
+		return n
+	}
+	cas := rec.AlphaCarbons()
+	meanCand := 0.0
+	for _, i := range cas {
+		meanCand += float64(neighbors(rec.Atoms[i].Pos))
+	}
+	meanCand /= float64(len(cas))
+	meanSpot := 0.0
+	for _, s := range spots {
+		meanSpot += float64(neighbors(s.Center))
+	}
+	meanSpot /= float64(len(spots))
+	if meanSpot >= meanCand {
+		t.Errorf("selected spots have mean density %v, candidates %v; spots should be sparser", meanSpot, meanCand)
+	}
+}
+
+func TestFindSpotsNoAtoms(t *testing.T) {
+	if _, err := FindSpots(&molecule.Molecule{Name: "empty"}, Options{}); err == nil {
+		t.Error("no error for empty receptor")
+	}
+}
+
+func TestFindSpotsNoAlphaCarbons(t *testing.T) {
+	// HETATM-style structure: all atoms usable as anchors.
+	atoms := make([]molecule.Atom, 30)
+	for i := range atoms {
+		atoms[i] = molecule.Atom{
+			Name:    "O1",
+			Element: molecule.Oxygen,
+			Pos:     vec.New(float64(i)*3, 0, 0),
+		}
+	}
+	m := molecule.New("het", atoms)
+	spots, err := FindSpots(m, Options{MaxSpots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spots) != 3 {
+		t.Errorf("got %d spots", len(spots))
+	}
+}
+
+func TestFindSpotsDeterministic(t *testing.T) {
+	rec := molecule.SyntheticProtein("rec", 1200, 26)
+	a, err := FindSpots(rec, Options{MaxSpots: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FindSpots(rec, Options{MaxSpots: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("spot counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("spot %d differs between runs", i)
+		}
+	}
+}

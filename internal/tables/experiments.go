@@ -1,0 +1,232 @@
+package tables
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/metascreen/metascreen/internal/core"
+	"github.com/metascreen/metascreen/internal/forcefield"
+	"github.com/metascreen/metascreen/internal/metaheuristic"
+	"github.com/metascreen/metascreen/internal/sched"
+)
+
+// Row is one metaheuristic's line in a result table, in the paper's column
+// layout. Times are simulated seconds; a NaN HomogeneousSystem means the
+// table has no such column (Hertz).
+type Row struct {
+	// Metaheuristic is "M1".."M4".
+	Metaheuristic string
+	// OpenMP is the multicore baseline time.
+	OpenMP float64
+	// HomogeneousSystem is the time on the machine's homogeneous GPU
+	// subset (Jupiter's 4x GTX590), equal split.
+	HomogeneousSystem float64
+	// HetHomogComputation is the heterogeneous system under the
+	// homogeneous (equal-split) algorithm.
+	HetHomogComputation float64
+	// HetHetComputation is the heterogeneous system under the
+	// warm-up-balanced algorithm.
+	HetHetComputation float64
+	// EnergyOpenMP and EnergyHetHet are the modeled energies (joules) of
+	// the OpenMP baseline and the heterogeneous computation — the paper's
+	// "waste energy" concern, quantified.
+	EnergyOpenMP, EnergyHetHet float64
+}
+
+// EnergyRatio returns how many times more energy the CPU baseline burns
+// than the heterogeneous multi-GPU run.
+func (r Row) EnergyRatio() float64 { return r.EnergyOpenMP / r.EnergyHetHet }
+
+// SpeedupHetVsHomog is the paper's "SPEED-UP Heterogeneous Computation vs
+// Homogeneous Computation" column.
+func (r Row) SpeedupHetVsHomog() float64 { return r.HetHomogComputation / r.HetHetComputation }
+
+// SpeedupOpenMPVsHet is the paper's "SPEED-UP OpenMP vs Heterogeneous
+// Computation" column.
+func (r Row) SpeedupOpenMPVsHet() float64 { return r.OpenMP / r.HetHetComputation }
+
+// Table is one regenerated result table.
+type Table struct {
+	// Number is the paper's table number, 6-9.
+	Number int
+	// Machine and Dataset identify the experiment.
+	Machine Machine
+	Dataset string
+	// Rows are M1..M4 in order.
+	Rows []Row
+}
+
+// Experiment identifies a (machine, dataset) pair by the paper's table
+// number.
+type Experiment struct {
+	Number  int
+	Machine Machine
+	Dataset string
+}
+
+// Experiments returns the paper's four result tables in order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{Number: 6, Machine: Jupiter(), Dataset: "2BSM"},
+		{Number: 7, Machine: Jupiter(), Dataset: "2BXG"},
+		{Number: 8, Machine: Hertz(), Dataset: "2BSM"},
+		{Number: 9, Machine: Hertz(), Dataset: "2BXG"},
+	}
+}
+
+// ExperimentByNumber returns the experiment for a paper table number.
+func ExperimentByNumber(n int) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.Number == n {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("tables: no experiment for table %d (want 6-9)", n)
+}
+
+// Config tunes a table run.
+type Config struct {
+	// Scale shrinks the paper-scale workload; 0 or 1 means full scale.
+	Scale float64
+	// Seed drives the stochastic components.
+	Seed uint64
+	// NoiseAmp is the warm-up measurement noise for the heterogeneous
+	// algorithm; negative means the 0.05 default.
+	NoiseAmp float64
+	// WarpsPerBlock is the CUDA block granularity; 0 means 8.
+	WarpsPerBlock int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 2016
+	}
+	if c.NoiseAmp < 0 {
+		c.NoiseAmp = 0.05
+	}
+	if c.WarpsPerBlock <= 0 {
+		c.WarpsPerBlock = 8
+	}
+	return c
+}
+
+// Run regenerates one of the paper's result tables.
+func Run(exp Experiment, cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	ds, err := core.DatasetByName(exp.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	problem, err := core.NewProblemFromDataset(ds, forcefield.Options{})
+	if err != nil {
+		return nil, err
+	}
+	table := &Table{Number: exp.Number, Machine: exp.Machine, Dataset: exp.Dataset}
+	for _, name := range metaheuristic.PaperNames() {
+		row, err := runRow(problem, exp.Machine, name, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("tables: table %d %s: %w", exp.Number, name, err)
+		}
+		table.Rows = append(table.Rows, row)
+	}
+	return table, nil
+}
+
+// RunRow regenerates a single metaheuristic's row of an experiment's
+// table, for benchmarks that want one row at a time.
+func RunRow(exp Experiment, mh string, cfg Config) (Row, error) {
+	cfg = cfg.withDefaults()
+	ds, err := core.DatasetByName(exp.Dataset)
+	if err != nil {
+		return Row{}, err
+	}
+	problem, err := core.NewProblemFromDataset(ds, forcefield.Options{})
+	if err != nil {
+		return Row{}, err
+	}
+	return runRow(problem, exp.Machine, mh, cfg)
+}
+
+// runRow executes the row's four configurations.
+func runRow(problem *core.Problem, m Machine, mh string, cfg Config) (Row, error) {
+	row := Row{Metaheuristic: mh, HomogeneousSystem: math.NaN()}
+
+	runOne := func(backend core.Backend) (*core.Result, error) {
+		alg, err := metaheuristic.NewPaper(mh, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		return core.Run(problem, alg, backend, cfg.Seed)
+	}
+
+	// OpenMP baseline.
+	hb, err := core.NewHostBackend(problem, core.HostConfig{
+		ModelCores:    m.CPUCores,
+		ModelClockMHz: m.CPUClockMHz,
+	})
+	if err != nil {
+		return row, err
+	}
+	hostRes, err := runOne(hb)
+	if err != nil {
+		return row, err
+	}
+	row.OpenMP = hostRes.SimulatedSeconds
+	row.EnergyOpenMP = hostRes.EnergyJoules
+
+	// Homogeneous system (subset of identical GPUs), where defined.
+	if subset := m.HomogeneousGPUs(); len(subset) > 0 {
+		pb, err := core.NewPoolBackend(problem, core.PoolConfig{
+			Specs:         subset,
+			Mode:          sched.Homogeneous,
+			WarpsPerBlock: cfg.WarpsPerBlock,
+			Seed:          cfg.Seed,
+		})
+		if err != nil {
+			return row, err
+		}
+		res, err := runOne(pb)
+		if err != nil {
+			return row, err
+		}
+		row.HomogeneousSystem = res.SimulatedSeconds
+	}
+
+	// Heterogeneous system, homogeneous computation (equal split).
+	pbHom, err := core.NewPoolBackend(problem, core.PoolConfig{
+		Specs:         m.GPUs,
+		Mode:          sched.Homogeneous,
+		WarpsPerBlock: cfg.WarpsPerBlock,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return row, err
+	}
+	homRes, err := runOne(pbHom)
+	if err != nil {
+		return row, err
+	}
+	row.HetHomogComputation = homRes.SimulatedSeconds
+
+	// Heterogeneous system, heterogeneous computation (warm-up balanced).
+	pbHet, err := core.NewPoolBackend(problem, core.PoolConfig{
+		Specs:         m.GPUs,
+		Mode:          sched.Heterogeneous,
+		NoiseAmp:      cfg.NoiseAmp,
+		WarpsPerBlock: cfg.WarpsPerBlock,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return row, err
+	}
+	hetRes, err := runOne(pbHet)
+	if err != nil {
+		return row, err
+	}
+	row.HetHetComputation = hetRes.SimulatedSeconds
+	row.EnergyHetHet = hetRes.EnergyJoules
+	return row, nil
+}

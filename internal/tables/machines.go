@@ -1,0 +1,84 @@
+// Package tables defines the paper's two experimental platforms and
+// regenerates its result tables (Tables 6-9): execution time and speed-up
+// for four metaheuristics on each platform and dataset, comparing the
+// multicore baseline, the homogeneous multi-GPU system, and the
+// heterogeneous system under homogeneous and heterogeneous computation.
+//
+// All table runs use the engine's Modeled mode, which replays the
+// full-scale workloads through the calibrated cost model; the paper-vs-
+// measured comparison is recorded in EXPERIMENTS.md.
+package tables
+
+import (
+	"fmt"
+
+	"github.com/metascreen/metascreen/internal/cudasim"
+)
+
+// Machine describes one of the paper's experimental platforms (its
+// Tables 2 and 3).
+type Machine struct {
+	// Name identifies the platform.
+	Name string
+	// CPUCores is the host core count used by the OpenMP baseline.
+	CPUCores int
+	// CPUClockMHz is the host clock.
+	CPUClockMHz float64
+	// GPUs is the node's full (heterogeneous) device set.
+	GPUs []cudasim.DeviceSpec
+	// HomogeneousSubset indexes the GPUs forming the paper's "homogeneous
+	// system" column; empty means the table has no such column (Hertz).
+	HomogeneousSubset []int
+}
+
+// Jupiter returns the paper's Jupiter platform: two hexa-core Xeon E5-2620
+// at 2 GHz with four GeForce GTX 590 and two Tesla C2075 (Table 2).
+func Jupiter() Machine {
+	return Machine{
+		Name:        "Jupiter",
+		CPUCores:    12,
+		CPUClockMHz: 2000,
+		GPUs: []cudasim.DeviceSpec{
+			cudasim.GTX590, cudasim.GTX590, cudasim.GTX590, cudasim.GTX590,
+			cudasim.TeslaC2075, cudasim.TeslaC2075,
+		},
+		HomogeneousSubset: []int{0, 1, 2, 3},
+	}
+}
+
+// Hertz returns the paper's Hertz platform: four-core Xeon E3-1220 at
+// 3.1 GHz with one Tesla K40c and one GeForce GTX 580 (Table 3).
+func Hertz() Machine {
+	return Machine{
+		Name:        "Hertz",
+		CPUCores:    4,
+		CPUClockMHz: 3100,
+		GPUs: []cudasim.DeviceSpec{
+			cudasim.TeslaK40c, cudasim.GTX580,
+		},
+	}
+}
+
+// MachineByName returns one of the paper's platforms.
+func MachineByName(name string) (Machine, error) {
+	switch name {
+	case "Jupiter", "jupiter":
+		return Jupiter(), nil
+	case "Hertz", "hertz":
+		return Hertz(), nil
+	}
+	return Machine{}, fmt.Errorf("tables: unknown machine %q (want Jupiter or Hertz)", name)
+}
+
+// HomogeneousGPUs returns the homogeneous-system device list, or nil when
+// the machine has none.
+func (m Machine) HomogeneousGPUs() []cudasim.DeviceSpec {
+	if len(m.HomogeneousSubset) == 0 {
+		return nil
+	}
+	out := make([]cudasim.DeviceSpec, 0, len(m.HomogeneousSubset))
+	for _, i := range m.HomogeneousSubset {
+		out = append(out, m.GPUs[i])
+	}
+	return out
+}

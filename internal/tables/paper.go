@@ -1,0 +1,58 @@
+package tables
+
+import "math"
+
+// PaperRow holds the numbers the paper reports for one row, for
+// paper-vs-measured comparison in reports and EXPERIMENTS.md. NaN marks a
+// column the paper's table does not have.
+type PaperRow struct {
+	OpenMP              float64
+	HomogeneousSystem   float64
+	HetHomogComputation float64
+	HetHetComputation   float64
+}
+
+// SpeedupHetVsHomog returns the paper's reported heterogeneous-vs-
+// homogeneous computation speed-up.
+func (r PaperRow) SpeedupHetVsHomog() float64 { return r.HetHomogComputation / r.HetHetComputation }
+
+// SpeedupOpenMPVsHet returns the paper's reported OpenMP-vs-heterogeneous
+// speed-up.
+func (r PaperRow) SpeedupOpenMPVsHet() float64 { return r.OpenMP / r.HetHetComputation }
+
+// PaperResults returns the execution times (seconds) the paper reports in
+// table n (6-9), keyed by metaheuristic.
+func PaperResults(n int) map[string]PaperRow {
+	nan := math.NaN()
+	switch n {
+	case 6: // Jupiter, 2BSM
+		return map[string]PaperRow{
+			"M1": {269.45, 7.01, 5.13, 4.98},
+			"M2": {436.36, 10.68, 7.92, 7.68},
+			"M3": {136.71, 3.69, 2.71, 2.54},
+			"M4": {13557.29, 298.27, 212.42, 211.07},
+		}
+	case 7: // Jupiter, 2BXG
+		return map[string]PaperRow{
+			"M1": {1402.63, 23.45, 16.96, 16.77},
+			"M2": {2272.71, 35.37, 26.57, 25.43},
+			"M3": {711.01, 11.81, 8.72, 8.46},
+			"M4": {70505.22, 1113.91, 764.131, 757.32},
+		}
+	case 8: // Hertz, 2BSM
+		return map[string]PaperRow{
+			"M1": {580.23, nan, 10.57, 6.74},
+			"M2": {937.45, nan, 16.47, 12.37},
+			"M3": {294.21, nan, 5.41, 4.09},
+			"M4": {29144.06, nan, 470.51, 334.41},
+		}
+	case 9: // Hertz, 2BXG
+		return map[string]PaperRow{
+			"M1": {2327.60, nan, 33.92, 22.82},
+			"M2": {3908.46, nan, 55.56, 41.58},
+			"M3": {1336.40, nan, 18.13, 13.64},
+			"M4": {150958.75, nan, 1735.73, 1253.64},
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+// Package trace records simulated device timelines and derives utilization
+// metrics, the observability layer over the GPU simulator. The engine emits
+// an Event per kernel or transfer; reports aggregate busy time per device
+// and render simple text Gantt charts for debugging load balance.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Event is one timed operation on a simulated device.
+type Event struct {
+	// Device is the device index.
+	Device int
+	// Label names the operation ("scoring", "improve", "h2d", "d2h",
+	// "warmup", ...).
+	Label string
+	// Start and End are simulated timestamps in seconds.
+	Start, End float64
+}
+
+// Duration returns the event's simulated duration.
+func (e Event) Duration() float64 { return e.End - e.Start }
+
+// Recorder accumulates events. It is safe for concurrent use; the zero
+// value is ready.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Add appends an event.
+func (r *Recorder) Add(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+}
+
+// Events returns a copy of all events in insertion order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// DeviceStats summarizes one device's timeline.
+type DeviceStats struct {
+	// Device is the device index.
+	Device int
+	// Busy is the total event time.
+	Busy float64
+	// ByLabel breaks Busy down per operation label.
+	ByLabel map[string]float64
+	// Events is the number of operations.
+	Events int
+}
+
+// Stats aggregates per-device statistics, ordered by device index.
+func (r *Recorder) Stats() []DeviceStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	byDev := map[int]*DeviceStats{}
+	for _, e := range r.events {
+		s := byDev[e.Device]
+		if s == nil {
+			s = &DeviceStats{Device: e.Device, ByLabel: map[string]float64{}}
+			byDev[e.Device] = s
+		}
+		s.Busy += e.Duration()
+		s.ByLabel[e.Label] += e.Duration()
+		s.Events++
+	}
+	out := make([]DeviceStats, 0, len(byDev))
+	for _, s := range byDev {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })
+	return out
+}
+
+// Span returns the earliest start and latest end over all events, or zeros
+// when empty.
+func (r *Recorder) Span() (start, end float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.events) == 0 {
+		return 0, 0
+	}
+	start, end = r.events[0].Start, r.events[0].End
+	for _, e := range r.events[1:] {
+		if e.Start < start {
+			start = e.Start
+		}
+		if e.End > end {
+			end = e.End
+		}
+	}
+	return start, end
+}
+
+// Utilization returns each device's busy fraction of the whole span,
+// indexed like Stats(). An empty recorder yields nil.
+func (r *Recorder) Utilization() []float64 {
+	start, end := r.Span()
+	if end <= start {
+		return nil
+	}
+	stats := r.Stats()
+	out := make([]float64, len(stats))
+	for i, s := range stats {
+		out[i] = s.Busy / (end - start)
+	}
+	return out
+}
+
+// WriteGantt renders a fixed-width text Gantt chart of the timeline, one
+// row per device, to w. width is the number of character cells.
+func (r *Recorder) WriteGantt(w io.Writer, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	start, end := r.Span()
+	if end <= start {
+		_, err := fmt.Fprintln(w, "(no events)")
+		return err
+	}
+	scale := float64(width) / (end - start)
+	stats := r.Stats()
+	for _, s := range stats {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, e := range r.Events() {
+			if e.Device != s.Device {
+				continue
+			}
+			lo := int((e.Start - start) * scale)
+			hi := int((e.End - start) * scale)
+			if hi >= width {
+				hi = width - 1
+			}
+			mark := byte('#')
+			if len(e.Label) > 0 {
+				mark = e.Label[0]
+			}
+			for i := lo; i <= hi; i++ {
+				row[i] = mark
+			}
+		}
+		if _, err := fmt.Fprintf(w, "dev%-3d |%s| busy %.3fs\n", s.Device, row, s.Busy); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	var r Recorder
+	if r.Len() != 0 {
+		t.Error("fresh recorder not empty")
+	}
+	r.Add(Event{Device: 0, Label: "scoring", Start: 0, End: 2})
+	r.Add(Event{Device: 1, Label: "scoring", Start: 0, End: 1})
+	r.Add(Event{Device: 0, Label: "h2d", Start: 2, End: 2.5})
+	if r.Len() != 3 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	evs := r.Events()
+	if len(evs) != 3 || evs[0].Duration() != 2 {
+		t.Errorf("Events = %v", evs)
+	}
+}
+
+func TestStats(t *testing.T) {
+	var r Recorder
+	r.Add(Event{Device: 1, Label: "scoring", Start: 0, End: 3})
+	r.Add(Event{Device: 0, Label: "h2d", Start: 0, End: 1})
+	r.Add(Event{Device: 1, Label: "h2d", Start: 3, End: 4})
+	stats := r.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("stats for %d devices", len(stats))
+	}
+	if stats[0].Device != 0 || stats[1].Device != 1 {
+		t.Error("stats not ordered by device")
+	}
+	if stats[1].Busy != 4 || stats[1].Events != 2 {
+		t.Errorf("device 1 stats = %+v", stats[1])
+	}
+	if stats[1].ByLabel["scoring"] != 3 {
+		t.Errorf("scoring time = %v", stats[1].ByLabel["scoring"])
+	}
+}
+
+func TestSpanAndUtilization(t *testing.T) {
+	var r Recorder
+	if s, e := r.Span(); s != 0 || e != 0 {
+		t.Error("empty span not zero")
+	}
+	if r.Utilization() != nil {
+		t.Error("empty utilization not nil")
+	}
+	r.Add(Event{Device: 0, Start: 1, End: 5})
+	r.Add(Event{Device: 1, Start: 1, End: 3})
+	s, e := r.Span()
+	if s != 1 || e != 5 {
+		t.Errorf("span = %v..%v", s, e)
+	}
+	u := r.Utilization()
+	if math.Abs(u[0]-1.0) > 1e-12 || math.Abs(u[1]-0.5) > 1e-12 {
+		t.Errorf("utilization = %v", u)
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	var r Recorder
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(dev int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Add(Event{Device: dev, Start: float64(i), End: float64(i + 1)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Errorf("Len = %d, want 800", r.Len())
+	}
+}
+
+func TestWriteGantt(t *testing.T) {
+	var r Recorder
+	var sb strings.Builder
+	if err := r.WriteGantt(&sb, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no events") {
+		t.Error("empty chart missing placeholder")
+	}
+	r.Add(Event{Device: 0, Label: "scoring", Start: 0, End: 1})
+	r.Add(Event{Device: 1, Label: "h2d", Start: 0.5, End: 1})
+	sb.Reset()
+	if err := r.WriteGantt(&sb, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "dev0") || !strings.Contains(out, "dev1") {
+		t.Errorf("chart missing device rows:\n%s", out)
+	}
+	if !strings.Contains(out, "s") || !strings.Contains(out, "h") {
+		t.Errorf("chart missing operation marks:\n%s", out)
+	}
+}

@@ -1,0 +1,69 @@
+package tuning
+
+import (
+	"fmt"
+
+	"github.com/metascreen/metascreen/internal/core"
+	"github.com/metascreen/metascreen/internal/metaheuristic"
+)
+
+// Recognized parameter names for MetaheuristicObjective.
+const (
+	ParamPopulation      = "population"
+	ParamGenerations     = "generations"
+	ParamImproveFraction = "improveFraction"
+	ParamImproveMoves    = "improveMoves"
+	ParamSelectFraction  = "selectFraction"
+)
+
+// ParamsFromAssignment builds template parameters from a tuning
+// assignment, starting from base and overriding recognized names.
+func ParamsFromAssignment(base metaheuristic.Params, a Assignment) (metaheuristic.Params, error) {
+	p := base
+	for name, v := range a {
+		switch name {
+		case ParamPopulation:
+			p.PopulationPerSpot = int(v)
+		case ParamGenerations:
+			p.Generations = int(v)
+		case ParamImproveFraction:
+			p.ImproveFraction = v
+		case ParamImproveMoves:
+			p.ImproveMoves = int(v)
+		case ParamSelectFraction:
+			p.SelectFraction = v
+		default:
+			return p, fmt.Errorf("tuning: unknown parameter %q", name)
+		}
+	}
+	return p, p.Validate()
+}
+
+// AlgorithmFactory builds a metaheuristic from tuned parameters.
+type AlgorithmFactory func(p metaheuristic.Params) (metaheuristic.Algorithm, error)
+
+// MetaheuristicObjective returns an Objective that runs the factory's
+// algorithm on the problem with a real host backend and scores it by the
+// best energy found (lower is better). Each configuration/seed pair is an
+// independent, deterministic screening run.
+func MetaheuristicObjective(p *core.Problem, base metaheuristic.Params, factory AlgorithmFactory) Objective {
+	return func(a Assignment, seed uint64) (float64, error) {
+		params, err := ParamsFromAssignment(base, a)
+		if err != nil {
+			return 0, err
+		}
+		alg, err := factory(params)
+		if err != nil {
+			return 0, err
+		}
+		backend, err := core.NewHostBackend(p, core.HostConfig{Real: true})
+		if err != nil {
+			return 0, err
+		}
+		res, err := core.Run(p, alg, backend, seed)
+		if err != nil {
+			return 0, err
+		}
+		return res.Best.Score, nil
+	}
+}

@@ -1,0 +1,295 @@
+// Package tuning implements the metaheuristic parameter-tuning process the
+// paper's introduction describes ("for any particular metaheuristic, a
+// tuning process is traditionally conducted to select appropriate values of
+// some parameters... The experimentation with several metaheuristics and
+// their tuning process drastically increases the computational cost").
+//
+// A Space enumerates candidate configurations, an Objective scores one
+// configuration under one seed (lower is better, matching docking
+// energies), and two tuners search the space: exhaustive GridSearch and
+// Race, an F-Race-style procedure that adds replications round by round
+// and eliminates configurations that fall behind the incumbent.
+package tuning
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/metascreen/metascreen/internal/hostpar"
+)
+
+// Dimension is one tunable parameter and its candidate values.
+type Dimension struct {
+	// Name identifies the parameter, e.g. "improveMoves".
+	Name string
+	// Values are the candidates.
+	Values []float64
+}
+
+// Assignment maps parameter names to chosen values.
+type Assignment map[string]float64
+
+// String renders the assignment deterministically (sorted by name).
+func (a Assignment) String() string {
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%g", k, a[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// clone returns a copy of the assignment.
+func (a Assignment) clone() Assignment {
+	out := make(Assignment, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// Space is the cartesian parameter space.
+type Space struct {
+	Dims []Dimension
+}
+
+// Validate checks the space is non-degenerate.
+func (s Space) Validate() error {
+	if len(s.Dims) == 0 {
+		return fmt.Errorf("tuning: empty space")
+	}
+	seen := map[string]bool{}
+	for _, d := range s.Dims {
+		if d.Name == "" {
+			return fmt.Errorf("tuning: dimension with empty name")
+		}
+		if seen[d.Name] {
+			return fmt.Errorf("tuning: duplicate dimension %q", d.Name)
+		}
+		seen[d.Name] = true
+		if len(d.Values) == 0 {
+			return fmt.Errorf("tuning: dimension %q has no values", d.Name)
+		}
+	}
+	return nil
+}
+
+// Size returns the number of configurations in the space.
+func (s Space) Size() int {
+	n := 1
+	for _, d := range s.Dims {
+		n *= len(d.Values)
+	}
+	return n
+}
+
+// Enumerate lists every configuration in deterministic order.
+func (s Space) Enumerate() []Assignment {
+	out := []Assignment{{}}
+	for _, d := range s.Dims {
+		next := make([]Assignment, 0, len(out)*len(d.Values))
+		for _, base := range out {
+			for _, v := range d.Values {
+				a := base.clone()
+				a[d.Name] = v
+				next = append(next, a)
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// Objective evaluates one configuration under one seed; lower is better.
+type Objective func(a Assignment, seed uint64) (float64, error)
+
+// Evaluated is a configuration with its replication statistics.
+type Evaluated struct {
+	// Config is the assignment.
+	Config Assignment
+	// Scores holds one objective value per replication.
+	Scores []float64
+	// Mean and Std summarize Scores.
+	Mean, Std float64
+}
+
+func summarize(e *Evaluated) {
+	n := float64(len(e.Scores))
+	if n == 0 {
+		e.Mean, e.Std = math.Inf(1), 0
+		return
+	}
+	sum := 0.0
+	for _, v := range e.Scores {
+		sum += v
+	}
+	e.Mean = sum / n
+	var ss float64
+	for _, v := range e.Scores {
+		d := v - e.Mean
+		ss += d * d
+	}
+	if n > 1 {
+		e.Std = math.Sqrt(ss / (n - 1))
+	}
+}
+
+// Options configures a tuner run.
+type Options struct {
+	// Replications is the number of seeds per configuration (GridSearch)
+	// or the maximum rounds (Race); 0 means 5.
+	Replications int
+	// Workers bounds evaluation parallelism; 0 means all CPUs.
+	Workers int
+	// Seed derives the replication seeds.
+	Seed uint64
+	// EliminationMargin is Race's tolerance: a configuration is dropped
+	// when its mean exceeds best mean + margin * pooled std; 0 means 1.0.
+	EliminationMargin float64
+	// MinSurvivors stops Race's elimination at this count; 0 means 1.
+	MinSurvivors int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Replications <= 0 {
+		o.Replications = 5
+	}
+	if o.Workers <= 0 {
+		o.Workers = hostpar.DefaultThreads()
+	}
+	if o.EliminationMargin <= 0 {
+		o.EliminationMargin = 1.0
+	}
+	if o.MinSurvivors <= 0 {
+		o.MinSurvivors = 1
+	}
+	return o
+}
+
+// GridSearch evaluates every configuration with the same replication
+// seeds and returns them ranked best (lowest mean) first. Evaluation
+// errors abort the search.
+func GridSearch(space Space, obj Objective, opts Options) ([]Evaluated, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	configs := space.Enumerate()
+	results := make([]Evaluated, len(configs))
+	errs := make([]error, len(configs))
+	team := hostpar.NewTeam(opts.Workers)
+	team.ForChunk(len(configs), hostpar.Dynamic, 1, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			e := Evaluated{Config: configs[i]}
+			for rep := 0; rep < opts.Replications; rep++ {
+				v, err := obj(configs[i], opts.Seed+uint64(rep))
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				e.Scores = append(e.Scores, v)
+			}
+			summarize(&e)
+			results[i] = e
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	rank(results)
+	return results, nil
+}
+
+// Race runs the F-Race-style procedure: each round every surviving
+// configuration receives one more replication (all with the same seed, a
+// blocked design), then configurations whose mean trails the best by more
+// than the elimination margin are dropped. It returns all configurations,
+// survivors first, each carrying the replications it received.
+func Race(space Space, obj Objective, opts Options) ([]Evaluated, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	configs := space.Enumerate()
+	state := make([]Evaluated, len(configs))
+	for i := range state {
+		state[i] = Evaluated{Config: configs[i]}
+	}
+	alive := make([]int, len(configs))
+	for i := range alive {
+		alive[i] = i
+	}
+	team := hostpar.NewTeam(opts.Workers)
+
+	for round := 0; round < opts.Replications && len(alive) > opts.MinSurvivors; round++ {
+		errs := make([]error, len(alive))
+		team.ForChunk(len(alive), hostpar.Dynamic, 1, func(lo, hi, _ int) {
+			for k := lo; k < hi; k++ {
+				i := alive[k]
+				v, err := obj(state[i].Config, opts.Seed+uint64(round))
+				if err != nil {
+					errs[k] = err
+					return
+				}
+				state[i].Scores = append(state[i].Scores, v)
+				summarize(&state[i])
+			}
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Need at least two replications before eliminating anything.
+		if round == 0 {
+			continue
+		}
+		best := math.Inf(1)
+		var pooled float64
+		for _, i := range alive {
+			if state[i].Mean < best {
+				best = state[i].Mean
+			}
+			pooled += state[i].Std
+		}
+		pooled /= float64(len(alive))
+		cut := best + opts.EliminationMargin*(pooled+1e-12)
+		var next []int
+		for _, i := range alive {
+			if state[i].Mean <= cut {
+				next = append(next, i)
+			}
+		}
+		// Keep at least MinSurvivors (the best ones).
+		if len(next) < opts.MinSurvivors {
+			sort.Slice(alive, func(a, b int) bool { return state[alive[a]].Mean < state[alive[b]].Mean })
+			next = append([]int(nil), alive[:opts.MinSurvivors]...)
+		}
+		alive = next
+	}
+	rank(state)
+	return state, nil
+}
+
+// rank orders evaluated configurations: more replications first (Race
+// survivors), then by mean, then by deterministic config string.
+func rank(results []Evaluated) {
+	sort.Slice(results, func(a, b int) bool {
+		ra, rb := results[a], results[b]
+		if len(ra.Scores) != len(rb.Scores) {
+			return len(ra.Scores) > len(rb.Scores)
+		}
+		if ra.Mean != rb.Mean {
+			return ra.Mean < rb.Mean
+		}
+		return ra.Config.String() < rb.Config.String()
+	})
+}

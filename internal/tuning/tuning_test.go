@@ -1,0 +1,246 @@
+package tuning
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/metascreen/metascreen/internal/core"
+	"github.com/metascreen/metascreen/internal/forcefield"
+	"github.com/metascreen/metascreen/internal/metaheuristic"
+	"github.com/metascreen/metascreen/internal/molecule"
+	"github.com/metascreen/metascreen/internal/rng"
+	"github.com/metascreen/metascreen/internal/surface"
+)
+
+func space2D() Space {
+	return Space{Dims: []Dimension{
+		{Name: "x", Values: []float64{0, 1, 2, 3}},
+		{Name: "y", Values: []float64{0, 1, 2}},
+	}}
+}
+
+// bowl is a deterministic objective with optimum at x=2, y=1 plus
+// seed-dependent noise.
+func bowl(a Assignment, seed uint64) (float64, error) {
+	r := rng.New(seed)
+	noise := 0.05 * r.NormFloat64()
+	dx := a["x"] - 2
+	dy := a["y"] - 1
+	return dx*dx + dy*dy + noise, nil
+}
+
+func TestSpaceEnumerate(t *testing.T) {
+	s := space2D()
+	if s.Size() != 12 {
+		t.Errorf("Size = %d", s.Size())
+	}
+	configs := s.Enumerate()
+	if len(configs) != 12 {
+		t.Fatalf("enumerated %d", len(configs))
+	}
+	seen := map[string]bool{}
+	for _, c := range configs {
+		key := c.String()
+		if seen[key] {
+			t.Errorf("duplicate config %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestSpaceValidate(t *testing.T) {
+	bad := []Space{
+		{},
+		{Dims: []Dimension{{Name: "", Values: []float64{1}}}},
+		{Dims: []Dimension{{Name: "a", Values: nil}}},
+		{Dims: []Dimension{{Name: "a", Values: []float64{1}}, {Name: "a", Values: []float64{2}}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad space %d accepted", i)
+		}
+	}
+	if err := space2D().Validate(); err != nil {
+		t.Errorf("good space rejected: %v", err)
+	}
+}
+
+func TestGridSearchFindsOptimum(t *testing.T) {
+	results, err := GridSearch(space2D(), bowl, Options{Replications: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 12 {
+		t.Fatalf("%d results", len(results))
+	}
+	best := results[0].Config
+	if best["x"] != 2 || best["y"] != 1 {
+		t.Errorf("best config = %v, want x=2 y=1", best)
+	}
+	// Ranked by mean.
+	for i := 1; i < len(results); i++ {
+		if results[i].Mean < results[i-1].Mean {
+			t.Errorf("ranking broken at %d", i)
+		}
+	}
+	// Statistics sane.
+	for _, r := range results {
+		if len(r.Scores) != 6 {
+			t.Errorf("config %v has %d replications", r.Config, len(r.Scores))
+		}
+		if math.IsNaN(r.Mean) || r.Std < 0 {
+			t.Errorf("bad stats %+v", r)
+		}
+	}
+}
+
+func TestGridSearchDeterministic(t *testing.T) {
+	a, err := GridSearch(space2D(), bowl, Options{Replications: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GridSearch(space2D(), bowl, Options{Replications: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Config.String() != b[i].Config.String() || a[i].Mean != b[i].Mean {
+			t.Fatalf("result %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestGridSearchPropagatesErrors(t *testing.T) {
+	fail := func(a Assignment, seed uint64) (float64, error) {
+		if a["x"] == 2 {
+			return 0, fmt.Errorf("boom")
+		}
+		return 0, nil
+	}
+	if _, err := GridSearch(space2D(), fail, Options{Replications: 2}); err == nil {
+		t.Error("objective error swallowed")
+	}
+}
+
+func TestRaceEliminatesAndKeepsBest(t *testing.T) {
+	results, err := Race(space2D(), bowl, Options{Replications: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The winner (most replications, best mean) must be the true optimum.
+	best := results[0]
+	if best.Config["x"] != 2 || best.Config["y"] != 1 {
+		t.Errorf("race winner = %v", best.Config)
+	}
+	// Elimination must have happened: no configuration may consume the
+	// full replication budget when the race converges early, and the
+	// worst configuration must have been cut before the last round.
+	worst := results[len(results)-1]
+	if len(worst.Scores) >= 8 {
+		t.Errorf("worst config got all %d replications: no elimination happened", len(worst.Scores))
+	}
+	// Total replications must be well below grid search's cost.
+	total := 0
+	for _, r := range results {
+		total += len(r.Scores)
+	}
+	if total >= 12*8 {
+		t.Errorf("race used %d evaluations, grid would use %d", total, 12*8)
+	}
+}
+
+func TestRaceRespectsMinSurvivors(t *testing.T) {
+	results, err := Race(space2D(), bowl, Options{
+		Replications: 10, Seed: 13, MinSurvivors: 3, EliminationMargin: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxReps := len(results[0].Scores)
+	survivors := 0
+	for _, r := range results {
+		if len(r.Scores) == maxReps {
+			survivors++
+		}
+	}
+	if survivors < 3 {
+		t.Errorf("%d survivors, want >= 3", survivors)
+	}
+}
+
+func TestAssignmentString(t *testing.T) {
+	a := Assignment{"b": 2, "a": 1}
+	if a.String() != "a=1 b=2" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestParamsFromAssignment(t *testing.T) {
+	base := metaheuristic.Params{
+		PopulationPerSpot: 16, SelectFraction: 1, Generations: 10,
+	}
+	p, err := ParamsFromAssignment(base, Assignment{
+		ParamPopulation:      32,
+		ParamImproveFraction: 0.5,
+		ParamImproveMoves:    6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PopulationPerSpot != 32 || p.ImproveFraction != 0.5 || p.ImproveMoves != 6 {
+		t.Errorf("params = %+v", p)
+	}
+	if p.Generations != 10 {
+		t.Error("base value not preserved")
+	}
+	if _, err := ParamsFromAssignment(base, Assignment{"bogus": 1}); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+	if _, err := ParamsFromAssignment(base, Assignment{ParamPopulation: 0}); err == nil {
+		t.Error("invalid resulting params accepted")
+	}
+}
+
+func TestMetaheuristicObjectiveEndToEnd(t *testing.T) {
+	rec := molecule.SyntheticProtein("rec", 400, 91)
+	lig := molecule.SyntheticLigand("lig", 10, 92)
+	problem, err := core.NewProblem(rec, lig, surface.Options{MaxSpots: 2}, forcefield.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := metaheuristic.Params{
+		PopulationPerSpot: 8, SelectFraction: 1, Generations: 3,
+	}
+	obj := MetaheuristicObjective(problem, base, func(p metaheuristic.Params) (metaheuristic.Algorithm, error) {
+		return metaheuristic.NewScatterSearch("tune-ss", p)
+	})
+	space := Space{Dims: []Dimension{
+		{Name: ParamImproveMoves, Values: []float64{0, 3}},
+		{Name: ParamImproveFraction, Values: []float64{0, 1}},
+	}}
+	results, err := GridSearch(space, obj, Options{Replications: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("%d results", len(results))
+	}
+	// Sanity: every configuration produced finite energies.
+	for _, r := range results {
+		if math.IsNaN(r.Mean) || math.IsInf(r.Mean, 0) {
+			t.Errorf("config %v mean = %v", r.Config, r.Mean)
+		}
+	}
+	// Local search on (improveMoves=3, fraction=1) should not be worse
+	// than no local search with the same budget of generations.
+	means := map[string]float64{}
+	for _, r := range results {
+		means[r.Config.String()] = r.Mean
+	}
+	with := means["improveFraction=1 improveMoves=3"]
+	without := means["improveFraction=0 improveMoves=0"]
+	if with > without {
+		t.Errorf("local search (%v) worse than none (%v)", with, without)
+	}
+}

@@ -1,0 +1,96 @@
+package vec
+
+import "math"
+
+// AABB is an axis-aligned bounding box described by its minimum and maximum
+// corners. The zero value is an "empty" box that Extend grows correctly.
+type AABB struct {
+	Lo, Hi V3
+	valid  bool
+}
+
+// NewAABB returns the box spanning the two corners in any order.
+func NewAABB(a, b V3) AABB {
+	return AABB{Lo: a.Min(b), Hi: a.Max(b), valid: true}
+}
+
+// BoundPoints returns the tightest box containing all points; an empty slice
+// yields an empty box.
+func BoundPoints(pts []V3) AABB {
+	var b AABB
+	for _, p := range pts {
+		b.Extend(p)
+	}
+	return b
+}
+
+// Empty reports whether the box contains no points.
+func (b AABB) Empty() bool { return !b.valid }
+
+// Extend grows b (in place) to include p.
+func (b *AABB) Extend(p V3) {
+	if !b.valid {
+		b.Lo, b.Hi, b.valid = p, p, true
+		return
+	}
+	b.Lo = b.Lo.Min(p)
+	b.Hi = b.Hi.Max(p)
+}
+
+// ExtendBox grows b (in place) to include the box o.
+func (b *AABB) ExtendBox(o AABB) {
+	if o.Empty() {
+		return
+	}
+	b.Extend(o.Lo)
+	b.Extend(o.Hi)
+}
+
+// Pad returns b grown by r on every side. Padding an empty box returns an
+// empty box.
+func (b AABB) Pad(r float64) AABB {
+	if !b.valid {
+		return b
+	}
+	d := V3{r, r, r}
+	return AABB{Lo: b.Lo.Sub(d), Hi: b.Hi.Add(d), valid: true}
+}
+
+// Size returns the edge lengths of b, zero for an empty box.
+func (b AABB) Size() V3 {
+	if !b.valid {
+		return Zero
+	}
+	return b.Hi.Sub(b.Lo)
+}
+
+// Center returns the center of b, zero for an empty box.
+func (b AABB) Center() V3 {
+	if !b.valid {
+		return Zero
+	}
+	return b.Lo.Add(b.Hi).Scale(0.5)
+}
+
+// Contains reports whether p lies inside b (inclusive).
+func (b AABB) Contains(p V3) bool {
+	return b.valid &&
+		p.X >= b.Lo.X && p.X <= b.Hi.X &&
+		p.Y >= b.Lo.Y && p.Y <= b.Hi.Y &&
+		p.Z >= b.Lo.Z && p.Z <= b.Hi.Z
+}
+
+// Volume returns the volume of b, zero for an empty box.
+func (b AABB) Volume() float64 {
+	s := b.Size()
+	return s.X * s.Y * s.Z
+}
+
+// Diagonal returns the length of the main diagonal of b.
+func (b AABB) Diagonal() float64 { return b.Size().Norm() }
+
+// MaxEdge returns the longest edge length of b.
+func (b AABB) MaxEdge() float64 {
+	s := b.Size()
+	return math.Max(s.X, math.Max(s.Y, s.Z))
+}

@@ -1,0 +1,98 @@
+package vec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAABBEmpty(t *testing.T) {
+	var b AABB
+	if !b.Empty() {
+		t.Error("zero AABB not empty")
+	}
+	if b.Volume() != 0 || b.Size() != Zero || b.Center() != Zero {
+		t.Error("empty box has nonzero extent")
+	}
+	if b.Contains(Zero) {
+		t.Error("empty box contains a point")
+	}
+}
+
+func TestAABBExtend(t *testing.T) {
+	var b AABB
+	b.Extend(New(1, 1, 1))
+	if b.Empty() {
+		t.Fatal("box still empty after Extend")
+	}
+	if !b.Contains(New(1, 1, 1)) {
+		t.Error("box does not contain its seed point")
+	}
+	b.Extend(New(-1, 3, 0))
+	if b.Lo != New(-1, 1, 0) || b.Hi != New(1, 3, 1) {
+		t.Errorf("bounds = %v..%v", b.Lo, b.Hi)
+	}
+}
+
+func TestAABBNewOrdersCorners(t *testing.T) {
+	b := NewAABB(New(2, -1, 5), New(-2, 1, 3))
+	if b.Lo != New(-2, -1, 3) || b.Hi != New(2, 1, 5) {
+		t.Errorf("bounds = %v..%v", b.Lo, b.Hi)
+	}
+}
+
+func TestAABBPadVolume(t *testing.T) {
+	b := NewAABB(Zero, New(1, 1, 1))
+	p := b.Pad(1)
+	if p.Volume() != 27 {
+		t.Errorf("padded volume = %v, want 27", p.Volume())
+	}
+	var e AABB
+	if !e.Pad(5).Empty() {
+		t.Error("padding an empty box produced a non-empty box")
+	}
+}
+
+func TestAABBExtendBox(t *testing.T) {
+	a := NewAABB(Zero, New(1, 1, 1))
+	b := NewAABB(New(2, 2, 2), New(3, 3, 3))
+	a.ExtendBox(b)
+	if a.Hi != New(3, 3, 3) {
+		t.Errorf("Hi = %v", a.Hi)
+	}
+	var e AABB
+	a.ExtendBox(e) // extending by empty box is a no-op
+	if a.Hi != New(3, 3, 3) || a.Lo != Zero {
+		t.Error("extending by empty box changed bounds")
+	}
+}
+
+func TestAABBMetrics(t *testing.T) {
+	b := NewAABB(Zero, New(3, 4, 0))
+	if b.Diagonal() != 5 {
+		t.Errorf("Diagonal = %v", b.Diagonal())
+	}
+	if b.MaxEdge() != 4 {
+		t.Errorf("MaxEdge = %v", b.MaxEdge())
+	}
+	if b.Center() != New(1.5, 2, 0) {
+		t.Errorf("Center = %v", b.Center())
+	}
+}
+
+func TestQuickBoundPointsContainsAll(t *testing.T) {
+	f := func(pts []V3) bool {
+		for i := range pts {
+			pts[i] = clampV(pts[i])
+		}
+		b := BoundPoints(pts)
+		for _, p := range pts {
+			if !b.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,62 @@
+package vec
+
+import "math"
+
+// Mat3 is a 3x3 matrix in row-major order.
+type Mat3 [9]float64
+
+// IdentityMat3 returns the identity matrix.
+func IdentityMat3() Mat3 { return Mat3{1, 0, 0, 0, 1, 0, 0, 0, 1} }
+
+// MulV applies m to v.
+func (m Mat3) MulV(v V3) V3 {
+	return V3{
+		m[0]*v.X + m[1]*v.Y + m[2]*v.Z,
+		m[3]*v.X + m[4]*v.Y + m[5]*v.Z,
+		m[6]*v.X + m[7]*v.Y + m[8]*v.Z,
+	}
+}
+
+// Mul returns the matrix product m*n.
+func (m Mat3) Mul(n Mat3) Mat3 {
+	var r Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			s := 0.0
+			for k := 0; k < 3; k++ {
+				s += m[3*i+k] * n[3*k+j]
+			}
+			r[3*i+j] = s
+		}
+	}
+	return r
+}
+
+// Transpose returns the transpose of m.
+func (m Mat3) Transpose() Mat3 {
+	return Mat3{
+		m[0], m[3], m[6],
+		m[1], m[4], m[7],
+		m[2], m[5], m[8],
+	}
+}
+
+// Det returns the determinant of m.
+func (m Mat3) Det() float64 {
+	return m[0]*(m[4]*m[8]-m[5]*m[7]) -
+		m[1]*(m[3]*m[8]-m[5]*m[6]) +
+		m[2]*(m[3]*m[7]-m[4]*m[6])
+}
+
+// Trace returns the trace of m.
+func (m Mat3) Trace() float64 { return m[0] + m[4] + m[8] }
+
+// ApproxEq reports whether m and n differ by at most eps in every entry.
+func (m Mat3) ApproxEq(n Mat3, eps float64) bool {
+	for i := range m {
+		if math.Abs(m[i]-n[i]) > eps {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,49 @@
+package vec
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMat3Identity(t *testing.T) {
+	id := IdentityMat3()
+	v := New(1, 2, 3)
+	if got := id.MulV(v); got != v {
+		t.Errorf("I*v = %v", got)
+	}
+	if got := id.Det(); got != 1 {
+		t.Errorf("det(I) = %v", got)
+	}
+	if got := id.Trace(); got != 3 {
+		t.Errorf("tr(I) = %v", got)
+	}
+}
+
+func TestMat3MulAssociates(t *testing.T) {
+	a := QuatFromAxisAngle(New(1, 0, 0), 0.3).Mat3()
+	b := QuatFromAxisAngle(New(0, 1, 0), 0.7).Mat3()
+	c := QuatFromAxisAngle(New(0, 0, 1), 1.1).Mat3()
+	l := a.Mul(b).Mul(c)
+	r := a.Mul(b.Mul(c))
+	if !l.ApproxEq(r, 1e-12) {
+		t.Error("matrix multiplication not associative")
+	}
+}
+
+func TestMat3TransposeIsInverseForRotations(t *testing.T) {
+	m := QuatFromAxisAngle(New(1, 2, -1), 0.9).Mat3()
+	if !m.Mul(m.Transpose()).ApproxEq(IdentityMat3(), 1e-12) {
+		t.Error("R * R^T != I")
+	}
+}
+
+func TestMat3Det(t *testing.T) {
+	m := Mat3{2, 0, 0, 0, 3, 0, 0, 0, 4}
+	if got := m.Det(); math.Abs(got-24) > 1e-12 {
+		t.Errorf("det = %v, want 24", got)
+	}
+	singular := Mat3{1, 2, 3, 2, 4, 6, 0, 1, 0}
+	if got := singular.Det(); math.Abs(got) > 1e-12 {
+		t.Errorf("det of singular = %v", got)
+	}
+}

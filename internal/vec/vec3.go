@@ -1,0 +1,129 @@
+// Package vec provides the small fixed-size linear algebra used throughout
+// metascreen: 3-component vectors, unit quaternions for rigid-body
+// orientations, 3x3 matrices and axis-aligned bounding boxes.
+//
+// All types are plain value types with no hidden allocation; the hot scoring
+// loops in internal/forcefield operate on them directly.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// V3 is a 3-component vector of float64. It is used for atom coordinates,
+// translations and directions.
+type V3 struct {
+	X, Y, Z float64
+}
+
+// New returns the vector (x, y, z).
+func New(x, y, z float64) V3 { return V3{x, y, z} }
+
+// Zero is the zero vector.
+var Zero = V3{}
+
+// Add returns v + w.
+func (v V3) Add(w V3) V3 { return V3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v V3) Sub(w V3) V3 { return V3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v V3) Scale(s float64) V3 { return V3{v.X * s, v.Y * s, v.Z * s} }
+
+// Neg returns -v.
+func (v V3) Neg() V3 { return V3{-v.X, -v.Y, -v.Z} }
+
+// Dot returns the dot product v . w.
+func (v V3) Dot(w V3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v x w.
+func (v V3) Cross(w V3) V3 {
+	return V3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v V3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Norm2 returns the squared Euclidean length of v.
+func (v V3) Norm2() float64 { return v.Dot(v) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v V3) Dist(w V3) float64 { return v.Sub(w).Norm() }
+
+// Dist2 returns the squared Euclidean distance between v and w.
+func (v V3) Dist2(w V3) float64 { return v.Sub(w).Norm2() }
+
+// Unit returns v normalized to unit length. The zero vector is returned
+// unchanged.
+func (v V3) Unit() V3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Lerp returns the linear interpolation (1-t)*v + t*w.
+func (v V3) Lerp(w V3, t float64) V3 {
+	return V3{
+		v.X + t*(w.X-v.X),
+		v.Y + t*(w.Y-v.Y),
+		v.Z + t*(w.Z-v.Z),
+	}
+}
+
+// Mul returns the component-wise product of v and w.
+func (v V3) Mul(w V3) V3 { return V3{v.X * w.X, v.Y * w.Y, v.Z * w.Z} }
+
+// Min returns the component-wise minimum of v and w.
+func (v V3) Min(w V3) V3 {
+	return V3{math.Min(v.X, w.X), math.Min(v.Y, w.Y), math.Min(v.Z, w.Z)}
+}
+
+// Max returns the component-wise maximum of v and w.
+func (v V3) Max(w V3) V3 {
+	return V3{math.Max(v.X, w.X), math.Max(v.Y, w.Y), math.Max(v.Z, w.Z)}
+}
+
+// Abs returns the component-wise absolute value of v.
+func (v V3) Abs() V3 {
+	return V3{math.Abs(v.X), math.Abs(v.Y), math.Abs(v.Z)}
+}
+
+// IsFinite reports whether every component of v is finite (not NaN or Inf).
+func (v V3) IsFinite() bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&
+		!math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
+}
+
+// ApproxEq reports whether v and w differ by at most eps in every component.
+func (v V3) ApproxEq(w V3, eps float64) bool {
+	return math.Abs(v.X-w.X) <= eps &&
+		math.Abs(v.Y-w.Y) <= eps &&
+		math.Abs(v.Z-w.Z) <= eps
+}
+
+// String implements fmt.Stringer.
+func (v V3) String() string {
+	return fmt.Sprintf("(%.4f, %.4f, %.4f)", v.X, v.Y, v.Z)
+}
+
+// Centroid returns the arithmetic mean of the given points, or the zero
+// vector when pts is empty.
+func Centroid(pts []V3) V3 {
+	if len(pts) == 0 {
+		return Zero
+	}
+	var c V3
+	for _, p := range pts {
+		c = c.Add(p)
+	}
+	return c.Scale(1 / float64(len(pts)))
+}

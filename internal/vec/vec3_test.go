@@ -1,0 +1,180 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-12
+
+func TestAddSub(t *testing.T) {
+	v := New(1, 2, 3)
+	w := New(4, -5, 6)
+	if got := v.Add(w); got != New(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != New(-3, 7, -3) {
+		t.Errorf("Sub = %v", got)
+	}
+}
+
+func TestScaleNeg(t *testing.T) {
+	v := New(1, -2, 3)
+	if got := v.Scale(2); got != New(2, -4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Neg(); got != New(-1, 2, -3) {
+		t.Errorf("Neg = %v", got)
+	}
+}
+
+func TestDotCross(t *testing.T) {
+	x := New(1, 0, 0)
+	y := New(0, 1, 0)
+	z := New(0, 0, 1)
+	if got := x.Dot(y); got != 0 {
+		t.Errorf("x.y = %v", got)
+	}
+	if got := x.Cross(y); got != z {
+		t.Errorf("x cross y = %v, want z", got)
+	}
+	if got := y.Cross(x); got != z.Neg() {
+		t.Errorf("y cross x = %v, want -z", got)
+	}
+}
+
+func TestNormDist(t *testing.T) {
+	v := New(3, 4, 0)
+	if got := v.Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := v.Norm2(); got != 25 {
+		t.Errorf("Norm2 = %v", got)
+	}
+	if got := v.Dist(New(0, 0, 0)); got != 5 {
+		t.Errorf("Dist = %v", got)
+	}
+	if got := v.Dist2(New(3, 4, 12)); got != 144 {
+		t.Errorf("Dist2 = %v", got)
+	}
+}
+
+func TestUnit(t *testing.T) {
+	v := New(0, 0, 9)
+	if got := v.Unit(); !got.ApproxEq(New(0, 0, 1), eps) {
+		t.Errorf("Unit = %v", got)
+	}
+	if got := Zero.Unit(); got != Zero {
+		t.Errorf("Unit(0) = %v, want zero", got)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	v := New(0, 0, 0)
+	w := New(2, 4, 6)
+	if got := v.Lerp(w, 0.5); got != New(1, 2, 3) {
+		t.Errorf("Lerp = %v", got)
+	}
+	if got := v.Lerp(w, 0); got != v {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := v.Lerp(w, 1); got != w {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+}
+
+func TestMinMaxAbs(t *testing.T) {
+	v := New(1, -2, 3)
+	w := New(-1, 2, 3)
+	if got := v.Min(w); got != New(-1, -2, 3) {
+		t.Errorf("Min = %v", got)
+	}
+	if got := v.Max(w); got != New(1, 2, 3) {
+		t.Errorf("Max = %v", got)
+	}
+	if got := v.Abs(); got != New(1, 2, 3) {
+		t.Errorf("Abs = %v", got)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !New(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if New(math.NaN(), 0, 0).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if New(0, math.Inf(1), 0).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	pts := []V3{New(0, 0, 0), New(2, 0, 0), New(1, 3, 0)}
+	if got := Centroid(pts); !got.ApproxEq(New(1, 1, 0), eps) {
+		t.Errorf("Centroid = %v", got)
+	}
+	if got := Centroid(nil); got != Zero {
+		t.Errorf("Centroid(nil) = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(1, 2, 3).String(); got == "" {
+		t.Error("empty String()")
+	}
+}
+
+// clampV keeps quick-generated vectors in a numerically tame range.
+func clampV(v V3) V3 {
+	c := func(x float64) float64 {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 1
+		}
+		return math.Mod(x, 1e3)
+	}
+	return V3{c(v.X), c(v.Y), c(v.Z)}
+}
+
+func TestQuickDotCommutes(t *testing.T) {
+	f := func(a, b V3) bool {
+		a, b = clampV(a), clampV(b)
+		return math.Abs(a.Dot(b)-b.Dot(a)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCrossOrthogonal(t *testing.T) {
+	f := func(a, b V3) bool {
+		a, b = clampV(a), clampV(b)
+		c := a.Cross(b)
+		scale := a.Norm()*b.Norm() + 1
+		return math.Abs(c.Dot(a))/scale < 1e-6 && math.Abs(c.Dot(b))/scale < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTriangleInequality(t *testing.T) {
+	f := func(a, b V3) bool {
+		a, b = clampV(a), clampV(b)
+		return a.Add(b).Norm() <= a.Norm()+b.Norm()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAddSubRoundTrip(t *testing.T) {
+	f := func(a, b V3) bool {
+		a, b = clampV(a), clampV(b)
+		return a.Add(b).Sub(b).ApproxEq(a, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
