@@ -99,12 +99,7 @@ func loadLibrary(paths string, synthetic int) ([]*molecule.Molecule, error) {
 		if synthetic <= 0 {
 			return nil, fmt.Errorf("library size must be positive")
 		}
-		lib := make([]*molecule.Molecule, synthetic)
-		for i := range lib {
-			atoms := 18 + (i*5)%27
-			lib[i] = molecule.SyntheticLigand(fmt.Sprintf("LIG-%03d", i), atoms, 5000+uint64(i))
-		}
-		return lib, nil
+		return core.SyntheticLibrary(synthetic), nil
 	}
 	var lib []*molecule.Molecule
 	for _, p := range strings.Split(paths, ",") {

@@ -1,0 +1,80 @@
+// Command vsserved runs metascreen as a screening service: an HTTP JSON
+// API over a bounded job queue and a parallel worker pool, with
+// Prometheus metrics — the paper's virtual-screening funnel as a server.
+//
+// Usage:
+//
+//	vsserved -addr :8080 -workers 4 -queue 64
+//
+// Submit a screen, poll it, read the ranking:
+//
+//	curl -s -X POST localhost:8080/v1/screens \
+//	    -d '{"dataset":"2BSM","library":8,"metaheuristic":"M3","seed":7}'
+//	curl -s localhost:8080/v1/screens/job-000001
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM drain gracefully: intake stops, queued jobs are
+// cancelled, running jobs finish (up to -drain-timeout, then they are
+// force-cancelled between metaheuristic generations).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/metascreen/metascreen/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent screening workers (0 = all CPUs)")
+	queue := flag.Int("queue", 64, "queue bound; submissions beyond it get HTTP 429")
+	screenWorkers := flag.Int("screen-workers", 0, "per-job ligand parallelism (0 = all CPUs)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		ScreenWorkers: *screenWorkers,
+	})
+	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.ListenAndServe() }()
+	fmt.Printf("vsserved listening on %s\n", *addr)
+
+	select {
+	case <-ctx.Done():
+		fmt.Println("vsserved: draining...")
+	case err := <-errCh:
+		fatal(err)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop taking connections first, then drain the job pool.
+	if err := server.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "vsserved: http shutdown: %v\n", err)
+	}
+	if err := svc.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "vsserved: drain deadline exceeded, running jobs force-cancelled: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("vsserved: drained cleanly")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vsserved:", err)
+	os.Exit(1)
+}

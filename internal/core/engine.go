@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -69,7 +70,15 @@ type energyReporter interface {
 // batched onto the backend. The same seed, problem, algorithm and backend
 // configuration always produce the same result.
 func Run(p *Problem, alg metaheuristic.Algorithm, backend Backend, seed uint64) (*Result, error) {
-	return run(p, alg, backend, seed, 0)
+	return run(context.Background(), p, alg, backend, seed, 0)
+}
+
+// RunCtx is Run with cancellation: the run checks ctx between generations
+// and returns ctx's error as soon as it is cancelled or its deadline
+// passes, so long screening runs abort promptly. A cancelled run returns
+// no partial Result.
+func RunCtx(ctx context.Context, p *Problem, alg metaheuristic.Algorithm, backend Backend, seed uint64) (*Result, error) {
+	return run(ctx, p, alg, backend, seed, 0)
 }
 
 // RunBudget executes a run under a simulated-time deadline (the paper:
@@ -79,13 +88,22 @@ func Run(p *Problem, alg metaheuristic.Algorithm, backend Backend, seed uint64) 
 // Faster scheduling therefore buys more generations — and better
 // solutions — within the same deadline.
 func RunBudget(p *Problem, alg metaheuristic.Algorithm, backend Backend, seed uint64, budgetSeconds float64) (*Result, error) {
+	return RunBudgetCtx(context.Background(), p, alg, backend, seed, budgetSeconds)
+}
+
+// RunBudgetCtx is RunBudget with cancellation; the simulated-time budget
+// and ctx's real-time deadline are independent stop conditions.
+func RunBudgetCtx(ctx context.Context, p *Problem, alg metaheuristic.Algorithm, backend Backend, seed uint64, budgetSeconds float64) (*Result, error) {
 	if budgetSeconds <= 0 {
 		return nil, fmt.Errorf("core: budget %g seconds", budgetSeconds)
 	}
-	return run(p, alg, backend, seed, budgetSeconds)
+	return run(ctx, p, alg, backend, seed, budgetSeconds)
 }
 
-func run(p *Problem, alg metaheuristic.Algorithm, backend Backend, seed uint64, budget float64) (*Result, error) {
+func run(ctx context.Context, p *Problem, alg metaheuristic.Algorithm, backend Backend, seed uint64, budget float64) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(p.Spots) == 0 {
 		return nil, fmt.Errorf("core: problem has no spots")
 	}
@@ -147,6 +165,9 @@ func run(p *Problem, alg metaheuristic.Algorithm, backend Backend, seed uint64, 
 	deadlineHit := false
 	gens := 0
 	for gen := 0; !states[0].Done(gen); gen++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if budget > 0 && backend.SimTime() >= budget {
 			deadlineHit = true
 			break

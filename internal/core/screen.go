@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"github.com/metascreen/metascreen/internal/forcefield"
 	"github.com/metascreen/metascreen/internal/metaheuristic"
@@ -44,10 +47,13 @@ type ScreenEntry struct {
 
 // ScreenResult ranks a ligand library against one receptor.
 type ScreenResult struct {
-	// Ranking holds one entry per ligand, best binding energy first.
+	// Ranking holds one entry per ligand, best binding energy first
+	// (ties broken by ligand name so the order is fully deterministic).
 	Ranking []ScreenEntry
-	// SimulatedSeconds is the summed modeled time of all runs (ligand
-	// jobs run back to back on the node).
+	// SimulatedSeconds is the summed modeled time of all runs: the
+	// ligand jobs modeled back to back on one node. It is a workload
+	// measure, deliberately independent of how many worker goroutines
+	// the screen actually ran with.
 	SimulatedSeconds float64
 	// Evaluations is the total scoring work.
 	Evaluations int64
@@ -55,33 +61,87 @@ type ScreenResult struct {
 
 // Screen docks every ligand of a library against the receptor and returns
 // the library ranked by best binding energy — the virtual-screening funnel.
-// Each ligand is an independent job with its own problem, backend and seed
-// lane, so the ranking is deterministic and independent of library order.
+// It is ScreenCtx without cancellation, with one worker per CPU.
 func Screen(receptor *molecule.Molecule, library []*molecule.Molecule,
 	spotOpts surface.Options, ff forcefield.Options,
 	algf AlgorithmFactory, backf BackendFactory, seed uint64) (*ScreenResult, error) {
+	return ScreenCtx(context.Background(), receptor, library, spotOpts, ff, algf, backf, seed, 0)
+}
+
+// ScreenCtx docks every ligand of a library with a bounded pool of
+// `workers` goroutines (0 means runtime.GOMAXPROCS(0)). Each ligand is an
+// independent job with its own problem, backend and seed lane, so the
+// ranking is byte-identical for every worker count — including the
+// sequential workers=1 path — and independent of completion order.
+// Cancelling ctx aborts in-flight runs between generations and returns
+// ctx's error.
+func ScreenCtx(ctx context.Context, receptor *molecule.Molecule, library []*molecule.Molecule,
+	spotOpts surface.Options, ff forcefield.Options,
+	algf AlgorithmFactory, backf BackendFactory, seed uint64, workers int) (*ScreenResult, error) {
 	if len(library) == 0 {
 		return nil, fmt.Errorf("core: empty ligand library")
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(library) {
+		workers = len(library)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]*Result, len(library))
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel() // abort the other workers promptly
+		}
+		errMu.Unlock()
+	}
+
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := screenLigand(ctx, receptor, library[i], i, spotOpts, ff, algf, backf, seed)
+				if err != nil {
+					fail(err)
+					return
+				}
+				results[i] = res
+			}
+		}()
+	}
+feed:
+	for i := range library {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Aggregate in library order so floating-point sums are deterministic.
 	out := &ScreenResult{}
-	for i, lig := range library {
-		problem, err := NewProblem(receptor, lig, spotOpts, ff)
-		if err != nil {
-			return nil, fmt.Errorf("core: ligand %q: %w", lig.Name, err)
-		}
-		alg, err := algf()
-		if err != nil {
-			return nil, err
-		}
-		backend, err := backf(problem)
-		if err != nil {
-			return nil, err
-		}
-		res, err := Run(problem, alg, backend, seed+uint64(i)*0x9e37)
-		if err != nil {
-			return nil, fmt.Errorf("core: ligand %q: %w", lig.Name, err)
-		}
-		out.Ranking = append(out.Ranking, ScreenEntry{Ligand: lig, Result: res})
+	for i, res := range results {
+		out.Ranking = append(out.Ranking, ScreenEntry{Ligand: library[i], Result: res})
 		out.SimulatedSeconds += res.SimulatedSeconds
 		out.Evaluations += res.Evaluations
 	}
@@ -89,11 +149,57 @@ func Screen(receptor *molecule.Molecule, library []*molecule.Molecule,
 	return out, nil
 }
 
-// sortRanking orders a screen's ranking best-first.
+// screenLigand runs one ligand job on its own seed lane. The lane is keyed
+// by library index, not by execution order, which is what makes the
+// parallel screen reproduce the sequential one exactly.
+func screenLigand(ctx context.Context, receptor, lig *molecule.Molecule, i int,
+	spotOpts surface.Options, ff forcefield.Options,
+	algf AlgorithmFactory, backf BackendFactory, seed uint64) (*Result, error) {
+	problem, err := NewProblem(receptor, lig, spotOpts, ff)
+	if err != nil {
+		return nil, fmt.Errorf("core: ligand %q: %w", lig.Name, err)
+	}
+	alg, err := algf()
+	if err != nil {
+		return nil, err
+	}
+	backend, err := backf(problem)
+	if err != nil {
+		return nil, err
+	}
+	res, err := RunCtx(ctx, problem, alg, backend, seed+uint64(i)*0x9e37)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err // cancellation is not the ligand's fault
+		}
+		return nil, fmt.Errorf("core: ligand %q: %w", lig.Name, err)
+	}
+	return res, nil
+}
+
+// sortRanking orders a screen's ranking best-first, breaking equal scores
+// by ligand name so the ranking never depends on library order.
 func sortRanking(out *ScreenResult) {
 	sort.SliceStable(out.Ranking, func(a, b int) bool {
-		return out.Ranking[a].Result.Best.Score < out.Ranking[b].Result.Best.Score
+		ea, eb := out.Ranking[a], out.Ranking[b]
+		if ea.Result.Best.Score != eb.Result.Best.Score {
+			return ea.Result.Best.Score < eb.Result.Best.Score
+		}
+		return ea.Ligand.Name < eb.Ligand.Name
 	})
+}
+
+// SyntheticLibrary returns n deterministic synthetic ligands with varied
+// drug-like sizes — the shared workload generator of cmd/vsscreen and the
+// screening service, so a service screen and a library screen over "the
+// same" synthetic library really dock the same molecules.
+func SyntheticLibrary(n int) []*molecule.Molecule {
+	lib := make([]*molecule.Molecule, n)
+	for i := range lib {
+		atoms := 18 + (i*5)%27
+		lib[i] = molecule.SyntheticLigand(fmt.Sprintf("LIG-%03d", i), atoms, 5000+uint64(i))
+	}
+	return lib
 }
 
 // MultiStartResult aggregates independent executions of the same problem.
@@ -112,6 +218,12 @@ type MultiStartResult struct {
 // executions scheme. Each run gets its own backend (its own simulated
 // node) and a distinct seed lane.
 func RunMultiStart(p *Problem, algf AlgorithmFactory, backf BackendFactory, n int, seed uint64) (*MultiStartResult, error) {
+	return RunMultiStartCtx(context.Background(), p, algf, backf, n, seed)
+}
+
+// RunMultiStartCtx is RunMultiStart with cancellation between and within
+// runs.
+func RunMultiStartCtx(ctx context.Context, p *Problem, algf AlgorithmFactory, backf BackendFactory, n int, seed uint64) (*MultiStartResult, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("core: %d multi-start runs", n)
 	}
@@ -125,7 +237,7 @@ func RunMultiStart(p *Problem, algf AlgorithmFactory, backf BackendFactory, n in
 		if err != nil {
 			return nil, err
 		}
-		res, err := Run(p, alg, backend, seed+uint64(i)*0x51f1)
+		res, err := RunCtx(ctx, p, alg, backend, seed+uint64(i)*0x51f1)
 		if err != nil {
 			return nil, err
 		}

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
 
+	"github.com/metascreen/metascreen/internal/conformation"
 	"github.com/metascreen/metascreen/internal/forcefield"
 	"github.com/metascreen/metascreen/internal/metaheuristic"
 	"github.com/metascreen/metascreen/internal/molecule"
@@ -113,5 +116,98 @@ func TestRunMultiStartErrors(t *testing.T) {
 	if _, err := RunMultiStart(p, screenAlgFactory(),
 		HostBackendFactory(HostConfig{Real: true}), 0, 1); err == nil {
 		t.Error("zero runs accepted")
+	}
+}
+
+func TestSortRankingTieBreak(t *testing.T) {
+	mk := func(name string, score float64) ScreenEntry {
+		return ScreenEntry{
+			Ligand: molecule.SyntheticLigand(name, 10, 1),
+			Result: &Result{Best: conformation.Conformation{Score: score}},
+		}
+	}
+	// Equal-energy ligands arrive in reverse-alphabetical library order;
+	// the ranking must not preserve that accident.
+	out := &ScreenResult{Ranking: []ScreenEntry{
+		mk("lig-c", -5), mk("lig-b", -5), mk("lig-a", -5), mk("lig-d", -9),
+	}}
+	sortRanking(out)
+	want := []string{"lig-d", "lig-a", "lig-b", "lig-c"}
+	for i, w := range want {
+		if got := out.Ranking[i].Ligand.Name; got != w {
+			t.Errorf("rank %d: got %s want %s", i, got, w)
+		}
+	}
+}
+
+func TestScreenParallelMatchesSequential(t *testing.T) {
+	rec := molecule.SyntheticProtein("rec", 500, 41)
+	library := SyntheticLibrary(6)
+	screen := func(workers int) *ScreenResult {
+		res, err := ScreenCtx(context.Background(), rec, library,
+			surface.Options{MaxSpots: 2}, forcefield.Options{},
+			screenAlgFactory(), HostBackendFactory(HostConfig{Real: true}), 3, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := screen(1)
+	par := screen(4)
+	if seq.SimulatedSeconds != par.SimulatedSeconds {
+		t.Errorf("SimulatedSeconds differ: %v vs %v", seq.SimulatedSeconds, par.SimulatedSeconds)
+	}
+	if seq.Evaluations != par.Evaluations {
+		t.Errorf("Evaluations differ: %d vs %d", seq.Evaluations, par.Evaluations)
+	}
+	for i := range seq.Ranking {
+		s, p := seq.Ranking[i], par.Ranking[i]
+		if s.Ligand.Name != p.Ligand.Name ||
+			s.Result.Best.Score != p.Result.Best.Score ||
+			s.Result.Best.Translation != p.Result.Best.Translation ||
+			s.Result.Best.Orientation != p.Result.Best.Orientation {
+			t.Errorf("rank %d differs: %s %v vs %s %v", i,
+				s.Ligand.Name, s.Result.Best, p.Ligand.Name, p.Result.Best)
+		}
+	}
+}
+
+func TestScreenCtxCancelled(t *testing.T) {
+	rec := molecule.SyntheticProtein("rec", 500, 41)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ScreenCtx(ctx, rec, SyntheticLibrary(3),
+		surface.Options{MaxSpots: 2}, forcefield.Options{},
+		screenAlgFactory(), HostBackendFactory(HostConfig{Real: true}), 1, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestRunCtxCancelled(t *testing.T) {
+	p := smallProblem(t)
+	alg, err := screenAlgFactory()()
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend, err := NewHostBackend(p, HostConfig{Real: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, p, alg, backend, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestRunMultiStartCtxCancelled(t *testing.T) {
+	p := smallProblem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunMultiStartCtx(ctx, p, screenAlgFactory(),
+		HostBackendFactory(HostConfig{Real: true}), 2, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
 	}
 }

@@ -1,0 +1,234 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/metascreen/metascreen/internal/core"
+	"github.com/metascreen/metascreen/internal/sched"
+	"github.com/metascreen/metascreen/internal/tables"
+)
+
+// JobState is a job's position in its lifecycle.
+type JobState string
+
+// Job lifecycle: Queued -> Running -> one of Done / Failed / Cancelled.
+// A queued job cancelled before a worker picks it up goes straight from
+// Queued to Cancelled.
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether a job in this state will never change again.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// TerminalStates lists every terminal state in exposition order.
+var TerminalStates = []JobState{StateDone, StateFailed, StateCancelled}
+
+// ScreenRequest describes one screening job: which benchmark receptor,
+// how large a synthetic ligand library, which metaheuristic, and which
+// (simulated) machine runs it. The zero value of every optional field
+// means its documented default.
+type ScreenRequest struct {
+	// Dataset is the benchmark receptor: "2BSM" (default) or "2BXG".
+	Dataset string `json:"dataset,omitempty"`
+	// Library is the synthetic ligand library size; default 8.
+	Library int `json:"library,omitempty"`
+	// Spots is the surface-spot cap per ligand job; default 4.
+	Spots int `json:"spots,omitempty"`
+	// Metaheuristic is one of the paper's "M1".."M4"; default "M3".
+	Metaheuristic string `json:"metaheuristic,omitempty"`
+	// Scale is the metaheuristic budget scale (1 = paper scale);
+	// default 0.02, small enough for interactive latency.
+	Scale float64 `json:"scale,omitempty"`
+	// Machine selects a simulated multi-GPU platform ("Jupiter" or
+	// "Hertz"); empty runs on the multicore host backend.
+	Machine string `json:"machine,omitempty"`
+	// Mode is the pool partitioning strategy when Machine is set:
+	// "homogeneous" (default), "heterogeneous" or "dynamic".
+	Mode string `json:"mode,omitempty"`
+	// Modeled selects the surrogate scorer (the table harness's Modeled
+	// mode) instead of real force-field evaluation.
+	Modeled bool `json:"modeled,omitempty"`
+	// Seed is the screen's random seed; jobs with equal requests and
+	// seeds return identical rankings.
+	Seed uint64 `json:"seed"`
+	// TimeoutSeconds bounds the job's wall-clock run time; 0 = no limit.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+}
+
+// withDefaults fills zero fields with their documented defaults.
+func (r ScreenRequest) withDefaults() ScreenRequest {
+	if r.Dataset == "" {
+		r.Dataset = "2BSM"
+	}
+	if r.Library == 0 {
+		r.Library = 8
+	}
+	if r.Spots == 0 {
+		r.Spots = 4
+	}
+	if r.Metaheuristic == "" {
+		r.Metaheuristic = "M3"
+	}
+	if r.Scale == 0 {
+		r.Scale = 0.02
+	}
+	if r.Machine != "" && r.Mode == "" {
+		r.Mode = "homogeneous"
+	}
+	return r
+}
+
+// Validate rejects requests the workers could not run. It is called at
+// admission so a bad request fails with 400 at submit time, not with a
+// failed job minutes later.
+func (r ScreenRequest) Validate() error {
+	if _, err := core.DatasetByName(r.Dataset); err != nil {
+		return err
+	}
+	if r.Library < 1 || r.Library > 10000 {
+		return fmt.Errorf("service: library size %d out of range [1,10000]", r.Library)
+	}
+	if r.Spots < 1 || r.Spots > 128 {
+		return fmt.Errorf("service: spots %d out of range [1,128]", r.Spots)
+	}
+	switch r.Metaheuristic {
+	case "M1", "M2", "M3", "M4":
+	default:
+		return fmt.Errorf("service: unknown metaheuristic %q (want M1..M4)", r.Metaheuristic)
+	}
+	if r.Scale <= 0 || r.Scale > 1 {
+		return fmt.Errorf("service: scale %g out of range (0,1]", r.Scale)
+	}
+	if r.Machine != "" {
+		if _, err := tables.MachineByName(r.Machine); err != nil {
+			return err
+		}
+	}
+	if _, err := parseMode(r.Mode); err != nil {
+		return err
+	}
+	if r.TimeoutSeconds < 0 {
+		return fmt.Errorf("service: negative timeout %g", r.TimeoutSeconds)
+	}
+	return nil
+}
+
+// parseMode maps the wire mode name to the scheduler's enum.
+func parseMode(s string) (sched.Mode, error) {
+	switch s {
+	case "", "homogeneous":
+		return sched.Homogeneous, nil
+	case "heterogeneous":
+		return sched.Heterogeneous, nil
+	case "dynamic":
+		return sched.Dynamic, nil
+	}
+	return 0, fmt.Errorf("service: unknown mode %q (want homogeneous, heterogeneous or dynamic)", s)
+}
+
+// backendFactory builds the request's backend factory: the host backend,
+// or a pool backend over the requested machine's GPUs.
+func (r ScreenRequest) backendFactory() (core.BackendFactory, error) {
+	if r.Machine == "" {
+		return core.HostBackendFactory(core.HostConfig{Real: !r.Modeled}), nil
+	}
+	m, err := tables.MachineByName(r.Machine)
+	if err != nil {
+		return nil, err
+	}
+	mode, err := parseMode(r.Mode)
+	if err != nil {
+		return nil, err
+	}
+	return core.PoolBackendFactory(core.PoolConfig{
+		Specs: m.GPUs,
+		Mode:  mode,
+		Real:  !r.Modeled,
+	}), nil
+}
+
+// Job is one submitted screen. All fields are guarded by the owning
+// Service's mutex; handlers only ever see View snapshots.
+type Job struct {
+	id        string
+	state     JobState
+	req       ScreenRequest
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	err       string
+	result    *core.ScreenResult
+	cancel    func() // non-nil exactly while running
+}
+
+// RankEntry is one row of a job's ranking on the wire.
+type RankEntry struct {
+	Rank   int     `json:"rank"`
+	Ligand string  `json:"ligand"`
+	Atoms  int     `json:"atoms"`
+	Score  float64 `json:"score"`
+	Spot   int     `json:"spot"`
+}
+
+// ResultView is a finished job's outcome on the wire.
+type ResultView struct {
+	Ranking          []RankEntry `json:"ranking"`
+	SimulatedSeconds float64     `json:"simulated_seconds"`
+	Evaluations      int64       `json:"evaluations"`
+}
+
+// JobView is a consistent snapshot of a job for JSON responses.
+type JobView struct {
+	ID          string        `json:"id"`
+	State       JobState      `json:"state"`
+	Request     ScreenRequest `json:"request"`
+	SubmittedAt time.Time     `json:"submitted_at"`
+	StartedAt   *time.Time    `json:"started_at,omitempty"`
+	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
+	Error       string        `json:"error,omitempty"`
+	Result      *ResultView   `json:"result,omitempty"`
+}
+
+// view snapshots the job. Caller holds the service mutex.
+func (j *Job) view() JobView {
+	v := JobView{
+		ID:          j.id,
+		State:       j.state,
+		Request:     j.req,
+		SubmittedAt: j.submitted,
+		Error:       j.err,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	if j.result != nil {
+		rv := &ResultView{
+			SimulatedSeconds: j.result.SimulatedSeconds,
+			Evaluations:      j.result.Evaluations,
+		}
+		for i, e := range j.result.Ranking {
+			rv.Ranking = append(rv.Ranking, RankEntry{
+				Rank:   i + 1,
+				Ligand: e.Ligand.Name,
+				Atoms:  e.Ligand.NumAtoms(),
+				Score:  e.Result.Best.Score,
+				Spot:   e.Result.Best.Spot,
+			})
+		}
+		v.Result = rv
+	}
+	return v
+}

@@ -1,0 +1,200 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Metrics is the service's hand-rolled Prometheus registry: counters for
+// the job lifecycle, a job-latency histogram, and engine work counters
+// (scoring evaluations, simulated seconds) aggregated from every finished
+// run. It holds no references into jobs, so scraping never contends with
+// screening beyond this one mutex.
+//
+// The exposition format is the Prometheus text format, written by
+// WriteTo; names are stable API (dashboards depend on them).
+type Metrics struct {
+	mu sync.Mutex
+
+	workers   int
+	busy      int
+	submitted int64
+	rejected  int64
+	finished  map[JobState]int64
+
+	latencyBuckets []float64 // upper bounds, seconds; +Inf implicit
+	latencyCounts  []int64   // one per bucket plus the +Inf overflow
+	latencySum     float64
+	latencyCount   int64
+
+	evaluations      int64
+	simulatedSeconds float64
+}
+
+// defaultLatencyBuckets spans interactive modeled screens (tens of
+// milliseconds) to long real-mode library runs.
+var defaultLatencyBuckets = []float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 300}
+
+// NewMetrics builds an empty registry for a pool of `workers` workers.
+func NewMetrics(workers int) *Metrics {
+	return &Metrics{
+		workers:        workers,
+		finished:       make(map[JobState]int64),
+		latencyBuckets: defaultLatencyBuckets,
+		latencyCounts:  make([]int64, len(defaultLatencyBuckets)+1),
+	}
+}
+
+// Submitted counts one admitted job.
+func (m *Metrics) Submitted() {
+	m.mu.Lock()
+	m.submitted++
+	m.mu.Unlock()
+}
+
+// Rejected counts one queue-full rejection.
+func (m *Metrics) Rejected() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+// WorkerBusy adjusts the busy-worker gauge by delta (+1/-1).
+func (m *Metrics) WorkerBusy(delta int) {
+	m.mu.Lock()
+	m.busy += delta
+	m.mu.Unlock()
+}
+
+// Finished counts one job reaching a terminal state and observes its
+// end-to-end latency (submission to completion, queue wait included).
+func (m *Metrics) Finished(state JobState, latency time.Duration) {
+	sec := latency.Seconds()
+	m.mu.Lock()
+	m.finished[state]++
+	i := 0
+	for ; i < len(m.latencyBuckets); i++ {
+		if sec <= m.latencyBuckets[i] {
+			break
+		}
+	}
+	m.latencyCounts[i]++
+	m.latencySum += sec
+	m.latencyCount++
+	m.mu.Unlock()
+}
+
+// Work accumulates a finished run's engine counters.
+func (m *Metrics) Work(evaluations int64, simulatedSeconds float64) {
+	m.mu.Lock()
+	m.evaluations += evaluations
+	m.simulatedSeconds += simulatedSeconds
+	m.mu.Unlock()
+}
+
+// Snapshot is the scrape-time view of the counters, merged with the live
+// service gauges by the /metrics handler.
+type Snapshot struct {
+	Submitted   int64
+	Rejected    int64
+	Finished    map[JobState]int64
+	Evaluations int64
+	Busy        int
+}
+
+// Snapshot copies the counters.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fin := make(map[JobState]int64, len(m.finished))
+	for k, v := range m.finished {
+		fin[k] = v
+	}
+	return Snapshot{
+		Submitted:   m.submitted,
+		Rejected:    m.rejected,
+		Finished:    fin,
+		Evaluations: m.evaluations,
+		Busy:        m.busy,
+	}
+}
+
+// WriteTo writes the registry in Prometheus text exposition format,
+// followed by the given live gauges (queue depth and running jobs come
+// from the Service, not the registry). Output order is fixed so the
+// exposition is byte-stable for a given state — see the golden test.
+func (m *Metrics) WriteTo(w io.Writer, queueDepth, running int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	p("# HELP metascreen_jobs_submitted_total Jobs admitted into the queue.\n")
+	p("# TYPE metascreen_jobs_submitted_total counter\n")
+	p("metascreen_jobs_submitted_total %d\n", m.submitted)
+
+	p("# HELP metascreen_jobs_rejected_total Submissions rejected because the queue was full.\n")
+	p("# TYPE metascreen_jobs_rejected_total counter\n")
+	p("metascreen_jobs_rejected_total %d\n", m.rejected)
+
+	p("# HELP metascreen_jobs_finished_total Jobs by terminal state.\n")
+	p("# TYPE metascreen_jobs_finished_total counter\n")
+	for _, st := range TerminalStates {
+		p("metascreen_jobs_finished_total{state=%q} %d\n", string(st), m.finished[st])
+	}
+
+	p("# HELP metascreen_queue_depth Jobs admitted but not yet claimed by a worker.\n")
+	p("# TYPE metascreen_queue_depth gauge\n")
+	p("metascreen_queue_depth %d\n", queueDepth)
+
+	p("# HELP metascreen_jobs_running Jobs currently executing.\n")
+	p("# TYPE metascreen_jobs_running gauge\n")
+	p("metascreen_jobs_running %d\n", running)
+
+	p("# HELP metascreen_workers Size of the worker pool.\n")
+	p("# TYPE metascreen_workers gauge\n")
+	p("metascreen_workers %d\n", m.workers)
+
+	p("# HELP metascreen_workers_busy Workers currently running a job.\n")
+	p("# TYPE metascreen_workers_busy gauge\n")
+	p("metascreen_workers_busy %d\n", m.busy)
+
+	p("# HELP metascreen_job_latency_seconds Job latency from submission to terminal state.\n")
+	p("# TYPE metascreen_job_latency_seconds histogram\n")
+	cum := int64(0)
+	for i, le := range m.latencyBuckets {
+		cum += m.latencyCounts[i]
+		p("metascreen_job_latency_seconds_bucket{le=%q} %d\n", formatFloat(le), cum)
+	}
+	cum += m.latencyCounts[len(m.latencyBuckets)]
+	p("metascreen_job_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	p("metascreen_job_latency_seconds_sum %s\n", formatFloat(m.latencySum))
+	p("metascreen_job_latency_seconds_count %d\n", m.latencyCount)
+
+	p("# HELP metascreen_evaluations_total Scoring-function evaluations performed by finished jobs.\n")
+	p("# TYPE metascreen_evaluations_total counter\n")
+	p("metascreen_evaluations_total %d\n", m.evaluations)
+
+	p("# HELP metascreen_simulated_seconds_total Modeled engine seconds accumulated by finished jobs.\n")
+	p("# TYPE metascreen_simulated_seconds_total counter\n")
+	p("metascreen_simulated_seconds_total %s\n", formatFloat(m.simulatedSeconds))
+
+	return err
+}
+
+// formatFloat renders a float the way Prometheus clients expect.
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

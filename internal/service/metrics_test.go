@@ -1,0 +1,95 @@
+package service
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMetricsExpositionGolden pins the exact Prometheus text exposition
+// for a known sequence of events. The format is API: dashboards and
+// alerts depend on these names and label sets.
+func TestMetricsExpositionGolden(t *testing.T) {
+	m := NewMetrics(2)
+	m.Submitted()
+	m.Submitted()
+	m.Submitted()
+	m.Rejected()
+	m.WorkerBusy(1)
+	m.Finished(StateDone, 40*time.Millisecond)
+	m.Finished(StateDone, 700*time.Millisecond)
+	m.Finished(StateCancelled, 2*time.Second)
+	m.Work(1500, 12.5)
+	m.Work(500, 2.5)
+
+	var b strings.Builder
+	if err := m.WriteTo(&b, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP metascreen_jobs_submitted_total Jobs admitted into the queue.
+# TYPE metascreen_jobs_submitted_total counter
+metascreen_jobs_submitted_total 3
+# HELP metascreen_jobs_rejected_total Submissions rejected because the queue was full.
+# TYPE metascreen_jobs_rejected_total counter
+metascreen_jobs_rejected_total 1
+# HELP metascreen_jobs_finished_total Jobs by terminal state.
+# TYPE metascreen_jobs_finished_total counter
+metascreen_jobs_finished_total{state="done"} 2
+metascreen_jobs_finished_total{state="failed"} 0
+metascreen_jobs_finished_total{state="cancelled"} 1
+# HELP metascreen_queue_depth Jobs admitted but not yet claimed by a worker.
+# TYPE metascreen_queue_depth gauge
+metascreen_queue_depth 1
+# HELP metascreen_jobs_running Jobs currently executing.
+# TYPE metascreen_jobs_running gauge
+metascreen_jobs_running 1
+# HELP metascreen_workers Size of the worker pool.
+# TYPE metascreen_workers gauge
+metascreen_workers 2
+# HELP metascreen_workers_busy Workers currently running a job.
+# TYPE metascreen_workers_busy gauge
+metascreen_workers_busy 1
+# HELP metascreen_job_latency_seconds Job latency from submission to terminal state.
+# TYPE metascreen_job_latency_seconds histogram
+metascreen_job_latency_seconds_bucket{le="0.01"} 0
+metascreen_job_latency_seconds_bucket{le="0.05"} 1
+metascreen_job_latency_seconds_bucket{le="0.1"} 1
+metascreen_job_latency_seconds_bucket{le="0.5"} 1
+metascreen_job_latency_seconds_bucket{le="1"} 2
+metascreen_job_latency_seconds_bucket{le="5"} 3
+metascreen_job_latency_seconds_bucket{le="10"} 3
+metascreen_job_latency_seconds_bucket{le="30"} 3
+metascreen_job_latency_seconds_bucket{le="60"} 3
+metascreen_job_latency_seconds_bucket{le="300"} 3
+metascreen_job_latency_seconds_bucket{le="+Inf"} 3
+metascreen_job_latency_seconds_sum 2.74
+metascreen_job_latency_seconds_count 3
+# HELP metascreen_evaluations_total Scoring-function evaluations performed by finished jobs.
+# TYPE metascreen_evaluations_total counter
+metascreen_evaluations_total 2000
+# HELP metascreen_simulated_seconds_total Modeled engine seconds accumulated by finished jobs.
+# TYPE metascreen_simulated_seconds_total counter
+metascreen_simulated_seconds_total 15
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestMetricsEmpty(t *testing.T) {
+	m := NewMetrics(1)
+	var b strings.Builder
+	if err := m.WriteTo(&b, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"metascreen_jobs_submitted_total 0",
+		`metascreen_job_latency_seconds_bucket{le="+Inf"} 0`,
+		"metascreen_evaluations_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in empty exposition", want)
+		}
+	}
+}

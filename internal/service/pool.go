@@ -1,0 +1,85 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/metascreen/metascreen/internal/core"
+	"github.com/metascreen/metascreen/internal/forcefield"
+	"github.com/metascreen/metascreen/internal/metaheuristic"
+	"github.com/metascreen/metascreen/internal/surface"
+)
+
+// The worker pool: N goroutines drain the bounded queue, each running one
+// screen at a time through the core engine with a per-job context. The
+// pool exits when the queue closes (shutdown).
+
+// worker is one pool goroutine's life.
+func (s *Service) worker() {
+	defer s.workers.Done()
+	for j := range s.queue.ch {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one claimed job through its full lifecycle.
+func (s *Service) runJob(j *Job) {
+	s.mu.Lock()
+	if j.state != StateQueued {
+		// Cancelled (or shut down) while waiting in the queue.
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if j.req.TimeoutSeconds > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(),
+			time.Duration(j.req.TimeoutSeconds*float64(time.Second)))
+	}
+	j.state = StateRunning
+	j.started = s.now()
+	j.cancel = cancel
+	run := s.run
+	s.mu.Unlock()
+
+	s.metrics.WorkerBusy(1)
+	res, err := run(ctx, j.req)
+	s.metrics.WorkerBusy(-1)
+	cancel()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case err == nil:
+		s.finishLocked(j, StateDone, res, "")
+	case errors.Is(err, context.Canceled):
+		s.finishLocked(j, StateCancelled, nil, "cancelled while running")
+	case errors.Is(err, context.DeadlineExceeded):
+		s.finishLocked(j, StateFailed, nil,
+			fmt.Sprintf("deadline exceeded after %gs", j.req.TimeoutSeconds))
+	default:
+		s.finishLocked(j, StateFailed, nil, err.Error())
+	}
+}
+
+// runScreen is the production runner: it materializes the request into
+// the exact same core.ScreenCtx call a library user would write, so a
+// service job and a library screen with equal parameters and seed return
+// identical rankings.
+func (s *Service) runScreen(ctx context.Context, req ScreenRequest) (*core.ScreenResult, error) {
+	ds, err := core.DatasetByName(req.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	backf, err := req.backendFactory()
+	if err != nil {
+		return nil, err
+	}
+	algf := func() (metaheuristic.Algorithm, error) {
+		return metaheuristic.NewPaper(req.Metaheuristic, req.Scale)
+	}
+	return core.ScreenCtx(ctx, ds.Receptor, core.SyntheticLibrary(req.Library),
+		surface.Options{MaxSpots: req.Spots}, forcefield.Options{},
+		algf, backf, req.Seed, s.cfg.ScreenWorkers)
+}

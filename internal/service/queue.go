@@ -1,0 +1,50 @@
+package service
+
+import "errors"
+
+// Admission and lookup errors. Handlers map these to HTTP statuses
+// (ErrQueueFull -> 429, ErrDraining -> 503, ErrNotFound -> 404,
+// ErrTerminal -> 409), and embedders of the Service API match them with
+// errors.Is.
+var (
+	// ErrQueueFull is returned when admission would exceed the queue
+	// bound. Backpressure is the contract: the service never buffers an
+	// unbounded backlog in memory; callers retry with backoff.
+	ErrQueueFull = errors.New("service: queue full")
+	// ErrDraining is returned for submissions after shutdown began.
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+	// ErrNotFound is returned for an unknown job ID.
+	ErrNotFound = errors.New("service: no such job")
+	// ErrTerminal is returned when cancelling a job that already
+	// finished.
+	ErrTerminal = errors.New("service: job already finished")
+)
+
+// jobQueue is the bounded FIFO between admission and the worker pool. It
+// is deliberately a thin wrapper over a buffered channel: the channel is
+// both the queue storage and the workers' wait primitive, and the bound
+// is the admission-control limit. Pushes happen under the Service mutex
+// so tryPush never races close.
+type jobQueue struct {
+	ch chan *Job
+}
+
+func newJobQueue(depth int) *jobQueue {
+	return &jobQueue{ch: make(chan *Job, depth)}
+}
+
+// tryPush enqueues without blocking; a full queue is an admission error.
+func (q *jobQueue) tryPush(j *Job) error {
+	select {
+	case q.ch <- j:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// depth is the number of queued jobs not yet claimed by a worker.
+func (q *jobQueue) depth() int { return len(q.ch) }
+
+// close ends intake; workers drain the remainder and exit.
+func (q *jobQueue) close() { close(q.ch) }

@@ -1,0 +1,113 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// The HTTP layer: a stdlib-only JSON API over the Service.
+//
+//	POST   /v1/screens      submit a ScreenRequest     -> 202 JobView
+//	GET    /v1/screens      list jobs                  -> 200 [JobView]
+//	GET    /v1/screens/{id} job status + ranking       -> 200 JobView
+//	DELETE /v1/screens/{id} cancel                     -> 202 JobView
+//	GET    /healthz         liveness                   -> 200 Stats
+//	GET    /metrics         Prometheus text exposition -> 200
+//
+// Errors are {"error": "..."} with ErrQueueFull -> 429, ErrDraining ->
+// 503, ErrNotFound -> 404, ErrTerminal -> 409, bad requests -> 400.
+
+// Handler returns the service's HTTP API.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/screens", s.handleSubmit)
+	mux.HandleFunc("GET /v1/screens", s.handleList)
+	mux.HandleFunc("GET /v1/screens/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/screens/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req ScreenRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	view, err := s.Submit(req)
+	if err != nil {
+		writeError(w, submitStatus(err), err)
+		return
+	}
+	w.Header().Set("Location", "/v1/screens/"+view.ID)
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+// submitStatus maps an admission error to its HTTP status.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.List())
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	view, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	view, err := s.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrTerminal):
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeJSON(w, http.StatusAccepted, view)
+	}
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	code := http.StatusOK
+	if st.Draining {
+		// Draining instances fail readiness so load balancers stop
+		// routing to them while running jobs finish.
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteTo(w, st.QueueDepth, st.Running)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

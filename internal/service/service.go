@@ -1,0 +1,253 @@
+// Package service turns the metascreen engine into a long-running
+// screening service: submitted screens become queued jobs, a bounded
+// worker pool drains them through internal/core, and an HTTP JSON API
+// (plus a Prometheus-text /metrics endpoint) exposes the whole lifecycle.
+//
+// The package is the chassis for production deployment of the paper's
+// engine — the drug-discovery funnel as a server rather than a library
+// call. Its contracts:
+//
+//   - Admission control: the queue is bounded; a full queue rejects with
+//     ErrQueueFull (HTTP 429) instead of buffering unbounded memory.
+//   - Cancellation: every running job has its own context.Context; DELETE
+//     aborts it between metaheuristic generations via core.RunCtx.
+//   - Determinism: a job's ranking is byte-identical to the same screen
+//     run through the library API with the same request and seed.
+//   - Graceful drain: Shutdown stops intake, cancels still-queued jobs,
+//     and lets running jobs finish (until the shutdown context expires,
+//     at which point they are force-cancelled).
+//
+// The worker pool and the metrics counters are shared mutable state; run
+// the package tests with -race (see the repo's CI workflow).
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/metascreen/metascreen/internal/core"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the number of concurrent screening workers;
+	// 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds the number of admitted-but-not-started jobs;
+	// 0 means 64.
+	QueueDepth int
+	// ScreenWorkers bounds the per-job ligand parallelism handed to
+	// core.ScreenCtx; 0 means one goroutine per CPU (fine for a single
+	// job at a time; set to 1 when Workers is large to avoid
+	// oversubscription).
+	ScreenWorkers int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	return c
+}
+
+// runnerFunc executes one screen; tests substitute a controllable stub.
+type runnerFunc func(ctx context.Context, req ScreenRequest) (*core.ScreenResult, error)
+
+// Service is the screening service: job registry, bounded queue, worker
+// pool and metrics. Create it with New, serve its Handler, stop it with
+// Shutdown.
+type Service struct {
+	cfg     Config
+	metrics *Metrics
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for List
+	nextID   uint64
+	draining bool
+
+	queue   *jobQueue
+	workers sync.WaitGroup
+	run     runnerFunc
+
+	// now is the clock; tests pin it for stable timestamps.
+	now func() time.Time
+}
+
+// New builds a service and starts its worker pool.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:     cfg,
+		metrics: NewMetrics(cfg.Workers),
+		jobs:    make(map[string]*Job),
+		queue:   newJobQueue(cfg.QueueDepth),
+		now:     time.Now,
+	}
+	s.run = s.runScreen
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and enqueues a screen, returning the queued job's
+// snapshot. It fails fast with ErrQueueFull or ErrDraining.
+func (s *Service) Submit(req ScreenRequest) (JobView, error) {
+	req = req.withDefaults()
+	if err := req.Validate(); err != nil {
+		return JobView{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return JobView{}, ErrDraining
+	}
+	s.nextID++
+	j := &Job{
+		id:        fmt.Sprintf("job-%06d", s.nextID),
+		state:     StateQueued,
+		req:       req,
+		submitted: s.now(),
+	}
+	if err := s.queue.tryPush(j); err != nil {
+		s.nextID-- // the ID was never exposed
+		s.metrics.Rejected()
+		return JobView{}, err
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.metrics.Submitted()
+	return j.view(), nil
+}
+
+// Get returns a job snapshot.
+func (s *Service) Get(id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, ErrNotFound
+	}
+	return j.view(), nil
+}
+
+// List returns every job in submission order.
+func (s *Service) List() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].view())
+	}
+	return out
+}
+
+// Cancel aborts a job: a queued job is marked cancelled immediately (the
+// worker that later pops it skips it), a running job has its context
+// cancelled and finishes as cancelled once the engine notices, between
+// generations. Cancelling a terminal job returns ErrTerminal.
+func (s *Service) Cancel(id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, ErrNotFound
+	}
+	switch j.state {
+	case StateQueued:
+		s.finishLocked(j, StateCancelled, nil, "cancelled while queued")
+	case StateRunning:
+		j.cancel()
+	default:
+		return j.view(), ErrTerminal
+	}
+	return j.view(), nil
+}
+
+// finishLocked moves a job to a terminal state and records it in the
+// metrics. Caller holds s.mu.
+func (s *Service) finishLocked(j *Job, state JobState, res *core.ScreenResult, errMsg string) {
+	j.state = state
+	j.finished = s.now()
+	j.err = errMsg
+	j.result = res
+	j.cancel = nil
+	s.metrics.Finished(state, j.finished.Sub(j.submitted))
+	if res != nil {
+		s.metrics.Work(res.Evaluations, res.SimulatedSeconds)
+	}
+}
+
+// Shutdown drains the service: intake stops (further Submits return
+// ErrDraining), still-queued jobs are cancelled, and running jobs get to
+// finish. When ctx expires first, running jobs are force-cancelled and
+// Shutdown still waits for the workers to wind down before returning
+// ctx's error. Shutdown is idempotent.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		for _, id := range s.order {
+			if j := s.jobs[id]; j.state == StateQueued {
+				s.finishLocked(j, StateCancelled, nil, "cancelled at shutdown")
+			}
+		}
+		s.queue.close()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, id := range s.order {
+			if j := s.jobs[id]; j.state == StateRunning {
+				j.cancel()
+			}
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Stats is a point-in-time operational snapshot (also the source of the
+// /metrics gauges).
+type Stats struct {
+	QueueDepth int `json:"queue_depth"`
+	Running    int `json:"running"`
+	Workers    int `json:"workers"`
+	Draining   bool `json:"draining"`
+}
+
+// Stats snapshots the live gauges.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		QueueDepth: s.queue.depth(),
+		Workers:    s.cfg.Workers,
+		Draining:   s.draining,
+	}
+	for _, j := range s.jobs {
+		if j.state == StateRunning {
+			st.Running++
+		}
+	}
+	return st
+}

@@ -27,6 +27,8 @@
 package metascreen
 
 import (
+	"context"
+
 	"github.com/metascreen/metascreen/internal/analysis"
 	"github.com/metascreen/metascreen/internal/cluster"
 	"github.com/metascreen/metascreen/internal/conformation"
@@ -36,6 +38,7 @@ import (
 	"github.com/metascreen/metascreen/internal/metaheuristic"
 	"github.com/metascreen/metascreen/internal/molecule"
 	"github.com/metascreen/metascreen/internal/sched"
+	"github.com/metascreen/metascreen/internal/service"
 	"github.com/metascreen/metascreen/internal/surface"
 	"github.com/metascreen/metascreen/internal/tables"
 )
@@ -162,19 +165,46 @@ func Run(p *Problem, alg Metaheuristic, backend Backend, seed uint64) (*Result, 
 	return core.Run(p, alg, backend, seed)
 }
 
+// RunCtx is Run with cancellation: the run aborts between metaheuristic
+// generations as soon as ctx is cancelled or its deadline passes.
+func RunCtx(ctx context.Context, p *Problem, alg Metaheuristic, backend Backend, seed uint64) (*Result, error) {
+	return core.RunCtx(ctx, p, alg, backend, seed)
+}
+
 // RunBudget executes a run under a simulated-time deadline.
 func RunBudget(p *Problem, alg Metaheuristic, backend Backend, seed uint64, budgetSeconds float64) (*Result, error) {
 	return core.RunBudget(p, alg, backend, seed, budgetSeconds)
 }
 
+// RunBudgetCtx is RunBudget with cancellation; the simulated-time budget
+// and ctx's real-time deadline are independent stop conditions.
+func RunBudgetCtx(ctx context.Context, p *Problem, alg Metaheuristic, backend Backend, seed uint64, budgetSeconds float64) (*Result, error) {
+	return core.RunBudgetCtx(ctx, p, alg, backend, seed, budgetSeconds)
+}
+
 // ScreenResult ranks a ligand library against one receptor.
 type ScreenResult = core.ScreenResult
 
-// Screen docks every ligand of a library and returns the ranking.
+// Screen docks every ligand of a library and returns the ranking, one
+// worker goroutine per CPU. Equal-energy ligands rank by name, so the
+// ranking never depends on library order.
 func Screen(receptor *Molecule, library []*Molecule, spots SpotOptions, ff ForceFieldOptions,
 	algf core.AlgorithmFactory, backf core.BackendFactory, seed uint64) (*ScreenResult, error) {
 	return core.Screen(receptor, library, spots, ff, algf, backf, seed)
 }
+
+// ScreenCtx is Screen with cancellation and an explicit worker bound
+// (0 = one per CPU). Every worker count returns a byte-identical ranking:
+// each ligand runs on its own seed lane keyed by library index.
+func ScreenCtx(ctx context.Context, receptor *Molecule, library []*Molecule, spots SpotOptions, ff ForceFieldOptions,
+	algf core.AlgorithmFactory, backf core.BackendFactory, seed uint64, workers int) (*ScreenResult, error) {
+	return core.ScreenCtx(ctx, receptor, library, spots, ff, algf, backf, seed, workers)
+}
+
+// SyntheticLibrary returns n deterministic synthetic ligands with varied
+// drug-like sizes — the workload generator shared by cmd/vsscreen and the
+// screening service.
+var SyntheticLibrary = core.SyntheticLibrary
 
 // HostBackendFactory and PoolBackendFactory adapt configurations to the
 // factory signature Screen and RunMultiStart take.
@@ -184,8 +214,12 @@ var (
 )
 
 // RunMultiStart executes independent stochastic runs and picks the winner
-// (the paper's independent-executions scheme).
-var RunMultiStart = core.RunMultiStart
+// (the paper's independent-executions scheme); RunMultiStartCtx adds
+// cancellation.
+var (
+	RunMultiStart    = core.RunMultiStart
+	RunMultiStartCtx = core.RunMultiStartCtx
+)
 
 // --- simulated hardware ----------------------------------------------------
 
@@ -239,6 +273,35 @@ var ClusterModes = analysis.ClusterModes
 
 // PoseRMSD is the RMSD between two poses of the same ligand.
 var PoseRMSD = analysis.PoseRMSD
+
+// --- screening service ------------------------------------------------------
+
+// ServiceConfig sizes the screening service (workers, queue bound,
+// per-job ligand parallelism).
+type ServiceConfig = service.Config
+
+// ScreeningService runs screens as jobs: a bounded queue, a parallel
+// worker pool over the engine, an HTTP JSON API (Handler) and Prometheus
+// metrics. See cmd/vsserved for the ready-made server binary.
+type ScreeningService = service.Service
+
+// ScreenRequest describes one service screening job.
+type ScreenRequest = service.ScreenRequest
+
+// JobView is a job snapshot as returned by the service API.
+type JobView = service.JobView
+
+// JobState is a job's lifecycle position ("queued", "running", "done",
+// "failed", "cancelled").
+type JobState = service.JobState
+
+// NewService builds a screening service and starts its worker pool; stop
+// it with its Shutdown method.
+func NewService(cfg ServiceConfig) *ScreeningService { return service.New(cfg) }
+
+// ErrQueueFull is the service's admission-control rejection (HTTP 429 on
+// the API).
+var ErrQueueFull = service.ErrQueueFull
 
 // --- multi-node -----------------------------------------------------------------
 
