@@ -13,10 +13,13 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"github.com/metascreen/metascreen/internal/analysis"
 	"github.com/metascreen/metascreen/internal/conformation"
 	"github.com/metascreen/metascreen/internal/core"
+	"github.com/metascreen/metascreen/internal/cudasim"
 	"github.com/metascreen/metascreen/internal/forcefield"
 	"github.com/metascreen/metascreen/internal/metaheuristic"
 	"github.com/metascreen/metascreen/internal/molecule"
@@ -41,6 +44,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "random seed")
 	top := flag.Int("top", 5, "number of best spots to print")
 	gantt := flag.Bool("gantt", false, "pool backend: print a device timeline chart after the run")
+	faults := flag.String("faults", "", `pool backend: inject device faults, e.g. "dev1:fail@0.5,dev0:throttle@0.2x" (fail@T / hang@T in simulated seconds, transient@RATE, throttle@Fx)`)
 	multistart := flag.Int("multistart", 1, "independent stochastic executions; the best wins")
 	flexible := flag.Bool("flexible", false, "dock the ligand flexibly (rotatable bonds become search dimensions)")
 	budget := flag.Float64("budget", 0, "simulated-time deadline in seconds (0 = run to the End condition)")
@@ -73,7 +77,7 @@ func main() {
 	if *gantt && *backendKind == "pool" {
 		recorder = &trace.Recorder{}
 	}
-	backend, err := pickBackend(problem, *backendKind, *machine, *mode, *seed, recorder)
+	backend, err := pickBackend(problem, *backendKind, *machine, *mode, *seed, *faults, recorder)
 	if err != nil {
 		fatal(err)
 	}
@@ -87,7 +91,7 @@ func main() {
 		ms, err := core.RunMultiStart(problem,
 			func() (metaheuristic.Algorithm, error) { return pickAlgorithm(*mh, *mhScale) },
 			func(p *core.Problem) (core.Backend, error) {
-				return pickBackend(p, *backendKind, *machine, *mode, *seed, nil)
+				return pickBackend(p, *backendKind, *machine, *mode, *seed, *faults, nil)
 			},
 			*multistart, *seed)
 		if err != nil {
@@ -117,6 +121,10 @@ func main() {
 		fmt.Printf(", %.4fs simulated", res.SimulatedSeconds)
 	}
 	fmt.Println()
+	if res.DeviceFaults > 0 || res.Resplits > 0 {
+		fmt.Printf("fault recovery: %d device faults, %d retries, %d re-splits — run completed\n",
+			res.DeviceFaults, res.SchedRetries, res.Resplits)
+	}
 
 	ranked := append([]core.SpotResult(nil), res.Spots...)
 	sort.Slice(ranked, func(i, j int) bool {
@@ -238,9 +246,12 @@ func extensionParams(scale float64) metaheuristic.Params {
 	}
 }
 
-func pickBackend(p *core.Problem, kind, machineName, modeName string, seed uint64, rec *trace.Recorder) (core.Backend, error) {
+func pickBackend(p *core.Problem, kind, machineName, modeName string, seed uint64, faultSpec string, rec *trace.Recorder) (core.Backend, error) {
 	switch kind {
 	case "host":
+		if faultSpec != "" {
+			return nil, fmt.Errorf("-faults requires -backend pool (the host backend has no devices)")
+		}
 		return core.NewHostBackend(p, core.HostConfig{Real: true})
 	case "pool":
 		m, err := tables.MachineByName(machineName)
@@ -258,15 +269,86 @@ func pickBackend(p *core.Problem, kind, machineName, modeName string, seed uint6
 		default:
 			return nil, fmt.Errorf("unknown mode %q", modeName)
 		}
+		plans, err := parseFaults(faultSpec, len(m.GPUs), seed)
+		if err != nil {
+			return nil, err
+		}
 		return core.NewPoolBackend(p, core.PoolConfig{
-			Real:  true,
-			Specs: m.GPUs,
-			Mode:  mode,
-			Seed:  seed,
-			Trace: rec,
+			Real:   true,
+			Specs:  m.GPUs,
+			Mode:   mode,
+			Seed:   seed,
+			Trace:  rec,
+			Faults: plans,
 		})
 	}
 	return nil, fmt.Errorf("unknown backend %q", kind)
+}
+
+// parseFaults parses the -faults DSL: comma-separated "dev<i>:<kind>@<value>"
+// clauses, where kind is fail@T (permanent loss at simulated second T),
+// hang@T (operations starting at or after T never complete), transient@R
+// (per-operation error rate R) or throttle@Fx (throughput multiplier F).
+// Multiple clauses for the same device merge into one plan. An empty spec
+// returns nil.
+func parseFaults(spec string, devices int, seed uint64) ([]cudasim.FaultPlan, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	plans := make([]cudasim.FaultPlan, devices)
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		devPart, rest, ok := strings.Cut(clause, ":")
+		if !ok || !strings.HasPrefix(devPart, "dev") {
+			return nil, fmt.Errorf("bad fault clause %q (want dev<i>:<kind>@<value>)", clause)
+		}
+		idx, err := strconv.Atoi(strings.TrimPrefix(devPart, "dev"))
+		if err != nil || idx < 0 || idx >= devices {
+			return nil, fmt.Errorf("bad device in fault clause %q (machine has %d devices)", clause, devices)
+		}
+		kind, valPart, ok := strings.Cut(rest, "@")
+		if !ok {
+			return nil, fmt.Errorf("bad fault clause %q (missing @value)", clause)
+		}
+		isThrottle := kind == "throttle"
+		if isThrottle {
+			valPart = strings.TrimSuffix(valPart, "x")
+		}
+		val, err := strconv.ParseFloat(valPart, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value in fault clause %q: %v", clause, err)
+		}
+		p := &plans[idx]
+		switch kind {
+		case "fail":
+			if val <= 0 {
+				return nil, fmt.Errorf("fail time must be positive in %q", clause)
+			}
+			p.FailAt = val
+		case "hang":
+			if val <= 0 {
+				return nil, fmt.Errorf("hang time must be positive in %q", clause)
+			}
+			p.HangAt = val
+		case "transient":
+			if val <= 0 || val >= 1 {
+				return nil, fmt.Errorf("transient rate must be in (0,1) in %q", clause)
+			}
+			p.TransientRate = val
+			p.Seed = seed + uint64(idx)
+		case "throttle":
+			if val <= 0 || val >= 1 {
+				return nil, fmt.Errorf("throttle factor must be in (0,1) in %q", clause)
+			}
+			p.ThrottleFactor = val
+		default:
+			return nil, fmt.Errorf("unknown fault kind %q in %q (want fail, hang, transient or throttle)", kind, clause)
+		}
+	}
+	return plans, nil
 }
 
 func fatal(err error) {

@@ -38,12 +38,16 @@ func main() {
 	queue := flag.Int("queue", 64, "queue bound; submissions beyond it get HTTP 429")
 	screenWorkers := flag.Int("screen-workers", 0, "per-job ligand parallelism (0 = all CPUs)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs")
+	maxAttempts := flag.Int("max-attempts", 0, "executions per job with transient failures (0 = 3, 1 disables retries)")
+	retryDelay := flag.Duration("retry-delay", 0, "base backoff before the first retry, doubled per retry (0 = 100ms)")
 	flag.Parse()
 
 	svc := service.New(service.Config{
-		Workers:       *workers,
-		QueueDepth:    *queue,
-		ScreenWorkers: *screenWorkers,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		ScreenWorkers:  *screenWorkers,
+		MaxAttempts:    *maxAttempts,
+		RetryBaseDelay: *retryDelay,
 	})
 	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
 

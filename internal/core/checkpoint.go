@@ -151,8 +151,7 @@ func ScreenResumable(receptor *molecule.Molecule, library []*molecule.Molecule,
 			SimulatedSeconds: res.SimulatedSeconds,
 		}
 		out.Ranking = append(out.Ranking, ScreenEntry{Ligand: lig, Result: res})
-		out.SimulatedSeconds += res.SimulatedSeconds
-		out.Evaluations += res.Evaluations
+		out.addRun(res)
 	}
 	sortRanking(out)
 	return out, nil

@@ -48,6 +48,13 @@ type Result struct {
 	// DeadlineHit reports whether a time-budgeted run stopped at its
 	// budget rather than at the metaheuristic's own End condition.
 	DeadlineHit bool
+	// DeviceFaults counts device fault events (transient, permanent,
+	// hang) absorbed or detected during the run.
+	DeviceFaults int64
+	// SchedRetries counts transient-fault operation retries.
+	SchedRetries int64
+	// Resplits counts mid-run redistributions of a dead device's work.
+	Resplits int64
 }
 
 // GenPoint is one generation's convergence sample.
@@ -63,6 +70,27 @@ type GenPoint struct {
 // energyReporter is implemented by backends that model energy.
 type energyReporter interface {
 	EnergyJoules() float64
+}
+
+// errReporter is implemented by backends that can fail unrecoverably
+// (e.g. every simulated device lost); the engine checks it each
+// generation and aborts the run when it reports an error.
+type errReporter interface {
+	Err() error
+}
+
+// faultReporter is implemented by backends that track device faults and
+// recovery actions.
+type faultReporter interface {
+	FaultTotals() (faults, retries, resplits int64)
+}
+
+// backendErr returns the backend's latched failure, if any.
+func backendErr(backend Backend) error {
+	if er, ok := backend.(errReporter); ok {
+		return er.Err()
+	}
+	return nil
 }
 
 // Run executes one virtual-screening run: the metaheuristic optimizes all
@@ -140,6 +168,9 @@ func run(ctx context.Context, p *Problem, alg metaheuristic.Algorithm, backend B
 		}
 	}
 	backend.ScoreBatch(batch)
+	if err := backendErr(backend); err != nil {
+		return nil, fmt.Errorf("core: backend failed during initialization: %w", err)
+	}
 	for i, st := range states {
 		st.Begin(seeds[i])
 	}
@@ -212,6 +243,9 @@ func run(ctx context.Context, p *Problem, alg metaheuristic.Algorithm, backend B
 			st.Integrate(scoms[i])
 		}
 		backend.HostOps(popTotal)
+		if err := backendErr(backend); err != nil {
+			return nil, fmt.Errorf("core: backend failed at generation %d: %w", gens, err)
+		}
 		history = append(history, GenPoint{
 			Generation: gens,
 			SimSeconds: backend.SimTime(),
@@ -239,6 +273,9 @@ func run(ctx context.Context, p *Problem, alg metaheuristic.Algorithm, backend B
 	}
 	if er, ok := backend.(energyReporter); ok {
 		res.EnergyJoules = er.EnergyJoules()
+	}
+	if fr, ok := backend.(faultReporter); ok {
+		res.DeviceFaults, res.SchedRetries, res.Resplits = fr.FaultTotals()
 	}
 	res.WallSeconds = time.Since(start).Seconds()
 	return res, nil

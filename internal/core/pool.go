@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"github.com/metascreen/metascreen/internal/conformation"
@@ -52,6 +53,15 @@ type PoolConfig struct {
 	// Trace, when non-nil, records every device operation's timeline for
 	// utilization analysis and Gantt rendering.
 	Trace *trace.Recorder
+	// Faults holds one fault plan per device (missing entries inject
+	// nothing); see cudasim.FaultPlan.
+	Faults []cudasim.FaultPlan
+	// MaxRetries bounds per-operation transient retries; 0 means
+	// sched.DefaultMaxRetries, negative disables retries.
+	MaxRetries int
+	// Watchdog is the per-operation hang deadline in simulated seconds;
+	// 0 means cudasim.DefaultWatchdog.
+	Watchdog float64
 }
 
 func (c PoolConfig) withDefaults() PoolConfig {
@@ -94,6 +104,9 @@ type PoolBackend struct {
 	// the scoring and improve kernels separately.
 	weights map[cudasim.KernelKind][]float64
 	evals   atomic.Int64
+
+	failMu  sync.Mutex
+	failure error // first unrecoverable scheduling failure
 }
 
 // NewPoolBackend builds the node, performing the warm-up phase when the
@@ -118,6 +131,15 @@ func NewPoolBackend(p *Problem, cfg PoolConfig) (*PoolBackend, error) {
 	if cfg.Trace != nil {
 		b.pool.SetRecorder(cfg.Trace)
 	}
+	// Arm fault injection and the recovery policy before any operation
+	// (including warm-up) touches the devices.
+	for i, plan := range cfg.Faults {
+		if i >= ctx.DeviceCount() {
+			break
+		}
+		ctx.Device(i).SetFaultPlan(plan)
+	}
+	b.pool.SetFaultPolicy(sched.FaultPolicy{MaxRetries: cfg.MaxRetries, Watchdog: cfg.Watchdog})
 	// Memory gate: every device must hold the receptor, the ligand and the
 	// conformation buffers (the paper's motivation for scaling out: "for
 	// the simulation of large molecules, it is necessary to scale to large
@@ -194,7 +216,17 @@ func (b *PoolBackend) Weights(kind cudasim.KernelKind) []float64 { return b.weig
 func (b *PoolBackend) Pool() *sched.Pool { return b.pool }
 
 // dispatch advances the simulated timeline for one generation batch.
+// Device faults are absorbed by the pool's recovery (retries, re-splits);
+// only an unrecoverable failure — every device lost — is latched and
+// surfaced through Err.
 func (b *PoolBackend) dispatch(n int, kind cudasim.KernelKind, evals int) {
+	if b.Err() != nil {
+		return
+	}
+	if b.pool.AliveCount() == 0 {
+		b.setFailure(fmt.Errorf("core: cannot dispatch %d conformations: %w", n, sched.ErrAllDevicesLost))
+		return
+	}
 	b.ensureWeights(kind, n)
 	batch := sched.Batch{
 		Proto: cudasim.ScoringLaunch{
@@ -205,17 +237,46 @@ func (b *PoolBackend) dispatch(n int, kind cudasim.KernelKind, evals int) {
 		},
 		BytesPerConformation: 56, // translation + quaternion, float64
 	}
+	var err error
 	switch b.cfg.Mode {
 	case sched.Dynamic:
-		b.pool.RunDynamic(n, b.cfg.ChunkSize, batch)
+		_, err = b.pool.RunDynamic(n, b.cfg.ChunkSize, batch)
 	default:
-		assign := sched.Assign(b.cfg.Mode, n, b.pool.Size(), b.weights[kind], b.cfg.WarpsPerBlock)
+		// Assign over the devices still alive: a device fenced in an
+		// earlier generation keeps weight zero from here on.
+		assign := sched.AssignAlive(b.cfg.Mode, n, b.pool.Alive(), b.weights[kind], b.cfg.WarpsPerBlock)
 		if b.cfg.PipelineDepth > 1 {
-			b.pool.RunStaticPipelined(assign, batch, b.cfg.PipelineDepth)
+			_, err = b.pool.RunStaticPipelined(assign, batch, b.cfg.PipelineDepth)
 		} else {
-			b.pool.RunStatic(assign, batch)
+			_, err = b.pool.RunStatic(assign, batch)
 		}
 	}
+	if err != nil {
+		b.setFailure(err)
+	}
+}
+
+func (b *PoolBackend) setFailure(err error) {
+	b.failMu.Lock()
+	defer b.failMu.Unlock()
+	if b.failure == nil {
+		b.failure = err
+	}
+}
+
+// Err returns the first unrecoverable scheduling failure, or nil. The
+// engine checks it each generation and aborts the run when set.
+func (b *PoolBackend) Err() error {
+	b.failMu.Lock()
+	defer b.failMu.Unlock()
+	return b.failure
+}
+
+// FaultTotals reports the pool's fault counters: total device fault
+// events, transient retries, and mid-run re-splits.
+func (b *PoolBackend) FaultTotals() (faults, retries, resplits int64) {
+	st := b.pool.FaultStats()
+	return st.Faults(), st.Retries, st.Resplits
 }
 
 // ScoreBatch implements Backend.

@@ -57,6 +57,21 @@ type ScreenResult struct {
 	SimulatedSeconds float64
 	// Evaluations is the total scoring work.
 	Evaluations int64
+	// DeviceFaults, SchedRetries and Resplits sum the per-ligand fault
+	// counters: fault events observed, transient retries, and mid-run
+	// work redistributions across all ligand jobs.
+	DeviceFaults int64
+	SchedRetries int64
+	Resplits     int64
+}
+
+// addRun accumulates one ligand run into the screen totals.
+func (out *ScreenResult) addRun(res *Result) {
+	out.SimulatedSeconds += res.SimulatedSeconds
+	out.Evaluations += res.Evaluations
+	out.DeviceFaults += res.DeviceFaults
+	out.SchedRetries += res.SchedRetries
+	out.Resplits += res.Resplits
 }
 
 // Screen docks every ligand of a library against the receptor and returns
@@ -142,8 +157,7 @@ feed:
 	out := &ScreenResult{}
 	for i, res := range results {
 		out.Ranking = append(out.Ranking, ScreenEntry{Ligand: library[i], Result: res})
-		out.SimulatedSeconds += res.SimulatedSeconds
-		out.Evaluations += res.Evaluations
+		out.addRun(res)
 	}
 	sortRanking(out)
 	return out, nil

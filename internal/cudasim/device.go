@@ -3,6 +3,8 @@ package cudasim
 import (
 	"fmt"
 	"sync"
+
+	"github.com/metascreen/metascreen/internal/rng"
 )
 
 // Device is one simulated GPU: a spec plus a simulated timeline and memory
@@ -10,6 +12,10 @@ import (
 // return Events with start/end timestamps. A Device is safe for concurrent
 // use, but like a real CUDA context it is normally driven by a single host
 // goroutine (the paper binds one OpenMP thread per GPU).
+//
+// A Device can carry a FaultPlan; operations then return typed errors
+// (see fault.go) and the device may become fenced ("lost"), after which
+// every operation fails immediately without advancing time.
 type Device struct {
 	// ID is the device index within its Context, as cudaSetDevice sees it.
 	ID int
@@ -21,8 +27,15 @@ type Device struct {
 	mu        sync.Mutex
 	streams   map[int]float64 // stream id -> stream clock, seconds
 	allocated int64
-	kernels   int     // kernels launched, for introspection
+	kernels   int     // kernels launched successfully, for introspection
 	busyTime  float64 // total operation time across streams, for energy
+	confsDone int64   // conformations evaluated by successful launches
+
+	plan     FaultPlan
+	faultRng *rng.Source // transient draws; nil when the plan injects none
+	watchdog float64     // hang detection deadline, simulated seconds
+	lost     bool
+	lostAt   float64
 }
 
 // Event is a completed simulated operation on a device stream.
@@ -47,19 +60,103 @@ const DefaultStream = 0
 func newDevice(id int, spec DeviceSpec, model CostModel) *Device {
 	return &Device{
 		ID: id, Spec: spec, model: model,
-		streams: map[int]float64{DefaultStream: 0},
+		streams:  map[int]float64{DefaultStream: 0},
+		watchdog: DefaultWatchdog,
 	}
 }
 
-// advance moves the given stream clock forward by dur and returns the event.
-func (d *Device) advance(stream int, dur float64, label string) Event {
+// SetFaultPlan arms (or, with the zero plan, disarms) fault injection on
+// the device and rewinds any fault state so the plan replays from scratch.
+func (d *Device) SetFaultPlan(p FaultPlan) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.plan = p
+	d.lost = false
+	d.lostAt = 0
+	d.faultRng = nil
+	if p.TransientRate > 0 {
+		d.faultRng = rng.New(p.Seed)
+	}
+}
+
+// SetWatchdog sets the per-operation hang deadline in simulated seconds;
+// non-positive restores DefaultWatchdog.
+func (d *Device) SetWatchdog(seconds float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if seconds <= 0 {
+		seconds = DefaultWatchdog
+	}
+	d.watchdog = seconds
+}
+
+// Lost reports whether the device has been fenced by a permanent fault
+// or a watchdog-detected hang.
+func (d *Device) Lost() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lost
+}
+
+// ConformationsCompleted returns the number of conformations evaluated by
+// launches that completed successfully.
+func (d *Device) ConformationsCompleted() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.confsDone
+}
+
+// advance moves the given stream clock forward by dur and returns the
+// event, applying the device's fault plan:
+//
+//   - a fenced device fails immediately without advancing time;
+//   - an operation starting at or after HangAt never completes: the caller
+//     is charged the watchdog deadline and the device is fenced;
+//   - an operation starting inside the throttle window is slowed by
+//     1/ThrottleFactor;
+//   - an operation that would run past FailAt aborts at FailAt and fences
+//     the device;
+//   - otherwise the operation completes, then may draw a transient error
+//     (full time charged — the work ran and produced garbage).
+func (d *Device) advance(stream int, dur float64, label string) (Event, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	start := d.streams[stream]
+	if d.lost {
+		ev := Event{Device: d.ID, Stream: stream, Start: start, End: start, Label: label}
+		return ev, &DeviceError{Device: d.ID, Kind: FaultPermanent, Op: label, At: d.lostAt}
+	}
+	if d.plan.active() {
+		if d.plan.HangAt > 0 && start >= d.plan.HangAt {
+			end := start + d.watchdog
+			d.streams[stream] = end
+			d.lost = true
+			d.lostAt = end
+			ev := Event{Device: d.ID, Stream: stream, Start: start, End: end, Label: label}
+			return ev, &DeviceError{Device: d.ID, Kind: FaultHang, Op: label, At: end}
+		}
+		dur = d.plan.throttledDuration(start, dur)
+		if d.plan.FailAt > 0 && start+dur > d.plan.FailAt {
+			end := d.plan.FailAt
+			if end < start {
+				end = start
+			}
+			d.streams[stream] = end
+			d.busyTime += end - start
+			d.lost = true
+			d.lostAt = end
+			ev := Event{Device: d.ID, Stream: stream, Start: start, End: end, Label: label}
+			return ev, &DeviceError{Device: d.ID, Kind: FaultPermanent, Op: label, At: end}
+		}
+	}
 	end := start + dur
 	d.streams[stream] = end
 	d.busyTime += dur
-	return Event{Device: d.ID, Stream: stream, Start: start, End: end, Label: label}
+	ev := Event{Device: d.ID, Stream: stream, Start: start, End: end, Label: label}
+	if d.faultRng != nil && d.faultRng.Float64() < d.plan.TransientRate {
+		return ev, &DeviceError{Device: d.ID, Kind: FaultTransient, Op: label, At: end}
+	}
+	return ev, nil
 }
 
 // Malloc reserves bytes of simulated device memory. It fails like
@@ -97,22 +194,27 @@ func (d *Device) Allocated() int64 {
 }
 
 // CopyToDevice models a host-to-device transfer on a stream.
-func (d *Device) CopyToDevice(stream int, bytes int) Event {
+func (d *Device) CopyToDevice(stream int, bytes int) (Event, error) {
 	return d.advance(stream, d.model.TransferTime(bytes), "h2d")
 }
 
 // CopyToHost models a device-to-host transfer on a stream.
-func (d *Device) CopyToHost(stream int, bytes int) Event {
+func (d *Device) CopyToHost(stream int, bytes int) (Event, error) {
 	return d.advance(stream, d.model.TransferTime(bytes), "d2h")
 }
 
-// Launch models the execution of a docking kernel on a stream.
-func (d *Device) Launch(stream int, l ScoringLaunch) Event {
+// Launch models the execution of a docking kernel on a stream. The kernel
+// and conformation counters advance only on success.
+func (d *Device) Launch(stream int, l ScoringLaunch) (Event, error) {
 	dur := d.model.KernelTime(d.Spec, l)
-	d.mu.Lock()
-	d.kernels++
-	d.mu.Unlock()
-	return d.advance(stream, dur, l.Kind.String())
+	ev, err := d.advance(stream, dur, l.Kind.String())
+	if err == nil {
+		d.mu.Lock()
+		d.kernels++
+		d.confsDone += int64(l.Conformations)
+		d.mu.Unlock()
+	}
+	return ev, err
 }
 
 // Idle advances a stream without work, modeling host-imposed waiting (for
@@ -154,7 +256,8 @@ func (d *Device) Kernels() int {
 }
 
 // Reset rewinds all stream clocks and counters to zero, keeping memory
-// allocations.
+// allocations. Fault state rewinds too — the plan stays armed and replays
+// identically, which is what makes faulted runs reproducible.
 func (d *Device) Reset() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -163,6 +266,12 @@ func (d *Device) Reset() {
 	}
 	d.kernels = 0
 	d.busyTime = 0
+	d.confsDone = 0
+	d.lost = false
+	d.lostAt = 0
+	if d.plan.TransientRate > 0 {
+		d.faultRng = rng.New(d.plan.Seed)
+	}
 }
 
 // Context owns the simulated devices of one node, playing the role of the

@@ -15,6 +15,18 @@ func testContext(t *testing.T, specs ...DeviceSpec) *Context {
 	return ctx
 }
 
+// mustOp returns an event-asserting helper for fault-free device tests.
+func mustOp(t *testing.T) func(Event, error) Event {
+	t.Helper()
+	return func(ev Event, err error) Event {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("device op failed: %v", err)
+		}
+		return ev
+	}
+}
+
 func TestContextDeviceCount(t *testing.T) {
 	ctx := testContext(t, GTX590, GTX590, TeslaC2075)
 	if got := ctx.DeviceCount(); got != 3 {
@@ -57,15 +69,16 @@ func TestDeviceTimelineAdvances(t *testing.T) {
 	d := ctx.Device(0)
 	l := ScoringLaunch{Kind: KernelScoring, Conformations: 64, PairsPerConformation: 10000}
 
-	e1 := d.CopyToDevice(DefaultStream, 1<<20)
+	must := mustOp(t)
+	e1 := must(d.CopyToDevice(DefaultStream, 1<<20))
 	if e1.Start != 0 || e1.End <= 0 {
 		t.Errorf("first event = %+v", e1)
 	}
-	e2 := d.Launch(DefaultStream, l)
+	e2 := must(d.Launch(DefaultStream, l))
 	if e2.Start != e1.End {
 		t.Errorf("launch started at %v, want %v", e2.Start, e1.End)
 	}
-	e3 := d.CopyToHost(DefaultStream, 1<<10)
+	e3 := must(d.CopyToHost(DefaultStream, 1<<10))
 	if e3.Start != e2.End {
 		t.Error("d2h did not queue after kernel")
 	}
@@ -81,8 +94,9 @@ func TestDeviceStreamsIndependent(t *testing.T) {
 	ctx := testContext(t, GTX580)
 	d := ctx.Device(0)
 	l := ScoringLaunch{Kind: KernelScoring, Conformations: 64, PairsPerConformation: 10000}
-	e0 := d.Launch(0, l)
-	e1 := d.Launch(1, l)
+	must := mustOp(t)
+	e0 := must(d.Launch(0, l))
+	e1 := must(d.Launch(1, l))
 	if e1.Start != 0 {
 		t.Errorf("stream 1 started at %v, want 0 (streams overlap)", e1.Start)
 	}
@@ -179,8 +193,9 @@ func TestFasterDeviceFinishesSooner(t *testing.T) {
 	// K40c finishes earlier than on GTX580.
 	ctx := testContext(t, TeslaK40c, GTX580)
 	l := ScoringLaunch{Kind: KernelScoring, Conformations: 2048, PairsPerConformation: 146880}
-	fast := ctx.Device(0).Launch(0, l)
-	slow := ctx.Device(1).Launch(0, l)
+	must := mustOp(t)
+	fast := must(ctx.Device(0).Launch(0, l))
+	slow := must(ctx.Device(1).Launch(0, l))
 	if fast.Duration() >= slow.Duration() {
 		t.Errorf("K40c (%v) not faster than GTX580 (%v)", fast.Duration(), slow.Duration())
 	}

@@ -39,7 +39,7 @@ func TestDeviceEnergyAccounting(t *testing.T) {
 		t.Error("fresh device has nonzero energy")
 	}
 	l := ScoringLaunch{Kind: KernelScoring, Conformations: 1024, PairsPerConformation: 100000}
-	ev := d.Launch(DefaultStream, l)
+	ev := mustOp(t)(d.Launch(DefaultStream, l))
 	busy := ev.Duration()
 	if got := d.BusyTime(); math.Abs(got-busy) > 1e-15 {
 		t.Errorf("BusyTime = %v, want %v", got, busy)
@@ -82,7 +82,7 @@ func TestIdleDeviceCheaperThanBusy(t *testing.T) {
 	l := ScoringLaunch{Kind: KernelScoring, Conformations: 2048, PairsPerConformation: 100000}
 	busyDev := ctx.Device(0)
 	idleDev := ctx.Device(1)
-	ev := busyDev.Launch(DefaultStream, l)
+	ev := mustOp(t)(busyDev.Launch(DefaultStream, l))
 	idleDev.Idle(DefaultStream, ev.End) // waits at the barrier
 	if idleDev.EnergyJoules() >= busyDev.EnergyJoules() {
 		t.Errorf("idle device (%v J) not cheaper than busy (%v J)",

@@ -24,39 +24,63 @@ type Batch struct {
 // when the last device finishes (the paper: "the slowest GPU will determine
 // the overall execution time"). It returns the simulated barrier completion
 // time.
-func (p *Pool) RunStatic(assign []int, b Batch) float64 {
+//
+// Device faults are handled by the pool's FaultPolicy: transient errors are
+// retried in place, and a device fenced mid-generation has its unfinished
+// share re-split across the survivors proportionally to their original
+// shares (renormalized warm-up weights), recorded as "resplit" in the
+// trace. The returned error is non-nil only when work remains and every
+// device has been lost; the completion time then covers what did run,
+// including time charged by hang watchdogs.
+func (p *Pool) RunStatic(assign []int, b Batch) (float64, error) {
 	if len(assign) != p.Size() {
 		panic(fmt.Sprintf("sched: assignment for %d devices, pool has %d", len(assign), p.Size()))
 	}
-	// Barrier start: no device may begin before all are free.
-	start := 0.0
-	for _, d := range p.ctx.Devices() {
-		if c := d.StreamClock(cudasim.DefaultStream); c > start {
-			start = c
+	n := p.Size()
+	original := make([]int, n)
+	copy(original, assign)
+	pending := make([]int, n)
+	copy(pending, assign)
+	// Each failed round fences at least one device, so n+1 rounds always
+	// suffice to either finish or run out of devices.
+	for round := 0; round <= n; round++ {
+		if leftover := p.resplitPending(pending, original); leftover > 0 {
+			return p.barrierClose(), fmt.Errorf("sched: %d conformations unassigned: %w", leftover, ErrAllDevicesLost)
 		}
+		work := 0
+		for _, c := range pending {
+			work += c
+		}
+		if work == 0 {
+			break
+		}
+		// Barrier start: no device may begin before all are free. A hung
+		// device's watchdog-advanced clock counts — that time was really
+		// spent waiting on it.
+		start := p.Now()
+		p.team.ForThread(func(tid int) {
+			if tid >= n || pending[tid] <= 0 || !p.aliveAt(tid) {
+				return
+			}
+			dev := p.ctx.Device(tid)
+			dev.Idle(cudasim.DefaultStream, start)
+			if err := p.deviceShare(tid, pending[tid], b); err == nil {
+				pending[tid] = 0
+			}
+		})
 	}
-	end := start
-	p.team.ForThread(func(tid int) {
-		if tid >= len(assign) || assign[tid] <= 0 {
-			return
+	return p.barrierClose(), nil
+}
+
+// barrierClose aligns every surviving device on the latest clock across
+// all devices (dead ones included: their failure time is part of the
+// timeline) and returns it.
+func (p *Pool) barrierClose() float64 {
+	end := p.Now()
+	for i, d := range p.ctx.Devices() {
+		if p.aliveAt(i) {
+			d.Idle(cudasim.DefaultStream, end)
 		}
-		dev := p.ctx.Device(tid)
-		dev.Idle(cudasim.DefaultStream, start)
-		l := b.Proto
-		l.Conformations = assign[tid]
-		p.record(dev.CopyToDevice(cudasim.DefaultStream, assign[tid]*b.BytesPerConformation), "")
-		p.record(dev.Launch(cudasim.DefaultStream, l), "")
-		// One float64 score per conformation comes back.
-		p.record(dev.CopyToHost(cudasim.DefaultStream, assign[tid]*8), "")
-	})
-	for _, d := range p.ctx.Devices() {
-		if c := d.StreamClock(cudasim.DefaultStream); c > end {
-			end = c
-		}
-	}
-	// Close the barrier: every device waits for the slowest.
-	for _, d := range p.ctx.Devices() {
-		d.Idle(cudasim.DefaultStream, end)
 	}
 	return end
 }
@@ -66,18 +90,19 @@ func (p *Pool) RunStatic(assign []int, b Batch) float64 {
 // each chunk goes to the device that becomes free first (greedy
 // earliest-finish assignment, the discrete-event equivalent of a shared
 // work queue). Returns the simulated barrier completion time.
-func (p *Pool) RunDynamic(total, chunkSize int, b Batch) float64 {
+//
+// A chunk that fails on a fenced device goes back on the queue, so the
+// remaining devices naturally drain around a dead one; the error is
+// non-nil only when chunks remain and no device is alive.
+func (p *Pool) RunDynamic(total, chunkSize int, b Batch) (float64, error) {
 	if chunkSize < 1 {
 		chunkSize = 1
 	}
-	start := 0.0
-	for _, d := range p.ctx.Devices() {
-		if c := d.StreamClock(cudasim.DefaultStream); c > start {
-			start = c
+	start := p.Now()
+	for i, d := range p.ctx.Devices() {
+		if p.aliveAt(i) {
+			d.Idle(cudasim.DefaultStream, start)
 		}
-	}
-	for _, d := range p.ctx.Devices() {
-		d.Idle(cudasim.DefaultStream, start)
 	}
 	remaining := total
 	for remaining > 0 {
@@ -85,32 +110,27 @@ func (p *Pool) RunDynamic(total, chunkSize int, b Batch) float64 {
 		if n > remaining {
 			n = remaining
 		}
-		remaining -= n
-		// Pick the device that is free earliest.
+		// Pick the alive device that is free earliest.
 		devs := p.ctx.Devices()
-		best := 0
+		best := -1
 		for i, d := range devs {
-			if d.StreamClock(cudasim.DefaultStream) < devs[best].StreamClock(cudasim.DefaultStream) {
+			if !p.aliveAt(i) {
+				continue
+			}
+			if best == -1 || d.StreamClock(cudasim.DefaultStream) < devs[best].StreamClock(cudasim.DefaultStream) {
 				best = i
 			}
 		}
-		dev := devs[best]
-		l := b.Proto
-		l.Conformations = n
-		p.record(dev.CopyToDevice(cudasim.DefaultStream, n*b.BytesPerConformation), "")
-		p.record(dev.Launch(cudasim.DefaultStream, l), "")
-		p.record(dev.CopyToHost(cudasim.DefaultStream, n*8), "")
-	}
-	end := start
-	for _, d := range p.ctx.Devices() {
-		if c := d.StreamClock(cudasim.DefaultStream); c > end {
-			end = c
+		if best == -1 {
+			return p.barrierClose(), fmt.Errorf("sched: %d conformations unassigned: %w", remaining, ErrAllDevicesLost)
 		}
+		if err := p.deviceShare(best, n, b); err != nil {
+			// The chunk failed with the device; requeue it for the others.
+			continue
+		}
+		remaining -= n
 	}
-	for _, d := range p.ctx.Devices() {
-		d.Idle(cudasim.DefaultStream, end)
-	}
-	return end
+	return p.barrierClose(), nil
 }
 
 // Now returns the pool's barrier time: the latest default-stream clock

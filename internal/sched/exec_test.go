@@ -19,7 +19,7 @@ func batch() Batch {
 
 func TestRunStaticBarrier(t *testing.T) {
 	p := hertzPool(t)
-	end := p.RunStatic([]int{1024, 1024}, batch())
+	end := mustRun(t)(p.RunStatic([]int{1024, 1024}, batch()))
 	if end <= 0 {
 		t.Fatal("no simulated time elapsed")
 	}
@@ -38,10 +38,10 @@ func TestRunStaticSlowestDeviceDominates(t *testing.T) {
 	// Equal split on a heterogeneous pool: the barrier time equals what
 	// the slow device needs, not the fast one.
 	p := hertzPool(t)
-	end := p.RunStatic([]int{1024, 1024}, batch())
+	end := mustRun(t)(p.RunStatic([]int{1024, 1024}, batch()))
 
 	solo := hertzPool(t)
-	slowOnly := solo.RunStatic([]int{0, 1024}, batch())
+	slowOnly := mustRun(t)(solo.RunStatic([]int{0, 1024}, batch()))
 	if end < slowOnly-1e-12 {
 		t.Errorf("barrier %v earlier than slow device alone %v", end, slowOnly)
 	}
@@ -53,12 +53,12 @@ func TestHeterogeneousBeatsHomogeneousOnHertz(t *testing.T) {
 	total := 2048
 
 	hom := hertzPool(t)
-	tHom := hom.RunStatic(Assign(Homogeneous, total, 2, nil, 8), batch())
+	tHom := mustRun(t)(hom.RunStatic(Assign(Homogeneous, total, 2, nil, 8), batch()))
 
 	het := hertzPool(t)
 	res := het.Warmup(batch().Proto.WithConformations(64), 8, 0, 1)
 	het.Context().ResetAll() // compare pure generation times
-	tHet := het.RunStatic(Assign(Heterogeneous, total, 2, res.Weights, 8), batch())
+	tHet := mustRun(t)(het.RunStatic(Assign(Heterogeneous, total, 2, res.Weights, 8), batch()))
 
 	gain := tHom / tHet
 	if gain < 1.2 || gain > 1.8 {
@@ -72,12 +72,12 @@ func TestHeterogeneousGainSmallOnJupiter(t *testing.T) {
 	total := 2112
 
 	hom := jupiterPool(t)
-	tHom := hom.RunStatic(Assign(Homogeneous, total, 6, nil, 8), batch())
+	tHom := mustRun(t)(hom.RunStatic(Assign(Homogeneous, total, 6, nil, 8), batch()))
 
 	het := jupiterPool(t)
 	res := het.Warmup(batch().Proto.WithConformations(64), 8, 0, 1)
 	het.Context().ResetAll()
-	tHet := het.RunStatic(Assign(Heterogeneous, total, 6, res.Weights, 8), batch())
+	tHet := mustRun(t)(het.RunStatic(Assign(Heterogeneous, total, 6, res.Weights, 8), batch()))
 
 	gain := tHom / tHet
 	if gain < 1.0-1e-9 || gain > 1.2 {
@@ -87,7 +87,7 @@ func TestHeterogeneousGainSmallOnJupiter(t *testing.T) {
 
 func TestRunDynamicCompletesAllWork(t *testing.T) {
 	p := hertzPool(t)
-	end := p.RunDynamic(1000, 64, batch())
+	end := mustRun(t)(p.RunDynamic(1000, 64, batch()))
 	if end <= 0 {
 		t.Fatal("no simulated time elapsed")
 	}
@@ -105,10 +105,10 @@ func TestRunDynamicNearHeterogeneousStatic(t *testing.T) {
 	total := 4096
 
 	hom := hertzPool(t)
-	tHom := hom.RunStatic(Assign(Homogeneous, total, 2, nil, 1), batch())
+	tHom := mustRun(t)(hom.RunStatic(Assign(Homogeneous, total, 2, nil, 1), batch()))
 
 	dyn := hertzPool(t)
-	tDyn := dyn.RunDynamic(total, 64, batch())
+	tDyn := mustRun(t)(dyn.RunDynamic(total, 64, batch()))
 
 	if tDyn >= tHom {
 		t.Errorf("dynamic (%v) not faster than homogeneous static (%v)", tDyn, tHom)
@@ -154,15 +154,15 @@ func TestStragglerDevice(t *testing.T) {
 	total := 4096
 
 	hom := mk()
-	tHom := hom.RunStatic(Assign(Homogeneous, total, 2, nil, 8), batch())
+	tHom := mustRun(t)(hom.RunStatic(Assign(Homogeneous, total, 2, nil, 8), batch()))
 
 	het := mk()
 	w := het.Warmup(batch().Proto.WithConformations(1024), 8, 0, 1)
 	het.Context().ResetAll()
-	tHet := het.RunStatic(Assign(Heterogeneous, total, 2, w.Weights, 8), batch())
+	tHet := mustRun(t)(het.RunStatic(Assign(Heterogeneous, total, 2, w.Weights, 8), batch()))
 
 	dyn := mk()
-	tDyn := dyn.RunDynamic(total, 64, batch())
+	tDyn := mustRun(t)(dyn.RunDynamic(total, 64, batch()))
 
 	if tHet >= tHom || tDyn >= tHom {
 		t.Errorf("straggler not mitigated: hom=%v het=%v dyn=%v", tHom, tHet, tDyn)
@@ -177,8 +177,8 @@ func TestStragglerDevice(t *testing.T) {
 func TestGenerationsAccumulate(t *testing.T) {
 	p := hertzPool(t)
 	a := []int{512, 512}
-	t1 := p.RunStatic(a, batch())
-	t2 := p.RunStatic(a, batch())
+	t1 := mustRun(t)(p.RunStatic(a, batch()))
+	t2 := mustRun(t)(p.RunStatic(a, batch()))
 	if t2 <= t1 {
 		t.Errorf("second generation (%v) did not extend the timeline (%v)", t2, t1)
 	}

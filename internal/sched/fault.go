@@ -1,0 +1,304 @@
+package sched
+
+import (
+	"errors"
+
+	"github.com/metascreen/metascreen/internal/cudasim"
+)
+
+// Fault-tolerant execution. The paper's scheduling assumes devices never
+// fail; this file adds the recovery policy around it: bounded retries for
+// transient errors, fencing on permanent loss or hang, and a mid-generation
+// re-split of the dead device's share onto the survivors with their warm-up
+// weights renormalized (the dead device's weight drops to zero, which is
+// exactly what redistributing proportionally to the surviving shares does).
+
+// ErrAllDevicesLost is returned when work remains but every device has
+// been fenced.
+var ErrAllDevicesLost = errors.New("sched: all devices lost")
+
+// DefaultMaxRetries is the per-operation transient retry budget used when
+// FaultPolicy does not set one.
+const DefaultMaxRetries = 3
+
+// FaultPolicy configures the pool's recovery behaviour.
+type FaultPolicy struct {
+	// MaxRetries bounds immediate retries of a transiently-failing
+	// operation; 0 means DefaultMaxRetries, negative means none.
+	MaxRetries int
+	// Watchdog is the per-operation hang deadline in simulated seconds;
+	// 0 means cudasim.DefaultWatchdog.
+	Watchdog float64
+}
+
+// FaultStats counts fault events observed by the pool.
+type FaultStats struct {
+	// Transients counts transient operation errors (including retried ones).
+	Transients int64
+	// Permanents counts devices fenced by permanent loss (or by exhausting
+	// the transient retry budget).
+	Permanents int64
+	// Hangs counts devices fenced by watchdog-detected hangs.
+	Hangs int64
+	// Retries counts transient retry attempts.
+	Retries int64
+	// Resplits counts mid-run redistributions of a dead device's share.
+	Resplits int64
+}
+
+// Faults returns the total number of device fault events.
+func (s FaultStats) Faults() int64 { return s.Transients + s.Permanents + s.Hangs }
+
+// SetFaultPolicy installs the recovery policy and propagates the watchdog
+// deadline to every device.
+func (p *Pool) SetFaultPolicy(fp FaultPolicy) {
+	p.fmu.Lock()
+	p.policy = fp
+	p.fmu.Unlock()
+	for _, d := range p.ctx.Devices() {
+		d.SetWatchdog(fp.Watchdog)
+	}
+}
+
+// FaultStats returns a snapshot of the fault counters.
+func (p *Pool) FaultStats() FaultStats {
+	p.fmu.Lock()
+	defer p.fmu.Unlock()
+	return p.stats
+}
+
+// Alive returns a copy of the per-device liveness mask.
+func (p *Pool) Alive() []bool {
+	p.fmu.Lock()
+	defer p.fmu.Unlock()
+	out := make([]bool, len(p.alive))
+	copy(out, p.alive)
+	return out
+}
+
+// AliveCount returns the number of devices not yet fenced.
+func (p *Pool) AliveCount() int {
+	p.fmu.Lock()
+	defer p.fmu.Unlock()
+	n := 0
+	for _, a := range p.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+func (p *Pool) aliveAt(i int) bool {
+	p.fmu.Lock()
+	defer p.fmu.Unlock()
+	return i >= 0 && i < len(p.alive) && p.alive[i]
+}
+
+func (p *Pool) maxRetries() int {
+	p.fmu.Lock()
+	defer p.fmu.Unlock()
+	switch {
+	case p.policy.MaxRetries > 0:
+		return p.policy.MaxRetries
+	case p.policy.MaxRetries < 0:
+		return 0
+	}
+	return DefaultMaxRetries
+}
+
+func (p *Pool) noteTransient() {
+	p.fmu.Lock()
+	p.stats.Transients++
+	p.fmu.Unlock()
+}
+
+func (p *Pool) noteRetry() {
+	p.fmu.Lock()
+	p.stats.Retries++
+	p.fmu.Unlock()
+}
+
+func (p *Pool) noteResplit() {
+	p.fmu.Lock()
+	p.stats.Resplits++
+	p.fmu.Unlock()
+}
+
+// fence marks device i dead and counts it once under the given kind.
+func (p *Pool) fence(i int, kind cudasim.FaultKind) {
+	p.fmu.Lock()
+	defer p.fmu.Unlock()
+	if i < 0 || i >= len(p.alive) || !p.alive[i] {
+		return
+	}
+	p.alive[i] = false
+	if kind == cudasim.FaultHang {
+		p.stats.Hangs++
+	} else {
+		p.stats.Permanents++
+	}
+}
+
+// mark drops a zero-duration annotation on the trace, if recording.
+func (p *Pool) mark(device int, t float64, label string) {
+	if p.rec != nil {
+		p.rec.AddMark(device, t, label)
+	}
+}
+
+// runOp executes one device operation with the fault policy applied:
+// transient errors are retried up to the budget (each failed attempt's
+// charged time is recorded as "fault:transient"); exhausting the budget or
+// hitting a permanent error or hang fences the device. On success the
+// event is recorded under label ("" keeps the device's own label) and
+// returned.
+func (p *Pool) runOp(tid int, label string, op func() (cudasim.Event, error)) (cudasim.Event, error) {
+	for attempt := 0; ; attempt++ {
+		ev, err := op()
+		if err == nil {
+			p.record(ev, label)
+			return ev, nil
+		}
+		var de *cudasim.DeviceError
+		if errors.As(err, &de) && ev.Duration() > 0 {
+			p.record(ev, "fault:"+de.Kind.String())
+		}
+		if cudasim.IsTransient(err) {
+			p.noteTransient()
+			if attempt < p.maxRetries() {
+				p.noteRetry()
+				continue
+			}
+			// Retry budget exhausted: the device keeps producing garbage,
+			// so fence it and let the caller move the share elsewhere.
+			p.fence(tid, cudasim.FaultPermanent)
+			return ev, err
+		}
+		if errors.Is(err, cudasim.ErrHang) {
+			p.fence(tid, cudasim.FaultHang)
+		} else {
+			p.fence(tid, cudasim.FaultPermanent)
+		}
+		return ev, err
+	}
+}
+
+// deviceShare runs one device's generation share (upload, kernel, download)
+// on the default stream under the fault policy.
+func (p *Pool) deviceShare(tid, n int, b Batch) error {
+	dev := p.ctx.Device(tid)
+	if _, err := p.runOp(tid, "", func() (cudasim.Event, error) {
+		return dev.CopyToDevice(cudasim.DefaultStream, n*b.BytesPerConformation)
+	}); err != nil {
+		return err
+	}
+	l := b.Proto
+	l.Conformations = n
+	if _, err := p.runOp(tid, "", func() (cudasim.Event, error) {
+		return dev.Launch(cudasim.DefaultStream, l)
+	}); err != nil {
+		return err
+	}
+	// One float64 score per conformation comes back.
+	_, err := p.runOp(tid, "", func() (cudasim.Event, error) {
+		return dev.CopyToHost(cudasim.DefaultStream, n*8)
+	})
+	return err
+}
+
+// resplitPending moves pending work off dead devices, redistributing it to
+// the survivors proportionally to their original shares (which encode the
+// warm-up weights, so this renormalizes the weights with dead devices at
+// zero). Returns the remaining unassignable count: nonzero only when no
+// device is alive.
+func (p *Pool) resplitPending(pending, original []int) int {
+	alive := p.Alive()
+	leftover := 0
+	for i := range pending {
+		if pending[i] > 0 && !p.aliveAt(i) {
+			leftover += pending[i]
+			pending[i] = 0
+			p.mark(i, p.ctx.Device(i).StreamClock(cudasim.DefaultStream), "resplit")
+		}
+	}
+	if leftover == 0 {
+		return 0
+	}
+	extra := splitOverAlive(leftover, original, alive)
+	if extra == nil {
+		return leftover
+	}
+	for i := range pending {
+		pending[i] += extra[i]
+	}
+	p.noteResplit()
+	return 0
+}
+
+// splitOverAlive divides total proportionally to weights, but only among
+// alive devices; dead devices get zero. Returns nil when nothing is alive.
+// All-zero surviving weights fall back to an equal split over the alive
+// devices only.
+func splitOverAlive(total int, weights []int, alive []bool) []int {
+	idx := make([]int, 0, len(alive))
+	w := make([]float64, 0, len(alive))
+	for i, a := range alive {
+		if !a {
+			continue
+		}
+		idx = append(idx, i)
+		if i < len(weights) {
+			w = append(w, float64(weights[i]))
+		} else {
+			w = append(w, 0)
+		}
+	}
+	if len(idx) == 0 {
+		return nil
+	}
+	parts := SplitProportional(total, w)
+	out := make([]int, len(alive))
+	for j, i := range idx {
+		out[i] = parts[j]
+	}
+	return out
+}
+
+// AssignAlive is Assign restricted to the devices still alive: the split
+// is computed over the alive devices only (using their weights for
+// Heterogeneous mode) and scattered back to full device-index positions,
+// with dead devices assigned zero. Dynamic mode has no static assignment;
+// AssignAlive panics for it like Assign does.
+func AssignAlive(mode Mode, total int, alive []bool, weights []float64, gran int) []int {
+	n := len(alive)
+	out := make([]int, n)
+	idx := make([]int, 0, n)
+	for i, a := range alive {
+		if a {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 || total <= 0 {
+		return out
+	}
+	var parts []int
+	switch mode {
+	case Homogeneous:
+		parts = RoundToGranularity(SplitEqual(total, len(idx)), gran)
+	case Heterogeneous:
+		w := make([]float64, len(idx))
+		for j, i := range idx {
+			if i < len(weights) {
+				w[j] = weights[i]
+			}
+		}
+		parts = RoundToGranularity(SplitProportional(total, w), gran)
+	default:
+		return Assign(mode, total, len(idx), nil, gran) // panics for Dynamic
+	}
+	for j, i := range idx {
+		out[i] = parts[j]
+	}
+	return out
+}

@@ -2,6 +2,8 @@ package sched
 
 import (
 	"fmt"
+
+	"github.com/metascreen/metascreen/internal/cudasim"
 )
 
 // Pipelined execution: CUDA programs hide transfer latency by splitting a
@@ -19,50 +21,103 @@ const (
 // RunStaticPipelined executes one generation like RunStatic but with each
 // device's work split into `depth` chunks whose transfers overlap the
 // previous chunk's kernel. depth <= 1 degenerates to RunStatic behaviour.
-func (p *Pool) RunStaticPipelined(assign []int, b Batch, depth int) float64 {
+//
+// Fault handling matches RunStatic: a device fenced mid-generation has its
+// whole share re-split across the survivors (chunks already finished on
+// the dead device are conservatively redone — scores never came back).
+func (p *Pool) RunStaticPipelined(assign []int, b Batch, depth int) (float64, error) {
 	if len(assign) != p.Size() {
 		panic(fmt.Sprintf("sched: assignment for %d devices, pool has %d", len(assign), p.Size()))
 	}
 	if depth < 1 {
 		depth = 1
 	}
-	start := p.Now()
-	for _, d := range p.ctx.Devices() {
-		d.Idle(computeStream, start)
-		d.Idle(copyStream, start)
-	}
-	p.team.ForThread(func(tid int) {
-		if tid >= len(assign) || assign[tid] <= 0 {
-			return
+	n := p.Size()
+	original := make([]int, n)
+	copy(original, assign)
+	pending := make([]int, n)
+	copy(pending, assign)
+	for round := 0; round <= n; round++ {
+		if leftover := p.resplitPending(pending, original); leftover > 0 {
+			return p.pipelineClose(), fmt.Errorf("sched: %d conformations unassigned: %w", leftover, ErrAllDevicesLost)
 		}
-		dev := p.ctx.Device(tid)
-		chunks := SplitEqual(assign[tid], depth)
-		for _, n := range chunks {
-			if n <= 0 {
-				continue
+		work := 0
+		for _, c := range pending {
+			work += c
+		}
+		if work == 0 {
+			break
+		}
+		start := p.pipelineNow()
+		p.team.ForThread(func(tid int) {
+			if tid >= n || pending[tid] <= 0 || !p.aliveAt(tid) {
+				return
 			}
-			// Chunk upload on the copy stream...
-			up := dev.CopyToDevice(copyStream, n*b.BytesPerConformation)
-			p.record(up, "")
-			// ...kernel waits for its own data, not for other chunks'.
-			dev.Idle(computeStream, up.End)
-			l := b.Proto
-			l.Conformations = n
-			p.record(dev.Launch(computeStream, l), "")
+			dev := p.ctx.Device(tid)
+			dev.Idle(computeStream, start)
+			dev.Idle(copyStream, start)
+			if err := p.pipelinedShare(tid, pending[tid], b, depth); err == nil {
+				pending[tid] = 0
+			}
+		})
+	}
+	return p.pipelineClose(), nil
+}
+
+// pipelinedShare runs one device's share split into depth chunks with
+// copy/compute overlap, under the fault policy.
+func (p *Pool) pipelinedShare(tid, n int, b Batch, depth int) error {
+	dev := p.ctx.Device(tid)
+	chunks := SplitEqual(n, depth)
+	for _, c := range chunks {
+		if c <= 0 {
+			continue
 		}
-		// Results come back once per generation, after the last kernel.
-		dev.Idle(copyStream, dev.StreamClock(computeStream))
-		p.record(dev.CopyToHost(copyStream, assign[tid]*8), "")
-	})
-	end := start
-	for _, d := range p.ctx.Devices() {
-		if c := d.Synchronize(); c > end {
-			end = c
+		// Chunk upload on the copy stream...
+		up, err := p.runOp(tid, "", func() (cudasim.Event, error) {
+			return dev.CopyToDevice(copyStream, c*b.BytesPerConformation)
+		})
+		if err != nil {
+			return err
+		}
+		// ...kernel waits for its own data, not for other chunks'.
+		dev.Idle(computeStream, up.End)
+		l := b.Proto
+		l.Conformations = c
+		if _, err := p.runOp(tid, "", func() (cudasim.Event, error) {
+			return dev.Launch(computeStream, l)
+		}); err != nil {
+			return err
 		}
 	}
+	// Results come back once per generation, after the last kernel.
+	dev.Idle(copyStream, dev.StreamClock(computeStream))
+	_, err := p.runOp(tid, "", func() (cudasim.Event, error) {
+		return dev.CopyToHost(copyStream, n*8)
+	})
+	return err
+}
+
+// pipelineNow returns the latest clock across both streams of all devices.
+func (p *Pool) pipelineNow() float64 {
+	t := 0.0
 	for _, d := range p.ctx.Devices() {
-		d.Idle(computeStream, end)
-		d.Idle(copyStream, end)
+		if c := d.Synchronize(); c > t {
+			t = c
+		}
+	}
+	return t
+}
+
+// pipelineClose aligns surviving devices' streams on the latest clock
+// across all devices and returns it.
+func (p *Pool) pipelineClose() float64 {
+	end := p.pipelineNow()
+	for i, d := range p.ctx.Devices() {
+		if p.aliveAt(i) {
+			d.Idle(computeStream, end)
+			d.Idle(copyStream, end)
+		}
 	}
 	return end
 }

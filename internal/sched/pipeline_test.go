@@ -23,10 +23,10 @@ func TestPipelinedHidesTransfers(t *testing.T) {
 	assign := []int{1024, 1024}
 
 	plain := hertzPool(t)
-	tPlain := plain.RunStatic(assign, heavyBatch())
+	tPlain := mustRun(t)(plain.RunStatic(assign, heavyBatch()))
 
 	piped := hertzPool(t)
-	tPiped := piped.RunStaticPipelined(assign, heavyBatch(), 8)
+	tPiped := mustRun(t)(piped.RunStaticPipelined(assign, heavyBatch(), 8))
 
 	if tPiped >= tPlain {
 		t.Errorf("pipelined (%v) not faster than sequential (%v) on transfer-heavy batch",
@@ -41,9 +41,9 @@ func TestPipelinedHidesTransfers(t *testing.T) {
 func TestPipelinedDepthOneMatchesStatic(t *testing.T) {
 	assign := []int{512, 512}
 	a := hertzPool(t)
-	tA := a.RunStatic(assign, batch())
+	tA := mustRun(t)(a.RunStatic(assign, batch()))
 	b := hertzPool(t)
-	tB := b.RunStaticPipelined(assign, batch(), 1)
+	tB := mustRun(t)(b.RunStaticPipelined(assign, batch(), 1))
 	if math.Abs(tA-tB) > 1e-12*tA {
 		t.Errorf("depth-1 pipeline %v != static %v", tB, tA)
 	}
@@ -51,7 +51,7 @@ func TestPipelinedDepthOneMatchesStatic(t *testing.T) {
 
 func TestPipelinedBarrierSemantics(t *testing.T) {
 	p := hertzPool(t)
-	end := p.RunStaticPipelined([]int{700, 300}, heavyBatch(), 4)
+	end := mustRun(t)(p.RunStaticPipelined([]int{700, 300}, heavyBatch(), 4))
 	for i, d := range p.Context().Devices() {
 		if got := d.StreamClock(computeStream); math.Abs(got-end) > 1e-15 {
 			t.Errorf("device %d compute stream %v != barrier %v", i, got, end)
@@ -61,7 +61,7 @@ func TestPipelinedBarrierSemantics(t *testing.T) {
 		}
 	}
 	// Generations compose.
-	end2 := p.RunStaticPipelined([]int{700, 300}, heavyBatch(), 4)
+	end2 := mustRun(t)(p.RunStaticPipelined([]int{700, 300}, heavyBatch(), 4))
 	if end2 <= end {
 		t.Error("second pipelined generation did not advance the timeline")
 	}

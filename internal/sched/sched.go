@@ -12,6 +12,8 @@ package sched
 
 import (
 	"fmt"
+	"math"
+	"sync"
 
 	"github.com/metascreen/metascreen/internal/cudasim"
 	"github.com/metascreen/metascreen/internal/hostpar"
@@ -54,11 +56,20 @@ type Pool struct {
 	ctx  *cudasim.Context
 	team *hostpar.Team
 	rec  *trace.Recorder
+
+	fmu    sync.Mutex // guards the fault state below
+	policy FaultPolicy
+	alive  []bool
+	stats  FaultStats
 }
 
 // NewPool returns a pool over all devices of the context.
 func NewPool(ctx *cudasim.Context) *Pool {
-	return &Pool{ctx: ctx, team: hostpar.NewTeam(ctx.DeviceCount())}
+	alive := make([]bool, ctx.DeviceCount())
+	for i := range alive {
+		alive[i] = true
+	}
+	return &Pool{ctx: ctx, team: hostpar.NewTeam(ctx.DeviceCount()), alive: alive}
 }
 
 // SetRecorder attaches a timeline recorder; every subsequent device
@@ -107,6 +118,10 @@ type WarmupResult struct {
 // that Modeled runs reproduce the imperfect balance a real warm-up attains.
 // The probe runs on each device's default stream and advances its simulated
 // clock, charging the warm-up cost to the run like the real system does.
+//
+// A device that faults during warm-up (transients beyond the retry budget,
+// permanent loss, hang) is fenced: its Time is +Inf and its Percent and
+// Weight are zero, so no work is ever assigned to it.
 func (p *Pool) Warmup(probe cudasim.ScoringLaunch, iters int, noiseAmp float64, seed uint64) WarmupResult {
 	if iters < 1 {
 		iters = 1
@@ -123,12 +138,21 @@ func (p *Pool) Warmup(probe cudasim.ScoringLaunch, iters int, noiseAmp float64, 
 		if tid >= n {
 			return
 		}
+		if !p.aliveAt(tid) {
+			res.Times[tid] = math.Inf(1)
+			return
+		}
 		dev := p.ctx.Device(tid)
 		start := dev.StreamClock(cudasim.DefaultStream)
-		var end float64
+		end := start
 		for it := 0; it < iters; it++ {
-			ev := dev.Launch(cudasim.DefaultStream, probe)
-			p.record(ev, "warmup")
+			ev, err := p.runOp(tid, "warmup", func() (cudasim.Event, error) {
+				return dev.Launch(cudasim.DefaultStream, probe)
+			})
+			if err != nil {
+				res.Times[tid] = math.Inf(1)
+				return
+			}
 			end = ev.End
 		}
 		t := end - start
@@ -137,19 +161,25 @@ func (p *Pool) Warmup(probe cudasim.ScoringLaunch, iters int, noiseAmp float64, 
 		res.Times[tid] = t * noise
 	})
 	// Reduce to the slowest device (the paper uses an OpenMP max
-	// reduction) and derive Percent and weights.
-	slowest := res.Times[0]
-	for _, t := range res.Times[1:] {
-		if t > slowest {
+	// reduction) and derive Percent and weights; fenced devices (infinite
+	// time) contribute nothing and get zero weight.
+	slowest := 0.0
+	for _, t := range res.Times {
+		if !math.IsInf(t, 1) && t > slowest {
 			slowest = t
 		}
 	}
 	invSum := 0.0
-	for i, t := range res.Times {
-		res.Percent[i] = t / slowest
-		invSum += 1 / t
+	for _, t := range res.Times {
+		if !math.IsInf(t, 1) && t > 0 {
+			invSum += 1 / t
+		}
 	}
 	for i, t := range res.Times {
+		if math.IsInf(t, 1) || t <= 0 || slowest <= 0 || invSum <= 0 {
+			continue
+		}
+		res.Percent[i] = t / slowest
 		res.Weights[i] = (1 / t) / invSum
 	}
 	return res
@@ -176,16 +206,21 @@ func SplitEqual(total, n int) []int {
 
 // SplitProportional divides total items according to weights using the
 // largest-remainder method, so the parts sum exactly to total and each part
-// is within one item of its ideal share. Non-positive weights get zero
-// ideal share.
+// is within one item of its ideal share. Degenerate weights — negative,
+// NaN, or infinite entries — are treated as zero, and an all-zero vector
+// (what a fully-failed warm-up produces) falls back to the equal split
+// rather than dividing by zero.
 func SplitProportional(total int, weights []float64) []int {
 	n := len(weights)
 	if n == 0 {
 		return nil
 	}
+	// Sanitize: anything that is not a positive finite weight is zero.
+	clean := make([]float64, n)
 	sum := 0.0
-	for _, w := range weights {
-		if w > 0 {
+	for i, w := range weights {
+		if w > 0 && !math.IsInf(w, 1) && !math.IsNaN(w) {
+			clean[i] = w
 			sum += w
 		}
 	}
@@ -202,10 +237,7 @@ func SplitProportional(total int, weights []float64) []int {
 	}
 	rems := make([]rem, n)
 	assigned := 0
-	for i, w := range weights {
-		if w < 0 {
-			w = 0
-		}
+	for i, w := range clean {
 		ideal := float64(total) * w / sum
 		out[i] = int(ideal)
 		assigned += out[i]

@@ -167,6 +167,8 @@ type Job struct {
 	err       string
 	result    *core.ScreenResult
 	cancel    func() // non-nil exactly while running
+	attempts  int    // executions so far, retries included
+	lastErr   string // most recent attempt error; kept on eventual success
 }
 
 // RankEntry is one row of a job's ranking on the wire.
@@ -183,9 +185,14 @@ type ResultView struct {
 	Ranking          []RankEntry `json:"ranking"`
 	SimulatedSeconds float64     `json:"simulated_seconds"`
 	Evaluations      int64       `json:"evaluations"`
+	DeviceFaults     int64       `json:"device_faults,omitempty"`
+	Resplits         int64       `json:"resplits,omitempty"`
 }
 
-// JobView is a consistent snapshot of a job for JSON responses.
+// JobView is a consistent snapshot of a job for JSON responses. Attempts
+// and LastError let clients distinguish a retried-then-succeeded job from
+// a clean one: a done job with attempts > 1 recovered from transient
+// failures, and LastError names the most recent one.
 type JobView struct {
 	ID          string        `json:"id"`
 	State       JobState      `json:"state"`
@@ -194,6 +201,8 @@ type JobView struct {
 	StartedAt   *time.Time    `json:"started_at,omitempty"`
 	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
 	Error       string        `json:"error,omitempty"`
+	Attempts    int           `json:"attempts,omitempty"`
+	LastError   string        `json:"last_error,omitempty"`
 	Result      *ResultView   `json:"result,omitempty"`
 }
 
@@ -205,6 +214,8 @@ func (j *Job) view() JobView {
 		Request:     j.req,
 		SubmittedAt: j.submitted,
 		Error:       j.err,
+		Attempts:    j.attempts,
+		LastError:   j.lastErr,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -218,6 +229,8 @@ func (j *Job) view() JobView {
 		rv := &ResultView{
 			SimulatedSeconds: j.result.SimulatedSeconds,
 			Evaluations:      j.result.Evaluations,
+			DeviceFaults:     j.result.DeviceFaults,
+			Resplits:         j.result.Resplits,
 		}
 		for i, e := range j.result.Ranking {
 			rv.Ranking = append(rv.Ranking, RankEntry{

@@ -33,6 +33,11 @@ type Metrics struct {
 
 	evaluations      int64
 	simulatedSeconds float64
+
+	deviceFaults int64
+	resplits     int64
+	jobRetries   int64
+	workerPanics int64
 }
 
 // defaultLatencyBuckets spans interactive modeled screens (tens of
@@ -88,11 +93,28 @@ func (m *Metrics) Finished(state JobState, latency time.Duration) {
 	m.mu.Unlock()
 }
 
-// Work accumulates a finished run's engine counters.
-func (m *Metrics) Work(evaluations int64, simulatedSeconds float64) {
+// Work accumulates a finished run's engine counters, including the fault
+// events and re-splits its scheduler absorbed.
+func (m *Metrics) Work(evaluations int64, simulatedSeconds float64, deviceFaults, resplits int64) {
 	m.mu.Lock()
 	m.evaluations += evaluations
 	m.simulatedSeconds += simulatedSeconds
+	m.deviceFaults += deviceFaults
+	m.resplits += resplits
+	m.mu.Unlock()
+}
+
+// JobRetried counts one transient-failure retry of a job.
+func (m *Metrics) JobRetried() {
+	m.mu.Lock()
+	m.jobRetries++
+	m.mu.Unlock()
+}
+
+// WorkerPanic counts one recovered worker panic.
+func (m *Metrics) WorkerPanic() {
+	m.mu.Lock()
+	m.workerPanics++
 	m.mu.Unlock()
 }
 
@@ -187,6 +209,22 @@ func (m *Metrics) WriteTo(w io.Writer, queueDepth, running int) error {
 	p("# HELP metascreen_simulated_seconds_total Modeled engine seconds accumulated by finished jobs.\n")
 	p("# TYPE metascreen_simulated_seconds_total counter\n")
 	p("metascreen_simulated_seconds_total %s\n", formatFloat(m.simulatedSeconds))
+
+	p("# HELP metascreen_device_faults_total Simulated device fault events absorbed by finished jobs.\n")
+	p("# TYPE metascreen_device_faults_total counter\n")
+	p("metascreen_device_faults_total %d\n", m.deviceFaults)
+
+	p("# HELP metascreen_resplits_total Mid-run work redistributions after device loss in finished jobs.\n")
+	p("# TYPE metascreen_resplits_total counter\n")
+	p("metascreen_resplits_total %d\n", m.resplits)
+
+	p("# HELP metascreen_job_retries_total Job executions retried after a transient failure.\n")
+	p("# TYPE metascreen_job_retries_total counter\n")
+	p("metascreen_job_retries_total %d\n", m.jobRetries)
+
+	p("# HELP metascreen_worker_panics_total Worker panics recovered while running jobs.\n")
+	p("# TYPE metascreen_worker_panics_total counter\n")
+	p("metascreen_worker_panics_total %d\n", m.workerPanics)
 
 	return err
 }

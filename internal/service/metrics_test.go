@@ -19,8 +19,12 @@ func TestMetricsExpositionGolden(t *testing.T) {
 	m.Finished(StateDone, 40*time.Millisecond)
 	m.Finished(StateDone, 700*time.Millisecond)
 	m.Finished(StateCancelled, 2*time.Second)
-	m.Work(1500, 12.5)
-	m.Work(500, 2.5)
+	m.Work(1500, 12.5, 2, 1)
+	m.Work(500, 2.5, 1, 0)
+	m.JobRetried()
+	m.JobRetried()
+	m.JobRetried()
+	m.WorkerPanic()
 
 	var b strings.Builder
 	if err := m.WriteTo(&b, 1, 1); err != nil {
@@ -70,6 +74,18 @@ metascreen_evaluations_total 2000
 # HELP metascreen_simulated_seconds_total Modeled engine seconds accumulated by finished jobs.
 # TYPE metascreen_simulated_seconds_total counter
 metascreen_simulated_seconds_total 15
+# HELP metascreen_device_faults_total Simulated device fault events absorbed by finished jobs.
+# TYPE metascreen_device_faults_total counter
+metascreen_device_faults_total 3
+# HELP metascreen_resplits_total Mid-run work redistributions after device loss in finished jobs.
+# TYPE metascreen_resplits_total counter
+metascreen_resplits_total 1
+# HELP metascreen_job_retries_total Job executions retried after a transient failure.
+# TYPE metascreen_job_retries_total counter
+metascreen_job_retries_total 3
+# HELP metascreen_worker_panics_total Worker panics recovered while running jobs.
+# TYPE metascreen_worker_panics_total counter
+metascreen_worker_panics_total 1
 `
 	if got := b.String(); got != want {
 		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)

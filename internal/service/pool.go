@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"time"
 
 	"github.com/metascreen/metascreen/internal/core"
+	"github.com/metascreen/metascreen/internal/cudasim"
 	"github.com/metascreen/metascreen/internal/forcefield"
 	"github.com/metascreen/metascreen/internal/metaheuristic"
 	"github.com/metascreen/metascreen/internal/surface"
@@ -15,6 +17,14 @@ import (
 // The worker pool: N goroutines drain the bounded queue, each running one
 // screen at a time through the core engine with a per-job context. The
 // pool exits when the queue closes (shutdown).
+//
+// Failure policy: a panicking runner is recovered (the worker survives to
+// serve the next job), transient failures retry with exponential backoff
+// and deterministic jitter up to Config.MaxAttempts, and permanent
+// failures fail the job immediately with the typed cause in its record.
+
+// maxRetryDelay caps the exponential backoff between attempts.
+const maxRetryDelay = 5 * time.Second
 
 // worker is one pool goroutine's life.
 func (s *Service) worker() {
@@ -24,7 +34,8 @@ func (s *Service) worker() {
 	}
 }
 
-// runJob executes one claimed job through its full lifecycle.
+// runJob executes one claimed job through its full lifecycle, including
+// transient-failure retries.
 func (s *Service) runJob(j *Job) {
 	s.mu.Lock()
 	if j.state != StateQueued {
@@ -32,21 +43,51 @@ func (s *Service) runJob(j *Job) {
 		s.mu.Unlock()
 		return
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	if j.req.TimeoutSeconds > 0 {
-		ctx, cancel = context.WithTimeout(context.Background(),
-			time.Duration(j.req.TimeoutSeconds*float64(time.Second)))
-	}
+	// The base context lives for all attempts; Cancel aborts the current
+	// attempt and any backoff in between.
+	base, cancel := context.WithCancel(context.Background())
 	j.state = StateRunning
 	j.started = s.now()
 	j.cancel = cancel
 	run := s.run
 	s.mu.Unlock()
+	defer cancel()
 
 	s.metrics.WorkerBusy(1)
-	res, err := run(ctx, j.req)
-	s.metrics.WorkerBusy(-1)
-	cancel()
+	defer s.metrics.WorkerBusy(-1)
+
+	var (
+		res *core.ScreenResult
+		err error
+	)
+	for attempt := 1; ; attempt++ {
+		attemptCtx := base
+		acancel := func() {}
+		if j.req.TimeoutSeconds > 0 {
+			attemptCtx, acancel = context.WithTimeout(base,
+				time.Duration(j.req.TimeoutSeconds*float64(time.Second)))
+		}
+		res, err = s.safeRun(run, attemptCtx, j.req)
+		acancel()
+
+		s.mu.Lock()
+		j.attempts = attempt
+		if err != nil {
+			j.lastErr = err.Error()
+		}
+		s.mu.Unlock()
+
+		if err == nil || errors.Is(err, context.Canceled) ||
+			errors.Is(err, context.DeadlineExceeded) ||
+			!transientErr(err) || attempt >= s.cfg.MaxAttempts {
+			break
+		}
+		s.metrics.JobRetried()
+		if !s.backoff(base, j.id, attempt) {
+			err = context.Canceled
+			break
+		}
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -60,6 +101,55 @@ func (s *Service) runJob(j *Job) {
 			fmt.Sprintf("deadline exceeded after %gs", j.req.TimeoutSeconds))
 	default:
 		s.finishLocked(j, StateFailed, nil, err.Error())
+	}
+}
+
+// safeRun executes one attempt, converting a runner panic into an error
+// so a bad job cannot take the worker goroutine down with it.
+func (s *Service) safeRun(run runnerFunc, ctx context.Context, req ScreenRequest) (res *core.ScreenResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.WorkerPanic()
+			res = nil
+			err = fmt.Errorf("service: worker panic: %v", r)
+		}
+	}()
+	return run(ctx, req)
+}
+
+// transientErr classifies a failure as retryable: a transient simulated
+// device error, or any error advertising Transient() == true.
+func transientErr(err error) bool {
+	if cudasim.IsTransient(err) {
+		return true
+	}
+	var t interface{ Transient() bool }
+	if errors.As(err, &t) {
+		return t.Transient()
+	}
+	return false
+}
+
+// backoff sleeps before retry number `attempt`, doubling the base delay
+// per retry with a deterministic jitter derived from the job ID (so test
+// runs are reproducible without a global RNG). It returns false when the
+// job was cancelled during the wait.
+func (s *Service) backoff(ctx context.Context, jobID string, attempt int) bool {
+	delay := s.cfg.RetryBaseDelay << (attempt - 1)
+	if delay > maxRetryDelay || delay <= 0 {
+		delay = maxRetryDelay
+	}
+	// Jitter factor in [0.5, 1.5), hashed from the job and attempt.
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", jobID, attempt)
+	factor := 0.5 + float64(h.Sum64()%1024)/1024
+	t := time.NewTimer(time.Duration(float64(delay) * factor))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
 	}
 }
 

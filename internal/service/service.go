@@ -44,6 +44,13 @@ type Config struct {
 	// job at a time; set to 1 when Workers is large to avoid
 	// oversubscription).
 	ScreenWorkers int
+	// MaxAttempts bounds how many times a job whose failures classify as
+	// transient is executed before it is failed; 0 means 3, 1 disables
+	// retries. Permanent failures never retry.
+	MaxAttempts int
+	// RetryBaseDelay is the backoff before the first retry; it doubles
+	// per retry (jittered, capped at 5s). 0 means 100ms.
+	RetryBaseDelay time.Duration
 }
 
 // withDefaults fills zero fields.
@@ -53,6 +60,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = 100 * time.Millisecond
 	}
 	return c
 }
@@ -183,7 +196,7 @@ func (s *Service) finishLocked(j *Job, state JobState, res *core.ScreenResult, e
 	j.cancel = nil
 	s.metrics.Finished(state, j.finished.Sub(j.submitted))
 	if res != nil {
-		s.metrics.Work(res.Evaluations, res.SimulatedSeconds)
+		s.metrics.Work(res.Evaluations, res.SimulatedSeconds, res.DeviceFaults, res.Resplits)
 	}
 }
 

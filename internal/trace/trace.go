@@ -39,6 +39,25 @@ func (r *Recorder) Add(e Event) {
 	r.events = append(r.events, e)
 }
 
+// AddMark appends a zero-duration marker event, used for point-in-time
+// annotations such as fault detections and re-splits.
+func (r *Recorder) AddMark(device int, t float64, label string) {
+	r.Add(Event{Device: device, Label: label, Start: t, End: t})
+}
+
+// CountLabel returns the number of events whose label equals label.
+func (r *Recorder) CountLabel(label string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.events {
+		if e.Label == label {
+			n++
+		}
+	}
+	return n
+}
+
 // Events returns a copy of all events in insertion order.
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
