@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"github.com/metascreen/metascreen/internal/service"
+	"github.com/metascreen/metascreen/internal/wal"
 )
 
 func main() {
@@ -40,15 +41,34 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs")
 	maxAttempts := flag.Int("max-attempts", 0, "executions per job with transient failures (0 = 3, 1 disables retries)")
 	retryDelay := flag.Duration("retry-delay", 0, "base backoff before the first retry, doubled per retry (0 = 100ms)")
+	dataDir := flag.String("data-dir", "", "durability directory (journal + checkpoints); empty = in-memory only")
+	fsync := flag.String("fsync", "always", "journal fsync policy: always, interval or never")
+	fsyncInterval := flag.Duration("fsync-interval", 0, "sync cadence for -fsync interval (0 = 100ms)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "snapshot a running job's checkpoint every N completed ligands (0 = 1)")
 	flag.Parse()
 
-	svc := service.New(service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		ScreenWorkers:  *screenWorkers,
-		MaxAttempts:    *maxAttempts,
-		RetryBaseDelay: *retryDelay,
+	policy, err := wal.ParseSyncPolicy(*fsync)
+	if err != nil {
+		fatal(err)
+	}
+	svc, err := service.New(service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		ScreenWorkers:   *screenWorkers,
+		MaxAttempts:     *maxAttempts,
+		RetryBaseDelay:  *retryDelay,
+		DataDir:         *dataDir,
+		Fsync:           policy,
+		FsyncInterval:   *fsyncInterval,
+		CheckpointEvery: *checkpointEvery,
 	})
+	if err != nil {
+		fatal(err)
+	}
+	if rec := svc.Recovery(); rec.ReplayedRecords > 0 || rec.RecoveredJobs > 0 {
+		fmt.Printf("vsserved: recovered %d job(s) from %d journal record(s)\n",
+			rec.RecoveredJobs, rec.ReplayedRecords)
+	}
 	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

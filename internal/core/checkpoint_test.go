@@ -2,6 +2,9 @@ package core
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"strings"
 	"testing"
 
 	"github.com/metascreen/metascreen/internal/forcefield"
@@ -99,6 +102,125 @@ func TestScreenResumableValidation(t *testing.T) {
 	if _, err := ScreenResumable(rec, dup, surface.Options{MaxSpots: 2}, forcefield.Options{},
 		screenAlgFactory(), HostBackendFactory(HostConfig{Real: true}), 5, &Checkpoint{}); err == nil {
 		t.Error("duplicate ligand names accepted")
+	}
+}
+
+// TestScreenResumableCtxMatchesScreenCtx: the parallel resumable screen is
+// byte-identical to the plain parallel screen, whether it starts cold or
+// resumes halfway — the recovery-layer determinism contract.
+func TestScreenResumableCtxMatchesScreenCtx(t *testing.T) {
+	rec := molecule.SyntheticProtein("rec", 400, 71)
+	lib := SyntheticLibrary(6)
+	plain, err := ScreenCtx(context.Background(), rec, lib, surface.Options{MaxSpots: 2},
+		forcefield.Options{}, screenAlgFactory(), HostBackendFactory(HostConfig{Real: true}), 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, res *ScreenResult) {
+		t.Helper()
+		if res.SimulatedSeconds != plain.SimulatedSeconds || res.Evaluations != plain.Evaluations {
+			t.Errorf("%s: work totals (%g, %d) differ from ScreenCtx (%g, %d)", name,
+				res.SimulatedSeconds, res.Evaluations, plain.SimulatedSeconds, plain.Evaluations)
+		}
+		for i := range plain.Ranking {
+			p, r := plain.Ranking[i], res.Ranking[i]
+			if p.Ligand.Name != r.Ligand.Name || p.Result.Best.Score != r.Result.Best.Score ||
+				p.Result.Best.Translation != r.Result.Best.Translation {
+				t.Errorf("%s: rank %d differs from ScreenCtx", name, i)
+			}
+		}
+	}
+
+	// Cold start, parallel.
+	cold := &Checkpoint{}
+	res, err := ScreenResumableCtx(context.Background(), rec, lib, surface.Options{MaxSpots: 2},
+		forcefield.Options{}, screenAlgFactory(), HostBackendFactory(HostConfig{Real: true}), 5, 4, cold, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("cold", res)
+	if len(cold.Ligands) != len(lib) {
+		t.Errorf("cold checkpoint holds %d ligands, want %d", len(cold.Ligands), len(lib))
+	}
+
+	// Resume from a half-full checkpoint (as if a crash hit mid-screen).
+	half := &Checkpoint{Seed: 5, Ligands: map[string]LigandRecord{}}
+	for _, name := range []string{lib[1].Name, lib[4].Name, lib[5].Name} {
+		half.Ligands[name] = cold.Ligands[name]
+	}
+	res, err = ScreenResumableCtx(context.Background(), rec, lib, surface.Options{MaxSpots: 2},
+		forcefield.Options{}, screenAlgFactory(), HostBackendFactory(HostConfig{Real: true}), 5, 2, half, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("resumed", res)
+
+	// Fully checkpointed: nothing runs, the ranking is rebuilt from records.
+	res, err = ScreenResumableCtx(context.Background(), rec, lib, surface.Options{MaxSpots: 2},
+		forcefield.Options{}, screenAlgFactory(),
+		func(p *Problem) (Backend, error) { t.Fatal("backend built for a completed screen"); return nil, nil },
+		5, 2, cold, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("replayed", res)
+}
+
+// TestScreenResumableCtxCallback: the checkpoint hook sees every newly
+// completed ligand exactly once with a monotonically growing count, and a
+// hook error aborts the screen while keeping the checkpoint.
+func TestScreenResumableCtxCallback(t *testing.T) {
+	rec, lib := checkpointFixtures()
+	var counts []int
+	cp := &Checkpoint{}
+	_, err := ScreenResumableCtx(context.Background(), rec, lib, surface.Options{MaxSpots: 2},
+		forcefield.Options{}, screenAlgFactory(), HostBackendFactory(HostConfig{Real: true}), 5, 2, cp,
+		func(cp *Checkpoint, newly int) error {
+			if len(cp.Ligands) != newly {
+				t.Errorf("hook sees %d recorded ligands at newly=%d", len(cp.Ligands), newly)
+			}
+			counts = append(counts, newly)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != len(lib) {
+		t.Fatalf("hook called %d times, want %d", len(counts), len(lib))
+	}
+	for i, n := range counts {
+		if n != i+1 {
+			t.Errorf("hook call %d reported newly=%d", i, n)
+		}
+	}
+
+	// A failing hook aborts; completed work stays checkpointed.
+	cp2 := &Checkpoint{}
+	_, err = ScreenResumableCtx(context.Background(), rec, lib, surface.Options{MaxSpots: 2},
+		forcefield.Options{}, screenAlgFactory(), HostBackendFactory(HostConfig{Real: true}), 5, 1, cp2,
+		func(cp *Checkpoint, newly int) error {
+			if newly == 2 {
+				return errors.New("disk full")
+			}
+			return nil
+		})
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("hook error not surfaced: %v", err)
+	}
+	if len(cp2.Ligands) != 2 {
+		t.Errorf("checkpoint holds %d ligands after aborted hook, want 2", len(cp2.Ligands))
+	}
+}
+
+func TestScreenResumableCtxCancelled(t *testing.T) {
+	rec, lib := checkpointFixtures()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ScreenResumableCtx(ctx, rec, lib, surface.Options{MaxSpots: 2},
+		forcefield.Options{}, screenAlgFactory(), HostBackendFactory(HostConfig{Real: true}), 5, 2,
+		&Checkpoint{}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
 	}
 }
 

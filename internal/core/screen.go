@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"runtime"
 	"sort"
 	"sync"
@@ -127,7 +129,7 @@ func ScreenCtx(ctx context.Context, receptor *molecule.Molecule, library []*mole
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				res, err := screenLigand(ctx, receptor, library[i], i, spotOpts, ff, algf, backf, seed)
+				res, err := screenLigand(ctx, receptor, library[i], spotOpts, ff, algf, backf, seed)
 				if err != nil {
 					fail(err)
 					return
@@ -164,9 +166,11 @@ feed:
 }
 
 // screenLigand runs one ligand job on its own seed lane. The lane is keyed
-// by library index, not by execution order, which is what makes the
-// parallel screen reproduce the sequential one exactly.
-func screenLigand(ctx context.Context, receptor, lig *molecule.Molecule, i int,
+// by a stable hash of the ligand's name, not by library index or execution
+// order: the parallel screen reproduces the sequential one exactly, and
+// resuming a checkpointed screen with a reordered or extended library
+// preserves the seeds of the unfinished ligands.
+func screenLigand(ctx context.Context, receptor, lig *molecule.Molecule,
 	spotOpts surface.Options, ff forcefield.Options,
 	algf AlgorithmFactory, backf BackendFactory, seed uint64) (*Result, error) {
 	problem, err := NewProblem(receptor, lig, spotOpts, ff)
@@ -181,7 +185,7 @@ func screenLigand(ctx context.Context, receptor, lig *molecule.Molecule, i int,
 	if err != nil {
 		return nil, err
 	}
-	res, err := RunCtx(ctx, problem, alg, backend, seed+uint64(i)*0x9e37)
+	res, err := RunCtx(ctx, problem, alg, backend, ligandSeed(seed, lig.Name))
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, err // cancellation is not the ligand's fault
@@ -189,6 +193,16 @@ func screenLigand(ctx context.Context, receptor, lig *molecule.Molecule, i int,
 		return nil, fmt.Errorf("core: ligand %q: %w", lig.Name, err)
 	}
 	return res, nil
+}
+
+// ligandSeed derives a ligand's seed lane from the screen seed and a
+// 64-bit FNV-1a hash of the ligand's name. Keying by name (rather than the
+// earlier library-index scheme) keeps a ligand's lane stable when the
+// library is reordered or extended between a checkpoint and its resume.
+func ligandSeed(seed uint64, name string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, name)
+	return seed + h.Sum64()*0x9e37
 }
 
 // sortRanking orders a screen's ranking best-first, breaking equal scores

@@ -65,13 +65,20 @@ func TestScreenIndependentOfLibraryOrder(t *testing.T) {
 		t.Fatalf("ligand %s missing", name)
 		return 0
 	}
-	// Seed lanes are keyed by library index, so swapping order changes
-	// which lane a ligand gets — but the ranking API itself must not
-	// corrupt results: re-screening the same order reproduces scores.
+	// Seed lanes are keyed by a stable hash of the ligand name, so a
+	// ligand's score is identical however the library is ordered or
+	// padded — the property checkpoint resume relies on.
 	s1 := score([]*molecule.Molecule{a, b}, "lig-a")
 	s2 := score([]*molecule.Molecule{a, b}, "lig-a")
 	if s1 != s2 {
 		t.Errorf("same screen differs: %v vs %v", s1, s2)
+	}
+	if swapped := score([]*molecule.Molecule{b, a}, "lig-a"); swapped != s1 {
+		t.Errorf("reordering the library changed lig-a's score: %v vs %v", swapped, s1)
+	}
+	c := molecule.SyntheticLigand("lig-c", 12, 3)
+	if extended := score([]*molecule.Molecule{c, a, b}, "lig-a"); extended != s1 {
+		t.Errorf("extending the library changed lig-a's score: %v vs %v", extended, s1)
 	}
 }
 

@@ -25,7 +25,7 @@ func transientError() error {
 // then succeeds.
 func flakyRunner(failures int64) (runnerFunc, *atomic.Int64) {
 	var calls atomic.Int64
-	run := func(ctx context.Context, req ScreenRequest) (*core.ScreenResult, error) {
+	run := func(ctx context.Context, id string, req ScreenRequest) (*core.ScreenResult, error) {
 		if calls.Add(1) <= failures {
 			return nil, transientError()
 		}
@@ -128,7 +128,7 @@ func TestTransientExhaustsAttempts(t *testing.T) {
 // the first attempt.
 func TestPermanentErrorFailsWithoutRetry(t *testing.T) {
 	var calls atomic.Int64
-	run := func(ctx context.Context, req ScreenRequest) (*core.ScreenResult, error) {
+	run := func(ctx context.Context, id string, req ScreenRequest) (*core.ScreenResult, error) {
 		calls.Add(1)
 		return nil, fmt.Errorf("screen aborted: %w",
 			&cudasim.DeviceError{Device: 0, Kind: cudasim.FaultPermanent, Op: "scoring", At: 0.1})
@@ -157,7 +157,7 @@ func TestPermanentErrorFailsWithoutRetry(t *testing.T) {
 // goroutine lives to serve the next one.
 func TestWorkerSurvivesPanic(t *testing.T) {
 	var calls atomic.Int64
-	run := func(ctx context.Context, req ScreenRequest) (*core.ScreenResult, error) {
+	run := func(ctx context.Context, id string, req ScreenRequest) (*core.ScreenResult, error) {
 		if calls.Add(1) == 1 {
 			panic("scoring table corrupted")
 		}

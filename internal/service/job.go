@@ -166,9 +166,12 @@ type Job struct {
 	finished  time.Time
 	err       string
 	result    *core.ScreenResult
-	cancel    func() // non-nil exactly while running
-	attempts  int    // executions so far, retries included
-	lastErr   string // most recent attempt error; kept on eventual success
+	cancel    func()      // non-nil exactly while running
+	attempts  int         // executions so far, retries included
+	lastErr   string      // most recent attempt error; kept on eventual success
+	idemKey   string      // client idempotency key, "" when none was sent
+	cpLigands int         // ligands recorded in the job's last checkpoint snapshot
+	restored  *ResultView // result replayed from the journal after a restart
 }
 
 // RankEntry is one row of a job's ranking on the wire.
@@ -192,30 +195,58 @@ type ResultView struct {
 // JobView is a consistent snapshot of a job for JSON responses. Attempts
 // and LastError let clients distinguish a retried-then-succeeded job from
 // a clean one: a done job with attempts > 1 recovered from transient
-// failures, and LastError names the most recent one.
+// failures, and LastError names the most recent one. CheckpointLigands
+// reports resume progress for a durable job (how many ligands its last
+// checkpoint snapshot holds); IdempotencyKey echoes the key the job was
+// admitted under. The view is also the journal's snapshot record, so every
+// field must round-trip through JSON.
 type JobView struct {
-	ID          string        `json:"id"`
-	State       JobState      `json:"state"`
-	Request     ScreenRequest `json:"request"`
-	SubmittedAt time.Time     `json:"submitted_at"`
-	StartedAt   *time.Time    `json:"started_at,omitempty"`
-	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
-	Error       string        `json:"error,omitempty"`
-	Attempts    int           `json:"attempts,omitempty"`
-	LastError   string        `json:"last_error,omitempty"`
-	Result      *ResultView   `json:"result,omitempty"`
+	ID                string        `json:"id"`
+	State             JobState      `json:"state"`
+	Request           ScreenRequest `json:"request"`
+	SubmittedAt       time.Time     `json:"submitted_at"`
+	StartedAt         *time.Time    `json:"started_at,omitempty"`
+	FinishedAt        *time.Time    `json:"finished_at,omitempty"`
+	Error             string        `json:"error,omitempty"`
+	Attempts          int           `json:"attempts,omitempty"`
+	LastError         string        `json:"last_error,omitempty"`
+	IdempotencyKey    string        `json:"idempotency_key,omitempty"`
+	CheckpointLigands int           `json:"checkpoint_ligands,omitempty"`
+	Result            *ResultView   `json:"result,omitempty"`
+}
+
+// resultView renders an engine result for the wire.
+func resultView(res *core.ScreenResult) *ResultView {
+	rv := &ResultView{
+		SimulatedSeconds: res.SimulatedSeconds,
+		Evaluations:      res.Evaluations,
+		DeviceFaults:     res.DeviceFaults,
+		Resplits:         res.Resplits,
+	}
+	for i, e := range res.Ranking {
+		rv.Ranking = append(rv.Ranking, RankEntry{
+			Rank:   i + 1,
+			Ligand: e.Ligand.Name,
+			Atoms:  e.Ligand.NumAtoms(),
+			Score:  e.Result.Best.Score,
+			Spot:   e.Result.Best.Spot,
+		})
+	}
+	return rv
 }
 
 // view snapshots the job. Caller holds the service mutex.
 func (j *Job) view() JobView {
 	v := JobView{
-		ID:          j.id,
-		State:       j.state,
-		Request:     j.req,
-		SubmittedAt: j.submitted,
-		Error:       j.err,
-		Attempts:    j.attempts,
-		LastError:   j.lastErr,
+		ID:                j.id,
+		State:             j.state,
+		Request:           j.req,
+		SubmittedAt:       j.submitted,
+		Error:             j.err,
+		Attempts:          j.attempts,
+		LastError:         j.lastErr,
+		IdempotencyKey:    j.idemKey,
+		CheckpointLigands: j.cpLigands,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -225,23 +256,13 @@ func (j *Job) view() JobView {
 		t := j.finished
 		v.FinishedAt = &t
 	}
-	if j.result != nil {
-		rv := &ResultView{
-			SimulatedSeconds: j.result.SimulatedSeconds,
-			Evaluations:      j.result.Evaluations,
-			DeviceFaults:     j.result.DeviceFaults,
-			Resplits:         j.result.Resplits,
-		}
-		for i, e := range j.result.Ranking {
-			rv.Ranking = append(rv.Ranking, RankEntry{
-				Rank:   i + 1,
-				Ligand: e.Ligand.Name,
-				Atoms:  e.Ligand.NumAtoms(),
-				Score:  e.Result.Best.Score,
-				Spot:   e.Result.Best.Spot,
-			})
-		}
-		v.Result = rv
+	switch {
+	case j.result != nil:
+		v.Result = resultView(j.result)
+	case j.restored != nil:
+		// The engine result died with the previous process; the journaled
+		// view is the source of truth.
+		v.Result = j.restored
 	}
 	return v
 }

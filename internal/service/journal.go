@@ -1,0 +1,303 @@
+package service
+
+// The durability layer: when Config.DataDir is set, every job lifecycle
+// transition is journaled to an append-only WAL (internal/wal) before the
+// response leaves the service, and each running screen's core.Checkpoint
+// is snapshotted atomically (temp file + rename) every CheckpointEvery
+// completed ligands. On the next boot over the same data dir the journal
+// is replayed: the job table is rebuilt, terminal jobs keep their results,
+// and jobs that were queued or running at the crash are re-enqueued — a
+// re-run resumes from its checkpoint, re-docking only unfinished ligands,
+// with a final ranking byte-identical to an uninterrupted run.
+//
+// Layout under DataDir:
+//
+//	journal/seg-%08d.wal   framed JSONL job events (see jobEvent)
+//	checkpoints/<id>.json  per-job core.Checkpoint snapshots
+//
+// Event records are last-write-wins per job, which is what makes journal
+// compaction (full-snapshot records replacing history) crash-safe: a
+// replay of old events followed by a snapshot converges on the snapshot.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/metascreen/metascreen/internal/core"
+	"github.com/metascreen/metascreen/internal/wal"
+)
+
+// Event types. Unknown types are skipped on replay so newer journals
+// degrade gracefully under older binaries.
+const (
+	evSubmitted  = "submitted"  // job admitted: request + idempotency key
+	evStarted    = "started"    // a worker claimed the job
+	evAttempt    = "attempt"    // one execution attempt finished (with error, if any)
+	evCheckpoint = "checkpoint" // the job's checkpoint snapshot was written
+	evTerminal   = "terminal"   // the job reached a terminal state (full snapshot)
+	evSnapshot   = "snapshot"   // compaction record: full job snapshot
+)
+
+// jobEvent is one journal record. Which fields are set depends on Type;
+// terminal and snapshot events carry the whole JobView so replay needs no
+// other source of truth.
+type jobEvent struct {
+	Type    string         `json:"type"`
+	Job     string         `json:"job,omitempty"`
+	Time    time.Time      `json:"time,omitempty"`
+	Request *ScreenRequest `json:"request,omitempty"`
+	IdemKey string         `json:"idem_key,omitempty"`
+	Attempt int            `json:"attempt,omitempty"`
+	Error   string         `json:"error,omitempty"`
+	Ligands int            `json:"ligands,omitempty"`
+	View    *JobView       `json:"view,omitempty"`
+}
+
+// RecoveryStats reports what a boot over an existing data dir recovered.
+type RecoveryStats struct {
+	// ReplayedRecords is the number of journal records applied.
+	ReplayedRecords int `json:"replayed_records"`
+	// RecoveredJobs is the number of non-terminal jobs re-enqueued.
+	RecoveredJobs int `json:"recovered_jobs"`
+	// TruncatedBytes counts journal bytes dropped as a torn/corrupt tail.
+	TruncatedBytes int64 `json:"truncated_bytes,omitempty"`
+}
+
+// openJournal opens the WAL, replays it into the job table, and re-enqueues
+// every job that was queued or running when the previous process died.
+// Called from New before the workers start, so no lock is needed.
+func (s *Service) openJournal() error {
+	if err := os.MkdirAll(s.checkpointDir(), 0o755); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	j, info, err := wal.Open(filepath.Join(s.cfg.DataDir, "journal"), wal.Options{
+		Policy:       s.cfg.Fsync,
+		SyncInterval: s.cfg.FsyncInterval,
+		Logf:         func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+	})
+	if err != nil {
+		return err
+	}
+	s.recovery.TruncatedBytes = info.TruncatedBytes
+
+	err = j.Replay(func(rec []byte) error {
+		var ev jobEvent
+		if uerr := json.Unmarshal(rec, &ev); uerr != nil {
+			// A record that framed correctly but no longer parses is
+			// skipped, not fatal: replay keeps every applicable event.
+			s.metrics.JournalError()
+			return nil
+		}
+		s.applyEvent(ev)
+		s.recovery.ReplayedRecords++
+		return nil
+	})
+	if err != nil {
+		j.Close()
+		return err
+	}
+
+	// Re-enqueue interrupted jobs in submission order. The queue must
+	// admit all of them regardless of the configured bound, so size it up
+	// front (workers have not started; pushes cannot block).
+	var pending []*Job
+	for _, id := range s.order {
+		if j := s.jobs[id]; !j.state.Terminal() {
+			pending = append(pending, j)
+		}
+	}
+	if len(pending) > s.cfg.QueueDepth {
+		s.queue = newJobQueue(len(pending))
+	}
+	for _, job := range pending {
+		job.state = StateQueued
+		job.started = time.Time{}
+		job.cancel = nil
+		if err := s.queue.tryPush(job); err != nil {
+			j.Close()
+			return fmt.Errorf("service: re-enqueue %s: %w", job.id, err)
+		}
+		s.recovery.RecoveredJobs++
+	}
+	s.metrics.Recovered(s.recovery.ReplayedRecords, s.recovery.RecoveredJobs, s.recovery.TruncatedBytes)
+	s.journal = j
+	return nil
+}
+
+// applyEvent folds one journal record into the in-memory job table.
+// Events are last-write-wins per job; unknown types are ignored.
+func (s *Service) applyEvent(ev jobEvent) {
+	switch ev.Type {
+	case evSubmitted:
+		j := s.jobFor(ev.Job)
+		if ev.Request != nil {
+			j.req = *ev.Request
+		}
+		j.state = StateQueued
+		j.submitted = ev.Time
+		j.idemKey = ev.IdemKey
+		if ev.IdemKey != "" {
+			s.idem[ev.IdemKey] = j.id
+		}
+	case evStarted:
+		j := s.jobFor(ev.Job)
+		j.state = StateRunning
+		j.started = ev.Time
+		j.attempts = ev.Attempt
+	case evAttempt:
+		j := s.jobFor(ev.Job)
+		j.attempts = ev.Attempt
+		j.lastErr = ev.Error
+	case evCheckpoint:
+		s.jobFor(ev.Job).cpLigands = ev.Ligands
+	case evTerminal, evSnapshot:
+		if ev.View != nil {
+			s.applyView(ev.View)
+		}
+	}
+}
+
+// jobFor returns the job for a replayed event, creating a placeholder if
+// its submitted record was lost with a truncated tail.
+func (s *Service) jobFor(id string) *Job {
+	if j, ok := s.jobs[id]; ok {
+		return j
+	}
+	j := &Job{id: id, state: StateQueued}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.bumpNextID(id)
+	return j
+}
+
+// applyView overwrites a job from a full snapshot (terminal or compaction
+// record).
+func (s *Service) applyView(v *JobView) {
+	j := s.jobFor(v.ID)
+	j.state = v.State
+	j.req = v.Request
+	j.submitted = v.SubmittedAt
+	j.started = time.Time{}
+	if v.StartedAt != nil {
+		j.started = *v.StartedAt
+	}
+	j.finished = time.Time{}
+	if v.FinishedAt != nil {
+		j.finished = *v.FinishedAt
+	}
+	j.err = v.Error
+	j.attempts = v.Attempts
+	j.lastErr = v.LastError
+	j.cpLigands = v.CheckpointLigands
+	j.idemKey = v.IdempotencyKey
+	if v.IdempotencyKey != "" {
+		s.idem[v.IdempotencyKey] = j.id
+	}
+	j.result = nil
+	j.restored = v.Result
+}
+
+// bumpNextID keeps ID allocation monotonic across restarts.
+func (s *Service) bumpNextID(id string) {
+	var n uint64
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err == nil && n > s.nextID {
+		s.nextID = n
+	}
+}
+
+// appendEvent journals one event. Callers hold s.mu. Append failures are
+// counted and reported to stderr but do not fail the operation: the
+// in-memory service stays correct, durability degrades.
+func (s *Service) appendEvent(ev jobEvent) {
+	if s.journal == nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err == nil {
+		err = s.journal.Append(b)
+	}
+	if err != nil {
+		s.metrics.JournalError()
+		fmt.Fprintf(os.Stderr, "service: journal append: %v\n", err)
+		return
+	}
+	s.metrics.JournalAppend(len(b))
+	if s.journal.Size() > s.cfg.CompactBytes {
+		s.compactLocked()
+	}
+}
+
+// compactLocked rewrites the journal as one snapshot record per job.
+// Caller holds s.mu.
+func (s *Service) compactLocked() {
+	live := make([][]byte, 0, len(s.order))
+	for _, id := range s.order {
+		v := s.jobs[id].view()
+		b, err := json.Marshal(jobEvent{Type: evSnapshot, Job: id, View: &v})
+		if err != nil {
+			s.metrics.JournalError()
+			return
+		}
+		live = append(live, b)
+	}
+	if err := s.journal.Compact(live); err != nil {
+		s.metrics.JournalError()
+		fmt.Fprintf(os.Stderr, "service: journal compact: %v\n", err)
+		return
+	}
+	s.metrics.JournalCompaction()
+}
+
+// checkpointDir and checkpointPath locate per-job checkpoint snapshots.
+func (s *Service) checkpointDir() string { return filepath.Join(s.cfg.DataDir, "checkpoints") }
+func (s *Service) checkpointPath(id string) string {
+	return filepath.Join(s.checkpointDir(), id+".json")
+}
+
+// loadJobCheckpoint reads a job's checkpoint snapshot, returning a fresh
+// checkpoint when none exists, the file is corrupt (a crash can tear at
+// most the temp file, but be defensive), or its seed does not match the
+// request — resuming would silently mix runs.
+func (s *Service) loadJobCheckpoint(id string, seed uint64) *core.Checkpoint {
+	f, err := os.Open(s.checkpointPath(id))
+	if err != nil {
+		return &core.Checkpoint{}
+	}
+	defer f.Close()
+	cp, err := core.LoadCheckpoint(f)
+	if err != nil || cp.Seed != seed {
+		fmt.Fprintf(os.Stderr, "service: checkpoint for %s unusable (err=%v), re-docking from scratch\n", id, err)
+		return &core.Checkpoint{}
+	}
+	return cp
+}
+
+// writeJobCheckpoint snapshots a checkpoint atomically: temp file, fsync,
+// rename. A crash leaves either the old snapshot or the new one, never a
+// torn file.
+func (s *Service) writeJobCheckpoint(id string, cp *core.Checkpoint) error {
+	path := s.checkpointPath(id)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := core.SaveCheckpoint(f, cp); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -38,6 +38,15 @@ type Metrics struct {
 	resplits     int64
 	jobRetries   int64
 	workerPanics int64
+
+	journalRecords     int64
+	journalBytes       int64
+	journalErrors      int64
+	journalCompactions int64
+	checkpointsWritten int64
+	replayedRecords    int64
+	recoveredJobs      int64
+	truncatedBytes     int64
 }
 
 // defaultLatencyBuckets spans interactive modeled screens (tens of
@@ -115,6 +124,46 @@ func (m *Metrics) JobRetried() {
 func (m *Metrics) WorkerPanic() {
 	m.mu.Lock()
 	m.workerPanics++
+	m.mu.Unlock()
+}
+
+// JournalAppend counts one journal record of the given payload size.
+func (m *Metrics) JournalAppend(bytes int) {
+	m.mu.Lock()
+	m.journalRecords++
+	m.journalBytes += int64(bytes)
+	m.mu.Unlock()
+}
+
+// JournalError counts one journal append, compaction or replay-decode
+// failure. Durability degrades; the in-memory service stays correct.
+func (m *Metrics) JournalError() {
+	m.mu.Lock()
+	m.journalErrors++
+	m.mu.Unlock()
+}
+
+// JournalCompaction counts one successful journal compaction.
+func (m *Metrics) JournalCompaction() {
+	m.mu.Lock()
+	m.journalCompactions++
+	m.mu.Unlock()
+}
+
+// CheckpointWritten counts one atomic per-job checkpoint snapshot.
+func (m *Metrics) CheckpointWritten() {
+	m.mu.Lock()
+	m.checkpointsWritten++
+	m.mu.Unlock()
+}
+
+// Recovered records what boot-time journal replay found: records applied,
+// interrupted jobs re-enqueued, and torn-tail bytes truncated.
+func (m *Metrics) Recovered(replayed, recovered int, truncated int64) {
+	m.mu.Lock()
+	m.replayedRecords += int64(replayed)
+	m.recoveredJobs += int64(recovered)
+	m.truncatedBytes += truncated
 	m.mu.Unlock()
 }
 
@@ -225,6 +274,38 @@ func (m *Metrics) WriteTo(w io.Writer, queueDepth, running int) error {
 	p("# HELP metascreen_worker_panics_total Worker panics recovered while running jobs.\n")
 	p("# TYPE metascreen_worker_panics_total counter\n")
 	p("metascreen_worker_panics_total %d\n", m.workerPanics)
+
+	p("# HELP metascreen_journal_records_total Job lifecycle records appended to the journal.\n")
+	p("# TYPE metascreen_journal_records_total counter\n")
+	p("metascreen_journal_records_total %d\n", m.journalRecords)
+
+	p("# HELP metascreen_journal_bytes_total Journal record payload bytes appended.\n")
+	p("# TYPE metascreen_journal_bytes_total counter\n")
+	p("metascreen_journal_bytes_total %d\n", m.journalBytes)
+
+	p("# HELP metascreen_journal_errors_total Journal append, compaction or replay-decode failures.\n")
+	p("# TYPE metascreen_journal_errors_total counter\n")
+	p("metascreen_journal_errors_total %d\n", m.journalErrors)
+
+	p("# HELP metascreen_journal_compactions_total Journal compactions into per-job snapshots.\n")
+	p("# TYPE metascreen_journal_compactions_total counter\n")
+	p("metascreen_journal_compactions_total %d\n", m.journalCompactions)
+
+	p("# HELP metascreen_checkpoints_written_total Atomic per-job checkpoint snapshots written.\n")
+	p("# TYPE metascreen_checkpoints_written_total counter\n")
+	p("metascreen_checkpoints_written_total %d\n", m.checkpointsWritten)
+
+	p("# HELP metascreen_replayed_records_total Journal records applied during boot-time recovery.\n")
+	p("# TYPE metascreen_replayed_records_total counter\n")
+	p("metascreen_replayed_records_total %d\n", m.replayedRecords)
+
+	p("# HELP metascreen_recovered_jobs_total Interrupted jobs re-enqueued by boot-time recovery.\n")
+	p("# TYPE metascreen_recovered_jobs_total counter\n")
+	p("metascreen_recovered_jobs_total %d\n", m.recoveredJobs)
+
+	p("# HELP metascreen_journal_truncated_bytes_total Torn-tail journal bytes dropped during recovery.\n")
+	p("# TYPE metascreen_journal_truncated_bytes_total counter\n")
+	p("metascreen_journal_truncated_bytes_total %d\n", m.truncatedBytes)
 
 	return err
 }

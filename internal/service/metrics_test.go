@@ -25,6 +25,13 @@ func TestMetricsExpositionGolden(t *testing.T) {
 	m.JobRetried()
 	m.JobRetried()
 	m.WorkerPanic()
+	m.JournalAppend(120)
+	m.JournalAppend(80)
+	m.JournalError()
+	m.JournalCompaction()
+	m.CheckpointWritten()
+	m.CheckpointWritten()
+	m.Recovered(7, 2, 13)
 
 	var b strings.Builder
 	if err := m.WriteTo(&b, 1, 1); err != nil {
@@ -86,6 +93,30 @@ metascreen_job_retries_total 3
 # HELP metascreen_worker_panics_total Worker panics recovered while running jobs.
 # TYPE metascreen_worker_panics_total counter
 metascreen_worker_panics_total 1
+# HELP metascreen_journal_records_total Job lifecycle records appended to the journal.
+# TYPE metascreen_journal_records_total counter
+metascreen_journal_records_total 2
+# HELP metascreen_journal_bytes_total Journal record payload bytes appended.
+# TYPE metascreen_journal_bytes_total counter
+metascreen_journal_bytes_total 200
+# HELP metascreen_journal_errors_total Journal append, compaction or replay-decode failures.
+# TYPE metascreen_journal_errors_total counter
+metascreen_journal_errors_total 1
+# HELP metascreen_journal_compactions_total Journal compactions into per-job snapshots.
+# TYPE metascreen_journal_compactions_total counter
+metascreen_journal_compactions_total 1
+# HELP metascreen_checkpoints_written_total Atomic per-job checkpoint snapshots written.
+# TYPE metascreen_checkpoints_written_total counter
+metascreen_checkpoints_written_total 2
+# HELP metascreen_replayed_records_total Journal records applied during boot-time recovery.
+# TYPE metascreen_replayed_records_total counter
+metascreen_replayed_records_total 7
+# HELP metascreen_recovered_jobs_total Interrupted jobs re-enqueued by boot-time recovery.
+# TYPE metascreen_recovered_jobs_total counter
+metascreen_recovered_jobs_total 2
+# HELP metascreen_journal_truncated_bytes_total Torn-tail journal bytes dropped during recovery.
+# TYPE metascreen_journal_truncated_bytes_total counter
+metascreen_journal_truncated_bytes_total 13
 `
 	if got := b.String(); got != want {
 		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)

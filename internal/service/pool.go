@@ -49,7 +49,11 @@ func (s *Service) runJob(j *Job) {
 	j.state = StateRunning
 	j.started = s.now()
 	j.cancel = cancel
-	run := s.run
+	// A job recovered from the journal resumes its attempt numbering where
+	// the dead process left off, with a fresh retry budget for this boot.
+	first := j.attempts + 1
+	id, req, run := j.id, j.req, s.run
+	s.appendEvent(jobEvent{Type: evStarted, Job: id, Time: j.started, Attempt: first})
 	s.mu.Unlock()
 	defer cancel()
 
@@ -60,30 +64,31 @@ func (s *Service) runJob(j *Job) {
 		res *core.ScreenResult
 		err error
 	)
-	for attempt := 1; ; attempt++ {
+	for attempt := first; ; attempt++ {
 		attemptCtx := base
 		acancel := func() {}
-		if j.req.TimeoutSeconds > 0 {
+		if req.TimeoutSeconds > 0 {
 			attemptCtx, acancel = context.WithTimeout(base,
-				time.Duration(j.req.TimeoutSeconds*float64(time.Second)))
+				time.Duration(req.TimeoutSeconds*float64(time.Second)))
 		}
-		res, err = s.safeRun(run, attemptCtx, j.req)
+		res, err = s.safeRun(run, attemptCtx, id, req)
 		acancel()
 
 		s.mu.Lock()
 		j.attempts = attempt
 		if err != nil {
 			j.lastErr = err.Error()
+			s.appendEvent(jobEvent{Type: evAttempt, Job: id, Attempt: attempt, Error: j.lastErr})
 		}
 		s.mu.Unlock()
 
 		if err == nil || errors.Is(err, context.Canceled) ||
 			errors.Is(err, context.DeadlineExceeded) ||
-			!transientErr(err) || attempt >= s.cfg.MaxAttempts {
+			!transientErr(err) || attempt-first+1 >= s.cfg.MaxAttempts {
 			break
 		}
 		s.metrics.JobRetried()
-		if !s.backoff(base, j.id, attempt) {
+		if !s.backoff(base, id, attempt) {
 			err = context.Canceled
 			break
 		}
@@ -91,6 +96,12 @@ func (s *Service) runJob(j *Job) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.crashed {
+		// Simulated process death: no terminal transition and no journal
+		// record, exactly as if the worker died mid-run. The next boot over
+		// the data dir re-enqueues the job.
+		return
+	}
 	switch {
 	case err == nil:
 		s.finishLocked(j, StateDone, res, "")
@@ -98,7 +109,7 @@ func (s *Service) runJob(j *Job) {
 		s.finishLocked(j, StateCancelled, nil, "cancelled while running")
 	case errors.Is(err, context.DeadlineExceeded):
 		s.finishLocked(j, StateFailed, nil,
-			fmt.Sprintf("deadline exceeded after %gs", j.req.TimeoutSeconds))
+			fmt.Sprintf("deadline exceeded after %gs", req.TimeoutSeconds))
 	default:
 		s.finishLocked(j, StateFailed, nil, err.Error())
 	}
@@ -106,7 +117,7 @@ func (s *Service) runJob(j *Job) {
 
 // safeRun executes one attempt, converting a runner panic into an error
 // so a bad job cannot take the worker goroutine down with it.
-func (s *Service) safeRun(run runnerFunc, ctx context.Context, req ScreenRequest) (res *core.ScreenResult, err error) {
+func (s *Service) safeRun(run runnerFunc, ctx context.Context, id string, req ScreenRequest) (res *core.ScreenResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.metrics.WorkerPanic()
@@ -114,7 +125,7 @@ func (s *Service) safeRun(run runnerFunc, ctx context.Context, req ScreenRequest
 			err = fmt.Errorf("service: worker panic: %v", r)
 		}
 	}()
-	return run(ctx, req)
+	return run(ctx, id, req)
 }
 
 // transientErr classifies a failure as retryable: a transient simulated
@@ -154,10 +165,13 @@ func (s *Service) backoff(ctx context.Context, jobID string, attempt int) bool {
 }
 
 // runScreen is the production runner: it materializes the request into
-// the exact same core.ScreenCtx call a library user would write, so a
+// the exact same core screen call a library user would write, so a
 // service job and a library screen with equal parameters and seed return
-// identical rankings.
-func (s *Service) runScreen(ctx context.Context, req ScreenRequest) (*core.ScreenResult, error) {
+// identical rankings. With durability enabled, the screen resumes from
+// the job's checkpoint snapshot and re-snapshots it every CheckpointEvery
+// completed ligands — since seed lanes are keyed by ligand name, the
+// resumed ranking is byte-identical to an uninterrupted run.
+func (s *Service) runScreen(ctx context.Context, id string, req ScreenRequest) (*core.ScreenResult, error) {
 	ds, err := core.DatasetByName(req.Dataset)
 	if err != nil {
 		return nil, err
@@ -169,7 +183,38 @@ func (s *Service) runScreen(ctx context.Context, req ScreenRequest) (*core.Scree
 	algf := func() (metaheuristic.Algorithm, error) {
 		return metaheuristic.NewPaper(req.Metaheuristic, req.Scale)
 	}
-	return core.ScreenCtx(ctx, ds.Receptor, core.SyntheticLibrary(req.Library),
-		surface.Options{MaxSpots: req.Spots}, forcefield.Options{},
-		algf, backf, req.Seed, s.cfg.ScreenWorkers)
+	lib := core.SyntheticLibrary(req.Library)
+	spotOpts := surface.Options{MaxSpots: req.Spots}
+
+	s.mu.Lock()
+	durable := s.journal != nil
+	s.mu.Unlock()
+	if !durable {
+		return core.ScreenCtx(ctx, ds.Receptor, lib, spotOpts, forcefield.Options{},
+			algf, backf, req.Seed, s.cfg.ScreenWorkers)
+	}
+
+	cp := s.loadJobCheckpoint(id, req.Seed)
+	onCp := func(cp *core.Checkpoint, newly int) error {
+		if newly%s.cfg.CheckpointEvery != 0 {
+			return nil
+		}
+		if err := s.writeJobCheckpoint(id, cp); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if j, ok := s.jobs[id]; ok {
+			j.cpLigands = len(cp.Ligands)
+		}
+		s.appendEvent(jobEvent{Type: evCheckpoint, Job: id, Ligands: len(cp.Ligands)})
+		hook := s.checkpointHook
+		s.mu.Unlock()
+		s.metrics.CheckpointWritten()
+		if hook != nil {
+			hook(id, newly)
+		}
+		return nil
+	}
+	return core.ScreenResumableCtx(ctx, ds.Receptor, lib, spotOpts, forcefield.Options{},
+		algf, backf, req.Seed, s.cfg.ScreenWorkers, cp, onCp)
 }

@@ -9,6 +9,8 @@ import (
 // The HTTP layer: a stdlib-only JSON API over the Service.
 //
 //	POST   /v1/screens      submit a ScreenRequest     -> 202 JobView
+//	                        (Idempotency-Key header: resubmitting an
+//	                        admitted key returns the original job, 200)
 //	GET    /v1/screens      list jobs                  -> 200 [JobView]
 //	GET    /v1/screens/{id} job status + ranking       -> 200 JobView
 //	DELETE /v1/screens/{id} cancel                     -> 202 JobView
@@ -38,9 +40,15 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	view, err := s.Submit(req)
+	view, existing, err := s.SubmitIdem(req, r.Header.Get("Idempotency-Key"))
 	if err != nil {
 		writeError(w, submitStatus(err), err)
+		return
+	}
+	if existing {
+		// A duplicate submission (client retry across a timeout or server
+		// restart) maps onto the already-admitted job.
+		writeJSON(w, http.StatusOK, view)
 		return
 	}
 	w.Header().Set("Location", "/v1/screens/"+view.ID)

@@ -24,11 +24,13 @@ package service
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"time"
 
 	"github.com/metascreen/metascreen/internal/core"
+	"github.com/metascreen/metascreen/internal/wal"
 )
 
 // Config sizes the service.
@@ -51,6 +53,24 @@ type Config struct {
 	// RetryBaseDelay is the backoff before the first retry; it doubles
 	// per retry (jittered, capped at 5s). 0 means 100ms.
 	RetryBaseDelay time.Duration
+
+	// DataDir enables durability: job lifecycle events are journaled to
+	// <DataDir>/journal and per-job checkpoints snapshotted under
+	// <DataDir>/checkpoints, so a crashed process resumes its jobs on the
+	// next boot over the same directory. Empty keeps everything in memory
+	// (the pre-durability behaviour).
+	DataDir string
+	// Fsync is the journal's fsync policy; the zero value is
+	// wal.SyncAlways. Only meaningful with DataDir.
+	Fsync wal.SyncPolicy
+	// FsyncInterval is the wal.SyncInterval cadence; 0 means 100ms.
+	FsyncInterval time.Duration
+	// CheckpointEvery snapshots a running job's checkpoint after every N
+	// newly completed ligands; 0 means 1 (snapshot after each ligand).
+	CheckpointEvery int
+	// CompactBytes compacts the journal into per-job snapshots when it
+	// grows past this size; 0 means 4 MiB.
+	CompactBytes int64
 }
 
 // withDefaults fills zero fields.
@@ -67,11 +87,19 @@ func (c Config) withDefaults() Config {
 	if c.RetryBaseDelay <= 0 {
 		c.RetryBaseDelay = 100 * time.Millisecond
 	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1
+	}
+	if c.CompactBytes <= 0 {
+		c.CompactBytes = 4 << 20
+	}
 	return c
 }
 
 // runnerFunc executes one screen; tests substitute a controllable stub.
-type runnerFunc func(ctx context.Context, req ScreenRequest) (*core.ScreenResult, error)
+// The job ID keys the durable checkpoint the production runner resumes
+// from.
+type runnerFunc func(ctx context.Context, id string, req ScreenRequest) (*core.ScreenResult, error)
 
 // Service is the screening service: job registry, bounded queue, worker
 // pool and metrics. Create it with New, serve its Handler, stop it with
@@ -90,39 +118,81 @@ type Service struct {
 	workers sync.WaitGroup
 	run     runnerFunc
 
+	// Durability (nil journal when DataDir is unset).
+	journal  *wal.Journal
+	idem     map[string]string // idempotency key -> job ID
+	recovery RecoveryStats
+	crashed  bool // crashForTest: suppress terminal side effects
+
+	// checkpointHook observes checkpoint snapshots; recovery tests use it
+	// to crash at a deterministic mid-screen point.
+	checkpointHook func(jobID string, newly int)
+
 	// now is the clock; tests pin it for stable timestamps.
 	now func() time.Time
 }
 
-// New builds a service and starts its worker pool.
-func New(cfg Config) *Service {
+// New builds a service and starts its worker pool. With Config.DataDir
+// set, it first replays the journal found there: the job table is rebuilt,
+// finished jobs keep their rankings, and interrupted jobs are re-enqueued
+// to resume from their checkpoints.
+func New(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	s := &Service{
 		cfg:     cfg,
 		metrics: NewMetrics(cfg.Workers),
 		jobs:    make(map[string]*Job),
+		idem:    make(map[string]string),
 		queue:   newJobQueue(cfg.QueueDepth),
 		now:     time.Now,
 	}
 	s.run = s.runScreen
+	if cfg.DataDir != "" {
+		if err := s.openJournal(); err != nil {
+			return nil, err
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+// Recovery reports what this instance replayed and re-enqueued at boot;
+// all zeros without a DataDir or on a fresh one.
+func (s *Service) Recovery() RecoveryStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovery
 }
 
 // Submit validates and enqueues a screen, returning the queued job's
 // snapshot. It fails fast with ErrQueueFull or ErrDraining.
 func (s *Service) Submit(req ScreenRequest) (JobView, error) {
+	v, _, err := s.SubmitIdem(req, "")
+	return v, err
+}
+
+// SubmitIdem is Submit with an idempotency key: when key is non-empty and
+// a job — live or journaled before a crash — was already admitted under
+// it, that job's snapshot is returned with existing=true instead of
+// double-submitting. Clients that retry submissions across timeouts and
+// server restarts should always send a key.
+func (s *Service) SubmitIdem(req ScreenRequest, key string) (v JobView, existing bool, err error) {
 	req = req.withDefaults()
 	if err := req.Validate(); err != nil {
-		return JobView{}, err
+		return JobView{}, false, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if key != "" {
+		if id, ok := s.idem[key]; ok {
+			return s.jobs[id].view(), true, nil
+		}
+	}
 	if s.draining {
-		return JobView{}, ErrDraining
+		return JobView{}, false, ErrDraining
 	}
 	s.nextID++
 	j := &Job{
@@ -130,16 +200,24 @@ func (s *Service) Submit(req ScreenRequest) (JobView, error) {
 		state:     StateQueued,
 		req:       req,
 		submitted: s.now(),
+		idemKey:   key,
 	}
 	if err := s.queue.tryPush(j); err != nil {
 		s.nextID-- // the ID was never exposed
 		s.metrics.Rejected()
-		return JobView{}, err
+		return JobView{}, false, err
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	if key != "" {
+		s.idem[key] = j.id
+	}
 	s.metrics.Submitted()
-	return j.view(), nil
+	s.appendEvent(jobEvent{
+		Type: evSubmitted, Job: j.id, Time: j.submitted,
+		Request: &j.req, IdemKey: key,
+	})
+	return j.view(), false, nil
 }
 
 // Get returns a job snapshot.
@@ -186,8 +264,10 @@ func (s *Service) Cancel(id string) (JobView, error) {
 	return j.view(), nil
 }
 
-// finishLocked moves a job to a terminal state and records it in the
-// metrics. Caller holds s.mu.
+// finishLocked moves a job to a terminal state, records it in the metrics,
+// journals the full final snapshot, and retires the job's checkpoint file
+// (the terminal event carries the result, so the checkpoint has nothing
+// left to add). Caller holds s.mu.
 func (s *Service) finishLocked(j *Job, state JobState, res *core.ScreenResult, errMsg string) {
 	j.state = state
 	j.finished = s.now()
@@ -197,6 +277,11 @@ func (s *Service) finishLocked(j *Job, state JobState, res *core.ScreenResult, e
 	s.metrics.Finished(state, j.finished.Sub(j.submitted))
 	if res != nil {
 		s.metrics.Work(res.Evaluations, res.SimulatedSeconds, res.DeviceFaults, res.Resplits)
+	}
+	if s.journal != nil {
+		v := j.view()
+		s.appendEvent(jobEvent{Type: evTerminal, Job: j.id, Time: j.finished, View: &v})
+		os.Remove(s.checkpointPath(j.id))
 	}
 }
 
@@ -223,9 +308,9 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		s.workers.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
 		for _, id := range s.order {
@@ -235,16 +320,44 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	s.mu.Lock()
+	if s.journal != nil {
+		s.journal.Close()
+		s.journal = nil
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// crashForTest simulates kill -9 for the crash-recovery tests: from this
+// point nothing further reaches the journal or triggers terminal side
+// effects — exactly as if the process died — while the goroutines are
+// still wound down so the test can reopen the data dir race-free. The
+// journal bytes already written (synced per policy) are what the next boot
+// sees.
+func (s *Service) crashForTest() {
+	s.mu.Lock()
+	s.crashed = true
+	s.journal = nil // drop without Close: no final sync, like SIGKILL
+	s.draining = true
+	s.queue.close()
+	for _, id := range s.order {
+		if j := s.jobs[id]; j.state == StateRunning && j.cancel != nil {
+			j.cancel()
+		}
+	}
+	s.mu.Unlock()
+	s.workers.Wait()
 }
 
 // Stats is a point-in-time operational snapshot (also the source of the
 // /metrics gauges).
 type Stats struct {
-	QueueDepth int `json:"queue_depth"`
-	Running    int `json:"running"`
-	Workers    int `json:"workers"`
+	QueueDepth int  `json:"queue_depth"`
+	Running    int  `json:"running"`
+	Workers    int  `json:"workers"`
 	Draining   bool `json:"draining"`
 }
 

@@ -24,7 +24,10 @@ import (
 // the runner under the service mutex) never observe it mid-change.
 func newTestService(t *testing.T, cfg Config, stub runnerFunc) *Service {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if stub != nil {
 		s.run = stub
 	}
@@ -40,7 +43,7 @@ func newTestService(t *testing.T, cfg Config, stub runnerFunc) *Service {
 // is cancelled), plus the release function.
 func blockingRunner() (runnerFunc, func()) {
 	release := make(chan struct{})
-	run := func(ctx context.Context, req ScreenRequest) (*core.ScreenResult, error) {
+	run := func(ctx context.Context, id string, req ScreenRequest) (*core.ScreenResult, error) {
 		select {
 		case <-release:
 			return stubResult(), nil

@@ -1,0 +1,487 @@
+// Package wal is an append-only write-ahead journal: length+CRC32-framed
+// records in rotated segment files, with a configurable fsync policy and
+// torn-tail recovery. The screening service journals job lifecycle events
+// through it so a crashed or SIGKILLed vsserved rebuilds its job table on
+// the next boot instead of losing every queued and running screen.
+//
+// The durability contracts:
+//
+//   - A record either replays whole or not at all: each record carries the
+//     CRC32 of its payload, so a torn write (crash mid-append) or a
+//     bit-flipped tail is detected, truncated with a warning, and never
+//     replayed corrupt — recovery yields the longest valid prefix.
+//   - Open never panics on damaged input; any file content, including
+//     fuzz-generated garbage, recovers to a consistent journal (see
+//     FuzzJournalReplay).
+//   - Appends go to the newest segment; segments rotate at SegmentBytes so
+//     compaction can atomically replace history (temp file + rename) with
+//     a snapshot of the live records without rewriting unbounded data.
+//
+// Records are opaque bytes to this package; the service stores one JSON
+// object per record (JSONL with framing).
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+const (
+	// headerSize frames each record: 4-byte little-endian payload length
+	// followed by the 4-byte IEEE CRC32 of the payload.
+	headerSize = 8
+	// MaxRecordBytes bounds one record; a corrupt length field beyond it is
+	// treated as a damaged tail, not an allocation request.
+	MaxRecordBytes = 16 << 20
+	// defaultSegmentBytes rotates segments at 8 MiB.
+	defaultSegmentBytes = 8 << 20
+	// defaultSyncInterval is the SyncInterval policy's default cadence.
+	defaultSyncInterval = 100 * time.Millisecond
+)
+
+// SyncPolicy says when appends reach the disk platter.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: no acknowledged record is ever
+	// lost to a crash. The default, and the slowest.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs at most once per Options.SyncInterval; a crash
+	// loses at most that window of acknowledged records.
+	SyncInterval
+	// SyncNever leaves flushing to the OS; a crash can lose everything
+	// since the last kernel writeback. For tests and throwaway runs.
+	SyncNever
+)
+
+// String names the policy the way ParseSyncPolicy spells it.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy maps the -fsync flag spelling to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "always", "":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+// Options configures a journal.
+type Options struct {
+	// SegmentBytes rotates the active segment when it would exceed this
+	// size; 0 means 8 MiB.
+	SegmentBytes int64
+	// Policy is the fsync policy; the zero value is SyncAlways.
+	Policy SyncPolicy
+	// SyncInterval is the SyncInterval policy's cadence; 0 means 100ms.
+	SyncInterval time.Duration
+	// Logf receives recovery warnings (torn tails, dropped segments); nil
+	// discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = defaultSegmentBytes
+	}
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = defaultSyncInterval
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// RecoveryInfo reports what Open found and repaired.
+type RecoveryInfo struct {
+	// Segments is the number of journal segments after recovery.
+	Segments int
+	// Records is the number of valid records available for replay.
+	Records int
+	// TruncatedBytes counts bytes dropped from a torn or corrupt tail.
+	TruncatedBytes int64
+	// DroppedSegments counts whole segments discarded because they
+	// followed a corrupt record (replay keeps a consistent prefix).
+	DroppedSegments int
+}
+
+// Journal is an open write-ahead journal. Append, Sync, Compact and Close
+// are safe for concurrent use.
+type Journal struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+
+	f        *os.File // active segment, opened for append
+	seg      int      // active segment index
+	segSize  int64    // active segment size
+	total    int64    // all segments' bytes
+	lastSync time.Time
+	closed   bool
+}
+
+// segmentName formats a segment file name; indices are dense but need not
+// start at 1 (compaction advances them).
+func segmentName(idx int) string { return fmt.Sprintf("seg-%08d.wal", idx) }
+
+// listSegments returns the sorted segment indices present in dir.
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var idx []int
+	for _, e := range entries {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "seg-%08d.wal", &n); err == nil &&
+			e.Name() == segmentName(n) {
+			idx = append(idx, n)
+		}
+	}
+	sort.Ints(idx)
+	return idx, nil
+}
+
+// Open opens (or creates) the journal in dir, recovering from any torn or
+// corrupt tail: the damaged suffix is truncated with a warning and later
+// segments are dropped, so the surviving records form the longest valid
+// prefix of what was written. It never panics on damaged input.
+func Open(dir string, opts Options) (*Journal, RecoveryInfo, error) {
+	opts = opts.withDefaults()
+	var info RecoveryInfo
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, info, fmt.Errorf("wal: %w", err)
+	}
+	// Leftover temp files are failed compactions; they were never live.
+	if tmps, err := filepath.Glob(filepath.Join(dir, "*.tmp")); err == nil {
+		for _, t := range tmps {
+			os.Remove(t)
+		}
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, info, fmt.Errorf("wal: %w", err)
+	}
+	if len(segs) == 0 {
+		segs = []int{1}
+		f, err := os.OpenFile(filepath.Join(dir, segmentName(1)),
+			os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, info, fmt.Errorf("wal: %w", err)
+		}
+		f.Close()
+	}
+
+	// Scan segments in order; the first invalid record ends the valid
+	// prefix — its segment is truncated there and later segments dropped.
+	j := &Journal{dir: dir, opts: opts, lastSync: time.Now()}
+	active := 0 // position in segs of the segment that ends the prefix
+	for k, idx := range segs {
+		path := filepath.Join(dir, segmentName(idx))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, info, fmt.Errorf("wal: %w", err)
+		}
+		recs, valid := ScanRecords(data)
+		info.Records += len(recs)
+		j.total += int64(valid)
+		active = k
+		if valid < len(data) {
+			info.TruncatedBytes += int64(len(data) - valid)
+			opts.Logf("wal: segment %s: dropping %d corrupt tail bytes (kept %d records)",
+				segmentName(idx), len(data)-valid, len(recs))
+			if err := os.Truncate(path, int64(valid)); err != nil {
+				return nil, info, fmt.Errorf("wal: truncate %s: %w", segmentName(idx), err)
+			}
+			for _, later := range segs[k+1:] {
+				info.DroppedSegments++
+				opts.Logf("wal: dropping segment %s after corrupt record", segmentName(later))
+				os.Remove(filepath.Join(dir, segmentName(later)))
+			}
+			break
+		}
+	}
+	segs = segs[:active+1]
+	info.Segments = len(segs)
+
+	j.seg = segs[len(segs)-1]
+	f, err := os.OpenFile(filepath.Join(dir, segmentName(j.seg)),
+		os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, info, fmt.Errorf("wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, info, fmt.Errorf("wal: %w", err)
+	}
+	j.f = f
+	j.segSize = st.Size()
+	if info.TruncatedBytes > 0 || info.DroppedSegments > 0 {
+		syncDir(dir)
+	}
+	return j, info, nil
+}
+
+// ScanRecords parses framed records out of raw segment bytes, returning
+// the decoded payloads and the byte length of the valid prefix. It stops
+// at the first truncated or corrupt record and never panics; re-encoding
+// the returned records reproduces data[:validLen] exactly.
+func ScanRecords(data []byte) (records [][]byte, validLen int) {
+	off := 0
+	for {
+		if len(data)-off < headerSize {
+			return records, off
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n > MaxRecordBytes || len(data)-off-headerSize < int(n) {
+			return records, off
+		}
+		payload := data[off+headerSize : off+headerSize+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return records, off
+		}
+		rec := make([]byte, n)
+		copy(rec, payload)
+		records = append(records, rec)
+		off += headerSize + int(n)
+	}
+}
+
+// AppendFrame appends one framed record to buf and returns the extended
+// buffer — the exact bytes Append writes for the payload.
+func AppendFrame(buf, payload []byte) []byte {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// Append journals one record, rotating the segment and syncing per the
+// configured policy.
+func (j *Journal) Append(payload []byte) error {
+	if int64(len(payload)) > MaxRecordBytes {
+		return fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(payload), int64(MaxRecordBytes))
+	}
+	frame := AppendFrame(nil, payload)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("wal: journal closed")
+	}
+	if j.segSize > 0 && j.segSize+int64(len(frame)) > j.opts.SegmentBytes {
+		if err := j.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	j.segSize += int64(len(frame))
+	j.total += int64(len(frame))
+	return j.maybeSyncLocked()
+}
+
+// rotateLocked seals the active segment and starts the next one.
+func (j *Journal) rotateLocked() error {
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("wal: rotate sync: %w", err)
+	}
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("wal: rotate close: %w", err)
+	}
+	j.seg++
+	f, err := os.OpenFile(filepath.Join(j.dir, segmentName(j.seg)),
+		os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	j.f = f
+	j.segSize = 0
+	syncDir(j.dir)
+	return nil
+}
+
+// maybeSyncLocked applies the fsync policy after an append.
+func (j *Journal) maybeSyncLocked() error {
+	switch j.opts.Policy {
+	case SyncAlways:
+		return j.syncLocked()
+	case SyncInterval:
+		if time.Since(j.lastSync) >= j.opts.SyncInterval {
+			return j.syncLocked()
+		}
+	}
+	return nil
+}
+
+func (j *Journal) syncLocked() error {
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	j.lastSync = time.Now()
+	return nil
+}
+
+// Sync forces an fsync regardless of policy.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	return j.syncLocked()
+}
+
+// Size is the journal's on-disk byte size across all segments.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.total
+}
+
+// Replay streams every record, oldest first, to fn; a non-nil fn error
+// stops the replay and is returned. The records are the valid prefix Open
+// recovered (concurrent Appends during a replay may or may not be seen).
+func (j *Journal) Replay(fn func(rec []byte) error) error {
+	j.mu.Lock()
+	dir := j.dir
+	j.mu.Unlock()
+	segs, err := listSegments(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	for _, idx := range segs {
+		data, err := os.ReadFile(filepath.Join(dir, segmentName(idx)))
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		recs, _ := ScanRecords(data)
+		for _, rec := range recs {
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Compact atomically replaces the journal's history with the given live
+// records: they are written to a temp file, fsynced, renamed into place as
+// the next segment, and only then are the old segments deleted. A crash at
+// any point leaves either the old history, or the old history plus the
+// snapshot — callers' records must therefore be last-write-wins (the
+// service journals full job snapshots), which makes both replays converge.
+func (j *Journal) Compact(live [][]byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("wal: journal closed")
+	}
+	newIdx := j.seg + 1
+	newPath := filepath.Join(j.dir, segmentName(newIdx))
+	tmp := newPath + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	var buf []byte
+	for _, rec := range live {
+		buf = AppendFrame(buf, rec)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	if err := os.Rename(tmp, newPath); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	syncDir(j.dir)
+
+	// The snapshot is durable; retire the history it replaces.
+	oldSeg := j.seg
+	j.f.Close()
+	segs, err := listSegments(j.dir)
+	if err == nil {
+		for _, idx := range segs {
+			if idx <= oldSeg {
+				os.Remove(filepath.Join(j.dir, segmentName(idx)))
+			}
+		}
+	}
+	syncDir(j.dir)
+
+	nf, err := os.OpenFile(newPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: compact reopen: %w", err)
+	}
+	j.f = nf
+	j.seg = newIdx
+	j.segSize = int64(len(buf))
+	j.total = int64(len(buf))
+	return nil
+}
+
+// Close syncs and closes the journal.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	serr := j.f.Sync()
+	cerr := j.f.Close()
+	if serr != nil {
+		return fmt.Errorf("wal: close sync: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("wal: close: %w", cerr)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so renames and unlinks are durable; errors
+// are ignored (some filesystems reject directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

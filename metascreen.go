@@ -296,8 +296,10 @@ type JobView = service.JobView
 type JobState = service.JobState
 
 // NewService builds a screening service and starts its worker pool; stop
-// it with its Shutdown method.
-func NewService(cfg ServiceConfig) *ScreeningService { return service.New(cfg) }
+// it with its Shutdown method. With ServiceConfig.DataDir set, the service
+// first replays the journal in that directory and resumes jobs that were
+// interrupted by a crash; the error reports an unusable data dir.
+func NewService(cfg ServiceConfig) (*ScreeningService, error) { return service.New(cfg) }
 
 // ErrQueueFull is the service's admission-control rejection (HTTP 429 on
 // the API).
