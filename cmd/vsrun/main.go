@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,7 @@ import (
 	"github.com/metascreen/metascreen/internal/forcefield"
 	"github.com/metascreen/metascreen/internal/metaheuristic"
 	"github.com/metascreen/metascreen/internal/molecule"
+	"github.com/metascreen/metascreen/internal/obs"
 	"github.com/metascreen/metascreen/internal/report"
 	"github.com/metascreen/metascreen/internal/sched"
 	"github.com/metascreen/metascreen/internal/surface"
@@ -50,7 +52,16 @@ func main() {
 	budget := flag.Float64("budget", 0, "simulated-time deadline in seconds (0 = run to the End condition)")
 	modes := flag.Float64("modes", 0, "cluster spot winners into binding modes at this RMSD cutoff in angstroms (0 = off)")
 	historyPath := flag.String("history", "", "write the convergence history (generation, sim time, best) to this CSV file")
+	traceOut := flag.String("trace-out", "", "write the run's span timeline as Chrome trace format to this file (load in Perfetto)")
+	logLevel := flag.String("log-level", "warn", "log level: debug, info, warn or error")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(*logLevel, *logFormat, os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+	ctx := obs.NewContext(context.Background(), logger)
 
 	rec, lig, err := loadMolecules(*dataset, *receptorPath, *ligandPath)
 	if err != nil {
@@ -74,8 +85,9 @@ func main() {
 	}
 
 	var recorder *trace.Recorder
-	if *gantt && *backendKind == "pool" {
+	if *traceOut != "" || (*gantt && *backendKind == "pool") {
 		recorder = &trace.Recorder{}
+		ctx = trace.NewContext(ctx, recorder)
 	}
 	backend, err := pickBackend(problem, *backendKind, *machine, *mode, *seed, *faults, recorder)
 	if err != nil {
@@ -88,7 +100,7 @@ func main() {
 
 	var res *core.Result
 	if *multistart > 1 {
-		ms, err := core.RunMultiStart(problem,
+		ms, err := core.RunMultiStartCtx(ctx, problem,
 			func() (metaheuristic.Algorithm, error) { return pickAlgorithm(*mh, *mhScale) },
 			func(p *core.Problem) (core.Backend, error) {
 				return pickBackend(p, *backendKind, *machine, *mode, *seed, *faults, nil)
@@ -100,7 +112,7 @@ func main() {
 		fmt.Printf("multi-start: %d independent executions, winner below\n", len(ms.Runs))
 		res = ms.Best
 	} else if *budget > 0 {
-		res, err = core.RunBudget(problem, alg, backend, *seed, *budget)
+		res, err = core.RunBudgetCtx(ctx, problem, alg, backend, *seed, *budget)
 		if err != nil {
 			fatal(err)
 		}
@@ -109,7 +121,7 @@ func main() {
 				*budget, res.Generations)
 		}
 	} else {
-		res, err = core.Run(problem, alg, backend, *seed)
+		res, err = core.RunCtx(ctx, problem, alg, backend, *seed)
 		if err != nil {
 			fatal(err)
 		}
@@ -178,7 +190,23 @@ func main() {
 		fmt.Printf("convergence history written to %s\n", *historyPath)
 	}
 
-	if recorder != nil && recorder.Len() > 0 {
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		werr := recorder.WriteChrome(f)
+		cerr := f.Close()
+		if werr != nil {
+			fatal(werr)
+		}
+		if cerr != nil {
+			fatal(cerr)
+		}
+		fmt.Printf("trace written to %s (load in Perfetto or chrome://tracing)\n", *traceOut)
+	}
+
+	if *gantt && recorder != nil && recorder.Len() > 0 {
 		fmt.Println("\ndevice timeline (w=warmup, s=scoring, i=improve, h/d=transfers):")
 		if err := recorder.WriteGantt(os.Stdout, 100); err != nil {
 			fatal(err)

@@ -1,17 +1,23 @@
 // Command vsserved runs metascreen as a screening service: an HTTP JSON
 // API over a bounded job queue and a parallel worker pool, with
-// Prometheus metrics — the paper's virtual-screening funnel as a server.
+// Prometheus metrics, structured logs and per-job execution traces — the
+// paper's virtual-screening funnel as a server.
 //
 // Usage:
 //
 //	vsserved -addr :8080 -workers 4 -queue 64
 //
-// Submit a screen, poll it, read the ranking:
+// Submit a screen, poll it, read the ranking, download its timeline:
 //
 //	curl -s -X POST localhost:8080/v1/screens \
 //	    -d '{"dataset":"2BSM","library":8,"metaheuristic":"M3","seed":7}'
 //	curl -s localhost:8080/v1/screens/job-000001
+//	curl -s localhost:8080/v1/screens/job-000001/trace > job.trace.json
 //	curl -s localhost:8080/metrics
+//
+// The trace payload is Chrome trace format; load it in Perfetto
+// (ui.perfetto.dev) or chrome://tracing. With -debug-addr set, a second
+// listener serves /debug/pprof/, /debug/vars and /debug/snapshot.
 //
 // SIGINT/SIGTERM drain gracefully: intake stops, queued jobs are
 // cancelled, running jobs finish (up to -drain-timeout, then they are
@@ -29,12 +35,14 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/metascreen/metascreen/internal/obs"
 	"github.com/metascreen/metascreen/internal/service"
 	"github.com/metascreen/metascreen/internal/wal"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	debugAddr := flag.String("debug-addr", "", "debug listen address for pprof + snapshots (empty = disabled)")
 	workers := flag.Int("workers", 0, "concurrent screening workers (0 = all CPUs)")
 	queue := flag.Int("queue", 64, "queue bound; submissions beyond it get HTTP 429")
 	screenWorkers := flag.Int("screen-workers", 0, "per-job ligand parallelism (0 = all CPUs)")
@@ -45,8 +53,14 @@ func main() {
 	fsync := flag.String("fsync", "always", "journal fsync policy: always, interval or never")
 	fsyncInterval := flag.Duration("fsync-interval", 0, "sync cadence for -fsync interval (0 = 100ms)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "snapshot a running job's checkpoint every N completed ligands (0 = 1)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
 	flag.Parse()
 
+	logger, err := obs.NewLogger(*logLevel, *logFormat, os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
 	policy, err := wal.ParseSyncPolicy(*fsync)
 	if err != nil {
 		fatal(err)
@@ -61,26 +75,38 @@ func main() {
 		Fsync:           policy,
 		FsyncInterval:   *fsyncInterval,
 		CheckpointEvery: *checkpointEvery,
+		Logger:          logger,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	if rec := svc.Recovery(); rec.ReplayedRecords > 0 || rec.RecoveredJobs > 0 {
-		fmt.Printf("vsserved: recovered %d job(s) from %d journal record(s)\n",
-			rec.RecoveredJobs, rec.ReplayedRecords)
+		logger.Info("recovered jobs from journal",
+			"jobs", rec.RecoveredJobs, "records", rec.ReplayedRecords)
 	}
 	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	var debugServer *http.Server
+	if *debugAddr != "" {
+		debugServer = &http.Server{Addr: *debugAddr, Handler: svc.DebugHandler()}
+		go func() {
+			if err := debugServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
+		logger.Info("debug listener up", "addr", *debugAddr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- server.ListenAndServe() }()
-	fmt.Printf("vsserved listening on %s\n", *addr)
+	logger.Info("listening", "addr", *addr)
 
 	select {
 	case <-ctx.Done():
-		fmt.Println("vsserved: draining...")
+		logger.Info("draining")
 	case err := <-errCh:
 		fatal(err)
 	}
@@ -89,13 +115,16 @@ func main() {
 	defer cancel()
 	// Stop taking connections first, then drain the job pool.
 	if err := server.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintf(os.Stderr, "vsserved: http shutdown: %v\n", err)
+		logger.Error("http shutdown failed", "err", err)
+	}
+	if debugServer != nil {
+		debugServer.Close()
 	}
 	if err := svc.Shutdown(drainCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "vsserved: drain deadline exceeded, running jobs force-cancelled: %v\n", err)
+		logger.Error("drain deadline exceeded, running jobs force-cancelled", "err", err)
 		os.Exit(1)
 	}
-	fmt.Println("vsserved: drained cleanly")
+	logger.Info("drained cleanly")
 }
 
 func fatal(err error) {

@@ -3,12 +3,15 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"github.com/metascreen/metascreen/internal/conformation"
 	"github.com/metascreen/metascreen/internal/metaheuristic"
+	"github.com/metascreen/metascreen/internal/obs"
 	"github.com/metascreen/metascreen/internal/rng"
 	"github.com/metascreen/metascreen/internal/surface"
+	"github.com/metascreen/metascreen/internal/trace"
 )
 
 // SpotResult is the outcome at one surface spot.
@@ -55,6 +58,11 @@ type Result struct {
 	SchedRetries int64
 	// Resplits counts mid-run redistributions of a dead device's work.
 	Resplits int64
+	// WarmupFactors holds the warm-up Percent factors (equation 1 of the
+	// paper) per kernel kind, when the backend ran a heterogeneous
+	// warm-up; nil otherwise. Exposed through the service's debug
+	// snapshot.
+	WarmupFactors map[string][]float64
 }
 
 // GenPoint is one generation's convergence sample.
@@ -83,6 +91,12 @@ type errReporter interface {
 // recovery actions.
 type faultReporter interface {
 	FaultTotals() (faults, retries, resplits int64)
+}
+
+// warmupReporter is implemented by backends that run the paper's warm-up
+// phase and can report the measured Percent factors per kernel kind.
+type warmupReporter interface {
+	WarmupFactors() map[string][]float64
 }
 
 // backendErr returns the backend's latched failure, if any.
@@ -139,6 +153,8 @@ func run(ctx context.Context, p *Problem, alg metaheuristic.Algorithm, backend B
 		return nil, err
 	}
 	start := time.Now()
+	rec := trace.FromContext(ctx)
+	logger := obs.FromContext(ctx)
 	root := rng.New(seed)
 	ligandRadius := p.LigandRadius()
 
@@ -204,6 +220,7 @@ func run(ctx context.Context, p *Problem, alg metaheuristic.Algorithm, backend B
 			break
 		}
 		gens++
+		genStart := backend.SimTime()
 		// Select + Combine on the host, per spot.
 		scoms := make([]metaheuristic.Population, len(states))
 		var toScore []*conformation.Conformation
@@ -251,6 +268,17 @@ func run(ctx context.Context, p *Problem, alg metaheuristic.Algorithm, backend B
 			SimSeconds: backend.SimTime(),
 			Best:       bestSoFar(),
 		})
+		if rec != nil {
+			rec.AddSpan(trace.Span{
+				Track: "generations",
+				Name:  "generation " + strconv.Itoa(gens),
+				Cat:   trace.CatGeneration,
+				Clock: trace.ClockSim,
+				Start: genStart,
+				End:   backend.SimTime(),
+				Args:  map[string]string{"generation": strconv.Itoa(gens)},
+			})
+		}
 	}
 
 	// Gather results; the overall best is the winner across spots.
@@ -277,6 +305,17 @@ func run(ctx context.Context, p *Problem, alg metaheuristic.Algorithm, backend B
 	if fr, ok := backend.(faultReporter); ok {
 		res.DeviceFaults, res.SchedRetries, res.Resplits = fr.FaultTotals()
 	}
+	if wr, ok := backend.(warmupReporter); ok {
+		res.WarmupFactors = wr.WarmupFactors()
+	}
 	res.WallSeconds = time.Since(start).Seconds()
+	logger.Debug("run finished",
+		"algorithm", res.Algorithm,
+		"backend", res.Backend,
+		"generations", res.Generations,
+		"sim_seconds", res.SimulatedSeconds,
+		"best", res.Best.Score,
+		"deadline_hit", res.DeadlineHit,
+	)
 	return res, nil
 }

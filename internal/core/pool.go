@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,7 @@ import (
 	"github.com/metascreen/metascreen/internal/conformation"
 	"github.com/metascreen/metascreen/internal/cudasim"
 	"github.com/metascreen/metascreen/internal/hostpar"
+	"github.com/metascreen/metascreen/internal/obs"
 	"github.com/metascreen/metascreen/internal/sched"
 	"github.com/metascreen/metascreen/internal/trace"
 	"github.com/metascreen/metascreen/internal/vec"
@@ -103,6 +105,10 @@ type PoolBackend struct {
 	// kernel's own architecture efficiency; we reproduce that by probing
 	// the scoring and improve kernels separately.
 	weights map[cudasim.KernelKind][]float64
+	// percent holds the raw warm-up Percent factors (equation 1) per
+	// kernel kind, kept alongside weights for the debug snapshot.
+	percent map[cudasim.KernelKind][]float64
+	log     *slog.Logger
 	evals   atomic.Int64
 
 	failMu  sync.Mutex
@@ -160,8 +166,38 @@ func NewPoolBackend(p *Problem, cfg PoolConfig) (*PoolBackend, error) {
 	b.comp = comp
 	if cfg.Mode == sched.Heterogeneous {
 		b.weights = make(map[cudasim.KernelKind][]float64)
+		b.percent = make(map[cudasim.KernelKind][]float64)
 	}
+	b.log = obs.Nop()
 	return b, nil
+}
+
+// SetTrace points the scheduling pool at a recorder after construction.
+// The screening layer uses it to give every ligand job its own device
+// timeline inside a shared job trace.
+func (b *PoolBackend) SetTrace(r *trace.Recorder) { b.pool.SetRecorder(r) }
+
+// SetLogger routes the backend's and the pool's structured logging
+// (warm-up results, device fences, re-splits) through l.
+func (b *PoolBackend) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = obs.Nop()
+	}
+	b.log = l
+	b.pool.SetLogger(l)
+}
+
+// WarmupFactors implements the engine's warmupReporter: the measured
+// warm-up Percent factors keyed by kernel name, or nil when no warm-up ran.
+func (b *PoolBackend) WarmupFactors() map[string][]float64 {
+	if len(b.percent) == 0 {
+		return nil
+	}
+	out := make(map[string][]float64, len(b.percent))
+	for kind, p := range b.percent {
+		out[kind.String()] = append([]float64(nil), p...)
+	}
+	return out
 }
 
 // ensureWeights runs the warm-up phase for a kernel kind the first time
@@ -184,6 +220,13 @@ func (b *PoolBackend) ensureWeights(kind cudasim.KernelKind, batchSize int) {
 	}
 	res := b.pool.Warmup(probe, b.cfg.WarmupIters, b.cfg.NoiseAmp, b.cfg.Seed^uint64(kind))
 	b.weights[kind] = res.Weights
+	b.percent[kind] = res.Percent
+	b.log.Debug("warmup complete",
+		"kernel", kind.String(),
+		"batch", batchSize,
+		"weights", res.Weights,
+		"percent", res.Percent,
+	)
 }
 
 // deviceFootprint estimates the per-device memory a run needs, in bytes.
@@ -261,6 +304,7 @@ func (b *PoolBackend) setFailure(err error) {
 	defer b.failMu.Unlock()
 	if b.failure == nil {
 		b.failure = err
+		b.log.Error("backend failed", "err", err)
 	}
 }
 

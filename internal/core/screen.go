@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
@@ -12,7 +13,9 @@ import (
 	"github.com/metascreen/metascreen/internal/forcefield"
 	"github.com/metascreen/metascreen/internal/metaheuristic"
 	"github.com/metascreen/metascreen/internal/molecule"
+	"github.com/metascreen/metascreen/internal/obs"
 	"github.com/metascreen/metascreen/internal/surface"
+	"github.com/metascreen/metascreen/internal/trace"
 )
 
 // This file is the library-screening layer: the drug-discovery workload
@@ -65,6 +68,10 @@ type ScreenResult struct {
 	DeviceFaults int64
 	SchedRetries int64
 	Resplits     int64
+	// WarmupFactors holds the warm-up Percent factors reported by the
+	// first ligand run that had any (every ligand of a screen uses the
+	// same backend configuration, so one sample represents the screen).
+	WarmupFactors map[string][]float64
 }
 
 // addRun accumulates one ligand run into the screen totals.
@@ -74,6 +81,9 @@ func (out *ScreenResult) addRun(res *Result) {
 	out.DeviceFaults += res.DeviceFaults
 	out.SchedRetries += res.SchedRetries
 	out.Resplits += res.Resplits
+	if out.WarmupFactors == nil && res.WarmupFactors != nil {
+		out.WarmupFactors = res.WarmupFactors
+	}
 }
 
 // Screen docks every ligand of a library against the receptor and returns
@@ -170,6 +180,11 @@ feed:
 // order: the parallel screen reproduces the sequential one exactly, and
 // resuming a checkpointed screen with a reordered or extended library
 // preserves the seeds of the unfinished ligands.
+//
+// When the context carries a trace recorder, the ligand's run gets its own
+// child recorder — so concurrently screened ligands don't interleave their
+// simulated device timelines — which is merged into the parent afterwards
+// under the "lig:<name>/" track prefix, alongside a wall-clock ligand span.
 func screenLigand(ctx context.Context, receptor, lig *molecule.Molecule,
 	spotOpts surface.Options, ff forcefield.Options,
 	algf AlgorithmFactory, backf BackendFactory, seed uint64) (*Result, error) {
@@ -185,13 +200,47 @@ func screenLigand(ctx context.Context, receptor, lig *molecule.Molecule,
 	if err != nil {
 		return nil, err
 	}
-	res, err := RunCtx(ctx, problem, alg, backend, ligandSeed(seed, lig.Name))
+
+	logger := obs.FromContext(ctx).With("ligand", lig.Name)
+	runCtx := obs.NewContext(ctx, logger)
+	if lb, ok := backend.(interface{ SetLogger(*slog.Logger) }); ok {
+		lb.SetLogger(logger)
+	}
+	parent := trace.FromContext(ctx)
+	var child *trace.Recorder
+	var startWall float64
+	if parent != nil {
+		child = &trace.Recorder{}
+		runCtx = trace.NewContext(runCtx, child)
+		if tb, ok := backend.(interface{ SetTrace(*trace.Recorder) }); ok {
+			tb.SetTrace(child)
+		}
+		startWall = parent.Now()
+	}
+
+	res, err := RunCtx(runCtx, problem, alg, backend, ligandSeed(seed, lig.Name))
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, err // cancellation is not the ligand's fault
 		}
 		return nil, fmt.Errorf("core: ligand %q: %w", lig.Name, err)
 	}
+	if parent != nil {
+		parent.AddSpan(trace.Span{
+			Track: "ligands",
+			Name:  "ligand " + lig.Name,
+			Cat:   trace.CatLigand,
+			Start: startWall,
+			End:   parent.Now(),
+			Args:  map[string]string{"ligand": lig.Name},
+		})
+		parent.Merge(child, "lig:"+lig.Name)
+	}
+	logger.Debug("ligand screened",
+		"best", res.Best.Score,
+		"generations", res.Generations,
+		"sim_seconds", res.SimulatedSeconds,
+	)
 	return res, nil
 }
 

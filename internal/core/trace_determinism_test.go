@@ -1,0 +1,110 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/metascreen/metascreen/internal/cudasim"
+	"github.com/metascreen/metascreen/internal/forcefield"
+	"github.com/metascreen/metascreen/internal/molecule"
+	"github.com/metascreen/metascreen/internal/sched"
+	"github.com/metascreen/metascreen/internal/surface"
+	"github.com/metascreen/metascreen/internal/trace"
+)
+
+// tracedScreen runs a small heterogeneous pool screen with a trace
+// recorder threaded through the context and returns the recorder.
+func tracedScreen(t *testing.T, seed uint64, workers int) *trace.Recorder {
+	t.Helper()
+	rec := molecule.SyntheticProtein("rec", 300, 41)
+	library := []*molecule.Molecule{
+		molecule.SyntheticLigand("lig-a", 10, 1),
+		molecule.SyntheticLigand("lig-b", 18, 2),
+		molecule.SyntheticLigand("lig-c", 25, 3),
+	}
+	r := &trace.Recorder{}
+	ctx := trace.NewContext(context.Background(), r)
+	_, err := ScreenCtx(ctx, rec, library, surface.Options{MaxSpots: 2}, forcefield.Options{},
+		screenAlgFactory(), PoolBackendFactory(PoolConfig{
+			Specs: []cudasim.DeviceSpec{cudasim.TeslaK40c, cudasim.GTX580},
+			Mode:  sched.Heterogeneous,
+		}), seed, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// spanTree flattens a recorder into a canonical, wall-clock-independent
+// form: one line per span with track, name, category, args, and — for
+// sim-clock spans only, where the modeled timeline is contractually
+// deterministic — the exact start/end times. Wall-clock spans keep their
+// structure but drop their (real-time, scheduling-dependent) timings.
+func spanTree(r *trace.Recorder) []string {
+	spans := r.Spans()
+	lines := make([]string, 0, len(spans))
+	for _, s := range spans {
+		var args []string
+		for k, v := range s.Args {
+			args = append(args, k+"="+v)
+		}
+		sort.Strings(args)
+		line := fmt.Sprintf("%s|%s|%s|%s|%s", s.Track, s.Name, s.Cat, s.Clock, strings.Join(args, ","))
+		if s.Clock == trace.ClockSim {
+			line += fmt.Sprintf("|%.12g..%.12g", s.Start, s.End)
+		}
+		lines = append(lines, line)
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func diffTrees(t *testing.T, a, b []string, what string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d spans vs %d spans", what, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: span %d differs:\n  %s\n  %s", what, i, a[i], b[i])
+		}
+	}
+}
+
+// TestTraceDeterministicAcrossRuns: two screens at equal seed must record
+// identical span trees — same tracks, names, categories, args, and
+// identical simulated timelines. This is the trace-level version of the
+// repo's byte-identical-ranking contract.
+func TestTraceDeterministicAcrossRuns(t *testing.T) {
+	first := spanTree(tracedScreen(t, 9, 2))
+	second := spanTree(tracedScreen(t, 9, 2))
+	if len(first) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	diffTrees(t, first, second, "equal-seed runs")
+
+	// The tree must cover the ligand, generation and device levels (job
+	// and screen spans are added by the service layer above Screen).
+	cats := map[string]int{}
+	for _, s := range tracedScreen(t, 9, 2).Spans() {
+		cats[s.Cat]++
+	}
+	for _, cat := range []string{trace.CatLigand, trace.CatGeneration, trace.CatDevice} {
+		if cats[cat] == 0 {
+			t.Errorf("span tree has no %q spans (got %v)", cat, cats)
+		}
+	}
+}
+
+// TestTraceDeterministicAcrossWorkerCounts: the span tree is independent
+// of ligand-level parallelism, exactly like the ranking. Per-ligand
+// simulated timelines live on their own prefixed tracks, so concurrent
+// ligands cannot interleave into each other's timelines.
+func TestTraceDeterministicAcrossWorkerCounts(t *testing.T) {
+	sequential := spanTree(tracedScreen(t, 9, 1))
+	parallel := spanTree(tracedScreen(t, 9, 3))
+	diffTrees(t, sequential, parallel, "workers=1 vs workers=3")
+}

@@ -1,0 +1,231 @@
+package forcefield
+
+import (
+	"math"
+	"testing"
+
+	"github.com/metascreen/metascreen/internal/molecule"
+	"github.com/metascreen/metascreen/internal/rng"
+	"github.com/metascreen/metascreen/internal/vec"
+)
+
+// Property-based checks: instead of one fixture, these tests sweep
+// randomized receptor/ligand pairs (sizes and geometries drawn from a
+// seeded generator, so failures reproduce) and assert invariants the
+// scorers must hold for *any* input — grid/direct agreement, finiteness,
+// and graceful handling of degenerate topologies.
+
+// randomPair builds a random synthetic receptor/ligand topology pair.
+func randomPair(r *rng.Source) (*Topology, *Topology) {
+	recAtoms := 20 + r.Intn(280)
+	ligAtoms := 3 + r.Intn(18)
+	rec := NewTopology(molecule.SyntheticProtein("rec", recAtoms, r.Uint64()))
+	lig := NewTopology(molecule.SyntheticLigand("lig", ligAtoms, r.Uint64()))
+	return rec, lig
+}
+
+func TestPropertyGridMatchesDirectAtLatticePoints(t *testing.T) {
+	// At exact lattice points trilinear interpolation is the identity, so
+	// for every receptor/ligand pair the grid must reproduce the direct
+	// scorer up to float32 tabulation rounding.
+	r := rng.New(202)
+	for trial := 0; trial < 15; trial++ {
+		rec, lig := randomPair(r)
+		for _, opts := range []Options{{}, {Coulomb: true}} {
+			g, err := NewGrid(rec, lig, opts, 1.0)
+			if err != nil {
+				t.Fatalf("trial %d: NewGrid: %v", trial, err)
+			}
+			direct := NewDirect(rec, lig, opts)
+			for pose := 0; pose < 5; pose++ {
+				p := latticePose(g, r, lig.Len())
+				want := direct.Score(p)
+				got := g.Score(p)
+				tol := 1e-3 * (1 + math.Abs(want))
+				if math.Abs(got-want) > tol {
+					t.Errorf("trial %d pose %d (coulomb=%v): grid %v vs direct %v (tol %v)",
+						trial, pose, opts.Coulomb, got, want, tol)
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyGridOffLatticeFinite(t *testing.T) {
+	// Off lattice the grid interpolates, so exact agreement is not a
+	// property — but for any pose the score must be finite and poses far
+	// outside the padded box must contribute exactly zero.
+	r := rng.New(203)
+	for trial := 0; trial < 15; trial++ {
+		rec, lig := randomPair(r)
+		g, err := NewGrid(rec, lig, Options{}, 0)
+		if err != nil {
+			t.Fatalf("trial %d: NewGrid: %v", trial, err)
+		}
+		box := vec.BoundPoints(rec.Pos)
+		pose := make([]vec.V3, lig.Len())
+		for k := 0; k < 10; k++ {
+			for i := range pose {
+				pose[i] = vec.V3{
+					X: box.Lo.X + r.Float64()*(box.Hi.X-box.Lo.X),
+					Y: box.Lo.Y + r.Float64()*(box.Hi.Y-box.Lo.Y),
+					Z: box.Lo.Z + r.Float64()*(box.Hi.Z-box.Lo.Z),
+				}
+			}
+			if e := g.Score(pose); math.IsNaN(e) || math.IsInf(e, 0) {
+				t.Fatalf("trial %d: non-finite grid score %v", trial, e)
+			}
+			if e := NewDirect(rec, lig, Options{}).Score(pose); math.IsNaN(e) || math.IsInf(e, 0) {
+				t.Fatalf("trial %d: non-finite direct score %v", trial, e)
+			}
+		}
+		// Far outside the padded box: beyond the cutoff of every receptor
+		// atom, so both scorers must return exactly zero.
+		far := box.Hi.X + 10*Cutoff
+		for i := range pose {
+			pose[i] = vec.V3{X: far + float64(i), Y: far, Z: far}
+		}
+		if e := g.Score(pose); e != 0 {
+			t.Errorf("trial %d: far-away pose scores %v on grid, want 0", trial, e)
+		}
+		if e := NewDirect(rec, lig, Options{}).Score(pose); e != 0 {
+			t.Errorf("trial %d: far-away pose scores %v direct, want 0", trial, e)
+		}
+	}
+}
+
+func TestPropertyGridRanksLikeDirect(t *testing.T) {
+	// The docking-relevant property off lattice: over moderate-energy
+	// poses, the grid orders poses like the reference scorer (this is
+	// what the metaheuristic consumes). Strict ordering is too strong
+	// near the steep repulsive wall, so — as in the fixture-based ranking
+	// test — the property is high Kendall concordance, here aggregated
+	// over randomized receptor/ligand pairs.
+	r := rng.New(204)
+	concordant, total := 0, 0
+	for trial := 0; trial < 8; trial++ {
+		rec, lig := randomPair(r)
+		g, err := NewGrid(rec, lig, Options{}, 0.5)
+		if err != nil {
+			t.Fatalf("trial %d: NewGrid: %v", trial, err)
+		}
+		direct := NewDirect(rec, lig, Options{})
+		type scored struct{ exact, approx float64 }
+		var pts []scored
+		for attempt := 0; attempt < 200 && len(pts) < 8; attempt++ {
+			pose := latticePose(g, r, lig.Len())
+			// Perturb off lattice by up to a quarter spacing.
+			for i := range pose {
+				pose[i].X += (r.Float64() - 0.5) * 0.25
+				pose[i].Y += (r.Float64() - 0.5) * 0.25
+				pose[i].Z += (r.Float64() - 0.5) * 0.25
+			}
+			want := direct.Score(pose)
+			if math.Abs(want) < 0.5 || want > 30 {
+				continue // skip empty space and deep clashes
+			}
+			pts = append(pts, scored{exact: want, approx: g.Score(pose)})
+		}
+		for i := 0; i < len(pts); i++ {
+			for j := i + 1; j < len(pts); j++ {
+				if math.Abs(pts[i].exact-pts[j].exact) < 2 {
+					continue // too close to call through interpolation error
+				}
+				total++
+				if (pts[i].exact < pts[j].exact) == (pts[i].approx < pts[j].approx) {
+					concordant++
+				}
+			}
+		}
+	}
+	if total < 20 {
+		t.Fatalf("only %d comparable pose pairs collected", total)
+	}
+	if frac := float64(concordant) / float64(total); frac < 0.85 {
+		t.Errorf("grid preserves only %.0f%% of pose orderings across random pairs (%d/%d)",
+			100*frac, concordant, total)
+	}
+}
+
+func TestPropertyNewGridDegenerate(t *testing.T) {
+	lig := NewTopology(molecule.SyntheticLigand("lig", 5, 71))
+
+	t.Run("SingleAtomReceptor", func(t *testing.T) {
+		rec := &Topology{
+			Pos:    []vec.V3{{X: 1, Y: 2, Z: 3}},
+			Type:   []uint8{uint8(molecule.Carbon)},
+			Charge: []float64{0.1},
+		}
+		g, err := NewGrid(rec, lig, Options{Coulomb: true}, 1.0)
+		if err != nil {
+			t.Fatalf("NewGrid over single atom: %v", err)
+		}
+		direct := NewDirect(rec, lig, Options{Coulomb: true})
+		pose := latticePose(g, rng.New(72), lig.Len())
+		got, want := g.Score(pose), direct.Score(pose)
+		if math.Abs(got-want) > 1e-3*(1+math.Abs(want)) {
+			t.Errorf("single-atom receptor: grid %v vs direct %v", got, want)
+		}
+	})
+
+	t.Run("ZeroExtentLigand", func(t *testing.T) {
+		// All ligand atoms collapsed onto one point: legal input, must
+		// score finitely with the clash clamp, never NaN.
+		rec := NewTopology(molecule.SyntheticProtein("rec", 50, 73))
+		zl := &Topology{
+			Pos:    make([]vec.V3, 4),
+			Type:   make([]uint8, 4),
+			Charge: make([]float64, 4),
+		}
+		center := rec.Pos[0]
+		pose := make([]vec.V3, 4)
+		for i := range pose {
+			pose[i] = center
+		}
+		g, err := NewGrid(rec, zl, Options{}, 1.0)
+		if err != nil {
+			t.Fatalf("NewGrid with zero-extent ligand: %v", err)
+		}
+		if e := g.Score(pose); math.IsNaN(e) || math.IsInf(e, 0) {
+			t.Errorf("zero-extent ligand grid score %v, want finite", e)
+		}
+		if e := NewDirect(rec, zl, Options{}).Score(pose); math.IsNaN(e) || math.IsInf(e, 0) {
+			t.Errorf("zero-extent ligand direct score %v, want finite", e)
+		}
+	})
+
+	t.Run("ZeroExtentReceptor", func(t *testing.T) {
+		// Every receptor atom at the same point: a zero-size bounding box
+		// must still build a (tiny) valid lattice.
+		rec := &Topology{
+			Pos:    []vec.V3{{}, {}, {}},
+			Type:   []uint8{0, 1, 2},
+			Charge: []float64{0, 0, 0},
+		}
+		g, err := NewGrid(rec, lig, Options{}, 1.0)
+		if err != nil {
+			t.Fatalf("NewGrid over zero-extent receptor: %v", err)
+		}
+		pose := make([]vec.V3, lig.Len())
+		if e := g.Score(pose); math.IsNaN(e) || math.IsInf(e, 0) {
+			t.Errorf("zero-extent receptor grid score %v, want finite", e)
+		}
+	})
+
+	t.Run("EmptyReceptorRejected", func(t *testing.T) {
+		if _, err := NewGrid(&Topology{}, lig, Options{}, 1.0); err == nil {
+			t.Fatal("NewGrid over empty receptor should error, got nil")
+		}
+	})
+
+	t.Run("EmptyLigand", func(t *testing.T) {
+		rec := NewTopology(molecule.SyntheticProtein("rec", 30, 74))
+		g, err := NewGrid(rec, &Topology{}, Options{}, 1.0)
+		if err != nil {
+			t.Fatalf("NewGrid with empty ligand: %v", err)
+		}
+		if e := g.Score(nil); e != 0 {
+			t.Errorf("empty ligand scores %v, want 0", e)
+		}
+	})
+}

@@ -1,0 +1,63 @@
+// Package obs holds the shared structured-logging plumbing: slog logger
+// construction from the CLI flags (-log-level, -log-format) and context
+// propagation, so per-job correlation attributes (job ID, ligand, attempt)
+// attached at the service layer follow the work down through internal/core
+// and internal/sched without threading a logger through every signature.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds a logger from the CLI flag values. level is one of
+// "debug", "info", "warn" or "error"; format is "text" or "json".
+func NewLogger(level, format string, w io.Writer) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "", "info":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+}
+
+// Nop returns a logger that discards everything; the default wherever no
+// logger was configured, so library callers pay nothing.
+func Nop() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
+}
+
+// ctxKey keys the logger in a context.
+type ctxKey struct{}
+
+// NewContext returns a context carrying the logger. The service attaches
+// a job-correlated logger here before running a screen.
+func NewContext(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, ctxKey{}, l)
+}
+
+// FromContext returns the logger carried by ctx, or a Nop logger.
+func FromContext(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(ctxKey{}).(*slog.Logger); ok && l != nil {
+		return l
+	}
+	return Nop()
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger("warn", "text", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("hidden")
+	l.Warn("shown", "job", "job-000001")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("info line leaked through warn level: %q", out)
+	}
+	if !strings.Contains(out, "shown") || !strings.Contains(out, "job-000001") {
+		t.Errorf("warn line missing attrs: %q", out)
+	}
+}
+
+func TestNewLoggerJSON(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger("info", "json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("event", "job", "job-000007", "attempt", 2)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %v: %q", err, buf.String())
+	}
+	if rec["job"] != "job-000007" || rec["msg"] != "event" {
+		t.Errorf("bad record: %v", rec)
+	}
+}
+
+func TestNewLoggerRejectsUnknown(t *testing.T) {
+	if _, err := NewLogger("loud", "text", nil); err == nil {
+		t.Error("unknown level accepted")
+	}
+	if _, err := NewLogger("info", "xml", nil); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger("debug", "text", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext(context.Background(), l.With("job", "job-000042"))
+	FromContext(ctx).Debug("correlated")
+	if !strings.Contains(buf.String(), "job-000042") {
+		t.Errorf("context logger lost correlation: %q", buf.String())
+	}
+	// A bare context yields a working no-op logger.
+	FromContext(context.Background()).Error("discarded")
+}

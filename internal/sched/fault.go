@@ -128,8 +128,8 @@ func (p *Pool) noteResplit() {
 // fence marks device i dead and counts it once under the given kind.
 func (p *Pool) fence(i int, kind cudasim.FaultKind) {
 	p.fmu.Lock()
-	defer p.fmu.Unlock()
 	if i < 0 || i >= len(p.alive) || !p.alive[i] {
+		p.fmu.Unlock()
 		return
 	}
 	p.alive[i] = false
@@ -138,6 +138,8 @@ func (p *Pool) fence(i int, kind cudasim.FaultKind) {
 	} else {
 		p.stats.Permanents++
 	}
+	p.fmu.Unlock()
+	p.log.Warn("device fenced", "device", i, "fault", kind.String())
 }
 
 // mark drops a zero-duration annotation on the trace, if recording.
@@ -233,6 +235,7 @@ func (p *Pool) resplitPending(pending, original []int) int {
 		pending[i] += extra[i]
 	}
 	p.noteResplit()
+	p.log.Info("work resplit onto survivors", "conformations", leftover)
 	return 0
 }
 

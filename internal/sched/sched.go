@@ -12,11 +12,13 @@ package sched
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"sync"
 
 	"github.com/metascreen/metascreen/internal/cudasim"
 	"github.com/metascreen/metascreen/internal/hostpar"
+	"github.com/metascreen/metascreen/internal/obs"
 	"github.com/metascreen/metascreen/internal/rng"
 	"github.com/metascreen/metascreen/internal/trace"
 )
@@ -56,6 +58,7 @@ type Pool struct {
 	ctx  *cudasim.Context
 	team *hostpar.Team
 	rec  *trace.Recorder
+	log  *slog.Logger
 
 	fmu    sync.Mutex // guards the fault state below
 	policy FaultPolicy
@@ -69,12 +72,22 @@ func NewPool(ctx *cudasim.Context) *Pool {
 	for i := range alive {
 		alive[i] = true
 	}
-	return &Pool{ctx: ctx, team: hostpar.NewTeam(ctx.DeviceCount()), alive: alive}
+	return &Pool{ctx: ctx, team: hostpar.NewTeam(ctx.DeviceCount()), alive: alive, log: obs.Nop()}
 }
 
 // SetRecorder attaches a timeline recorder; every subsequent device
 // operation is recorded. Pass nil to stop recording.
 func (p *Pool) SetRecorder(r *trace.Recorder) { p.rec = r }
+
+// SetLogger routes the pool's structured logging — warm-up summaries,
+// device fences, re-splits — through l. Like SetRecorder, call it before
+// dispatching work; nil restores the no-op default.
+func (p *Pool) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = obs.Nop()
+	}
+	p.log = l
+}
 
 // record forwards a device event to the recorder, optionally overriding
 // its label.
@@ -182,6 +195,12 @@ func (p *Pool) Warmup(probe cudasim.ScoringLaunch, iters int, noiseAmp float64, 
 		res.Percent[i] = t / slowest
 		res.Weights[i] = (1 / t) / invSum
 	}
+	p.log.Debug("warmup measured",
+		"iters", iters,
+		"times", res.Times,
+		"percent", res.Percent,
+		"weights", res.Weights,
+	)
 	return res
 }
 

@@ -7,6 +7,7 @@ import (
 	"github.com/metascreen/metascreen/internal/core"
 	"github.com/metascreen/metascreen/internal/sched"
 	"github.com/metascreen/metascreen/internal/tables"
+	"github.com/metascreen/metascreen/internal/trace"
 )
 
 // JobState is a job's position in its lifecycle.
@@ -172,6 +173,12 @@ type Job struct {
 	idemKey   string      // client idempotency key, "" when none was sent
 	cpLigands int         // ligands recorded in the job's last checkpoint snapshot
 	restored  *ResultView // result replayed from the journal after a restart
+
+	// rec is the job's span recorder, epoch-pinned to submission time;
+	// the whole screening stack appends to it (the recorder has its own
+	// locks, so it is deliberately outside the service-mutex contract).
+	// Nil only for jobs restored from the journal, until first export.
+	rec *trace.Recorder
 }
 
 // RankEntry is one row of a job's ranking on the wire.
@@ -190,6 +197,9 @@ type ResultView struct {
 	Evaluations      int64       `json:"evaluations"`
 	DeviceFaults     int64       `json:"device_faults,omitempty"`
 	Resplits         int64       `json:"resplits,omitempty"`
+	// WarmupFactors are the warm-up Percent factors measured by the
+	// job's backend (heterogeneous pool jobs only), per kernel.
+	WarmupFactors map[string][]float64 `json:"warmup_factors,omitempty"`
 }
 
 // JobView is a consistent snapshot of a job for JSON responses. Attempts
@@ -222,6 +232,7 @@ func resultView(res *core.ScreenResult) *ResultView {
 		Evaluations:      res.Evaluations,
 		DeviceFaults:     res.DeviceFaults,
 		Resplits:         res.Resplits,
+		WarmupFactors:    res.WarmupFactors,
 	}
 	for i, e := range res.Ranking {
 		rv.Ranking = append(rv.Ranking, RankEntry{

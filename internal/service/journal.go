@@ -76,7 +76,7 @@ func (s *Service) openJournal() error {
 	j, info, err := wal.Open(filepath.Join(s.cfg.DataDir, "journal"), wal.Options{
 		Policy:       s.cfg.Fsync,
 		SyncInterval: s.cfg.FsyncInterval,
-		Logf:         func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		Logf:         func(format string, args ...any) { s.log.Warn(fmt.Sprintf(format, args...)) },
 	})
 	if err != nil {
 		return err
@@ -221,7 +221,7 @@ func (s *Service) appendEvent(ev jobEvent) {
 	}
 	if err != nil {
 		s.metrics.JournalError()
-		fmt.Fprintf(os.Stderr, "service: journal append: %v\n", err)
+		s.log.Error("journal append failed", "job", ev.Job, "err", err)
 		return
 	}
 	s.metrics.JournalAppend(len(b))
@@ -245,7 +245,7 @@ func (s *Service) compactLocked() {
 	}
 	if err := s.journal.Compact(live); err != nil {
 		s.metrics.JournalError()
-		fmt.Fprintf(os.Stderr, "service: journal compact: %v\n", err)
+		s.log.Error("journal compact failed", "err", err)
 		return
 	}
 	s.metrics.JournalCompaction()
@@ -269,7 +269,7 @@ func (s *Service) loadJobCheckpoint(id string, seed uint64) *core.Checkpoint {
 	defer f.Close()
 	cp, err := core.LoadCheckpoint(f)
 	if err != nil || cp.Seed != seed {
-		fmt.Fprintf(os.Stderr, "service: checkpoint for %s unusable (err=%v), re-docking from scratch\n", id, err)
+		s.log.Warn("checkpoint unusable, re-docking from scratch", "job", id, "err", err)
 		return &core.Checkpoint{}
 	}
 	return cp

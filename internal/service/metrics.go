@@ -9,11 +9,51 @@ import (
 	"time"
 )
 
+// histogram is one fixed-bucket Prometheus histogram: cumulative bucket
+// counts are derived at write time, so observe is O(buckets) with no
+// allocation. Callers hold the owning Metrics mutex.
+type histogram struct {
+	buckets []float64 // upper bounds, seconds; +Inf implicit
+	counts  []int64   // one per bucket plus the +Inf overflow
+	sum     float64
+	count   int64
+}
+
+func newHistogram(buckets []float64) *histogram {
+	return &histogram{buckets: buckets, counts: make([]int64, len(buckets)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := 0
+	for ; i < len(h.buckets); i++ {
+		if v <= h.buckets[i] {
+			break
+		}
+	}
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// write emits the histogram in Prometheus text format under name.
+func (h *histogram) write(p func(format string, args ...any), name string) {
+	cum := int64(0)
+	for i, le := range h.buckets {
+		cum += h.counts[i]
+		p("%s_bucket{le=%q} %d\n", name, formatFloat(le), cum)
+	}
+	cum += h.counts[len(h.buckets)]
+	p("%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	p("%s_sum %s\n", name, formatFloat(h.sum))
+	p("%s_count %d\n", name, h.count)
+}
+
 // Metrics is the service's hand-rolled Prometheus registry: counters for
-// the job lifecycle, a job-latency histogram, and engine work counters
-// (scoring evaluations, simulated seconds) aggregated from every finished
-// run. It holds no references into jobs, so scraping never contends with
-// screening beyond this one mutex.
+// the job lifecycle, latency histograms (end-to-end, queue wait, run time,
+// per-generation simulated time), and engine work counters (scoring
+// evaluations, simulated seconds) aggregated from every finished run. It
+// holds no references into jobs, so scraping never contends with screening
+// beyond this one mutex.
 //
 // The exposition format is the Prometheus text format, written by
 // WriteTo; names are stable API (dashboards depend on them).
@@ -26,10 +66,10 @@ type Metrics struct {
 	rejected  int64
 	finished  map[JobState]int64
 
-	latencyBuckets []float64 // upper bounds, seconds; +Inf implicit
-	latencyCounts  []int64   // one per bucket plus the +Inf overflow
-	latencySum     float64
-	latencyCount   int64
+	latency   *histogram // submission -> terminal state
+	queueWait *histogram // submission -> worker start
+	runTime   *histogram // worker start -> terminal state
+	genSim    *histogram // simulated seconds per metaheuristic generation
 
 	evaluations      int64
 	simulatedSeconds float64
@@ -53,13 +93,19 @@ type Metrics struct {
 // milliseconds) to long real-mode library runs.
 var defaultLatencyBuckets = []float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 300}
 
+// defaultGenBuckets spans one metaheuristic generation's simulated time,
+// from sub-millisecond modeled generations to long real-scale ones.
+var defaultGenBuckets = []float64{0.0001, 0.001, 0.01, 0.1, 1, 10, 100}
+
 // NewMetrics builds an empty registry for a pool of `workers` workers.
 func NewMetrics(workers int) *Metrics {
 	return &Metrics{
-		workers:        workers,
-		finished:       make(map[JobState]int64),
-		latencyBuckets: defaultLatencyBuckets,
-		latencyCounts:  make([]int64, len(defaultLatencyBuckets)+1),
+		workers:   workers,
+		finished:  make(map[JobState]int64),
+		latency:   newHistogram(defaultLatencyBuckets),
+		queueWait: newHistogram(defaultLatencyBuckets),
+		runTime:   newHistogram(defaultLatencyBuckets),
+		genSim:    newHistogram(defaultGenBuckets),
 	}
 }
 
@@ -87,18 +133,26 @@ func (m *Metrics) WorkerBusy(delta int) {
 // Finished counts one job reaching a terminal state and observes its
 // end-to-end latency (submission to completion, queue wait included).
 func (m *Metrics) Finished(state JobState, latency time.Duration) {
-	sec := latency.Seconds()
 	m.mu.Lock()
 	m.finished[state]++
-	i := 0
-	for ; i < len(m.latencyBuckets); i++ {
-		if sec <= m.latencyBuckets[i] {
-			break
-		}
-	}
-	m.latencyCounts[i]++
-	m.latencySum += sec
-	m.latencyCount++
+	m.latency.observe(latency.Seconds())
+	m.mu.Unlock()
+}
+
+// JobTimes observes the two phases of one finished job that actually ran:
+// the submit->start queue wait and the start->finish run time.
+func (m *Metrics) JobTimes(queueWait, run time.Duration) {
+	m.mu.Lock()
+	m.queueWait.observe(queueWait.Seconds())
+	m.runTime.observe(run.Seconds())
+	m.mu.Unlock()
+}
+
+// GenerationSim observes one metaheuristic generation's simulated
+// duration, in modeled seconds.
+func (m *Metrics) GenerationSim(seconds float64) {
+	m.mu.Lock()
+	m.genSim.observe(seconds)
 	m.mu.Unlock()
 }
 
@@ -241,15 +295,19 @@ func (m *Metrics) WriteTo(w io.Writer, queueDepth, running int) error {
 
 	p("# HELP metascreen_job_latency_seconds Job latency from submission to terminal state.\n")
 	p("# TYPE metascreen_job_latency_seconds histogram\n")
-	cum := int64(0)
-	for i, le := range m.latencyBuckets {
-		cum += m.latencyCounts[i]
-		p("metascreen_job_latency_seconds_bucket{le=%q} %d\n", formatFloat(le), cum)
-	}
-	cum += m.latencyCounts[len(m.latencyBuckets)]
-	p("metascreen_job_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	p("metascreen_job_latency_seconds_sum %s\n", formatFloat(m.latencySum))
-	p("metascreen_job_latency_seconds_count %d\n", m.latencyCount)
+	m.latency.write(p, "metascreen_job_latency_seconds")
+
+	p("# HELP metascreen_job_queue_seconds Queue wait from submission to worker start.\n")
+	p("# TYPE metascreen_job_queue_seconds histogram\n")
+	m.queueWait.write(p, "metascreen_job_queue_seconds")
+
+	p("# HELP metascreen_job_run_seconds Execution time from worker start to terminal state.\n")
+	p("# TYPE metascreen_job_run_seconds histogram\n")
+	m.runTime.write(p, "metascreen_job_run_seconds")
+
+	p("# HELP metascreen_generation_sim_seconds Simulated seconds per metaheuristic generation in finished jobs.\n")
+	p("# TYPE metascreen_generation_sim_seconds histogram\n")
+	m.genSim.write(p, "metascreen_generation_sim_seconds")
 
 	p("# HELP metascreen_evaluations_total Scoring-function evaluations performed by finished jobs.\n")
 	p("# TYPE metascreen_evaluations_total counter\n")

@@ -19,6 +19,11 @@ func TestMetricsExpositionGolden(t *testing.T) {
 	m.Finished(StateDone, 40*time.Millisecond)
 	m.Finished(StateDone, 700*time.Millisecond)
 	m.Finished(StateCancelled, 2*time.Second)
+	m.JobTimes(250*time.Millisecond, 500*time.Millisecond)
+	m.JobTimes(500*time.Millisecond, 2*time.Second)
+	m.GenerationSim(0.25)
+	m.GenerationSim(0.5)
+	m.GenerationSim(4)
 	m.Work(1500, 12.5, 2, 1)
 	m.Work(500, 2.5, 1, 0)
 	m.JobRetried()
@@ -75,6 +80,48 @@ metascreen_job_latency_seconds_bucket{le="300"} 3
 metascreen_job_latency_seconds_bucket{le="+Inf"} 3
 metascreen_job_latency_seconds_sum 2.74
 metascreen_job_latency_seconds_count 3
+# HELP metascreen_job_queue_seconds Queue wait from submission to worker start.
+# TYPE metascreen_job_queue_seconds histogram
+metascreen_job_queue_seconds_bucket{le="0.01"} 0
+metascreen_job_queue_seconds_bucket{le="0.05"} 0
+metascreen_job_queue_seconds_bucket{le="0.1"} 0
+metascreen_job_queue_seconds_bucket{le="0.5"} 2
+metascreen_job_queue_seconds_bucket{le="1"} 2
+metascreen_job_queue_seconds_bucket{le="5"} 2
+metascreen_job_queue_seconds_bucket{le="10"} 2
+metascreen_job_queue_seconds_bucket{le="30"} 2
+metascreen_job_queue_seconds_bucket{le="60"} 2
+metascreen_job_queue_seconds_bucket{le="300"} 2
+metascreen_job_queue_seconds_bucket{le="+Inf"} 2
+metascreen_job_queue_seconds_sum 0.75
+metascreen_job_queue_seconds_count 2
+# HELP metascreen_job_run_seconds Execution time from worker start to terminal state.
+# TYPE metascreen_job_run_seconds histogram
+metascreen_job_run_seconds_bucket{le="0.01"} 0
+metascreen_job_run_seconds_bucket{le="0.05"} 0
+metascreen_job_run_seconds_bucket{le="0.1"} 0
+metascreen_job_run_seconds_bucket{le="0.5"} 1
+metascreen_job_run_seconds_bucket{le="1"} 1
+metascreen_job_run_seconds_bucket{le="5"} 2
+metascreen_job_run_seconds_bucket{le="10"} 2
+metascreen_job_run_seconds_bucket{le="30"} 2
+metascreen_job_run_seconds_bucket{le="60"} 2
+metascreen_job_run_seconds_bucket{le="300"} 2
+metascreen_job_run_seconds_bucket{le="+Inf"} 2
+metascreen_job_run_seconds_sum 2.5
+metascreen_job_run_seconds_count 2
+# HELP metascreen_generation_sim_seconds Simulated seconds per metaheuristic generation in finished jobs.
+# TYPE metascreen_generation_sim_seconds histogram
+metascreen_generation_sim_seconds_bucket{le="0.0001"} 0
+metascreen_generation_sim_seconds_bucket{le="0.001"} 0
+metascreen_generation_sim_seconds_bucket{le="0.01"} 0
+metascreen_generation_sim_seconds_bucket{le="0.1"} 0
+metascreen_generation_sim_seconds_bucket{le="1"} 2
+metascreen_generation_sim_seconds_bucket{le="10"} 3
+metascreen_generation_sim_seconds_bucket{le="100"} 3
+metascreen_generation_sim_seconds_bucket{le="+Inf"} 3
+metascreen_generation_sim_seconds_sum 4.75
+metascreen_generation_sim_seconds_count 3
 # HELP metascreen_evaluations_total Scoring-function evaluations performed by finished jobs.
 # TYPE metascreen_evaluations_total counter
 metascreen_evaluations_total 2000

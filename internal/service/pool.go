@@ -5,13 +5,16 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"strconv"
 	"time"
 
 	"github.com/metascreen/metascreen/internal/core"
 	"github.com/metascreen/metascreen/internal/cudasim"
 	"github.com/metascreen/metascreen/internal/forcefield"
 	"github.com/metascreen/metascreen/internal/metaheuristic"
+	"github.com/metascreen/metascreen/internal/obs"
 	"github.com/metascreen/metascreen/internal/surface"
+	"github.com/metascreen/metascreen/internal/trace"
 )
 
 // The worker pool: N goroutines drain the bounded queue, each running one
@@ -53,9 +56,24 @@ func (s *Service) runJob(j *Job) {
 	// the dead process left off, with a fresh retry budget for this boot.
 	first := j.attempts + 1
 	id, req, run := j.id, j.req, s.run
+	if j.rec == nil {
+		// Recovered job: its recorder died with the previous process.
+		j.rec = &trace.Recorder{}
+		if !j.submitted.IsZero() {
+			j.rec.SetEpoch(j.submitted)
+		}
+	}
+	rec, submitted, startedAt := j.rec, j.submitted, j.started
 	s.appendEvent(jobEvent{Type: evStarted, Job: id, Time: j.started, Attempt: first})
 	s.mu.Unlock()
 	defer cancel()
+
+	logger := s.log.With("job", id)
+	logger.Info("job started", "attempt", first,
+		"queue_seconds", startedAt.Sub(submitted).Seconds())
+	// Everything the screen does below runs with the job's recorder and a
+	// job-correlated logger in its context; the engine picks both up.
+	base = trace.NewContext(obs.NewContext(base, logger), rec)
 
 	s.metrics.WorkerBusy(1)
 	defer s.metrics.WorkerBusy(-1)
@@ -71,8 +89,17 @@ func (s *Service) runJob(j *Job) {
 			attemptCtx, acancel = context.WithTimeout(base,
 				time.Duration(req.TimeoutSeconds*float64(time.Second)))
 		}
+		attemptStart := s.now()
 		res, err = s.safeRun(run, attemptCtx, id, req)
 		acancel()
+		rec.AddSpan(trace.Span{
+			Track: "screen",
+			Name:  "attempt " + strconv.Itoa(attempt),
+			Cat:   trace.CatScreen,
+			Start: attemptStart.Sub(submitted).Seconds(),
+			End:   s.now().Sub(submitted).Seconds(),
+			Args:  map[string]string{"job": id, "attempt": strconv.Itoa(attempt)},
+		})
 
 		s.mu.Lock()
 		j.attempts = attempt
@@ -88,6 +115,7 @@ func (s *Service) runJob(j *Job) {
 			break
 		}
 		s.metrics.JobRetried()
+		logger.Warn("attempt failed, retrying", "attempt", attempt, "err", err)
 		if !s.backoff(base, id, attempt) {
 			err = context.Canceled
 			break

@@ -8,14 +8,18 @@ import (
 
 // The HTTP layer: a stdlib-only JSON API over the Service.
 //
-//	POST   /v1/screens      submit a ScreenRequest     -> 202 JobView
-//	                        (Idempotency-Key header: resubmitting an
-//	                        admitted key returns the original job, 200)
-//	GET    /v1/screens      list jobs                  -> 200 [JobView]
-//	GET    /v1/screens/{id} job status + ranking       -> 200 JobView
-//	DELETE /v1/screens/{id} cancel                     -> 202 JobView
-//	GET    /healthz         liveness                   -> 200 Stats
-//	GET    /metrics         Prometheus text exposition -> 200
+//	POST   /v1/screens            submit a ScreenRequest     -> 202 JobView
+//	                              (Idempotency-Key header: resubmitting an
+//	                              admitted key returns the original job, 200)
+//	GET    /v1/screens            list jobs                  -> 200 [JobView]
+//	GET    /v1/screens/{id}       job status + ranking       -> 200 JobView
+//	GET    /v1/screens/{id}/trace Chrome-trace-format job timeline -> 200
+//	                              (also served as GET /jobs/{id}/trace;
+//	                              load the payload in Perfetto or
+//	                              chrome://tracing)
+//	DELETE /v1/screens/{id}       cancel                     -> 202 JobView
+//	GET    /healthz               liveness                   -> 200 Stats
+//	GET    /metrics               Prometheus text exposition -> 200
 //
 // Errors are {"error": "..."} with ErrQueueFull -> 429, ErrDraining ->
 // 503, ErrNotFound -> 404, ErrTerminal -> 409, bad requests -> 400.
@@ -26,6 +30,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/screens", s.handleSubmit)
 	mux.HandleFunc("GET /v1/screens", s.handleList)
 	mux.HandleFunc("GET /v1/screens/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/screens/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/screens/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -77,6 +83,19 @@ func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, view)
+}
+
+// handleTrace streams a job's timeline in Chrome trace format. The export
+// is a point-in-time snapshot: tracing a running job returns the spans
+// recorded so far.
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	rec, err := s.Trace(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	rec.WriteChrome(w)
 }
 
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {

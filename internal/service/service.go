@@ -24,12 +24,15 @@ package service
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"sync"
 	"time"
 
 	"github.com/metascreen/metascreen/internal/core"
+	"github.com/metascreen/metascreen/internal/obs"
+	"github.com/metascreen/metascreen/internal/trace"
 	"github.com/metascreen/metascreen/internal/wal"
 )
 
@@ -71,6 +74,10 @@ type Config struct {
 	// CompactBytes compacts the journal into per-job snapshots when it
 	// grows past this size; 0 means 4 MiB.
 	CompactBytes int64
+
+	// Logger receives the service's structured logs; every job-scoped
+	// record carries a "job" attribute for correlation. Nil discards.
+	Logger *slog.Logger
 }
 
 // withDefaults fills zero fields.
@@ -107,6 +114,8 @@ type runnerFunc func(ctx context.Context, id string, req ScreenRequest) (*core.S
 type Service struct {
 	cfg     Config
 	metrics *Metrics
+	log     *slog.Logger
+	started time.Time
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -128,6 +137,10 @@ type Service struct {
 	// to crash at a deterministic mid-screen point.
 	checkpointHook func(jobID string, newly int)
 
+	// lastWarmup holds the most recent warm-up Percent factors reported
+	// by a finished job's backend, for the debug snapshot.
+	lastWarmup map[string][]float64
+
 	// now is the clock; tests pin it for stable timestamps.
 	now func() time.Time
 }
@@ -141,10 +154,15 @@ func New(cfg Config) (*Service, error) {
 	s := &Service{
 		cfg:     cfg,
 		metrics: NewMetrics(cfg.Workers),
+		log:     cfg.Logger,
+		started: time.Now(),
 		jobs:    make(map[string]*Job),
 		idem:    make(map[string]string),
 		queue:   newJobQueue(cfg.QueueDepth),
 		now:     time.Now,
+	}
+	if s.log == nil {
+		s.log = obs.Nop()
 	}
 	s.run = s.runScreen
 	if cfg.DataDir != "" {
@@ -201,10 +219,13 @@ func (s *Service) SubmitIdem(req ScreenRequest, key string) (v JobView, existing
 		req:       req,
 		submitted: s.now(),
 		idemKey:   key,
+		rec:       &trace.Recorder{},
 	}
+	j.rec.SetEpoch(j.submitted)
 	if err := s.queue.tryPush(j); err != nil {
 		s.nextID-- // the ID was never exposed
 		s.metrics.Rejected()
+		s.log.Warn("job rejected", "err", err, "queue_depth", s.queue.depth())
 		return JobView{}, false, err
 	}
 	s.jobs[j.id] = j
@@ -217,6 +238,9 @@ func (s *Service) SubmitIdem(req ScreenRequest, key string) (v JobView, existing
 		Type: evSubmitted, Job: j.id, Time: j.submitted,
 		Request: &j.req, IdemKey: key,
 	})
+	s.log.Info("job submitted", "job", j.id,
+		"dataset", req.Dataset, "library", req.Library,
+		"metaheuristic", req.Metaheuristic, "machine", req.Machine)
 	return j.view(), false, nil
 }
 
@@ -229,6 +253,29 @@ func (s *Service) Get(id string) (JobView, error) {
 		return JobView{}, ErrNotFound
 	}
 	return j.view(), nil
+}
+
+// Trace returns a job's span recorder for timeline export. A job restored
+// from the journal lost its recorder with the previous process; a fresh
+// one is built from its lifecycle timestamps so the trace endpoint still
+// serves a (sparse) timeline.
+func (s *Service) Trace(id string) (*trace.Recorder, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if j.rec == nil {
+		j.rec = &trace.Recorder{}
+		if !j.submitted.IsZero() {
+			j.rec.SetEpoch(j.submitted)
+		}
+		if j.state.Terminal() && !j.finished.IsZero() {
+			s.recordJobSpans(j)
+		}
+	}
+	return j.rec, nil
 }
 
 // List returns every job in submission order.
@@ -275,14 +322,59 @@ func (s *Service) finishLocked(j *Job, state JobState, res *core.ScreenResult, e
 	j.result = res
 	j.cancel = nil
 	s.metrics.Finished(state, j.finished.Sub(j.submitted))
+	if !j.started.IsZero() {
+		s.metrics.JobTimes(j.started.Sub(j.submitted), j.finished.Sub(j.started))
+	}
 	if res != nil {
 		s.metrics.Work(res.Evaluations, res.SimulatedSeconds, res.DeviceFaults, res.Resplits)
+		s.observeGenerations(res)
+		if res.WarmupFactors != nil {
+			s.lastWarmup = res.WarmupFactors
+		}
 	}
+	s.recordJobSpans(j)
 	if s.journal != nil {
 		v := j.view()
 		s.appendEvent(jobEvent{Type: evTerminal, Job: j.id, Time: j.finished, View: &v})
 		os.Remove(s.checkpointPath(j.id))
 	}
+	s.log.Info("job finished", "job", j.id, "state", string(state),
+		"latency_seconds", j.finished.Sub(j.submitted).Seconds(), "err", errMsg)
+}
+
+// observeGenerations feeds every ligand run's per-generation simulated
+// durations into the generation histogram.
+func (s *Service) observeGenerations(res *core.ScreenResult) {
+	for _, e := range res.Ranking {
+		if e.Result == nil {
+			continue
+		}
+		prev := 0.0
+		for _, gp := range e.Result.History {
+			s.metrics.GenerationSim(gp.SimSeconds - prev)
+			prev = gp.SimSeconds
+		}
+	}
+}
+
+// recordJobSpans closes out a terminal job's wall-clock spans: the queued
+// interval and the whole job interval, both relative to submission (the
+// recorder's epoch). Caller holds s.mu.
+func (s *Service) recordJobSpans(j *Job) {
+	if j.rec == nil {
+		return
+	}
+	if !j.started.IsZero() {
+		j.rec.AddSpan(trace.Span{
+			Track: "job", Name: "queued", Cat: trace.CatJob,
+			Start: 0, End: j.started.Sub(j.submitted).Seconds(),
+		})
+	}
+	j.rec.AddSpan(trace.Span{
+		Track: "job", Name: "job " + j.id, Cat: trace.CatJob,
+		Start: 0, End: j.finished.Sub(j.submitted).Seconds(),
+		Args: map[string]string{"job": j.id, "state": string(j.state)},
+	})
 }
 
 // Shutdown drains the service: intake stops (further Submits return

@@ -1,0 +1,227 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file promotes the recorder from a sim-only device timeline to a
+// general span recorder: named intervals on named tracks, with a category
+// per observability level (job, screen, ligand, generation, device) and an
+// explicit clock domain, so one recorder can hold a whole screening job's
+// timeline — HTTP submission down to individual simulated device
+// operations — and export it as a Chrome trace (see chrome.go).
+
+// Clock domains. A span's timestamps are seconds on one of two clocks:
+// the recorder's wall-clock epoch (real time) or the simulated device
+// clock (modeled time). The Chrome exporter keeps the domains apart as two
+// trace "processes" so mixed timelines stay readable.
+const (
+	// ClockWall is real time, in seconds since the recorder's epoch.
+	ClockWall = "wall"
+	// ClockSim is simulated time, in modeled seconds from zero.
+	ClockSim = "sim"
+)
+
+// Span categories used across the stack. They are convention, not an
+// enum — callers may add their own — but the service's job traces and the
+// tests rely on these names.
+const (
+	CatJob        = "job"
+	CatScreen     = "screen"
+	CatLigand     = "ligand"
+	CatGeneration = "generation"
+	CatDevice     = "device"
+)
+
+// Span is one named interval on a named track. The zero Clock means
+// ClockWall. Start == End is an instant (exported as a Chrome instant
+// event). Args carry correlation metadata (job ID, ligand name, ...).
+type Span struct {
+	// Track names the horizontal lane the span renders on ("job",
+	// "lig:LIG-003/dev0", ...). Tracks are created on first use.
+	Track string
+	// Name is the span's label ("generation 7", "ligand LIG-003", ...).
+	Name string
+	// Cat is the observability level (CatJob, CatLigand, ...).
+	Cat string
+	// Clock is the span's time domain: ClockWall (default) or ClockSim.
+	Clock string
+	// Start and End are seconds on the span's clock.
+	Start, End float64
+	// Args is optional correlation metadata; exported verbatim.
+	Args map[string]string
+}
+
+// Duration returns the span's length in seconds.
+func (s Span) Duration() float64 { return s.End - s.Start }
+
+// spanState holds the recorder's span-side state, kept separate from the
+// event fields so the legacy device-event API is untouched.
+type spanState struct {
+	mu    sync.Mutex
+	spans []Span
+	epoch time.Time
+}
+
+// SetEpoch pins the wall-clock origin: Now() returns seconds since this
+// instant. The service pins it to the job's submission time so a job's
+// wall spans start at zero; tests pin it for byte-stable exports.
+func (r *Recorder) SetEpoch(t time.Time) {
+	r.ss.mu.Lock()
+	r.ss.epoch = t
+	r.ss.mu.Unlock()
+}
+
+// Epoch returns the wall-clock origin, setting it to the current time on
+// first use so Now() is always meaningful.
+func (r *Recorder) Epoch() time.Time {
+	r.ss.mu.Lock()
+	defer r.ss.mu.Unlock()
+	if r.ss.epoch.IsZero() {
+		r.ss.epoch = time.Now()
+	}
+	return r.ss.epoch
+}
+
+// Now returns the wall-clock reading in seconds since the epoch.
+func (r *Recorder) Now() float64 { return time.Since(r.Epoch()).Seconds() }
+
+// AddSpan appends a span. Safe for concurrent use.
+func (r *Recorder) AddSpan(s Span) {
+	if s.Clock == "" {
+		s.Clock = ClockWall
+	}
+	r.ss.mu.Lock()
+	r.ss.spans = append(r.ss.spans, s)
+	r.ss.mu.Unlock()
+}
+
+// Spans returns a copy of all spans in insertion order.
+func (r *Recorder) Spans() []Span {
+	r.ss.mu.Lock()
+	defer r.ss.mu.Unlock()
+	out := make([]Span, len(r.ss.spans))
+	copy(out, r.ss.spans)
+	return out
+}
+
+// SpanCount returns the number of recorded spans.
+func (r *Recorder) SpanCount() int {
+	r.ss.mu.Lock()
+	defer r.ss.mu.Unlock()
+	return len(r.ss.spans)
+}
+
+// CountCat returns the number of spans whose category equals cat.
+func (r *Recorder) CountCat(cat string) int {
+	r.ss.mu.Lock()
+	defer r.ss.mu.Unlock()
+	n := 0
+	for _, s := range r.ss.spans {
+		if s.Cat == cat {
+			n++
+		}
+	}
+	return n
+}
+
+// Merge folds a child recorder into r with every track prefixed by
+// prefix+"/". Child device events become CatDevice spans on simulated
+// tracks prefix+"/dev<N>", and child spans keep their category and clock.
+// The screening layer uses this to give each ligand its own sub-timeline
+// inside the job trace.
+func (r *Recorder) Merge(child *Recorder, prefix string) {
+	if child == nil {
+		return
+	}
+	for _, e := range child.Events() {
+		r.AddSpan(Span{
+			Track: fmt.Sprintf("%s/dev%d", prefix, e.Device),
+			Name:  e.Label,
+			Cat:   CatDevice,
+			Clock: ClockSim,
+			Start: e.Start,
+			End:   e.End,
+		})
+	}
+	for _, s := range child.Spans() {
+		s.Track = prefix + "/" + s.Track
+		r.AddSpan(s)
+	}
+}
+
+// BusyByTrack sums span durations per track, restricted to one category
+// ("" sums every category). Device events recorded through the legacy
+// Event API are included under their "dev<N>" track when cat is "" or
+// CatDevice. The debug snapshot derives per-device utilization from this.
+func (r *Recorder) BusyByTrack(cat string) map[string]float64 {
+	out := map[string]float64{}
+	if cat == "" || cat == CatDevice {
+		for _, e := range r.Events() {
+			out[fmt.Sprintf("dev%d", e.Device)] += e.Duration()
+		}
+	}
+	for _, s := range r.Spans() {
+		if cat != "" && s.Cat != cat {
+			continue
+		}
+		out[s.Track] += s.Duration()
+	}
+	return out
+}
+
+// SpanWindow returns the earliest start and latest end over all spans on
+// the given clock ("" spans both domains), or zeros when none exist.
+func (r *Recorder) SpanWindow(clock string) (start, end float64) {
+	first := true
+	for _, s := range r.Spans() {
+		if clock != "" && s.Clock != clock {
+			continue
+		}
+		if first || s.Start < start {
+			start = s.Start
+		}
+		if first || s.End > end {
+			end = s.End
+		}
+		first = false
+	}
+	return start, end
+}
+
+// Tracks returns the sorted set of track names across spans (and device
+// events, reported as "dev<N>").
+func (r *Recorder) Tracks() []string {
+	seen := map[string]bool{}
+	for _, e := range r.Events() {
+		seen[fmt.Sprintf("dev%d", e.Device)] = true
+	}
+	for _, s := range r.Spans() {
+		seen[s.Track] = true
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ctxKey keys the recorder in a context.
+type ctxKey struct{}
+
+// NewContext returns a context carrying the recorder. The engine and the
+// screening layers pick it up to record generation and ligand spans.
+func NewContext(ctx context.Context, r *Recorder) context.Context {
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// FromContext returns the recorder carried by ctx, or nil.
+func FromContext(ctx context.Context) *Recorder {
+	r, _ := ctx.Value(ctxKey{}).(*Recorder)
+	return r
+}

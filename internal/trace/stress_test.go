@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRecorderConcurrentStress hammers one recorder from 64 goroutines —
+// half writing device events, half writing spans — and asserts nothing is
+// lost and per-device event order stays monotone and non-overlapping.
+// Each goroutine plays one device (or one span track) appending strictly
+// increasing intervals; the recorder must preserve per-writer insertion
+// order, so any reordering or loss is a bug. Run with -race (CI does).
+func TestRecorderConcurrentStress(t *testing.T) {
+	const (
+		writers = 64
+		perG    = 500
+	)
+	r := &Recorder{}
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				// Device-event writer: device g, back-to-back intervals.
+				for i := 0; i < perG; i++ {
+					start := float64(i)
+					r.Add(Event{Device: g, Label: "op", Start: start, End: start + 1})
+				}
+				return
+			}
+			// Span writer: its own track, back-to-back sim spans.
+			track := fmt.Sprintf("track-%d", g)
+			for i := 0; i < perG; i++ {
+				start := float64(i)
+				r.AddSpan(Span{
+					Track: track, Name: "span", Cat: CatGeneration,
+					Clock: ClockSim, Start: start, End: start + 1,
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got, want := r.Len(), writers/2*perG; got != want {
+		t.Fatalf("lost device events: got %d, want %d", got, want)
+	}
+	if got, want := r.SpanCount(), writers/2*perG; got != want {
+		t.Fatalf("lost spans: got %d, want %d", got, want)
+	}
+
+	// Per-device: exactly perG events, in monotone non-overlapping order.
+	byDev := map[int][]Event{}
+	for _, e := range r.Events() {
+		byDev[e.Device] = append(byDev[e.Device], e)
+	}
+	if len(byDev) != writers/2 {
+		t.Fatalf("got %d devices, want %d", len(byDev), writers/2)
+	}
+	for dev, evs := range byDev {
+		if len(evs) != perG {
+			t.Fatalf("device %d: %d events, want %d", dev, len(evs), perG)
+		}
+		for i, e := range evs {
+			if e.Start != float64(i) || e.End != float64(i)+1 {
+				t.Fatalf("device %d: event %d out of order or overlapping: [%g, %g]",
+					dev, i, e.Start, e.End)
+			}
+		}
+	}
+
+	// Per-track spans likewise.
+	byTrack := map[string][]Span{}
+	for _, s := range r.Spans() {
+		byTrack[s.Track] = append(byTrack[s.Track], s)
+	}
+	if len(byTrack) != writers/2 {
+		t.Fatalf("got %d tracks, want %d", len(byTrack), writers/2)
+	}
+	for track, spans := range byTrack {
+		if len(spans) != perG {
+			t.Fatalf("track %s: %d spans, want %d", track, len(spans), perG)
+		}
+		prevEnd := 0.0
+		for i, s := range spans {
+			if s.Start != float64(i) || s.End != s.Start+1 || s.Start < prevEnd {
+				t.Fatalf("track %s: span %d out of order: [%g, %g]", track, i, s.Start, s.End)
+			}
+			prevEnd = s.End
+		}
+	}
+
+	// The stats and export paths must also hold up after the stampede.
+	if u := r.Utilization(); len(u) != writers/2 {
+		t.Fatalf("utilization over %d devices, want %d", len(u), writers/2)
+	}
+	busy := r.BusyByTrack("")
+	if len(busy) != writers {
+		t.Fatalf("busy tracks: %d, want %d", len(busy), writers)
+	}
+	for track, b := range busy {
+		if b != perG {
+			t.Fatalf("track %s busy %g, want %d", track, b, perG)
+		}
+	}
+}
+
+// TestRecorderConcurrentMerge folds 16 child recorders into a parent from
+// 16 goroutines, asserting no spans are lost and prefixes are applied.
+func TestRecorderConcurrentMerge(t *testing.T) {
+	const children = 16
+	parent := &Recorder{}
+	var wg sync.WaitGroup
+	for c := 0; c < children; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			child := &Recorder{}
+			child.Add(Event{Device: 0, Label: "scoring", Start: 0, End: 1})
+			child.AddSpan(Span{Track: "generations", Name: "generation 1",
+				Cat: CatGeneration, Clock: ClockSim, Start: 0, End: 1})
+			parent.Merge(child, fmt.Sprintf("lig:%03d", c))
+		}(c)
+	}
+	wg.Wait()
+	if got, want := parent.SpanCount(), children*2; got != want {
+		t.Fatalf("merged %d spans, want %d", got, want)
+	}
+	if got, want := parent.CountCat(CatDevice), children; got != want {
+		t.Fatalf("%d device spans, want %d", got, want)
+	}
+	for _, s := range parent.Spans() {
+		if len(s.Track) < 8 || s.Track[:4] != "lig:" {
+			t.Fatalf("span track %q missing merge prefix", s.Track)
+		}
+	}
+}

@@ -1,7 +1,10 @@
-// Package trace records simulated device timelines and derives utilization
-// metrics, the observability layer over the GPU simulator. The engine emits
-// an Event per kernel or transfer; reports aggregate busy time per device
-// and render simple text Gantt charts for debugging load balance.
+// Package trace is the observability recorder of the stack. It began as a
+// sim-only device timeline (an Event per kernel or transfer, with busy-time
+// stats and text Gantt charts) and is now a general span recorder: named
+// intervals on named tracks across two clock domains (wall and simulated),
+// covering a whole screening job — HTTP submission, per-ligand screens,
+// metaheuristic generations, individual device operations — exportable in
+// Chrome trace format for chrome://tracing and Perfetto (chrome.go).
 package trace
 
 import (
@@ -25,11 +28,16 @@ type Event struct {
 // Duration returns the event's simulated duration.
 func (e Event) Duration() float64 { return e.End - e.Start }
 
-// Recorder accumulates events. It is safe for concurrent use; the zero
-// value is ready.
+// Recorder accumulates events and spans. It is safe for concurrent use;
+// the zero value is ready. Events are the legacy sim-only device timeline
+// (one entry per kernel or transfer); spans (span.go) generalize the
+// recorder to arbitrary named intervals across clock domains, exportable
+// as a Chrome trace (chrome.go).
 type Recorder struct {
 	mu     sync.Mutex
 	events []Event
+
+	ss spanState
 }
 
 // Add appends an event.

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Captures one smoke run of the paper-table benchmarks as JSON, starting
+# the repo's perf-trajectory record (BENCH_<n>.json per PR). The tables
+# replay the paper workloads through the modeled backends, so the
+# interesting numbers are the simulated-seconds custom metrics, which are
+# stable across machines; ns/op is kept for context only.
+#
+# Usage: scripts/bench_capture.sh [output.json]
+set -eu
+cd "$(dirname "$0")/.."
+out=${1:-BENCH_4.json}
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench Table -benchtime=1x . | tee "$raw"
+
+awk -v cmd="go test -run '^$' -bench Table -benchtime=1x ." '
+BEGIN {
+    print "{"
+    printf "  \"command\": \"%s\",\n", cmd
+    print "  \"benchmarks\": ["
+    sep = ""
+}
+/^Benchmark/ {
+    printf "%s    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {", sep, $1, $2
+    sep = ",\n"
+    msep = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        printf "%s\"%s\": %s", msep, $(i + 1), $i
+        msep = ", "
+    }
+    printf "}}"
+}
+END {
+    print ""
+    print "  ]"
+    print "}"
+}' "$raw" > "$out"
+
+echo "wrote $out"
