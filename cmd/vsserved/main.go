@@ -19,6 +19,14 @@
 // (ui.perfetto.dev) or chrome://tracing. With -debug-addr set, a second
 // listener serves /debug/pprof/, /debug/vars and /debug/snapshot.
 //
+// Overload protection is built in: an adaptive concurrency limiter
+// (-target-latency, -limiter-min/-limiter-max), a weighted-fair priority
+// queue (requests carry "priority" and a client ID), deadline-aware
+// shedding ("deadline_seconds" requests are rejected with 429 +
+// Retry-After when unmeetable), a device-health circuit breaker
+// (-breaker-threshold, -breaker-cooldown) and graceful degradation
+// (-degrade-at, -degrade-factor).
+//
 // SIGINT/SIGTERM drain gracefully: intake stops, queued jobs are
 // cancelled, running jobs finish (up to -drain-timeout, then they are
 // force-cancelled between metaheuristic generations).
@@ -35,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/metascreen/metascreen/internal/admission"
 	"github.com/metascreen/metascreen/internal/obs"
 	"github.com/metascreen/metascreen/internal/service"
 	"github.com/metascreen/metascreen/internal/wal"
@@ -55,6 +64,13 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 0, "snapshot a running job's checkpoint every N completed ligands (0 = 1)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
+	targetLatency := flag.Duration("target-latency", 0, "attempt latency the adaptive concurrency limiter steers toward (0 = disabled)")
+	limiterMin := flag.Int("limiter-min", 0, "adaptive concurrency floor (0 = 1)")
+	limiterMax := flag.Int("limiter-max", 0, "adaptive concurrency ceiling (0 = worker count)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive all-device losses before the circuit opens (0 = 3)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long the open circuit rejects machine jobs before probing (0 = 5s)")
+	degradeAt := flag.Float64("degrade-at", 0, "queue fill fraction above which jobs run with reduced effort (0 = 0.75)")
+	degradeFactor := flag.Float64("degrade-factor", 0, "search-scale multiplier applied to degraded jobs (0 = 0.5)")
 	flag.Parse()
 
 	logger, err := obs.NewLogger(*logLevel, *logFormat, os.Stderr)
@@ -76,6 +92,15 @@ func main() {
 		FsyncInterval:   *fsyncInterval,
 		CheckpointEvery: *checkpointEvery,
 		Logger:          logger,
+		Admission: admission.Config{
+			TargetLatency:    *targetLatency,
+			LimiterMin:       *limiterMin,
+			LimiterMax:       *limiterMax,
+			BreakerThreshold: *breakerThreshold,
+			BreakerCooldown:  *breakerCooldown,
+			DegradeAt:        *degradeAt,
+			DegradeFactor:    *degradeFactor,
+		},
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,158 @@
+package admission
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit's position.
+type BreakerState int
+
+const (
+	// BreakerClosed passes traffic and counts consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen passes a single probe to test recovery.
+	BreakerHalfOpen
+	// BreakerOpen rejects traffic until the cooldown elapses.
+	BreakerOpen
+)
+
+// String renders the state for logs, metrics labels and snapshots.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// Breaker is a three-state circuit breaker over device-pool health.
+// Threshold consecutive failures open it; after the cooldown it
+// half-opens and admits exactly one probe, whose outcome closes or
+// re-opens the circuit. The clock is injected so tests drive the
+// cooldown deterministically.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+	probing  bool      // a half-open probe is in flight
+}
+
+// NewBreaker builds a closed breaker. A nil clock means time.Now.
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow decides whether one request may pass. In the half-open state the
+// first allowed request is the probe (probe=true); its owner must resolve
+// it with Success, Failure or ReleaseProbe. An open circuit reports how
+// long until it half-opens via RetryAfter.
+func (b *Breaker) Allow() (allowed, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false, false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true, true
+	default: // half-open
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	}
+}
+
+// Success reports a healthy completion: it resets the failure run and
+// closes a half-open circuit.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.failures = 0
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerClosed
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// Failure reports a device-loss failure: it re-opens a half-open circuit
+// immediately and opens a closed one after threshold consecutive
+// failures.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.trip()
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.trip()
+		}
+	}
+}
+
+// trip opens the circuit. Caller holds b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.failures = 0
+	b.probing = false
+}
+
+// ReleaseProbe abandons a half-open probe without judging it (the probe
+// job was cancelled or shed), letting the next request probe instead.
+func (b *Breaker) ReleaseProbe() {
+	b.mu.Lock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// State returns the current circuit position, folding an expired open
+// cooldown into half-open so observers see the same decision Allow would
+// make.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// RetryAfter is the time until an open circuit half-opens (zero when not
+// open).
+func (b *Breaker) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return 0
+	}
+	if d := b.cooldown - b.now().Sub(b.openedAt); d > 0 {
+		return d
+	}
+	return 0
+}

@@ -1,0 +1,238 @@
+package admission
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Class is a job's priority class. Classes share the queue by stride
+// scheduling with weights 4:2:1 (high:normal:low): under sustained mixed
+// load, high-priority jobs dequeue twice as often as normal ones and four
+// times as often as low ones, and no class is ever starved outright.
+type Class int
+
+const (
+	// ClassHigh is latency-sensitive interactive work.
+	ClassHigh Class = iota
+	// ClassNormal is the default class.
+	ClassNormal
+	// ClassLow is bulk/batch work that yields to everything else.
+	ClassLow
+	numClasses
+)
+
+// classWeights drive the stride scheduler; higher weight = shorter
+// stride = more frequent dequeues.
+var classWeights = [numClasses]float64{ClassHigh: 4, ClassNormal: 2, ClassLow: 1}
+
+// String renders the class for wire payloads and metric labels.
+func (c Class) String() string {
+	switch c {
+	case ClassHigh:
+		return "high"
+	case ClassNormal:
+		return "normal"
+	case ClassLow:
+		return "low"
+	}
+	return "unknown"
+}
+
+// Classes lists every class in exposition order.
+func Classes() []Class { return []Class{ClassHigh, ClassNormal, ClassLow} }
+
+// ParseClass maps a wire priority name to its class; "" means normal.
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "high":
+		return ClassHigh, nil
+	case "", "normal":
+		return ClassNormal, nil
+	case "low":
+		return ClassLow, nil
+	}
+	return ClassNormal, fmt.Errorf("admission: unknown priority %q (want high, normal or low)", s)
+}
+
+// Queue errors.
+var (
+	// ErrFull is returned by Push when the queue is at capacity.
+	ErrFull = errors.New("admission: queue full")
+	// ErrClosed is returned by Push after Close.
+	ErrClosed = errors.New("admission: queue closed")
+)
+
+// clientQ is one client's FIFO backlog within a class.
+type clientQ[T any] struct {
+	items []T
+}
+
+// classQ is one priority class: per-client FIFOs dequeued round-robin.
+type classQ[T any] struct {
+	pass    float64 // stride-scheduling virtual time
+	clients map[string]*clientQ[T]
+	ring    []string // clients with pending items, round-robin order
+	next    int      // ring cursor
+	size    int
+}
+
+// FairQueue is the bounded priority/weighted-fair queue between admission
+// and the worker pool. Push never blocks (a full queue is an admission
+// error); Pop blocks until an item, and drains the remainder after Close
+// before reporting closed. Fairness is two-level and deterministic:
+// stride scheduling across classes by weight, round-robin across clients
+// within a class — so any dequeue prefix gives each active client of a
+// class an equal share (±1), whatever order their submissions arrived in.
+type FairQueue[T any] struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	capacity int
+	size     int
+	closed   bool
+	classes  [numClasses]*classQ[T]
+}
+
+// NewFairQueue builds a queue bounded at capacity items across all
+// classes (minimum 1).
+func NewFairQueue[T any](capacity int) *FairQueue[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &FairQueue[T]{capacity: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	for i := range q.classes {
+		q.classes[i] = &classQ[T]{clients: make(map[string]*clientQ[T])}
+	}
+	return q
+}
+
+// Push enqueues v for the given class and client, failing fast with
+// ErrFull at capacity or ErrClosed after Close. An empty client ID shares
+// the "anonymous" bucket.
+func (q *FairQueue[T]) Push(v T, class Class, client string) error {
+	if class < 0 || class >= numClasses {
+		class = ClassNormal
+	}
+	if client == "" {
+		client = "anonymous"
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if q.size >= q.capacity {
+		return ErrFull
+	}
+	cq := q.classes[class]
+	if cq.size == 0 {
+		// A class waking from idle starts at the current virtual time so
+		// it cannot burst ahead on credit accumulated while empty.
+		if minPass, ok := q.minActivePass(); ok && cq.pass < minPass {
+			cq.pass = minPass
+		}
+	}
+	c, ok := cq.clients[client]
+	if !ok {
+		c = &clientQ[T]{}
+		cq.clients[client] = c
+		cq.ring = append(cq.ring, client)
+	}
+	c.items = append(c.items, v)
+	cq.size++
+	q.size++
+	q.cond.Signal()
+	return nil
+}
+
+// minActivePass is the smallest virtual time among non-empty classes.
+// Caller holds q.mu.
+func (q *FairQueue[T]) minActivePass() (float64, bool) {
+	min, ok := 0.0, false
+	for _, cq := range q.classes {
+		if cq.size == 0 {
+			continue
+		}
+		if !ok || cq.pass < min {
+			min, ok = cq.pass, true
+		}
+	}
+	return min, ok
+}
+
+// Pop blocks until an item is available and dequeues it fairly. After
+// Close it keeps draining the backlog and returns ok=false once empty.
+func (q *FairQueue[T]) Pop() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.size == 0 {
+		return v, false
+	}
+
+	// Stride scheduling: the non-empty class with the smallest virtual
+	// time dequeues and advances by 1/weight. Ties break to the higher
+	// priority (lower index).
+	var pick *classQ[T]
+	pickIdx := -1
+	for i, cq := range q.classes {
+		if cq.size == 0 {
+			continue
+		}
+		if pick == nil || cq.pass < pick.pass {
+			pick, pickIdx = cq, i
+		}
+	}
+	pick.pass += 1 / classWeights[pickIdx]
+
+	// Round-robin across the class's clients: one item from the cursor's
+	// client, then advance (or compact the ring when the client drains).
+	pick.next %= len(pick.ring)
+	name := pick.ring[pick.next]
+	c := pick.clients[name]
+	v = c.items[0]
+	var zero T
+	c.items[0] = zero // release the reference for GC
+	c.items = c.items[1:]
+	if len(c.items) == 0 {
+		delete(pick.clients, name)
+		pick.ring = append(pick.ring[:pick.next], pick.ring[pick.next+1:]...)
+	} else {
+		pick.next++
+	}
+	pick.size--
+	q.size--
+	return v, true
+}
+
+// Len is the total queued item count.
+func (q *FairQueue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// LenClass is one class's queued item count.
+func (q *FairQueue[T]) LenClass(c Class) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if c < 0 || c >= numClasses {
+		return 0
+	}
+	return q.classes[c].size
+}
+
+// Capacity is the configured bound.
+func (q *FairQueue[T]) Capacity() int { return q.capacity }
+
+// Close ends intake: further Pushes fail, Pops drain the backlog then
+// report closed. Idempotent.
+func (q *FairQueue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

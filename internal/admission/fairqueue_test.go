@@ -1,0 +1,230 @@
+package admission
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseClass(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Class
+		ok   bool
+	}{
+		{"", ClassNormal, true},
+		{"normal", ClassNormal, true},
+		{"high", ClassHigh, true},
+		{"low", ClassLow, true},
+		{"urgent", ClassNormal, false},
+	}
+	for _, c := range cases {
+		got, err := ParseClass(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("ParseClass(%q) = (%v, %v), want (%v, ok=%v)", c.in, got, err, c.want, c.ok)
+		}
+	}
+}
+
+func TestFairQueueBoundAndClose(t *testing.T) {
+	q := NewFairQueue[int](2)
+	if err := q.Push(1, ClassNormal, "a"); err != nil {
+		t.Fatalf("push 1: %v", err)
+	}
+	if err := q.Push(2, ClassNormal, "a"); err != nil {
+		t.Fatalf("push 2: %v", err)
+	}
+	if err := q.Push(3, ClassNormal, "a"); err != ErrFull {
+		t.Fatalf("push over capacity = %v, want ErrFull", err)
+	}
+	q.Close()
+	if err := q.Push(4, ClassNormal, "a"); err != ErrClosed {
+		t.Fatalf("push after close = %v, want ErrClosed", err)
+	}
+	// Backlog drains after close, then Pop reports closed.
+	for want := 1; want <= 2; want++ {
+		v, ok := q.Pop()
+		if !ok || v != want {
+			t.Fatalf("Pop() = (%d,%v), want (%d,true)", v, ok, want)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop() on drained closed queue should report closed")
+	}
+}
+
+// TestFairQueueClientFairness is the fairness property test: one client
+// floods the queue with its entire burst before anyone else submits, yet
+// any dequeue prefix gives every active client an equal share (±1).
+func TestFairQueueClientFairness(t *testing.T) {
+	const perClient = 100
+	clients := []string{"flooder", "b", "c", "d"}
+	q := NewFairQueue[string](len(clients) * perClient)
+	// Adversarial order: the flooder enqueues everything first.
+	for _, cl := range clients {
+		for i := 0; i < perClient; i++ {
+			if err := q.Push(cl, ClassNormal, cl); err != nil {
+				t.Fatalf("push %s/%d: %v", cl, i, err)
+			}
+		}
+	}
+	counts := map[string]int{}
+	for n := 1; n <= len(clients)*perClient; n++ {
+		v, ok := q.Pop()
+		if !ok {
+			t.Fatalf("Pop() closed early at %d", n)
+		}
+		counts[v]++
+		// While all clients still have backlog, any prefix must be fair
+		// to within one item per client.
+		if n <= len(clients)*(perClient-1) {
+			fair := n / len(clients)
+			for _, cl := range clients {
+				if d := counts[cl] - fair; d < -1 || d > 1 {
+					t.Fatalf("after %d pops client %s has %d completions, fair share %d (±1)", n, cl, counts[cl], fair)
+				}
+			}
+		}
+	}
+	for _, cl := range clients {
+		if counts[cl] != perClient {
+			t.Fatalf("client %s drained %d items, want %d", cl, counts[cl], perClient)
+		}
+	}
+}
+
+// TestFairQueueClassWeights checks the 4:2:1 stride split under
+// sustained mixed backlog.
+func TestFairQueueClassWeights(t *testing.T) {
+	q := NewFairQueue[Class](300)
+	for i := 0; i < 100; i++ {
+		for _, c := range Classes() {
+			if err := q.Push(c, c, "x"); err != nil {
+				t.Fatalf("push: %v", err)
+			}
+		}
+	}
+	counts := map[Class]int{}
+	// Pop 70 while every class still has backlog: expect ~40/20/10.
+	for i := 0; i < 70; i++ {
+		v, ok := q.Pop()
+		if !ok {
+			t.Fatal("Pop() closed early")
+		}
+		counts[v]++
+	}
+	if counts[ClassHigh] != 40 || counts[ClassNormal] != 20 || counts[ClassLow] != 10 {
+		t.Fatalf("class split after 70 pops = %d/%d/%d, want 40/20/10",
+			counts[ClassHigh], counts[ClassNormal], counts[ClassLow])
+	}
+	if got := q.LenClass(ClassHigh); got != 60 {
+		t.Fatalf("LenClass(high) = %d, want 60", got)
+	}
+}
+
+// TestFairQueueIdleClassNoBurst: a class idle while others drain must not
+// accumulate credit and monopolise the queue when it wakes.
+func TestFairQueueIdleClassNoBurst(t *testing.T) {
+	q := NewFairQueue[string](100)
+	for i := 0; i < 40; i++ {
+		q.Push("low", ClassLow, "x")
+	}
+	// Drain some low-class items; its pass advances well past 0.
+	for i := 0; i < 20; i++ {
+		q.Pop()
+	}
+	// High class wakes: it should interleave at 4:1 from now on, not
+	// claim every slot until its pass catches up from zero.
+	for i := 0; i < 40; i++ {
+		q.Push("high", ClassHigh, "y")
+	}
+	counts := map[string]int{}
+	for i := 0; i < 10; i++ {
+		v, _ := q.Pop()
+		counts[v]++
+	}
+	if counts["low"] == 0 {
+		t.Fatalf("low class starved after high class woke: %v", counts)
+	}
+	if counts["high"] < 7 {
+		t.Fatalf("high class did not dominate 4:1: %v", counts)
+	}
+}
+
+func TestFairQueuePopBlocksUntilPush(t *testing.T) {
+	q := NewFairQueue[int](4)
+	got := make(chan int, 1)
+	go func() {
+		v, ok := q.Pop()
+		if ok {
+			got <- v
+		}
+	}()
+	select {
+	case v := <-got:
+		t.Fatalf("Pop() returned %d before any Push", v)
+	case <-time.After(30 * time.Millisecond):
+	}
+	if err := q.Push(7, ClassNormal, ""); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	select {
+	case v := <-got:
+		if v != 7 {
+			t.Fatalf("Pop() = %d, want 7", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Pop() did not wake on Push")
+	}
+}
+
+// TestFairQueueConcurrent hammers the queue from many producers and
+// consumers under -race.
+func TestFairQueueConcurrent(t *testing.T) {
+	const producers, perProducer = 8, 50
+	q := NewFairQueue[string](producers * perProducer)
+	var pushWG, popWG sync.WaitGroup
+	seen := make(chan string, producers*perProducer)
+	for p := 0; p < producers; p++ {
+		pushWG.Add(1)
+		go func(p int) {
+			defer pushWG.Done()
+			cl := fmt.Sprintf("client-%d", p)
+			class := Classes()[p%3]
+			for i := 0; i < perProducer; i++ {
+				if err := q.Push(fmt.Sprintf("%s/%d", cl, i), class, cl); err != nil {
+					t.Errorf("push: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	for w := 0; w < 4; w++ {
+		popWG.Add(1)
+		go func() {
+			defer popWG.Done()
+			for {
+				v, ok := q.Pop()
+				if !ok {
+					return
+				}
+				seen <- v
+			}
+		}()
+	}
+	pushWG.Wait()
+	q.Close()
+	popWG.Wait()
+	close(seen)
+	uniq := map[string]bool{}
+	for v := range seen {
+		if uniq[v] {
+			t.Fatalf("item %s dequeued twice", v)
+		}
+		uniq[v] = true
+	}
+	if len(uniq) != producers*perProducer {
+		t.Fatalf("drained %d items, want %d", len(uniq), producers*perProducer)
+	}
+}

@@ -1,0 +1,128 @@
+package admission
+
+import (
+	"sync"
+	"time"
+)
+
+// LimiterConfig sizes the AIMD window. Initial is required; zero Min,
+// Max and Backoff mean 1, Initial and 0.75. A zero Target disables
+// adaptation: the window stays pinned at Initial.
+type LimiterConfig struct {
+	Initial int
+	Min     int
+	Max     int
+	Target  time.Duration
+	Backoff float64
+}
+
+// Limiter is an adaptive concurrency limiter: a semaphore whose size
+// follows the classic AIMD control loop over observed attempt latency.
+// Latencies at or below the target grow the window by ~1 per window's
+// worth of observations (additive increase); a latency above the target
+// multiplies the window by Backoff (multiplicative decrease). The window
+// is seeded from the worker count, so the service starts at full
+// parallelism and backs off only on evidence of saturation.
+//
+// Acquire blocks while the window is full, which is what pushes excess
+// work back into the fair queue (where shedding and fairness policies
+// see it) instead of piling it onto a saturated backend.
+type Limiter struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	cfg    LimiterConfig
+	limit  float64 // fractional so additive increase accumulates
+	inUse  int
+	closed bool
+}
+
+// NewLimiter builds a limiter from cfg.
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	if cfg.Initial < 1 {
+		cfg.Initial = 1
+	}
+	if cfg.Min < 1 {
+		cfg.Min = 1
+	}
+	if cfg.Max < cfg.Min {
+		cfg.Max = cfg.Initial
+		if cfg.Max < cfg.Min {
+			cfg.Max = cfg.Min
+		}
+	}
+	if cfg.Backoff <= 0 || cfg.Backoff >= 1 {
+		cfg.Backoff = 0.75
+	}
+	l := &Limiter{cfg: cfg, limit: float64(cfg.Initial)}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Acquire blocks until a concurrency slot is free and claims it. It
+// returns false when the limiter was closed, with no slot claimed.
+func (l *Limiter) Acquire() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for !l.closed && l.inUse >= int(l.limit) {
+		l.cond.Wait()
+	}
+	if l.closed {
+		return false
+	}
+	l.inUse++
+	return true
+}
+
+// Release returns a slot claimed by Acquire.
+func (l *Limiter) Release() {
+	l.mu.Lock()
+	if l.inUse > 0 {
+		l.inUse--
+	}
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// Observe feeds one attempt latency into the AIMD loop. A zero Target
+// makes it a no-op.
+func (l *Limiter) Observe(latency time.Duration) {
+	if l.cfg.Target <= 0 {
+		return
+	}
+	l.mu.Lock()
+	if latency <= l.cfg.Target {
+		l.limit += 1 / l.limit
+		if l.limit > float64(l.cfg.Max) {
+			l.limit = float64(l.cfg.Max)
+		}
+	} else {
+		l.limit *= l.cfg.Backoff
+		if l.limit < float64(l.cfg.Min) {
+			l.limit = float64(l.cfg.Min)
+		}
+	}
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// Limit is the current window size (at least 1).
+func (l *Limiter) Limit() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int(l.limit)
+}
+
+// InFlight is the number of claimed slots.
+func (l *Limiter) InFlight() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inUse
+}
+
+// Close wakes every blocked Acquire with false. Idempotent.
+func (l *Limiter) Close() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}

@@ -1,0 +1,112 @@
+package admission
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLimiterDefaults(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 4})
+	if got := l.Limit(); got != 4 {
+		t.Fatalf("Limit() = %d, want 4", got)
+	}
+	// Zero target: Observe must not move the window.
+	l.Observe(time.Hour)
+	if got := l.Limit(); got != 4 {
+		t.Fatalf("Limit() after no-op Observe = %d, want 4", got)
+	}
+}
+
+// TestLimiterConvergesOnLatencyStep simulates a latency step: while the
+// backend is fast the window grows to Max; when latency steps above the
+// target the window decays to Min; when the backend recovers it grows
+// back. This is the AIMD convergence property from the issue checklist.
+func TestLimiterConvergesOnLatencyStep(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 2, Min: 1, Max: 8, Target: 100 * time.Millisecond, Backoff: 0.5})
+
+	// Phase 1: healthy latencies grow the window to Max.
+	for i := 0; i < 200; i++ {
+		l.Observe(10 * time.Millisecond)
+	}
+	if got := l.Limit(); got != 8 {
+		t.Fatalf("after healthy phase Limit() = %d, want 8", got)
+	}
+
+	// Phase 2: latency steps over the target; multiplicative decrease
+	// collapses the window to Min quickly.
+	for i := 0; i < 10; i++ {
+		l.Observe(500 * time.Millisecond)
+	}
+	if got := l.Limit(); got != 1 {
+		t.Fatalf("after saturation phase Limit() = %d, want 1", got)
+	}
+
+	// Phase 3: recovery grows the window back.
+	for i := 0; i < 200; i++ {
+		l.Observe(10 * time.Millisecond)
+	}
+	if got := l.Limit(); got != 8 {
+		t.Fatalf("after recovery phase Limit() = %d, want 8", got)
+	}
+}
+
+func TestLimiterAcquireBlocksAtWindow(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 1, Min: 1, Max: 2, Target: time.Second})
+	if !l.Acquire() {
+		t.Fatal("first Acquire should succeed")
+	}
+	acquired := make(chan struct{})
+	go func() {
+		if l.Acquire() {
+			close(acquired)
+		}
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("second Acquire should block while window is 1")
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Growing the window past 1 admits the waiter without a Release.
+	l.Observe(time.Millisecond) // limit: 1 -> 2
+	select {
+	case <-acquired:
+	case <-time.After(time.Second):
+		t.Fatal("Acquire did not wake after window grew")
+	}
+	if got := l.InFlight(); got != 2 {
+		t.Fatalf("InFlight() = %d, want 2", got)
+	}
+	l.Release()
+	l.Release()
+	if got := l.InFlight(); got != 0 {
+		t.Fatalf("InFlight() after releases = %d, want 0", got)
+	}
+}
+
+func TestLimiterCloseWakesWaiters(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 1})
+	if !l.Acquire() {
+		t.Fatal("Acquire failed")
+	}
+	var wg sync.WaitGroup
+	results := make(chan bool, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results <- l.Acquire()
+		}()
+	}
+	l.Close()
+	wg.Wait()
+	close(results)
+	for ok := range results {
+		if ok {
+			t.Fatal("Acquire after Close should return false")
+		}
+	}
+	if !l.Acquire() == false {
+		t.Fatal("Acquire on closed limiter should return false")
+	}
+}

@@ -89,6 +89,39 @@ func (p *Pool) AliveCount() int {
 	return n
 }
 
+// HealthSnapshot is the pool's exported health signal: the liveness
+// picture plus the fault counters that produced it. The service's
+// admission breaker consumes it (alongside ErrAllDevicesLost surfacing
+// through run errors) to decide when a simulated platform is too sick to
+// accept machine jobs.
+type HealthSnapshot struct {
+	// Devices is the pool size; Alive how many are not fenced.
+	Devices int `json:"devices"`
+	Alive   int `json:"alive"`
+	// Healthy reports whether at least one device can still take work.
+	Healthy bool `json:"healthy"`
+	// Stats are the cumulative fault counters.
+	Stats FaultStats `json:"stats"`
+}
+
+// Health snapshots the pool's device liveness and fault counters.
+func (p *Pool) Health() HealthSnapshot {
+	p.fmu.Lock()
+	defer p.fmu.Unlock()
+	alive := 0
+	for _, a := range p.alive {
+		if a {
+			alive++
+		}
+	}
+	return HealthSnapshot{
+		Devices: len(p.alive),
+		Alive:   alive,
+		Healthy: alive > 0,
+		Stats:   p.stats,
+	}
+}
+
 func (p *Pool) aliveAt(i int) bool {
 	p.fmu.Lock()
 	defer p.fmu.Unlock()

@@ -1,0 +1,38 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/metascreen/metascreen/internal/cudasim"
+)
+
+func TestPoolHealthSnapshot(t *testing.T) {
+	ctx, err := cudasim.NewContext(cudasim.TeslaK40c, cudasim.GTX580)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(ctx)
+
+	h := p.Health()
+	if h.Devices != 2 || h.Alive != 2 || !h.Healthy {
+		t.Fatalf("fresh pool health = %+v, want 2/2 healthy", h)
+	}
+
+	p.fence(0, cudasim.FaultPermanent)
+	h = p.Health()
+	if h.Devices != 2 || h.Alive != 1 || !h.Healthy {
+		t.Fatalf("health after one fence = %+v, want 1/2 healthy", h)
+	}
+	if h.Stats.Permanents != 1 {
+		t.Fatalf("Stats.Permanents = %d, want 1", h.Stats.Permanents)
+	}
+
+	p.fence(1, cudasim.FaultHang)
+	h = p.Health()
+	if h.Alive != 0 || h.Healthy {
+		t.Fatalf("health after losing every device = %+v, want unhealthy", h)
+	}
+	if h.Stats.Hangs != 1 {
+		t.Fatalf("Stats.Hangs = %d, want 1", h.Stats.Hangs)
+	}
+}

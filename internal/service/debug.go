@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sort"
 
+	"github.com/metascreen/metascreen/internal/admission"
 	"github.com/metascreen/metascreen/internal/trace"
 )
 
@@ -53,6 +54,12 @@ type DebugSnapshot struct {
 	// WarmupFactors are the most recent warm-up Percent factors (the
 	// paper's equation 1) a finished job's backend reported, per kernel.
 	WarmupFactors map[string][]float64 `json:"warmup_factors,omitempty"`
+	// Admission is the overload-protection state: limiter window and
+	// occupancy, breaker position, and the EWMA estimates behind deadline
+	// shedding.
+	Admission admission.Snapshot `json:"admission"`
+	// Shed counts overload rejections and culls by reason.
+	Shed map[string]int64 `json:"shed,omitempty"`
 }
 
 // Snapshot builds the debug snapshot.
@@ -82,6 +89,8 @@ func (s *Service) DebugSnapshot() DebugSnapshot {
 		Goroutines:    runtime.NumGoroutine(),
 		UptimeSeconds: s.now().Sub(started).Seconds(),
 		WarmupFactors: warm,
+		Admission:     s.ctrl.Snapshot(),
+		Shed:          s.metrics.ShedCounts(),
 	}
 	for track, b := range busy {
 		snap.DeviceBusy = append(snap.DeviceBusy, DeviceBusy{Track: track, BusySeconds: b})

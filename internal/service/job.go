@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/metascreen/metascreen/internal/admission"
 	"github.com/metascreen/metascreen/internal/core"
+	"github.com/metascreen/metascreen/internal/cudasim"
 	"github.com/metascreen/metascreen/internal/sched"
 	"github.com/metascreen/metascreen/internal/tables"
 	"github.com/metascreen/metascreen/internal/trace"
@@ -15,22 +17,24 @@ type JobState string
 
 // Job lifecycle: Queued -> Running -> one of Done / Failed / Cancelled.
 // A queued job cancelled before a worker picks it up goes straight from
-// Queued to Cancelled.
+// Queued to Cancelled, and a queued job whose deadline becomes unmeetable
+// before a worker reaches it goes to Shed.
 const (
 	StateQueued    JobState = "queued"
 	StateRunning   JobState = "running"
 	StateDone      JobState = "done"
 	StateFailed    JobState = "failed"
 	StateCancelled JobState = "cancelled"
+	StateShed      JobState = "shed"
 )
 
 // Terminal reports whether a job in this state will never change again.
 func (s JobState) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
+	return s == StateDone || s == StateFailed || s == StateCancelled || s == StateShed
 }
 
 // TerminalStates lists every terminal state in exposition order.
-var TerminalStates = []JobState{StateDone, StateFailed, StateCancelled}
+var TerminalStates = []JobState{StateDone, StateFailed, StateCancelled, StateShed}
 
 // ScreenRequest describes one screening job: which benchmark receptor,
 // how large a synthetic ligand library, which metaheuristic, and which
@@ -62,6 +66,23 @@ type ScreenRequest struct {
 	Seed uint64 `json:"seed"`
 	// TimeoutSeconds bounds the job's wall-clock run time; 0 = no limit.
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+	// Priority is the job's admission class: "high", "normal" (default)
+	// or "low". Dequeue is weighted-fair across classes (4:2:1) and
+	// round-robin across clients within a class.
+	Priority string `json:"priority,omitempty"`
+	// ClientID groups jobs for fair queueing; empty shares the anonymous
+	// bucket. The HTTP layer fills it from the X-Client-ID header when
+	// the body leaves it empty.
+	ClientID string `json:"client_id,omitempty"`
+	// DeadlineSeconds is the job's end-to-end deadline from submission
+	// (queue wait included); 0 = none. A deadline the measured queue-wait
+	// and run-time estimates say cannot be met is rejected at admission
+	// (429) or shed at dequeue, and retry backoff never sleeps past it.
+	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
+	// Faults injects simulated device faults into a Machine job, in the
+	// vsrun -faults DSL ("dev0:fail@2,dev1:transient@0.1"); see
+	// cudasim.ParseFaultPlans. Chaos drills and the breaker e2e use it.
+	Faults string `json:"faults,omitempty"`
 }
 
 // withDefaults fills zero fields with their documented defaults.
@@ -83,6 +104,9 @@ func (r ScreenRequest) withDefaults() ScreenRequest {
 	}
 	if r.Machine != "" && r.Mode == "" {
 		r.Mode = "homogeneous"
+	}
+	if r.Priority == "" {
+		r.Priority = "normal"
 	}
 	return r
 }
@@ -119,6 +143,24 @@ func (r ScreenRequest) Validate() error {
 	if r.TimeoutSeconds < 0 {
 		return fmt.Errorf("service: negative timeout %g", r.TimeoutSeconds)
 	}
+	if _, err := admission.ParseClass(r.Priority); err != nil {
+		return err
+	}
+	if r.DeadlineSeconds < 0 {
+		return fmt.Errorf("service: negative deadline %g", r.DeadlineSeconds)
+	}
+	if r.Faults != "" {
+		if r.Machine == "" {
+			return fmt.Errorf("service: faults require a machine (the host backend has no devices)")
+		}
+		m, err := tables.MachineByName(r.Machine)
+		if err != nil {
+			return err
+		}
+		if _, err := cudasim.ParseFaultPlans(r.Faults, len(m.GPUs), r.Seed); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -149,10 +191,15 @@ func (r ScreenRequest) backendFactory() (core.BackendFactory, error) {
 	if err != nil {
 		return nil, err
 	}
+	plans, err := cudasim.ParseFaultPlans(r.Faults, len(m.GPUs), r.Seed)
+	if err != nil {
+		return nil, err
+	}
 	return core.PoolBackendFactory(core.PoolConfig{
-		Specs: m.GPUs,
-		Mode:  mode,
-		Real:  !r.Modeled,
+		Specs:  m.GPUs,
+		Mode:   mode,
+		Real:   !r.Modeled,
+		Faults: plans,
 	}), nil
 }
 
@@ -173,6 +220,16 @@ type Job struct {
 	idemKey   string      // client idempotency key, "" when none was sent
 	cpLigands int         // ligands recorded in the job's last checkpoint snapshot
 	restored  *ResultView // result replayed from the journal after a restart
+
+	// Admission state.
+	class          admission.Class // parsed from req.Priority
+	deadline       time.Time       // submitted + DeadlineSeconds; zero when none
+	probe          bool            // this job is the breaker's half-open probe
+	deviceLost     bool            // the final attempt lost every device
+	degraded       bool            // ran with reduced effort under pressure
+	effortFactor   float64         // multiplier applied to the search budget
+	effectiveScale float64         // req.Scale after degradation
+	cancelRequested bool           // a cancel was issued while running (journaled)
 
 	// rec is the job's span recorder, epoch-pinned to submission time;
 	// the whole screening stack appends to it (the recorder has its own
@@ -222,7 +279,18 @@ type JobView struct {
 	LastError         string        `json:"last_error,omitempty"`
 	IdempotencyKey    string        `json:"idempotency_key,omitempty"`
 	CheckpointLigands int           `json:"checkpoint_ligands,omitempty"`
-	Result            *ResultView   `json:"result,omitempty"`
+	// DeadlineAt is the absolute deadline a deadline_seconds request was
+	// admitted against.
+	DeadlineAt *time.Time `json:"deadline_at,omitempty"`
+	// Degraded, EffortFactor and EffectiveScale record graceful
+	// degradation: the job ran with its search budget multiplied by
+	// EffortFactor (so results are comparable only at EffectiveScale, not
+	// the requested scale). Recording it here keeps degradation honest —
+	// the service never silently changes what a ranking means.
+	Degraded       bool        `json:"degraded,omitempty"`
+	EffortFactor   float64     `json:"effort_factor,omitempty"`
+	EffectiveScale float64     `json:"effective_scale,omitempty"`
+	Result         *ResultView `json:"result,omitempty"`
 }
 
 // resultView renders an engine result for the wire.
@@ -258,6 +326,13 @@ func (j *Job) view() JobView {
 		LastError:         j.lastErr,
 		IdempotencyKey:    j.idemKey,
 		CheckpointLigands: j.cpLigands,
+		Degraded:          j.degraded,
+		EffortFactor:      j.effortFactor,
+		EffectiveScale:    j.effectiveScale,
+	}
+	if !j.deadline.IsZero() {
+		t := j.deadline
+		v.DeadlineAt = &t
 	}
 	if !j.started.IsZero() {
 		t := j.started

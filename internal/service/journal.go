@@ -26,6 +26,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"github.com/metascreen/metascreen/internal/admission"
 	"github.com/metascreen/metascreen/internal/core"
 	"github.com/metascreen/metascreen/internal/wal"
 )
@@ -37,6 +38,7 @@ const (
 	evStarted    = "started"    // a worker claimed the job
 	evAttempt    = "attempt"    // one execution attempt finished (with error, if any)
 	evCheckpoint = "checkpoint" // the job's checkpoint snapshot was written
+	evCancel     = "cancel"     // a cancel was requested for a running job
 	evTerminal   = "terminal"   // the job reached a terminal state (full snapshot)
 	evSnapshot   = "snapshot"   // compaction record: full job snapshot
 )
@@ -100,12 +102,17 @@ func (s *Service) openJournal() error {
 		return err
 	}
 
-	// Re-enqueue interrupted jobs in submission order. The queue must
-	// admit all of them regardless of the configured bound, so size it up
-	// front (workers have not started; pushes cannot block).
-	var pending []*Job
+	// Re-enqueue interrupted jobs in submission order, honouring cancels
+	// journaled before the crash. The queue must admit all of them
+	// regardless of the configured bound, so size it up front (workers
+	// have not started; pushes cannot block).
+	var pending, cancelled []*Job
 	for _, id := range s.order {
-		if j := s.jobs[id]; !j.state.Terminal() {
+		switch j := s.jobs[id]; {
+		case j.state.Terminal():
+		case j.cancelRequested:
+			cancelled = append(cancelled, j)
+		default:
 			pending = append(pending, j)
 		}
 	}
@@ -116,6 +123,15 @@ func (s *Service) openJournal() error {
 		job.state = StateQueued
 		job.started = time.Time{}
 		job.cancel = nil
+		// The admission state is rebuilt from the request: the priority
+		// class survives replay and the deadline stays anchored to the
+		// original submission time.
+		job.class, _ = admission.ParseClass(job.req.Priority)
+		job.deadline = time.Time{}
+		if job.req.DeadlineSeconds > 0 && !job.submitted.IsZero() {
+			job.deadline = job.submitted.Add(
+				time.Duration(job.req.DeadlineSeconds * float64(time.Second)))
+		}
 		if err := s.queue.tryPush(job); err != nil {
 			j.Close()
 			return fmt.Errorf("service: re-enqueue %s: %w", job.id, err)
@@ -124,6 +140,11 @@ func (s *Service) openJournal() error {
 	}
 	s.metrics.Recovered(s.recovery.ReplayedRecords, s.recovery.RecoveredJobs, s.recovery.TruncatedBytes)
 	s.journal = j
+	// Cancelled-but-not-terminal jobs finish now, with the journal open so
+	// the terminal record survives the next restart too.
+	for _, job := range cancelled {
+		s.finishLocked(job, StateCancelled, nil, "cancelled before restart")
+	}
 	return nil
 }
 
@@ -153,6 +174,11 @@ func (s *Service) applyEvent(ev jobEvent) {
 		j.lastErr = ev.Error
 	case evCheckpoint:
 		s.jobFor(ev.Job).cpLigands = ev.Ligands
+	case evCancel:
+		// The cancel may not have produced a terminal record before the
+		// crash; remember the intent so recovery finishes the job as
+		// cancelled instead of resurrecting it.
+		s.jobFor(ev.Job).cancelRequested = true
 	case evTerminal, evSnapshot:
 		if ev.View != nil {
 			s.applyView(ev.View)
@@ -193,6 +219,13 @@ func (s *Service) applyView(v *JobView) {
 	j.lastErr = v.LastError
 	j.cpLigands = v.CheckpointLigands
 	j.idemKey = v.IdempotencyKey
+	j.degraded = v.Degraded
+	j.effortFactor = v.EffortFactor
+	j.effectiveScale = v.EffectiveScale
+	j.deadline = time.Time{}
+	if v.DeadlineAt != nil {
+		j.deadline = *v.DeadlineAt
+	}
 	if v.IdempotencyKey != "" {
 		s.idem[v.IdempotencyKey] = j.id
 	}

@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"github.com/metascreen/metascreen/internal/admission"
 )
 
 // histogram is one fixed-bucket Prometheus histogram: cumulative bucket
@@ -48,6 +50,19 @@ func (h *histogram) write(p func(format string, args ...any), name string) {
 	p("%s_count %d\n", name, h.count)
 }
 
+// writeLabeled is write with one extra constant label on every series.
+func (h *histogram) writeLabeled(p func(format string, args ...any), name, label, value string) {
+	cum := int64(0)
+	for i, le := range h.buckets {
+		cum += h.counts[i]
+		p("%s_bucket{%s=%q,le=%q} %d\n", name, label, value, formatFloat(le), cum)
+	}
+	cum += h.counts[len(h.buckets)]
+	p("%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, value, cum)
+	p("%s_sum{%s=%q} %s\n", name, label, value, formatFloat(h.sum))
+	p("%s_count{%s=%q} %d\n", name, label, value, h.count)
+}
+
 // Metrics is the service's hand-rolled Prometheus registry: counters for
 // the job lifecycle, latency histograms (end-to-end, queue wait, run time,
 // per-generation simulated time), and engine work counters (scoring
@@ -65,11 +80,14 @@ type Metrics struct {
 	submitted int64
 	rejected  int64
 	finished  map[JobState]int64
+	shed      map[string]int64 // overload rejections/culls by reason
+	degraded  int64            // jobs run with reduced effort
 
-	latency   *histogram // submission -> terminal state
-	queueWait *histogram // submission -> worker start
-	runTime   *histogram // worker start -> terminal state
-	genSim    *histogram // simulated seconds per metaheuristic generation
+	latency    *histogram // submission -> terminal state
+	queueWait  *histogram // submission -> worker start
+	runTime    *histogram // worker start -> terminal state
+	genSim     *histogram // simulated seconds per metaheuristic generation
+	classQueue map[admission.Class]*histogram // queue wait split by priority class
 
 	evaluations      int64
 	simulatedSeconds float64
@@ -97,16 +115,28 @@ var defaultLatencyBuckets = []float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 30
 // from sub-millisecond modeled generations to long real-scale ones.
 var defaultGenBuckets = []float64{0.0001, 0.001, 0.01, 0.1, 1, 10, 100}
 
+// shedReasons lists every shed-counter label in exposition order.
+var shedReasons = []string{
+	"queue_full", "deadline_admission", "deadline_dequeue",
+	"deadline_backoff", "breaker_open",
+}
+
 // NewMetrics builds an empty registry for a pool of `workers` workers.
 func NewMetrics(workers int) *Metrics {
-	return &Metrics{
-		workers:   workers,
-		finished:  make(map[JobState]int64),
-		latency:   newHistogram(defaultLatencyBuckets),
-		queueWait: newHistogram(defaultLatencyBuckets),
-		runTime:   newHistogram(defaultLatencyBuckets),
-		genSim:    newHistogram(defaultGenBuckets),
+	m := &Metrics{
+		workers:    workers,
+		finished:   make(map[JobState]int64),
+		shed:       make(map[string]int64),
+		latency:    newHistogram(defaultLatencyBuckets),
+		queueWait:  newHistogram(defaultLatencyBuckets),
+		runTime:    newHistogram(defaultLatencyBuckets),
+		genSim:     newHistogram(defaultGenBuckets),
+		classQueue: make(map[admission.Class]*histogram),
 	}
+	for _, c := range admission.Classes() {
+		m.classQueue[c] = newHistogram(defaultLatencyBuckets)
+	}
+	return m
 }
 
 // Submitted counts one admitted job.
@@ -120,6 +150,41 @@ func (m *Metrics) Submitted() {
 func (m *Metrics) Rejected() {
 	m.mu.Lock()
 	m.rejected++
+	m.mu.Unlock()
+}
+
+// Shed counts one overload rejection or cull under its reason label
+// (one of shedReasons).
+func (m *Metrics) Shed(reason string) {
+	m.mu.Lock()
+	m.shed[reason]++
+	m.mu.Unlock()
+}
+
+// ShedCounts copies the shed counters by reason.
+func (m *Metrics) ShedCounts() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.shed))
+	for k, v := range m.shed {
+		out[k] = v
+	}
+	return out
+}
+
+// Degraded counts one job run with reduced effort under pressure.
+func (m *Metrics) Degraded() {
+	m.mu.Lock()
+	m.degraded++
+	m.mu.Unlock()
+}
+
+// ClassQueueWait observes one job's queue wait under its priority class.
+func (m *Metrics) ClassQueueWait(c admission.Class, d time.Duration) {
+	m.mu.Lock()
+	if h, ok := m.classQueue[c]; ok {
+		h.observe(d.Seconds())
+	}
 	m.mu.Unlock()
 }
 
@@ -249,12 +314,14 @@ func (m *Metrics) Snapshot() Snapshot {
 }
 
 // WriteTo writes the registry in Prometheus text exposition format,
-// followed by the given live gauges (queue depth and running jobs come
-// from the Service, not the registry). Output order is fixed so the
-// exposition is byte-stable for a given state — see the golden test.
-func (m *Metrics) WriteTo(w io.Writer, queueDepth, running int) error {
+// followed by the live gauges carried by st (queue depth, running jobs
+// and the admission state come from the Service, not the registry).
+// Output order is fixed so the exposition is byte-stable for a given
+// state — see the golden test.
+func (m *Metrics) WriteTo(w io.Writer, st Stats) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	queueDepth, running := st.QueueDepth, st.Running
 
 	var err error
 	p := func(format string, args ...any) {
@@ -365,7 +432,52 @@ func (m *Metrics) WriteTo(w io.Writer, queueDepth, running int) error {
 	p("# TYPE metascreen_journal_truncated_bytes_total counter\n")
 	p("metascreen_journal_truncated_bytes_total %d\n", m.truncatedBytes)
 
+	p("# HELP metascreen_jobs_shed_total Overload rejections and culls by reason.\n")
+	p("# TYPE metascreen_jobs_shed_total counter\n")
+	for _, r := range shedReasons {
+		p("metascreen_jobs_shed_total{reason=%q} %d\n", r, m.shed[r])
+	}
+
+	p("# HELP metascreen_jobs_degraded_total Jobs run with reduced search effort under pressure.\n")
+	p("# TYPE metascreen_jobs_degraded_total counter\n")
+	p("metascreen_jobs_degraded_total %d\n", m.degraded)
+
+	p("# HELP metascreen_admission_limit Adaptive concurrency limiter window.\n")
+	p("# TYPE metascreen_admission_limit gauge\n")
+	p("metascreen_admission_limit %d\n", st.Limit)
+
+	p("# HELP metascreen_admission_inflight Jobs currently holding a concurrency slot.\n")
+	p("# TYPE metascreen_admission_inflight gauge\n")
+	p("metascreen_admission_inflight %d\n", st.InFlight)
+
+	p("# HELP metascreen_breaker_state Device-health circuit state: 0 closed, 1 half-open, 2 open.\n")
+	p("# TYPE metascreen_breaker_state gauge\n")
+	p("metascreen_breaker_state %d\n", breakerGauge(st.Breaker))
+
+	p("# HELP metascreen_queue_depth_class Queued jobs by priority class.\n")
+	p("# TYPE metascreen_queue_depth_class gauge\n")
+	for _, c := range admission.Classes() {
+		p("metascreen_queue_depth_class{class=%q} %d\n", c.String(), st.QueueByClass[c.String()])
+	}
+
+	p("# HELP metascreen_job_class_queue_seconds Queue wait from submission to worker start, by priority class.\n")
+	p("# TYPE metascreen_job_class_queue_seconds histogram\n")
+	for _, c := range admission.Classes() {
+		m.classQueue[c].writeLabeled(p, "metascreen_job_class_queue_seconds", "class", c.String())
+	}
+
 	return err
+}
+
+// breakerGauge maps a breaker state name to its gauge value.
+func breakerGauge(state string) int {
+	switch state {
+	case "half-open":
+		return 1
+	case "open":
+		return 2
+	}
+	return 0
 }
 
 // formatFloat renders a float the way Prometheus clients expect.

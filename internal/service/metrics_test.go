@@ -1,9 +1,12 @@
 package service
 
 import (
+	"os"
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/metascreen/metascreen/internal/admission"
 )
 
 // TestMetricsExpositionGolden pins the exact Prometheus text exposition
@@ -37,10 +40,26 @@ func TestMetricsExpositionGolden(t *testing.T) {
 	m.CheckpointWritten()
 	m.CheckpointWritten()
 	m.Recovered(7, 2, 13)
+	m.Shed("queue_full")
+	m.Shed("breaker_open")
+	m.Degraded()
+	m.ClassQueueWait(admission.ClassHigh, 20*time.Millisecond)
+	m.ClassQueueWait(admission.ClassNormal, 300*time.Millisecond)
 
 	var b strings.Builder
-	if err := m.WriteTo(&b, 1, 1); err != nil {
+	st := Stats{
+		QueueDepth:   1,
+		Running:      1,
+		Limit:        2,
+		InFlight:     1,
+		Breaker:      "half-open",
+		QueueByClass: map[string]int{"normal": 1},
+	}
+	if err := m.WriteTo(&b, st); err != nil {
 		t.Fatal(err)
+	}
+	if os.Getenv("METASCREEN_REGEN_GOLDEN") != "" {
+		os.WriteFile("/tmp/metrics_golden.txt", []byte(b.String()), 0o644)
 	}
 	want := `# HELP metascreen_jobs_submitted_total Jobs admitted into the queue.
 # TYPE metascreen_jobs_submitted_total counter
@@ -53,6 +72,7 @@ metascreen_jobs_rejected_total 1
 metascreen_jobs_finished_total{state="done"} 2
 metascreen_jobs_finished_total{state="failed"} 0
 metascreen_jobs_finished_total{state="cancelled"} 1
+metascreen_jobs_finished_total{state="shed"} 0
 # HELP metascreen_queue_depth Jobs admitted but not yet claimed by a worker.
 # TYPE metascreen_queue_depth gauge
 metascreen_queue_depth 1
@@ -164,6 +184,71 @@ metascreen_recovered_jobs_total 2
 # HELP metascreen_journal_truncated_bytes_total Torn-tail journal bytes dropped during recovery.
 # TYPE metascreen_journal_truncated_bytes_total counter
 metascreen_journal_truncated_bytes_total 13
+# HELP metascreen_jobs_shed_total Overload rejections and culls by reason.
+# TYPE metascreen_jobs_shed_total counter
+metascreen_jobs_shed_total{reason="queue_full"} 1
+metascreen_jobs_shed_total{reason="deadline_admission"} 0
+metascreen_jobs_shed_total{reason="deadline_dequeue"} 0
+metascreen_jobs_shed_total{reason="deadline_backoff"} 0
+metascreen_jobs_shed_total{reason="breaker_open"} 1
+# HELP metascreen_jobs_degraded_total Jobs run with reduced search effort under pressure.
+# TYPE metascreen_jobs_degraded_total counter
+metascreen_jobs_degraded_total 1
+# HELP metascreen_admission_limit Adaptive concurrency limiter window.
+# TYPE metascreen_admission_limit gauge
+metascreen_admission_limit 2
+# HELP metascreen_admission_inflight Jobs currently holding a concurrency slot.
+# TYPE metascreen_admission_inflight gauge
+metascreen_admission_inflight 1
+# HELP metascreen_breaker_state Device-health circuit state: 0 closed, 1 half-open, 2 open.
+# TYPE metascreen_breaker_state gauge
+metascreen_breaker_state 1
+# HELP metascreen_queue_depth_class Queued jobs by priority class.
+# TYPE metascreen_queue_depth_class gauge
+metascreen_queue_depth_class{class="high"} 0
+metascreen_queue_depth_class{class="normal"} 1
+metascreen_queue_depth_class{class="low"} 0
+# HELP metascreen_job_class_queue_seconds Queue wait from submission to worker start, by priority class.
+# TYPE metascreen_job_class_queue_seconds histogram
+metascreen_job_class_queue_seconds_bucket{class="high",le="0.01"} 0
+metascreen_job_class_queue_seconds_bucket{class="high",le="0.05"} 1
+metascreen_job_class_queue_seconds_bucket{class="high",le="0.1"} 1
+metascreen_job_class_queue_seconds_bucket{class="high",le="0.5"} 1
+metascreen_job_class_queue_seconds_bucket{class="high",le="1"} 1
+metascreen_job_class_queue_seconds_bucket{class="high",le="5"} 1
+metascreen_job_class_queue_seconds_bucket{class="high",le="10"} 1
+metascreen_job_class_queue_seconds_bucket{class="high",le="30"} 1
+metascreen_job_class_queue_seconds_bucket{class="high",le="60"} 1
+metascreen_job_class_queue_seconds_bucket{class="high",le="300"} 1
+metascreen_job_class_queue_seconds_bucket{class="high",le="+Inf"} 1
+metascreen_job_class_queue_seconds_sum{class="high"} 0.02
+metascreen_job_class_queue_seconds_count{class="high"} 1
+metascreen_job_class_queue_seconds_bucket{class="normal",le="0.01"} 0
+metascreen_job_class_queue_seconds_bucket{class="normal",le="0.05"} 0
+metascreen_job_class_queue_seconds_bucket{class="normal",le="0.1"} 0
+metascreen_job_class_queue_seconds_bucket{class="normal",le="0.5"} 1
+metascreen_job_class_queue_seconds_bucket{class="normal",le="1"} 1
+metascreen_job_class_queue_seconds_bucket{class="normal",le="5"} 1
+metascreen_job_class_queue_seconds_bucket{class="normal",le="10"} 1
+metascreen_job_class_queue_seconds_bucket{class="normal",le="30"} 1
+metascreen_job_class_queue_seconds_bucket{class="normal",le="60"} 1
+metascreen_job_class_queue_seconds_bucket{class="normal",le="300"} 1
+metascreen_job_class_queue_seconds_bucket{class="normal",le="+Inf"} 1
+metascreen_job_class_queue_seconds_sum{class="normal"} 0.3
+metascreen_job_class_queue_seconds_count{class="normal"} 1
+metascreen_job_class_queue_seconds_bucket{class="low",le="0.01"} 0
+metascreen_job_class_queue_seconds_bucket{class="low",le="0.05"} 0
+metascreen_job_class_queue_seconds_bucket{class="low",le="0.1"} 0
+metascreen_job_class_queue_seconds_bucket{class="low",le="0.5"} 0
+metascreen_job_class_queue_seconds_bucket{class="low",le="1"} 0
+metascreen_job_class_queue_seconds_bucket{class="low",le="5"} 0
+metascreen_job_class_queue_seconds_bucket{class="low",le="10"} 0
+metascreen_job_class_queue_seconds_bucket{class="low",le="30"} 0
+metascreen_job_class_queue_seconds_bucket{class="low",le="60"} 0
+metascreen_job_class_queue_seconds_bucket{class="low",le="300"} 0
+metascreen_job_class_queue_seconds_bucket{class="low",le="+Inf"} 0
+metascreen_job_class_queue_seconds_sum{class="low"} 0
+metascreen_job_class_queue_seconds_count{class="low"} 0
 `
 	if got := b.String(); got != want {
 		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
@@ -173,7 +258,7 @@ metascreen_journal_truncated_bytes_total 13
 func TestMetricsEmpty(t *testing.T) {
 	m := NewMetrics(1)
 	var b strings.Builder
-	if err := m.WriteTo(&b, 0, 0); err != nil {
+	if err := m.WriteTo(&b, Stats{}); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -181,6 +266,11 @@ func TestMetricsEmpty(t *testing.T) {
 		"metascreen_jobs_submitted_total 0",
 		`metascreen_job_latency_seconds_bucket{le="+Inf"} 0`,
 		"metascreen_evaluations_total 0",
+		`metascreen_jobs_shed_total{reason="queue_full"} 0`,
+		"metascreen_jobs_degraded_total 0",
+		"metascreen_breaker_state 0",
+		`metascreen_queue_depth_class{class="low"} 0`,
+		`metascreen_job_class_queue_seconds_count{class="high"} 0`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q in empty exposition", want)

@@ -13,6 +13,7 @@ import (
 	"github.com/metascreen/metascreen/internal/forcefield"
 	"github.com/metascreen/metascreen/internal/metaheuristic"
 	"github.com/metascreen/metascreen/internal/obs"
+	"github.com/metascreen/metascreen/internal/sched"
 	"github.com/metascreen/metascreen/internal/surface"
 	"github.com/metascreen/metascreen/internal/trace"
 )
@@ -29,11 +30,24 @@ import (
 // maxRetryDelay caps the exponential backoff between attempts.
 const maxRetryDelay = 5 * time.Second
 
-// worker is one pool goroutine's life.
+// worker is one pool goroutine's life: pop fairly, wait for a slot in
+// the adaptive concurrency window, run. When the AIMD limiter has shrunk
+// the window below the worker count, the surplus workers park in Acquire
+// — the backend sees at most Limit concurrent jobs even though the pool
+// has more goroutines.
 func (s *Service) worker() {
 	defer s.workers.Done()
-	for j := range s.queue.ch {
+	for {
+		j, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		if !s.ctrl.Limiter.Acquire() {
+			// Limiter closed: shutdown already cancelled every queued job.
+			return
+		}
 		s.runJob(j)
+		s.ctrl.Limiter.Release()
 	}
 }
 
@@ -46,16 +60,40 @@ func (s *Service) runJob(j *Job) {
 		s.mu.Unlock()
 		return
 	}
+	if !j.deadline.IsZero() && s.ctrl.ShouldCull(s.now(), j.deadline) {
+		// The deadline can no longer be met even if the job starts right
+		// now: shed it instead of burning a worker on a doomed run.
+		s.metrics.Shed("deadline_dequeue")
+		s.finishLocked(j, StateShed, nil, "shed: deadline unmeetable at dequeue")
+		s.mu.Unlock()
+		return
+	}
 	// The base context lives for all attempts; Cancel aborts the current
 	// attempt and any backoff in between.
 	base, cancel := context.WithCancel(context.Background())
 	j.state = StateRunning
 	j.started = s.now()
 	j.cancel = cancel
+	s.ctrl.ObserveQueueWait(j.started.Sub(j.submitted))
+	s.metrics.ClassQueueWait(j.class, j.started.Sub(j.submitted))
 	// A job recovered from the journal resumes its attempt numbering where
 	// the dead process left off, with a fresh retry budget for this boot.
 	first := j.attempts + 1
 	id, req, run := j.id, j.req, s.run
+	// Graceful degradation: under queue pressure, shrink this job's search
+	// effort instead of failing outright. The reduced scale is recorded on
+	// the job so results are never silently rescaled.
+	fill := float64(s.queue.depth()) / float64(s.cfg.QueueDepth)
+	if f := s.ctrl.EffortFactor(fill); f < 1 {
+		j.degraded = true
+		j.effortFactor = f
+		j.effectiveScale = req.Scale * f
+		req.Scale = j.effectiveScale
+		s.metrics.Degraded()
+		s.log.Info("job degraded under pressure", "job", id,
+			"fill", fill, "effort_factor", f, "effective_scale", req.Scale)
+	}
+	jobDeadline := j.deadline
 	if j.rec == nil {
 		// Recovered job: its recorder died with the previous process.
 		j.rec = &trace.Recorder{}
@@ -89,9 +127,15 @@ func (s *Service) runJob(j *Job) {
 			attemptCtx, acancel = context.WithTimeout(base,
 				time.Duration(req.TimeoutSeconds*float64(time.Second)))
 		}
+		dcancel := func() {}
+		if !jobDeadline.IsZero() {
+			attemptCtx, dcancel = context.WithDeadline(attemptCtx, jobDeadline)
+		}
 		attemptStart := s.now()
 		res, err = s.safeRun(run, attemptCtx, id, req)
+		dcancel()
 		acancel()
+		s.ctrl.ObserveAttempt(s.now().Sub(attemptStart))
 		rec.AddSpan(trace.Span{
 			Track: "screen",
 			Name:  "attempt " + strconv.Itoa(attempt),
@@ -114,9 +158,19 @@ func (s *Service) runJob(j *Job) {
 			!transientErr(err) || attempt-first+1 >= s.cfg.MaxAttempts {
 			break
 		}
+		delay := s.retryDelay(id, attempt)
+		if !jobDeadline.IsZero() && s.now().Add(delay).After(jobDeadline) {
+			// The backoff would outlive the job's deadline; failing now is
+			// strictly better than sleeping only to fail on wake.
+			s.metrics.Shed("deadline_backoff")
+			err = fmt.Errorf("service: job deadline would expire during retry backoff (%v sleep, %v remaining): %w",
+				delay.Round(time.Millisecond), jobDeadline.Sub(s.now()).Round(time.Millisecond), err)
+			break
+		}
 		s.metrics.JobRetried()
-		logger.Warn("attempt failed, retrying", "attempt", attempt, "err", err)
-		if !s.backoff(base, id, attempt) {
+		logger.Warn("attempt failed, retrying", "attempt", attempt, "err", err,
+			"backoff", delay)
+		if !s.sleepRetry(base, delay) {
 			err = context.Canceled
 			break
 		}
@@ -130,14 +184,21 @@ func (s *Service) runJob(j *Job) {
 		// the data dir re-enqueues the job.
 		return
 	}
+	// The breaker's failure signal: this job's final attempt lost every
+	// device of its simulated platform.
+	j.deviceLost = err != nil && errors.Is(err, sched.ErrAllDevicesLost)
 	switch {
 	case err == nil:
+		s.ctrl.ObserveRun(s.now().Sub(j.started))
 		s.finishLocked(j, StateDone, res, "")
 	case errors.Is(err, context.Canceled):
 		s.finishLocked(j, StateCancelled, nil, "cancelled while running")
 	case errors.Is(err, context.DeadlineExceeded):
-		s.finishLocked(j, StateFailed, nil,
-			fmt.Sprintf("deadline exceeded after %gs", req.TimeoutSeconds))
+		msg := fmt.Sprintf("deadline exceeded after %gs", req.TimeoutSeconds)
+		if !jobDeadline.IsZero() && !s.now().Before(jobDeadline) {
+			msg = "job deadline exceeded while running"
+		}
+		s.finishLocked(j, StateFailed, nil, msg)
 	default:
 		s.finishLocked(j, StateFailed, nil, err.Error())
 	}
@@ -169,11 +230,12 @@ func transientErr(err error) bool {
 	return false
 }
 
-// backoff sleeps before retry number `attempt`, doubling the base delay
-// per retry with a deterministic jitter derived from the job ID (so test
-// runs are reproducible without a global RNG). It returns false when the
-// job was cancelled during the wait.
-func (s *Service) backoff(ctx context.Context, jobID string, attempt int) bool {
+// retryDelay computes the backoff before retry number `attempt`: the
+// base delay doubles per retry with a deterministic jitter derived from
+// the job ID (so test runs are reproducible without a global RNG). It is
+// computed separately from the sleep so the caller can compare it against
+// the job's deadline before committing to the wait.
+func (s *Service) retryDelay(jobID string, attempt int) time.Duration {
 	delay := s.cfg.RetryBaseDelay << (attempt - 1)
 	if delay > maxRetryDelay || delay <= 0 {
 		delay = maxRetryDelay
@@ -182,7 +244,13 @@ func (s *Service) backoff(ctx context.Context, jobID string, attempt int) bool {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s/%d", jobID, attempt)
 	factor := 0.5 + float64(h.Sum64()%1024)/1024
-	t := time.NewTimer(time.Duration(float64(delay) * factor))
+	return time.Duration(float64(delay) * factor)
+}
+
+// sleepRetry waits out one retry backoff; false means the job was
+// cancelled during the wait.
+func (s *Service) sleepRetry(ctx context.Context, delay time.Duration) bool {
+	t := time.NewTimer(delay)
 	defer t.Stop()
 	select {
 	case <-t.C:

@@ -1,11 +1,16 @@
 package service
 
-import "errors"
+import (
+	"errors"
+	"time"
+
+	"github.com/metascreen/metascreen/internal/admission"
+)
 
 // Admission and lookup errors. Handlers map these to HTTP statuses
-// (ErrQueueFull -> 429, ErrDraining -> 503, ErrNotFound -> 404,
-// ErrTerminal -> 409), and embedders of the Service API match them with
-// errors.Is.
+// (ErrQueueFull / ErrDeadlineUnmeetable -> 429, ErrDraining /
+// ErrBreakerOpen -> 503, ErrNotFound -> 404, ErrTerminal -> 409), and
+// embedders of the Service API match them with errors.Is.
 var (
 	// ErrQueueFull is returned when admission would exceed the queue
 	// bound. Backpressure is the contract: the service never buffers an
@@ -18,33 +23,66 @@ var (
 	// ErrTerminal is returned when cancelling a job that already
 	// finished.
 	ErrTerminal = errors.New("service: job already finished")
+	// ErrDeadlineUnmeetable is returned when the measured queue wait and
+	// run time say the request's deadline cannot be met.
+	ErrDeadlineUnmeetable = errors.New("service: deadline cannot be met under current load")
+	// ErrBreakerOpen is returned while the device-health circuit breaker
+	// is rejecting machine jobs.
+	ErrBreakerOpen = errors.New("service: device pool circuit breaker open")
 )
 
-// jobQueue is the bounded FIFO between admission and the worker pool. It
-// is deliberately a thin wrapper over a buffered channel: the channel is
-// both the queue storage and the workers' wait primitive, and the bound
-// is the admission-control limit. Pushes happen under the Service mutex
-// so tryPush never races close.
+// ShedError wraps an overload rejection with what the client needs to
+// back off intelligently: the reason label (matching the
+// metascreen_jobs_shed_total metric), a computed Retry-After, and the
+// queue state at rejection time. errors.Is still matches the wrapped
+// sentinel.
+type ShedError struct {
+	Err        error
+	Reason     string
+	RetryAfter time.Duration
+	QueueDepth int
+	Limit      int
+}
+
+func (e *ShedError) Error() string { return e.Err.Error() }
+func (e *ShedError) Unwrap() error { return e.Err }
+
+// jobQueue is the bounded priority/weighted-fair queue between admission
+// and the worker pool (admission.FairQueue under the service's
+// sentinels). Pushes happen under the Service mutex so tryPush never
+// races close; pops block in the workers.
 type jobQueue struct {
-	ch chan *Job
+	q *admission.FairQueue[*Job]
 }
 
 func newJobQueue(depth int) *jobQueue {
-	return &jobQueue{ch: make(chan *Job, depth)}
+	return &jobQueue{q: admission.NewFairQueue[*Job](depth)}
 }
 
-// tryPush enqueues without blocking; a full queue is an admission error.
+// tryPush enqueues without blocking under the job's priority class and
+// client; a full queue is an admission error.
 func (q *jobQueue) tryPush(j *Job) error {
-	select {
-	case q.ch <- j:
+	switch err := q.q.Push(j, j.class, j.req.ClientID); err {
+	case nil:
 		return nil
-	default:
+	case admission.ErrFull:
 		return ErrQueueFull
+	case admission.ErrClosed:
+		return ErrDraining
+	default:
+		return err
 	}
 }
 
+// pop blocks for the next job by fair order; ok=false means the queue
+// closed and drained.
+func (q *jobQueue) pop() (*Job, bool) { return q.q.Pop() }
+
 // depth is the number of queued jobs not yet claimed by a worker.
-func (q *jobQueue) depth() int { return len(q.ch) }
+func (q *jobQueue) depth() int { return q.q.Len() }
+
+// depthClass is one priority class's share of the depth.
+func (q *jobQueue) depthClass(c admission.Class) int { return q.q.LenClass(c) }
 
 // close ends intake; workers drain the remainder and exit.
-func (q *jobQueue) close() { close(q.ch) }
+func (q *jobQueue) close() { q.q.Close() }

@@ -20,8 +20,8 @@ func TestJobQueueBound(t *testing.T) {
 		t.Fatalf("got %v, want ErrQueueFull", err)
 	}
 	// Draining one slot re-opens admission.
-	if j := <-q.ch; j.id != "a" {
-		t.Fatalf("popped %s, want a (FIFO)", j.id)
+	if j, ok := q.pop(); !ok || j.id != "a" {
+		t.Fatalf("popped %v, want a (same class and client is FIFO)", j)
 	}
 	if err := q.tryPush(&Job{id: "c"}); err != nil {
 		t.Fatalf("push after pop: %v", err)
@@ -56,6 +56,11 @@ func TestRequestValidation(t *testing.T) {
 		{Machine: "Saturn"},
 		{Machine: "Jupiter", Mode: "round-robin"},
 		{TimeoutSeconds: -3},
+		{Priority: "urgent"},
+		{DeadlineSeconds: -1},
+		{Faults: "dev0:fail@1"},                    // faults require a machine
+		{Machine: "Hertz", Faults: "dev9:fail@1"},  // device index out of range
+		{Machine: "Hertz", Faults: "dev0:wobble"},  // unknown fault kind
 	}
 	for _, r := range bad {
 		if err := r.withDefaults().Validate(); err == nil {

@@ -3,7 +3,9 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
+	"strconv"
 )
 
 // The HTTP layer: a stdlib-only JSON API over the Service.
@@ -18,11 +20,15 @@ import (
 //	                              load the payload in Perfetto or
 //	                              chrome://tracing)
 //	DELETE /v1/screens/{id}       cancel                     -> 202 JobView
+//	                              (also served as DELETE /jobs/{id})
 //	GET    /healthz               liveness                   -> 200 Stats
 //	GET    /metrics               Prometheus text exposition -> 200
 //
-// Errors are {"error": "..."} with ErrQueueFull -> 429, ErrDraining ->
-// 503, ErrNotFound -> 404, ErrTerminal -> 409, bad requests -> 400.
+// Errors are {"error": "..."} with ErrQueueFull / ErrDeadlineUnmeetable
+// -> 429, ErrDraining / ErrBreakerOpen -> 503, ErrNotFound -> 404,
+// ErrTerminal -> 409, bad requests -> 400. Overload rejections (ShedError)
+// additionally carry a Retry-After header and a structured body with
+// reason, retry_after_seconds, queue_depth and limit.
 
 // Handler returns the service's HTTP API.
 func (s *Service) Handler() http.Handler {
@@ -33,6 +39,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/screens/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/screens/{id}", s.handleCancel)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -45,6 +52,9 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	if req.ClientID == "" {
+		req.ClientID = r.Header.Get("X-Client-ID")
 	}
 	view, existing, err := s.SubmitIdem(req, r.Header.Get("Idempotency-Key"))
 	if err != nil {
@@ -61,12 +71,13 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, view)
 }
 
-// submitStatus maps an admission error to its HTTP status.
+// submitStatus maps an admission error to its HTTP status: retryable
+// backpressure is 429, outright unavailability 503.
 func submitStatus(err error) int {
 	switch {
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDeadlineUnmeetable):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrBreakerOpen):
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusBadRequest
@@ -122,9 +133,8 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	st := s.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WriteTo(w, st.QueueDepth, st.Running)
+	s.metrics.WriteTo(w, s.Stats())
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -136,5 +146,23 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {
+	var shed *ShedError
+	if errors.As(err, &shed) {
+		// Overload rejections tell the client when to come back and how
+		// full the queue was, so backoff can be informed instead of blind.
+		secs := int(math.Ceil(shed.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, code, map[string]any{
+			"error":               err.Error(),
+			"reason":              shed.Reason,
+			"retry_after_seconds": secs,
+			"queue_depth":         shed.QueueDepth,
+			"limit":               shed.Limit,
+		})
+		return
+	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/metascreen/metascreen/internal/admission"
 	"github.com/metascreen/metascreen/internal/core"
 	"github.com/metascreen/metascreen/internal/obs"
 	"github.com/metascreen/metascreen/internal/trace"
@@ -74,6 +75,16 @@ type Config struct {
 	// CompactBytes compacts the journal into per-job snapshots when it
 	// grows past this size; 0 means 4 MiB.
 	CompactBytes int64
+
+	// Admission tunes overload protection (adaptive concurrency limiter,
+	// circuit breaker, deadline shedding, graceful degradation). Zero
+	// fields take their documented defaults; Workers is seeded from
+	// Config.Workers when unset. See package admission.
+	Admission admission.Config
+
+	// Clock is the service's time source; nil means time.Now. Tests pin
+	// it so admission decisions and timestamps are deterministic.
+	Clock func() time.Time
 
 	// Logger receives the service's structured logs; every job-scoped
 	// record carries a "job" attribute for correlation. Nil discards.
@@ -124,6 +135,7 @@ type Service struct {
 	draining bool
 
 	queue   *jobQueue
+	ctrl    *admission.Controller
 	workers sync.WaitGroup
 	run     runnerFunc
 
@@ -151,15 +163,27 @@ type Service struct {
 // to resume from their checkpoints.
 func New(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
+	now := time.Now
+	if cfg.Clock != nil {
+		now = cfg.Clock
+	}
+	acfg := cfg.Admission
+	if acfg.Workers == 0 {
+		acfg.Workers = cfg.Workers
+	}
+	if acfg.Now == nil {
+		acfg.Now = now
+	}
 	s := &Service{
 		cfg:     cfg,
 		metrics: NewMetrics(cfg.Workers),
 		log:     cfg.Logger,
-		started: time.Now(),
+		started: now(),
 		jobs:    make(map[string]*Job),
 		idem:    make(map[string]string),
 		queue:   newJobQueue(cfg.QueueDepth),
-		now:     time.Now,
+		ctrl:    admission.NewController(acfg),
+		now:     now,
 	}
 	if s.log == nil {
 		s.log = obs.Nop()
@@ -212,6 +236,31 @@ func (s *Service) SubmitIdem(req ScreenRequest, key string) (v JobView, existing
 	if s.draining {
 		return JobView{}, false, ErrDraining
 	}
+
+	// Admission pipeline: breaker gate (machine jobs only), deadline
+	// feasibility, then the bounded fair queue. Rejections never allocate
+	// a job ID and always carry a computed Retry-After.
+	var probe bool
+	if req.Machine != "" {
+		allowed, p := s.ctrl.Breaker.Allow()
+		if !allowed {
+			return JobView{}, false, s.shedLocked(ErrBreakerOpen, "breaker_open", s.ctrl.RetryAfterBreaker())
+		}
+		probe = p
+	}
+	var deadline time.Time
+	if req.DeadlineSeconds > 0 {
+		now := s.now()
+		deadline = now.Add(time.Duration(req.DeadlineSeconds * float64(time.Second)))
+		if ok, retry := s.ctrl.CanMeetDeadline(now, deadline); !ok {
+			if probe {
+				s.ctrl.Breaker.ReleaseProbe()
+			}
+			return JobView{}, false, s.shedLocked(ErrDeadlineUnmeetable, "deadline_admission", retry)
+		}
+	}
+	class, _ := admission.ParseClass(req.Priority) // validated above
+
 	s.nextID++
 	j := &Job{
 		id:        fmt.Sprintf("job-%06d", s.nextID),
@@ -219,14 +268,19 @@ func (s *Service) SubmitIdem(req ScreenRequest, key string) (v JobView, existing
 		req:       req,
 		submitted: s.now(),
 		idemKey:   key,
+		class:     class,
+		deadline:  deadline,
+		probe:     probe,
 		rec:       &trace.Recorder{},
 	}
 	j.rec.SetEpoch(j.submitted)
 	if err := s.queue.tryPush(j); err != nil {
 		s.nextID-- // the ID was never exposed
+		if probe {
+			s.ctrl.Breaker.ReleaseProbe()
+		}
 		s.metrics.Rejected()
-		s.log.Warn("job rejected", "err", err, "queue_depth", s.queue.depth())
-		return JobView{}, false, err
+		return JobView{}, false, s.shedLocked(err, "queue_full", s.ctrl.RetryAfterFull())
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
@@ -242,6 +296,22 @@ func (s *Service) SubmitIdem(req ScreenRequest, key string) (v JobView, existing
 		"dataset", req.Dataset, "library", req.Library,
 		"metaheuristic", req.Metaheuristic, "machine", req.Machine)
 	return j.view(), false, nil
+}
+
+// shedLocked counts and logs one overload rejection and wraps it as a
+// ShedError carrying the Retry-After and queue state. Caller holds s.mu.
+func (s *Service) shedLocked(err error, reason string, retryAfter time.Duration) error {
+	s.metrics.Shed(reason)
+	depth := s.queue.depth()
+	s.log.Warn("request shed", "reason", reason, "err", err,
+		"retry_after_seconds", retryAfter.Seconds(), "queue_depth", depth)
+	return &ShedError{
+		Err:        err,
+		Reason:     reason,
+		RetryAfter: retryAfter,
+		QueueDepth: depth,
+		Limit:      s.cfg.QueueDepth,
+	}
 }
 
 // Get returns a job snapshot.
@@ -304,6 +374,11 @@ func (s *Service) Cancel(id string) (JobView, error) {
 	case StateQueued:
 		s.finishLocked(j, StateCancelled, nil, "cancelled while queued")
 	case StateRunning:
+		// Journal the intent before signalling: if the process dies before
+		// the job finishes, replay sees the cancel and does not resurrect
+		// the job.
+		j.cancelRequested = true
+		s.appendEvent(jobEvent{Type: evCancel, Job: j.id, Time: s.now()})
 		j.cancel()
 	default:
 		return j.view(), ErrTerminal
@@ -321,6 +396,20 @@ func (s *Service) finishLocked(j *Job, state JobState, res *core.ScreenResult, e
 	j.err = errMsg
 	j.result = res
 	j.cancel = nil
+	// Resolve the breaker's view of this job exactly once: a finished
+	// machine job is the health signal. Success closes/keeps-closed, an
+	// all-devices-lost failure counts toward tripping, and anything else
+	// (cancel, shed, unrelated failure) just returns a held probe slot.
+	if j.req.Machine != "" {
+		switch {
+		case state == StateDone:
+			s.ctrl.Breaker.Success()
+		case j.deviceLost:
+			s.ctrl.Breaker.Failure()
+		case j.probe:
+			s.ctrl.Breaker.ReleaseProbe()
+		}
+	}
 	s.metrics.Finished(state, j.finished.Sub(j.submitted))
 	if !j.started.IsZero() {
 		s.metrics.JobTimes(j.started.Sub(j.submitted), j.finished.Sub(j.started))
@@ -392,6 +481,9 @@ func (s *Service) Shutdown(ctx context.Context) error {
 			}
 		}
 		s.queue.close()
+		// Wake workers blocked in the concurrency limiter; their remaining
+		// queued jobs were just cancelled above.
+		s.ctrl.Close()
 	}
 	s.mu.Unlock()
 
@@ -435,6 +527,7 @@ func (s *Service) crashForTest() {
 	s.journal = nil // drop without Close: no final sync, like SIGKILL
 	s.draining = true
 	s.queue.close()
+	s.ctrl.Close()
 	for _, id := range s.order {
 		if j := s.jobs[id]; j.state == StateRunning && j.cancel != nil {
 			j.cancel()
@@ -451,16 +544,32 @@ type Stats struct {
 	Running    int  `json:"running"`
 	Workers    int  `json:"workers"`
 	Draining   bool `json:"draining"`
+	// QueueByClass splits QueueDepth by priority class.
+	QueueByClass map[string]int `json:"queue_by_class,omitempty"`
+	// Limit and InFlight are the adaptive concurrency limiter's current
+	// window and occupancy; Breaker is the device-health circuit state
+	// ("closed", "half-open" or "open").
+	Limit    int    `json:"limit"`
+	InFlight int    `json:"in_flight"`
+	Breaker  string `json:"breaker"`
 }
 
 // Stats snapshots the live gauges.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	snap := s.ctrl.Snapshot()
 	st := Stats{
-		QueueDepth: s.queue.depth(),
-		Workers:    s.cfg.Workers,
-		Draining:   s.draining,
+		QueueDepth:   s.queue.depth(),
+		Workers:      s.cfg.Workers,
+		Draining:     s.draining,
+		QueueByClass: make(map[string]int),
+		Limit:        snap.Limit,
+		InFlight:     snap.InFlight,
+		Breaker:      snap.Breaker,
+	}
+	for _, c := range admission.Classes() {
+		st.QueueByClass[c.String()] = s.queue.depthClass(c)
 	}
 	for _, j := range s.jobs {
 		if j.state == StateRunning {

@@ -234,17 +234,37 @@ func TestQueueFull429(t *testing.T) {
 	if code := doJSON(t, c, "POST", srv.URL+"/v1/screens", ScreenRequest{Seed: 2}, &second); code != http.StatusAccepted {
 		t.Fatalf("second submit status %d", code)
 	}
-	var errBody map[string]string
-	if code := doJSON(t, c, "POST", srv.URL+"/v1/screens", ScreenRequest{Seed: 3}, &errBody); code != http.StatusTooManyRequests {
-		t.Fatalf("third submit status %d, want 429", code)
+	buf, _ := json.Marshal(ScreenRequest{Seed: 3})
+	resp, err := c.Post(srv.URL+"/v1/screens", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !strings.Contains(errBody["error"], "queue full") {
-		t.Errorf("error body %q", errBody["error"])
+	var errBody map[string]any
+	if derr := json.NewDecoder(resp.Body).Decode(&errBody); derr != nil {
+		t.Fatal(derr)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After header")
+	}
+	if msg, _ := errBody["error"].(string); !strings.Contains(msg, "queue full") {
+		t.Errorf("error body %q", msg)
+	}
+	if errBody["reason"] != "queue_full" {
+		t.Errorf("reason %v, want queue_full", errBody["reason"])
+	}
+	for _, k := range []string{"retry_after_seconds", "queue_depth", "limit"} {
+		if _, ok := errBody[k]; !ok {
+			t.Errorf("429 body missing %q", k)
+		}
 	}
 
 	release()
 	pollState(t, c, srv.URL, second.ID, JobState.Terminal)
-	resp, _ := c.Get(srv.URL + "/metrics")
+	resp, _ = c.Get(srv.URL + "/metrics")
 	raw, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if !strings.Contains(string(raw), "metascreen_jobs_rejected_total 1") {

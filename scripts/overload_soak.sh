@@ -1,0 +1,161 @@
+#!/usr/bin/env bash
+# Overload soak drill for the screening service: start vsserved with a
+# small queue, flood it with low-priority submissions from one client,
+# and verify that
+#
+#   - rejected submissions get HTTP 429 with a Retry-After header and a
+#     structured body (reason "queue_full"),
+#   - a high-priority job from a different client finishes while the
+#     flood backlog is still queued (weighted-fair scheduling),
+#   - an unmeetable deadline_seconds is shed at admission,
+#   - every accepted job still reaches a terminal state (no stuck jobs),
+#   - the shed counters and admission gauges move on /metrics.
+#
+# Run from the repo root: scripts/overload_soak.sh
+set -euo pipefail
+
+PORT="${PORT:-8392}"
+BASE="http://localhost:$PORT"
+WORK="$(mktemp -d)"
+PID=""
+trap '[ -n "$PID" ] && kill -9 "$PID" 2>/dev/null; rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/vsserved" ./cmd/vsserved
+
+"$WORK/vsserved" -addr ":$PORT" -workers 2 -screen-workers 1 -queue 16 \
+    -breaker-threshold 2 -breaker-cooldown 2s >>"$WORK/log" 2>&1 &
+PID=$!
+for _ in $(seq 1 50); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.2
+done
+curl -fsS "$BASE/healthz" >/dev/null || {
+    echo "overload_soak: vsserved did not come up; log:" >&2
+    cat "$WORK/log" >&2
+    exit 1
+}
+
+# jsonfield FILE KEY extracts a string field from vsserved's indented JSON.
+jsonfield() {
+    sed -n "s/.*\"$2\": \"\([^\"]*\)\".*/\1/p" "$1" | head -1
+}
+
+# metric NAME greps one sample value off /metrics.
+metric() {
+    curl -fsS "$BASE/metrics" | sed -n "s/^$1 \(.*\)$/\1/p" | head -1
+}
+
+FLOOD='{"dataset":"2BSM","library":10,"spots":4,"metaheuristic":"M1","scale":0.2,"priority":"low","client_id":"flood"}'
+STEADY='{"dataset":"2BSM","library":2,"spots":1,"metaheuristic":"M1","modeled":true,"seed":99,"priority":"high","client_id":"steady"}'
+
+# Phase 1: flood. 120 concurrent low-priority submissions against a
+# 16-deep queue; collect accepted ids and rejection codes.
+echo "overload_soak: flooding 120 submissions into a 16-deep queue"
+mkdir "$WORK/resp"
+CURLS=()
+for i in $(seq 1 120); do
+    curl -sS -o "$WORK/resp/$i.json" -D "$WORK/resp/$i.hdr" -w '%{http_code}' \
+        -X POST "$BASE/v1/screens" -d "$FLOOD" >"$WORK/resp/$i.code" &
+    CURLS+=("$!")
+done
+wait "${CURLS[@]}"
+
+ACCEPTED=0
+REJECTED=0
+: >"$WORK/jobs"
+for i in $(seq 1 120); do
+    CODE="$(cat "$WORK/resp/$i.code")"
+    case "$CODE" in
+    202)
+        ACCEPTED=$((ACCEPTED + 1))
+        jsonfield "$WORK/resp/$i.json" id >>"$WORK/jobs"
+        ;;
+    429)
+        REJECTED=$((REJECTED + 1))
+        grep -qi '^retry-after:' "$WORK/resp/$i.hdr" || {
+            echo "overload_soak: 429 without Retry-After" >&2
+            cat "$WORK/resp/$i.hdr" >&2
+            exit 1
+        }
+        grep -q '"reason": "queue_full"' "$WORK/resp/$i.json" || {
+            echo "overload_soak: 429 body missing reason queue_full" >&2
+            cat "$WORK/resp/$i.json" >&2
+            exit 1
+        }
+        ;;
+    *)
+        echo "overload_soak: unexpected submit status $CODE" >&2
+        cat "$WORK/resp/$i.json" >&2
+        exit 1
+        ;;
+    esac
+done
+echo "overload_soak: $ACCEPTED accepted, $REJECTED shed with 429 + Retry-After"
+[ "$REJECTED" -gt 0 ] || { echo "overload_soak: flood never tripped queue_full" >&2; exit 1; }
+
+# Phase 2: a high-priority job from another client must finish while the
+# flood backlog is still draining. The first slot that frees up goes to
+# the high class, but the submit itself can race queue_full — retry it.
+SJOB=""
+for _ in $(seq 1 200); do
+    SCODE="$(curl -sS -o "$WORK/steady.json" -w '%{http_code}' -X POST "$BASE/v1/screens" -d "$STEADY")"
+    if [ "$SCODE" = 202 ]; then
+        SJOB="$(jsonfield "$WORK/steady.json" id)"
+        break
+    fi
+    [ "$SCODE" = 429 ] || { echo "overload_soak: steady submit got $SCODE" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$SJOB" ] || { echo "overload_soak: steady job never admitted" >&2; exit 1; }
+for _ in $(seq 1 300); do
+    curl -fsS "$BASE/v1/screens/$SJOB" >"$WORK/sjob.json"
+    STATE="$(jsonfield "$WORK/sjob.json" state)"
+    [ "$STATE" = "done" ] && break
+    case "$STATE" in failed | cancelled | shed)
+        echo "overload_soak: steady job ended as $STATE" >&2
+        exit 1
+        ;;
+    esac
+    sleep 0.1
+done
+[ "$STATE" = "done" ] || { echo "overload_soak: steady job never finished" >&2; exit 1; }
+DEPTH="$(metric metascreen_queue_depth)"
+echo "overload_soak: high-priority steady job done with queue_depth=$DEPTH"
+
+# Phase 3: an unmeetable deadline is shed at admission with 429.
+DCODE="$(curl -sS -o "$WORK/deadline.json" -w '%{http_code}' -X POST "$BASE/v1/screens" \
+    -d '{"dataset":"2BSM","library":4,"metaheuristic":"M1","deadline_seconds":0.001}')"
+if [ "$DCODE" != 429 ] || ! grep -q '"reason": "deadline_admission"' "$WORK/deadline.json"; then
+    echo "overload_soak: unmeetable deadline not shed at admission (status $DCODE)" >&2
+    cat "$WORK/deadline.json" >&2
+    exit 1
+fi
+echo "overload_soak: unmeetable deadline shed at admission"
+
+# Phase 4: every accepted flood job reaches a terminal state.
+while read -r JOB; do
+    [ -n "$JOB" ] || continue
+    for _ in $(seq 1 900); do
+        STATE="$(curl -fsS "$BASE/v1/screens/$JOB" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p' | head -1)"
+        case "$STATE" in done | failed | cancelled | shed) break ;; esac
+        sleep 0.1
+    done
+    case "$STATE" in
+    done | shed) ;;
+    *)
+        echo "overload_soak: flood job $JOB stuck in state $STATE" >&2
+        exit 1
+        ;;
+    esac
+done <"$WORK/jobs"
+echo "overload_soak: all $ACCEPTED accepted flood jobs reached a terminal state"
+
+# Phase 5: counters and gauges moved.
+SHED="$(metric 'metascreen_jobs_shed_total{reason="queue_full"}')"
+LIMIT="$(metric metascreen_admission_limit)"
+DEPTH="$(metric metascreen_queue_depth)"
+[ "${SHED:-0}" -gt 0 ] || { echo "overload_soak: jobs_shed_total{queue_full} never moved" >&2; exit 1; }
+[ "${LIMIT:-0}" -ge 1 ] || { echo "overload_soak: admission_limit gauge missing" >&2; exit 1; }
+[ "${DEPTH:-1}" -eq 0 ] || { echo "overload_soak: queue did not drain (depth $DEPTH)" >&2; exit 1; }
+echo "overload_soak: shed=$SHED limit=$LIMIT depth=$DEPTH"
+echo "overload_soak: PASS"
