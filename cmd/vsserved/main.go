@@ -27,6 +27,18 @@
 // (-breaker-threshold, -breaker-cooldown) and graceful degradation
 // (-degrade-at, -degrade-factor).
 //
+// Scale-out runs the same binary in three roles (-role):
+//
+//	node         the default single-node service above
+//	worker       a node that also registers with and heartbeats to a
+//	             coordinator (-coordinator, -advertise, -heartbeat)
+//	coordinator  no local screening: shards each submitted screen across
+//	             the registered workers by ligand-name hash, streams the
+//	             partial rankings back and merges them deterministically;
+//	             worker death re-splits unfinished ligands over the
+//	             survivors, and -data-dir journals distributed state so a
+//	             restarted coordinator resumes mid-screen
+//
 // SIGINT/SIGTERM drain gracefully: intake stops, queued jobs are
 // cancelled, running jobs finish (up to -drain-timeout, then they are
 // force-cancelled between metaheuristic generations).
@@ -37,6 +49,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -44,6 +57,7 @@ import (
 	"time"
 
 	"github.com/metascreen/metascreen/internal/admission"
+	"github.com/metascreen/metascreen/internal/dist"
 	"github.com/metascreen/metascreen/internal/obs"
 	"github.com/metascreen/metascreen/internal/service"
 	"github.com/metascreen/metascreen/internal/wal"
@@ -71,6 +85,12 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long the open circuit rejects machine jobs before probing (0 = 5s)")
 	degradeAt := flag.Float64("degrade-at", 0, "queue fill fraction above which jobs run with reduced effort (0 = 0.75)")
 	degradeFactor := flag.Float64("degrade-factor", 0, "search-scale multiplier applied to degraded jobs (0 = 0.5)")
+	role := flag.String("role", "node", "process role: node, worker or coordinator")
+	coordinator := flag.String("coordinator", "", "coordinator base URL a worker registers with (worker role)")
+	advertise := flag.String("advertise", "", "URL the coordinator should reach this worker at (default derived from -addr)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "worker registration/heartbeat cadence")
+	workerTimeout := flag.Duration("worker-timeout", 5*time.Second, "coordinator declares a worker dead after this heartbeat silence")
+	pollInterval := flag.Duration("poll-interval", 100*time.Millisecond, "coordinator shard dispatch/merge cadence")
 	flag.Parse()
 
 	logger, err := obs.NewLogger(*logLevel, *logFormat, os.Stderr)
@@ -81,6 +101,52 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The coordinator role runs no local screening engine: it is the
+	// dist.Coordinator behind the same API surface.
+	if *role == "coordinator" {
+		coord, err := dist.New(dist.Config{
+			DataDir:          *dataDir,
+			SyncPolicy:       policy,
+			HeartbeatTimeout: *workerTimeout,
+			PollInterval:     *pollInterval,
+			Logger:           logger,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		server := &http.Server{Addr: *addr, Handler: coord.Handler()}
+		errCh := make(chan error, 1)
+		go func() { errCh <- server.ListenAndServe() }()
+		logger.Info("coordinator listening", "addr", *addr)
+		select {
+		case <-ctx.Done():
+			logger.Info("draining")
+		case err := <-errCh:
+			fatal(err)
+		}
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := server.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			logger.Error("http shutdown failed", "err", err)
+		}
+		if err := coord.Shutdown(drainCtx); err != nil {
+			logger.Error("coordinator drain deadline exceeded", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("drained cleanly")
+		return
+	}
+	if *role != "node" && *role != "worker" {
+		fatal(fmt.Errorf("unknown -role %q (want node, worker or coordinator)", *role))
+	}
+	if *role == "worker" && *coordinator == "" {
+		fatal(errors.New("-role worker requires -coordinator"))
+	}
+
 	svc, err := service.New(service.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -122,12 +188,23 @@ func main() {
 		logger.Info("debug listener up", "addr", *debugAddr)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	errCh := make(chan error, 1)
 	go func() { errCh <- server.ListenAndServe() }()
-	logger.Info("listening", "addr", *addr)
+	logger.Info("listening", "addr", *addr, "role", *role)
+
+	if *role == "worker" {
+		adv := *advertise
+		if adv == "" {
+			adv, err = advertiseFromAddr(*addr)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		go dist.RegisterLoop(ctx, *coordinator, adv, *heartbeat, func(format string, args ...any) {
+			logger.Warn(fmt.Sprintf(format, args...))
+		})
+		logger.Info("registering with coordinator", "coordinator", *coordinator, "advertise", adv)
+	}
 
 	select {
 	case <-ctx.Done():
@@ -150,6 +227,20 @@ func main() {
 		os.Exit(1)
 	}
 	logger.Info("drained cleanly")
+}
+
+// advertiseFromAddr derives a worker's advertised URL from its listen
+// address: ":8081" becomes "http://127.0.0.1:8081" (single-host default;
+// multi-host deployments pass -advertise explicitly).
+func advertiseFromAddr(addr string) (string, error) {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", fmt.Errorf("cannot derive -advertise from -addr %q: %w", addr, err)
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port), nil
 }
 
 func fatal(err error) {

@@ -274,10 +274,16 @@ func SyntheticLibrary(n int) []*molecule.Molecule {
 	lib := make([]*molecule.Molecule, n)
 	for i := range lib {
 		atoms := 18 + (i*5)%27
-		lib[i] = molecule.SyntheticLigand(fmt.Sprintf("LIG-%03d", i), atoms, 5000+uint64(i))
+		lib[i] = molecule.SyntheticLigand(SyntheticName(i), atoms, 5000+uint64(i))
 	}
 	return lib
 }
+
+// SyntheticName returns the name of the i-th ligand of SyntheticLibrary,
+// without materializing the molecule. The distributed coordinator shards
+// a library by these names and the service validates shard requests
+// against them, so the naming scheme is part of the library's contract.
+func SyntheticName(i int) string { return fmt.Sprintf("LIG-%03d", i) }
 
 // MultiStartResult aggregates independent executions of the same problem.
 type MultiStartResult struct {

@@ -1,0 +1,128 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"github.com/metascreen/metascreen/internal/service"
+)
+
+// client is the coordinator's HTTP client for worker nodes. Workers are
+// plain vsserved instances — the client speaks the same JSON API any
+// other consumer does, with one addition: shard submissions always carry
+// an Idempotency-Key derived from (distributed job, shard), so a
+// coordinator that restarts and re-dispatches maps onto the worker's
+// already-running job instead of starting a duplicate screen.
+type client struct {
+	hc *http.Client
+}
+
+// apiError is a non-2xx response, decoded from the service's
+// {"error": "..."} body when possible.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string {
+	if e.msg != "" {
+		return fmt.Sprintf("worker: %s (HTTP %d)", e.msg, e.status)
+	}
+	return "worker: HTTP " + strconv.Itoa(e.status)
+}
+
+func (c *client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.Unmarshal(body, &e)
+		return &apiError{status: resp.StatusCode, msg: e.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(body, out)
+}
+
+// submit posts a shard screen to a worker under the given idempotency
+// key. Both 202 (new) and 200 (the worker had already admitted this key)
+// succeed and return the worker-side job.
+func (c *client) submit(base string, req service.ScreenRequest, key string) (service.JobView, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return service.JobView{}, err
+	}
+	hreq, err := http.NewRequest(http.MethodPost, base+"/v1/screens", bytes.NewReader(b))
+	if err != nil {
+		return service.JobView{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Idempotency-Key", key)
+	var view service.JobView
+	err = c.do(hreq, &view)
+	return view, err
+}
+
+// partial fetches the completed-ligand ranking of a worker-side job. The
+// limit is pinned to the service's maximum so one poll always sees the
+// whole shard (shards are bounded by the library cap, which equals it).
+func (c *client) partial(base, id string) (service.PartialView, error) {
+	url := base + "/v1/screens/" + id + "/partial?limit=" + strconv.Itoa(service.MaxRankingLimit)
+	hreq, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return service.PartialView{}, err
+	}
+	var pv service.PartialView
+	err = c.do(hreq, &pv)
+	return pv, err
+}
+
+// get fetches a worker-side job view (used for terminal error detail).
+func (c *client) get(base, id string) (service.JobView, error) {
+	hreq, err := http.NewRequest(http.MethodGet, base+"/v1/screens/"+id, nil)
+	if err != nil {
+		return service.JobView{}, err
+	}
+	var view service.JobView
+	err = c.do(hreq, &view)
+	return view, err
+}
+
+// cancel asks a worker to cancel a job. Already-terminal (409) and
+// unknown (404) jobs are fine — the goal state is "not running".
+func (c *client) cancel(base, id string) error {
+	hreq, err := http.NewRequest(http.MethodDelete, base+"/v1/screens/"+id, nil)
+	if err != nil {
+		return err
+	}
+	err = c.do(hreq, nil)
+	var ae *apiError
+	if errors.As(err, &ae) && (ae.status == http.StatusConflict || ae.status == http.StatusNotFound) {
+		return nil
+	}
+	return err
+}
+
+// ready probes a worker's /readyz.
+func (c *client) ready(base string) bool {
+	hreq, err := http.NewRequest(http.MethodGet, base+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	return c.do(hreq, nil) == nil
+}

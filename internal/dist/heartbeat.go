@@ -1,0 +1,56 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// RegisterLoop is the worker side of membership: it POSTs the worker's
+// advertised URL to the coordinator's /v1/workers every interval until
+// ctx ends. Registration and heartbeat are the same request — an upsert
+// — so a worker that restarts, or a coordinator that restarts and
+// forgot everyone, converges on the next beat without a special rejoin
+// path. Failures are logged and retried on the normal cadence; the
+// worker keeps serving either way.
+func RegisterLoop(ctx context.Context, coordinator, advertise string, interval time.Duration, logf func(format string, args ...any)) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	hc := &http.Client{Timeout: interval}
+	body, _ := json.Marshal(map[string]string{"url": advertise})
+	beat := func() {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			coordinator+"/v1/workers", bytes.NewReader(body))
+		if err != nil {
+			logf("dist: heartbeat request: %v", err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := hc.Do(req)
+		if err != nil {
+			logf("dist: heartbeat to %s failed: %v", coordinator, err)
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			logf("dist: heartbeat to %s: HTTP %d", coordinator, resp.StatusCode)
+		}
+	}
+	beat()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			beat()
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"github.com/metascreen/metascreen/internal/service"
+)
+
+// The coordinator's HTTP API. Screens are submitted and read exactly
+// like on a single node — same paths, same pagination, same idempotency
+// header — so clients do not care whether they talk to a node or a
+// cluster. The additions are membership:
+//
+//	POST   /v1/screens            submit a distributed screen -> 202 JobView
+//	GET    /v1/screens            list jobs                   -> 200 [JobView]
+//	GET    /v1/screens/{id}       status + merged ranking     -> 200 JobView
+//	                              (?limit=&offset= window the ranking; a
+//	                              running job serves the partial merge)
+//	GET    /v1/screens/{id}/trace shard timeline (Chrome trace) -> 200
+//	DELETE /v1/screens/{id}       cancel (fans out to workers) -> 202
+//	POST   /v1/workers            register/heartbeat {"url": ...} -> 200
+//	GET    /v1/workers            membership                  -> 200 [WorkerView]
+//	GET    /healthz               liveness                    -> 200 Stats
+//	GET    /readyz                readiness                   -> 200/503
+//	GET    /metrics               Prometheus text exposition  -> 200
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/screens", c.handleSubmit)
+	mux.HandleFunc("GET /v1/screens", c.handleList)
+	mux.HandleFunc("GET /v1/screens/{id}", c.handleGet)
+	mux.HandleFunc("GET /v1/screens/{id}/trace", c.handleTrace)
+	mux.HandleFunc("DELETE /v1/screens/{id}", c.handleCancel)
+	mux.HandleFunc("POST /v1/workers", c.handleRegister)
+	mux.HandleFunc("GET /v1/workers", c.handleWorkers)
+	mux.HandleFunc("GET /healthz", c.handleHealth)
+	mux.HandleFunc("GET /readyz", c.handleReady)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	return mux
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req service.ScreenRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	view, existing, err := c.Submit(req, r.Header.Get("Idempotency-Key"))
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, service.ErrDraining) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err)
+		return
+	}
+	if existing {
+		writeJSON(w, http.StatusOK, view)
+		return
+	}
+	w.Header().Set("Location", "/v1/screens/"+view.ID)
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.List())
+}
+
+func (c *Coordinator) handleGet(w http.ResponseWriter, r *http.Request) {
+	view, err := c.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	page, err := service.ParsePage(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	view.Result = view.Result.Paged(page)
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (c *Coordinator) handleTrace(w http.ResponseWriter, r *http.Request) {
+	rec, err := c.Trace(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	rec.WriteChrome(w)
+}
+
+func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
+	view, err := c.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, service.ErrNotFound):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, service.ErrTerminal):
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeJSON(w, http.StatusAccepted, view)
+	}
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		URL string `json:"url"`
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	n, err := c.Register(body.URL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"workers": n})
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Workers())
+}
+
+func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := c.Stats()
+	code := http.StatusOK
+	if st.Draining {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, st)
+}
+
+func (c *Coordinator) handleReady(w http.ResponseWriter, r *http.Request) {
+	ready := c.Ready()
+	code := http.StatusOK
+	if !ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]bool{"ready": ready})
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c.metrics.WriteTo(w, c.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

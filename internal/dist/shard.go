@@ -1,0 +1,66 @@
+package dist
+
+import (
+	"hash/fnv"
+	"io"
+
+	"github.com/metascreen/metascreen/internal/sched"
+)
+
+// Ligand sharding. A screen's library is partitioned across worker nodes
+// by FNV-1a hash of the ligand name — the same name-keyed scheme the
+// per-ligand seed lanes use, so a ligand's results are identical no
+// matter which node docks it and placement is pure bookkeeping. Two
+// splitters cover the two moments that need one:
+//
+//   - ShardByHash: the initial assignment. Depends only on (name, shard
+//     count), so it is deterministic across coordinator restarts and
+//     balanced for any realistically named library.
+//   - SplitWeighted: the recovery assignment. When a node dies, only its
+//     unfinished ligands move, split over the survivors proportionally
+//     to their observed throughput — the warm-up-weighted re-split the
+//     device pool does (sched.SplitOverAlive), lifted one level up.
+
+// HashName is the 64-bit FNV-1a hash of a ligand name, the placement key
+// for distributed screens.
+func HashName(name string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, name)
+	return h.Sum64()
+}
+
+// ShardByHash partitions ligand names into n shards by name hash. Input
+// order (library order) is preserved within each shard, so per-shard
+// aggregate sums stay deterministic. Placement depends only on the name
+// and n: re-running the assignment always yields the same shards.
+func ShardByHash(names []string, n int) [][]string {
+	if n <= 0 {
+		return nil
+	}
+	out := make([][]string, n)
+	for _, name := range names {
+		i := int(HashName(name) % uint64(n))
+		out[i] = append(out[i], name)
+	}
+	return out
+}
+
+// SplitWeighted divides ligand names into len(alive) chunks sized
+// proportionally to weights, restricted to alive members — dead members
+// get nil. Chunks are contiguous in input order. All-zero surviving
+// weights (no throughput observed yet) fall back to an equal split.
+func SplitWeighted(names []string, weights []float64, alive []bool) [][]string {
+	counts := sched.SplitOverAlive(len(names), weights, alive)
+	if counts == nil {
+		return nil
+	}
+	out := make([][]string, len(alive))
+	at := 0
+	for i, n := range counts {
+		if n > 0 {
+			out[i] = names[at : at+n]
+			at += n
+		}
+	}
+	return out
+}

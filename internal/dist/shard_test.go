@@ -1,0 +1,195 @@
+package dist
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/metascreen/metascreen/internal/core"
+)
+
+// Property tests for the two splitters: hash sharding is deterministic,
+// order-preserving and balanced; weighted re-splits move exactly the
+// ligands they are given and nothing else.
+
+func syntheticNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = core.SyntheticName(i)
+	}
+	return names
+}
+
+// TestShardByHashDeterministic: placement is a pure function of
+// (name, shard count) — re-running the assignment, in any process, on
+// any coordinator, yields identical shards.
+func TestShardByHashDeterministic(t *testing.T) {
+	names := syntheticNames(500)
+	a := ShardByHash(names, 5)
+	b := ShardByHash(names, 5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same names and shard count produced different assignments")
+	}
+	for i, sh := range a {
+		for _, n := range sh {
+			if got := int(HashName(n) % 5); got != i {
+				t.Fatalf("ligand %s in shard %d, hash says %d", n, i, got)
+			}
+		}
+	}
+}
+
+// TestShardByHashCoversAndPreservesOrder: every name lands in exactly
+// one shard, and each shard keeps library order (the order deterministic
+// aggregate sums depend on).
+func TestShardByHashCoversAndPreservesOrder(t *testing.T) {
+	names := syntheticNames(300)
+	index := make(map[string]int, len(names))
+	for i, n := range names {
+		index[n] = i
+	}
+	for _, n := range []int{1, 2, 3, 7, 16} {
+		shards := ShardByHash(names, n)
+		seen := make(map[string]bool)
+		total := 0
+		for si, sh := range shards {
+			last := -1
+			for _, name := range sh {
+				if seen[name] {
+					t.Fatalf("n=%d: ligand %s assigned twice", n, name)
+				}
+				seen[name] = true
+				if index[name] < last {
+					t.Fatalf("n=%d shard %d: library order broken at %s", n, si, name)
+				}
+				last = index[name]
+				total++
+			}
+		}
+		if total != len(names) {
+			t.Fatalf("n=%d: %d of %d ligands assigned", n, total, len(names))
+		}
+	}
+}
+
+// TestShardByHashBalanced: across 2..16 workers, FNV-1a spreads a
+// synthetic library evenly — every shard within ±50% of the ideal cut.
+func TestShardByHashBalanced(t *testing.T) {
+	names := syntheticNames(2000)
+	for n := 2; n <= 16; n++ {
+		shards := ShardByHash(names, n)
+		ideal := float64(len(names)) / float64(n)
+		for i, sh := range shards {
+			if f := float64(len(sh)); f < 0.5*ideal || f > 1.5*ideal {
+				t.Errorf("n=%d shard %d holds %d ligands, ideal %.1f (>±50%% skew)", n, i, len(sh), ideal)
+			}
+		}
+	}
+}
+
+// TestSplitWeightedMovesExactlyTheInput: a re-split distributes exactly
+// the ligands it is handed — the dead node's unfinished ones — with
+// nothing lost, duplicated, reordered, or assigned to a dead member.
+func TestSplitWeightedMovesExactlyTheInput(t *testing.T) {
+	names := syntheticNames(97)
+	weights := []float64{2.0, 0.5, 1.5, 1.0}
+	alive := []bool{true, false, true, true}
+	chunks := SplitWeighted(names, weights, alive)
+	if chunks[1] != nil {
+		t.Fatalf("dead member received %d ligands", len(chunks[1]))
+	}
+	var joined []string
+	for _, ch := range chunks {
+		joined = append(joined, ch...)
+	}
+	if !reflect.DeepEqual(joined, names) {
+		t.Fatalf("concatenated chunks != input: got %d names, want %d in order", len(joined), len(names))
+	}
+}
+
+// TestSplitWeightedProportional: chunk sizes track throughput weights.
+func TestSplitWeightedProportional(t *testing.T) {
+	names := syntheticNames(400)
+	chunks := SplitWeighted(names, []float64{3, 1}, []bool{true, true})
+	if len(chunks[0]) != 300 || len(chunks[1]) != 100 {
+		t.Fatalf("3:1 weights split %d/%d, want 300/100", len(chunks[0]), len(chunks[1]))
+	}
+}
+
+// TestSplitWeightedZeroWeightsFallsBackToEqual: survivors with no
+// observed throughput yet get an equal split, never a degenerate one.
+func TestSplitWeightedZeroWeightsFallsBackToEqual(t *testing.T) {
+	names := syntheticNames(90)
+	chunks := SplitWeighted(names, []float64{0, 0, 0}, []bool{true, true, true})
+	for i, ch := range chunks {
+		if len(ch) != 30 {
+			t.Fatalf("zero-weight chunk %d holds %d, want 30", i, len(ch))
+		}
+	}
+}
+
+// TestReshardMovesOnlyDeadNodesLigands: the recovery invariant, as a
+// property over random membership: after a node dies, survivors keep
+// every ligand they already owned, and the moved set is exactly the dead
+// node's shard.
+func TestReshardMovesOnlyDeadNodesLigands(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(5) // 2..6 workers
+		names := syntheticNames(50 + rng.Intn(400))
+		initial := ShardByHash(names, n)
+		dead := rng.Intn(n)
+
+		owned := make(map[string]int)
+		for wi, sh := range initial {
+			for _, name := range sh {
+				owned[name] = wi
+			}
+		}
+
+		weights := make([]float64, n)
+		alive := make([]bool, n)
+		for i := range alive {
+			weights[i] = rng.Float64() * 4
+			alive[i] = i != dead
+		}
+		moved := SplitWeighted(initial[dead], weights, alive)
+
+		movedSet := make(map[string]bool)
+		for wi, ch := range moved {
+			if wi == dead && ch != nil {
+				t.Fatalf("trial %d: dead worker %d got ligands back", trial, dead)
+			}
+			for _, name := range ch {
+				if owned[name] != dead {
+					t.Fatalf("trial %d: re-split moved %s, owned by live worker %d", trial, name, owned[name])
+				}
+				movedSet[name] = true
+			}
+		}
+		if len(movedSet) != len(initial[dead]) {
+			t.Fatalf("trial %d: moved %d ligands, dead node owned %d", trial, len(movedSet), len(initial[dead]))
+		}
+		// Survivors' original shards are untouched by construction (the
+		// re-split only receives the dead node's ligands); confirm the
+		// union of kept + moved covers the library exactly once.
+		covered := make(map[string]bool)
+		for wi, sh := range initial {
+			if wi == dead {
+				continue
+			}
+			for _, name := range sh {
+				covered[name] = true
+			}
+		}
+		for name := range movedSet {
+			if covered[name] {
+				t.Fatalf("trial %d: ligand %s both kept and moved", trial, name)
+			}
+			covered[name] = true
+		}
+		if len(covered) != len(names) {
+			t.Fatalf("trial %d: %d of %d ligands covered after re-split", trial, len(covered), len(names))
+		}
+	}
+}

@@ -1,0 +1,416 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"github.com/metascreen/metascreen/internal/service"
+	"github.com/metascreen/metascreen/internal/trace"
+)
+
+// The supervision loop. Each distributed job runs one supervisor
+// goroutine that ticks every PollInterval through the same step:
+//
+//  1. reap workers whose heartbeat expired;
+//  2. under the lock — honour a pending cancel, move unfinished ligands
+//     off dead workers, and (re-)assign unassigned ligands to shards;
+//  3. off the lock — dispatch undispatched shards and poll dispatched
+//     ones for partial rankings;
+//  4. under the lock — merge fresh entries (journaled), update worker
+//     throughput estimates, and finish the job when every target ligand
+//     has merged.
+//
+// All HTTP happens between the two locked sections, so a slow worker
+// never stalls the coordinator's API; the locked re-checks make the
+// HTTP results safe to apply even if another supervisor declared the
+// worker dead in the meantime.
+
+// remoteRef names a worker-side job for cancellation fan-out.
+type remoteRef struct{ worker, remote string }
+
+// step runs one supervision round. It reports true when the job reached
+// a terminal state and the supervisor should exit.
+func (c *Coordinator) step(j *job) bool {
+	c.reapWorkers()
+
+	c.mu.Lock()
+	if j.state.Terminal() {
+		c.mu.Unlock()
+		return true
+	}
+	if j.cancelRequested {
+		refs := j.remoteRefsLocked()
+		c.finishLocked(j, service.StateCancelled, "cancelled by client")
+		c.mu.Unlock()
+		c.cancelRemotes(refs)
+		return true
+	}
+	c.assignLocked(j)
+	var dispatches, polls []*shard
+	for _, sh := range j.shards {
+		switch {
+		case sh.done || sh.moved:
+		case sh.remote == "":
+			if w := c.workers[sh.worker]; w != nil && w.alive {
+				dispatches = append(dispatches, sh)
+			}
+		default:
+			polls = append(polls, sh)
+		}
+	}
+	c.mu.Unlock()
+
+	for _, sh := range dispatches {
+		c.dispatch(j, sh)
+	}
+	for _, sh := range polls {
+		if msg, fatal := c.poll(j, sh); fatal {
+			c.mu.Lock()
+			if j.state.Terminal() {
+				c.mu.Unlock()
+				return true
+			}
+			refs := j.remoteRefsLocked()
+			c.finishLocked(j, service.StateFailed, msg)
+			c.mu.Unlock()
+			c.cancelRemotes(refs)
+			return true
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if j.state.Terminal() {
+		return true
+	}
+	if len(j.merged) == len(j.names) {
+		c.finishLocked(j, service.StateDone, "")
+		return true
+	}
+	return false
+}
+
+// reapWorkers declares every worker whose heartbeat aged past the
+// timeout dead. Run by every supervisor step — membership is shared, so
+// whichever job steps first does the reaping for all of them.
+func (c *Coordinator) reapWorkers() {
+	now := c.cfg.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.workers {
+		if w.alive && now.Sub(w.lastBeat) > c.cfg.HeartbeatTimeout {
+			c.markWorkerDeadLocked(w.url, "heartbeat timeout")
+		}
+	}
+}
+
+// markWorkerDeadLocked flips a worker to dead (idempotent). The actual
+// ligand movement happens in each job's next assignLocked pass. Caller
+// holds c.mu.
+func (c *Coordinator) markWorkerDeadLocked(url, reason string) {
+	w := c.workers[url]
+	if w == nil || !w.alive {
+		return
+	}
+	w.alive = false
+	c.metrics.WorkerDied()
+	c.appendEvent(event{Type: evWorker, Worker: url})
+	c.log.Warn("worker declared dead", "worker", url, "reason", reason)
+}
+
+// assignLocked moves unfinished ligands off dead workers and splits
+// everything unassigned across the currently alive workers: the initial
+// assignment hashes ligand names (deterministic), recovery assignments
+// split by observed throughput so fast survivors absorb more of the dead
+// node's backlog. Caller holds c.mu.
+func (c *Coordinator) assignLocked(j *job) {
+	now := c.cfg.now()
+	for _, sh := range j.shards {
+		if sh.done || sh.moved {
+			continue
+		}
+		if w := c.workers[sh.worker]; w != nil && w.alive {
+			continue
+		}
+		sh.moved = true
+		var remaining []string
+		for _, n := range sh.ligands {
+			if _, ok := j.merged[n]; !ok {
+				remaining = append(remaining, n)
+			}
+		}
+		if len(remaining) == 0 {
+			sh.done = true
+			continue
+		}
+		j.unassigned = append(j.unassigned, remaining...)
+		j.resplits++
+		c.metrics.Reshard()
+		t := j.rec.Now()
+		j.rec.AddSpan(trace.Span{
+			Track: "membership", Name: "reshard " + sh.id + " off " + sh.worker,
+			Cat: "shard", Start: t, End: t,
+			Args: map[string]string{"ligands": strconv.Itoa(len(remaining))},
+		})
+		c.log.Warn("re-splitting shard off dead worker",
+			"job", j.id, "shard", sh.id, "worker", sh.worker, "ligands", len(remaining))
+	}
+
+	pending := j.orderedUnassigned()
+	j.unassigned = nil
+	if len(pending) == 0 {
+		return
+	}
+	alive := c.aliveWorkersLocked()
+	if len(alive) == 0 {
+		j.unassigned = pending // wait for a worker to (re-)join
+		return
+	}
+	var chunks [][]string
+	if j.nextShard == 0 {
+		chunks = ShardByHash(pending, len(alive))
+	} else {
+		weights := make([]float64, len(alive))
+		mask := make([]bool, len(alive))
+		for i, w := range alive {
+			weights[i] = w.throughput
+			mask[i] = true
+		}
+		chunks = SplitWeighted(pending, weights, mask)
+	}
+	for i, chunk := range chunks {
+		if len(chunk) == 0 {
+			continue
+		}
+		sh := &shard{id: "s" + strconv.Itoa(j.nextShard), worker: alive[i].url, ligands: chunk}
+		j.nextShard++
+		j.shards = append(j.shards, sh)
+		alive[i].shards++
+		c.metrics.ShardAssigned()
+		c.appendEvent(event{Type: evAssign, Job: j.id, Shard: sh.id, Worker: sh.worker, Ligands: chunk})
+		c.log.Info("shard assigned",
+			"job", j.id, "shard", sh.id, "worker", sh.worker, "ligands", len(chunk))
+	}
+	if j.state == service.StateQueued {
+		j.state = service.StateRunning
+		j.started = now
+	}
+}
+
+// orderedUnassigned returns the job's unassigned ligands in library
+// order, dropping any that merged in the meantime.
+func (j *job) orderedUnassigned() []string {
+	if len(j.unassigned) == 0 {
+		return nil
+	}
+	pend := make(map[string]bool, len(j.unassigned))
+	for _, n := range j.unassigned {
+		pend[n] = true
+	}
+	var out []string
+	for _, n := range j.names {
+		if !pend[n] {
+			continue
+		}
+		if _, ok := j.merged[n]; !ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// aliveWorkersLocked returns alive workers sorted by URL (the stable
+// order shard-by-hash indexes into). Caller holds c.mu.
+func (c *Coordinator) aliveWorkersLocked() []*worker {
+	urls := make([]string, 0, len(c.workers))
+	for u, w := range c.workers {
+		if w.alive {
+			urls = append(urls, u)
+		}
+	}
+	sort.Strings(urls)
+	out := make([]*worker, len(urls))
+	for i, u := range urls {
+		out[i] = c.workers[u]
+	}
+	return out
+}
+
+// dispatch submits one shard to its worker as a Ligands-restricted
+// screen under the shard's stable idempotency key, so a re-dispatch
+// (after a coordinator restart or a lost response) maps onto the
+// worker's existing job.
+func (c *Coordinator) dispatch(j *job, sh *shard) {
+	req := j.req
+	req.Ligands = sh.ligands
+	view, err := c.cl.submit(sh.worker, req, j.id+"/"+sh.id)
+	now := c.cfg.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sh.moved || j.state.Terminal() {
+		return
+	}
+	if err != nil {
+		c.metrics.PollError()
+		sh.errs++
+		c.log.Warn("shard dispatch failed",
+			"job", j.id, "shard", sh.id, "worker", sh.worker, "err", err)
+		if sh.errs >= workerFailThreshold {
+			c.markWorkerDeadLocked(sh.worker, "dispatch failures")
+		}
+		return
+	}
+	sh.errs = 0
+	sh.remote = view.ID
+	sh.dispatched = now
+	sh.lastPoll = now
+	sh.lastSeen = 0
+	if w := c.workers[sh.worker]; w != nil {
+		w.lastBeat = now
+	}
+	c.log.Info("shard dispatched",
+		"job", j.id, "shard", sh.id, "worker", sh.worker, "remote", view.ID, "ligands", len(sh.ligands))
+}
+
+// poll fetches one shard's partial ranking and merges what's new. It
+// returns fatal=true with a message when the worker-side job reached a
+// terminal state that cannot produce the shard's ligands (failed, shed,
+// or cancelled out from under us) — a deterministic failure re-running
+// elsewhere would only repeat.
+func (c *Coordinator) poll(j *job, sh *shard) (msg string, fatal bool) {
+	pv, err := c.cl.partial(sh.worker, sh.remote)
+	now := c.cfg.now()
+	if err != nil {
+		var ae *apiError
+		if errors.As(err, &ae) && ae.status == http.StatusNotFound {
+			// The worker restarted without durability and forgot the job.
+			// Clearing remote re-dispatches under the same key next step.
+			c.mu.Lock()
+			sh.remote = ""
+			c.mu.Unlock()
+			c.log.Warn("worker lost shard job; re-dispatching",
+				"job", j.id, "shard", sh.id, "worker", sh.worker)
+			return "", false
+		}
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.metrics.PollError()
+		sh.errs++
+		if sh.errs >= workerFailThreshold {
+			c.markWorkerDeadLocked(sh.worker, "poll failures")
+		}
+		return "", false
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sh.moved || j.state.Terminal() {
+		return "", false
+	}
+	sh.errs = 0
+	w := c.workers[sh.worker]
+	if w != nil {
+		w.lastBeat = now
+	}
+
+	var fresh []service.PartialEntry
+	for _, e := range pv.Entries {
+		if !j.nameSet[e.Ligand] {
+			continue
+		}
+		if _, ok := j.merged[e.Ligand]; ok {
+			continue
+		}
+		e.Rank = 0 // per-shard rank is meaningless after the merge
+		j.merged[e.Ligand] = e
+		fresh = append(fresh, e)
+	}
+	if len(fresh) > 0 {
+		c.metrics.LigandsMerged(len(fresh))
+		c.appendEvent(event{Type: evEntries, Job: j.id, Entries: fresh})
+	}
+
+	completed := 0
+	for _, n := range sh.ligands {
+		if _, ok := j.merged[n]; ok {
+			completed++
+		}
+	}
+	if w != nil && !sh.lastPoll.IsZero() {
+		if dt := now.Sub(sh.lastPoll).Seconds(); dt > 0 {
+			sample := float64(completed-sh.lastSeen) / dt
+			if w.throughput == 0 {
+				w.throughput = sample
+			} else {
+				w.throughput = (1-throughputAlpha)*w.throughput + throughputAlpha*sample
+			}
+		}
+	}
+	sh.lastPoll = now
+	sh.lastSeen = completed
+
+	if completed == len(sh.ligands) {
+		sh.done = true
+		j.rec.AddSpan(trace.Span{
+			Track: sh.worker, Name: "shard " + sh.id, Cat: "shard",
+			Start: sh.dispatched.Sub(j.rec.Epoch()).Seconds(), End: j.rec.Now(),
+			Args: map[string]string{
+				"job": j.id, "remote": sh.remote, "ligands": strconv.Itoa(len(sh.ligands)),
+			},
+		})
+		return "", false
+	}
+	if pv.State.Terminal() {
+		// The worker-side job ended without producing every assigned
+		// ligand: a real failure (bad run, shed deadline, external
+		// cancel), not a liveness problem. Retrying the same request on
+		// another node would deterministically repeat it.
+		return fmt.Sprintf("dist: shard %s on %s ended %s with %d/%d ligands",
+			sh.id, sh.worker, pv.State, completed, len(sh.ligands)), true
+	}
+	return "", false
+}
+
+// finishLocked moves a job to a terminal state, freezes its view (the
+// journal's round-trip snapshot) and closes its trace. Caller holds c.mu.
+func (c *Coordinator) finishLocked(j *job, state service.JobState, errMsg string) {
+	j.state = state
+	j.errMsg = errMsg
+	j.finished = c.cfg.now()
+	v := c.viewLocked(j)
+	j.final = &v
+	c.metrics.JobFinished(state)
+	c.appendEvent(event{Type: evTerminal, Job: j.id, View: &v})
+	j.rec.AddSpan(trace.Span{
+		Track: "job", Name: j.id, Cat: trace.CatJob,
+		Start: 0, End: j.rec.Now(),
+		Args: map[string]string{"state": string(state), "resplits": strconv.Itoa(j.resplits)},
+	})
+	c.log.Info("distributed screen finished",
+		"job", j.id, "state", state, "ligands", len(j.merged), "resplits", j.resplits, "err", errMsg)
+}
+
+// remoteRefsLocked lists the job's dispatched, unfinished worker-side
+// jobs. Caller holds c.mu.
+func (j *job) remoteRefsLocked() []remoteRef {
+	var refs []remoteRef
+	for _, sh := range j.shards {
+		if sh.remote != "" && !sh.done && !sh.moved {
+			refs = append(refs, remoteRef{worker: sh.worker, remote: sh.remote})
+		}
+	}
+	return refs
+}
+
+// cancelRemotes best-effort cancels worker-side jobs (no lock held).
+func (c *Coordinator) cancelRemotes(refs []remoteRef) {
+	for _, r := range refs {
+		if err := c.cl.cancel(r.worker, r.remote); err != nil {
+			c.log.Warn("remote cancel failed", "worker", r.worker, "remote", r.remote, "err", err)
+		}
+	}
+}
+

@@ -260,7 +260,11 @@ func (p *Pool) resplitPending(pending, original []int) int {
 	if leftover == 0 {
 		return 0
 	}
-	extra := splitOverAlive(leftover, original, alive)
+	w := make([]float64, len(original))
+	for i, o := range original {
+		w[i] = float64(o)
+	}
+	extra := SplitOverAlive(leftover, w, alive)
 	if extra == nil {
 		return leftover
 	}
@@ -272,11 +276,18 @@ func (p *Pool) resplitPending(pending, original []int) int {
 	return 0
 }
 
-// splitOverAlive divides total proportionally to weights, but only among
-// alive devices; dead devices get zero. Returns nil when nothing is alive.
+// SplitOverAlive divides total proportionally to weights, but only among
+// alive members; dead members get zero. Returns nil when nothing is alive.
 // All-zero surviving weights fall back to an equal split over the alive
-// devices only.
-func splitOverAlive(total int, weights []int, alive []bool) []int {
+// members only.
+//
+// The pool uses it to redistribute a fenced device's share onto the
+// surviving devices (the weights encode the warm-up throughput, so the
+// dead device's weight renormalizes to zero); the distributed coordinator
+// reuses it one level up to re-shard a dead worker node's unfinished
+// ligands onto the surviving nodes with their observed throughputs as
+// weights.
+func SplitOverAlive(total int, weights []float64, alive []bool) []int {
 	idx := make([]int, 0, len(alive))
 	w := make([]float64, 0, len(alive))
 	for i, a := range alive {
@@ -285,7 +296,7 @@ func splitOverAlive(total int, weights []int, alive []bool) []int {
 		}
 		idx = append(idx, i)
 		if i < len(weights) {
-			w = append(w, float64(weights[i]))
+			w = append(w, weights[i])
 		} else {
 			w = append(w, 0)
 		}

@@ -83,6 +83,14 @@ type ScreenRequest struct {
 	// vsrun -faults DSL ("dev0:fail@2,dev1:transient@0.1"); see
 	// cudasim.ParseFaultPlans. Chaos drills and the breaker e2e use it.
 	Faults string `json:"faults,omitempty"`
+	// Ligands restricts the screen to the named ligands of the synthetic
+	// library — a shard of the full Library. Empty screens everything.
+	// Per-ligand seed lanes are keyed by ligand name, so a shard's
+	// per-ligand results are byte-identical to the same ligands screened
+	// as part of the full library; the distributed coordinator relies on
+	// this to split one screen across worker nodes and merge the partial
+	// rankings back deterministically.
+	Ligands []string `json:"ligands,omitempty"`
 }
 
 // withDefaults fills zero fields with their documented defaults.
@@ -110,6 +118,12 @@ func (r ScreenRequest) withDefaults() ScreenRequest {
 	}
 	return r
 }
+
+// Normalized returns the request with every zero optional field replaced
+// by its documented default — the exact request the service would run.
+// The distributed coordinator normalizes before sharding so coordinator
+// and workers agree on the library.
+func (r ScreenRequest) Normalized() ScreenRequest { return r.withDefaults() }
 
 // Validate rejects requests the workers could not run. It is called at
 // admission so a bad request fails with 400 at submit time, not with a
@@ -148,6 +162,22 @@ func (r ScreenRequest) Validate() error {
 	}
 	if r.DeadlineSeconds < 0 {
 		return fmt.Errorf("service: negative deadline %g", r.DeadlineSeconds)
+	}
+	if len(r.Ligands) > 0 {
+		valid := make(map[string]bool, r.Library)
+		for i := 0; i < r.Library; i++ {
+			valid[core.SyntheticName(i)] = true
+		}
+		seen := make(map[string]bool, len(r.Ligands))
+		for _, name := range r.Ligands {
+			if !valid[name] {
+				return fmt.Errorf("service: ligand %q not in the %d-ligand library", name, r.Library)
+			}
+			if seen[name] {
+				return fmt.Errorf("service: duplicate ligand %q in shard", name)
+			}
+			seen[name] = true
+		}
 	}
 	if r.Faults != "" {
 		if r.Machine == "" {
@@ -236,6 +266,25 @@ type Job struct {
 	// locks, so it is deliberately outside the service-mutex contract).
 	// Nil only for jobs restored from the journal, until first export.
 	rec *trace.Recorder
+
+	// partial accumulates per-ligand results as the running screen
+	// completes them (fed from the checkpoint callback), keyed by ligand
+	// name. The /partial endpoint serves it so the distributed
+	// coordinator can stream a shard's ranking before the shard is done.
+	partial map[string]core.LigandRecord
+}
+
+// addPartial folds newly completed ligand records into the job's partial
+// result set. Caller holds the service mutex.
+func (j *Job) addPartial(recs map[string]core.LigandRecord) {
+	if j.partial == nil {
+		j.partial = make(map[string]core.LigandRecord, len(recs))
+	}
+	for name, rec := range recs {
+		if _, ok := j.partial[name]; !ok {
+			j.partial[name] = rec
+		}
+	}
 }
 
 // RankEntry is one row of a job's ranking on the wire.
@@ -254,9 +303,42 @@ type ResultView struct {
 	Evaluations      int64       `json:"evaluations"`
 	DeviceFaults     int64       `json:"device_faults,omitempty"`
 	Resplits         int64       `json:"resplits,omitempty"`
+	// RankingTotal is the full ranking length; when a response is
+	// paginated, Ranking holds only the window starting at RankingOffset
+	// and RankingTotal tells clients how far they can page.
+	RankingTotal  int `json:"ranking_total,omitempty"`
+	RankingOffset int `json:"ranking_offset,omitempty"`
 	// WarmupFactors are the warm-up Percent factors measured by the
 	// job's backend (heterogeneous pool jobs only), per kernel.
 	WarmupFactors map[string][]float64 `json:"warmup_factors,omitempty"`
+}
+
+// Paginate clips the ranking to the page window, recording the full
+// length in RankingTotal and the window start in RankingOffset. The
+// journal always stores the full view; pagination happens per response.
+func (rv *ResultView) Paginate(p Page) {
+	if rv == nil {
+		return
+	}
+	if rv.RankingTotal == 0 {
+		rv.RankingTotal = len(rv.Ranking)
+	}
+	lo, hi := p.clip(len(rv.Ranking))
+	rv.Ranking = rv.Ranking[lo:hi]
+	rv.RankingOffset = lo
+}
+
+// Paged returns a paginated copy, leaving the receiver untouched — a
+// job's ResultView may be shared across requests (journal-restored jobs,
+// the coordinator's frozen terminal views), so handlers must never
+// Paginate it in place.
+func (rv *ResultView) Paged(p Page) *ResultView {
+	if rv == nil {
+		return nil
+	}
+	cp := *rv
+	cp.Paginate(p)
+	return &cp
 }
 
 // JobView is a consistent snapshot of a job for JSON responses. Attempts
@@ -300,6 +382,7 @@ func resultView(res *core.ScreenResult) *ResultView {
 		Evaluations:      res.Evaluations,
 		DeviceFaults:     res.DeviceFaults,
 		Resplits:         res.Resplits,
+		RankingTotal:     len(res.Ranking),
 		WarmupFactors:    res.WarmupFactors,
 	}
 	for i, e := range res.Ranking {

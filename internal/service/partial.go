@@ -1,0 +1,179 @@
+package service
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strconv"
+
+	"github.com/metascreen/metascreen/internal/core"
+)
+
+// Pagination and partial rankings. Both exist for the same consumer: a
+// ranking can be large (10k-ligand libraries), so GET responses window it
+// with limit/offset, and a running job exposes the ligands it has already
+// completed so the distributed coordinator can merge shard results as
+// they stream in instead of waiting for whole shards.
+
+// DefaultRankingLimit caps a ranking response when the client sends no
+// limit; MaxRankingLimit caps what a client may ask for. Both protect the
+// service from shipping unbounded payloads per request.
+const (
+	DefaultRankingLimit = 1000
+	MaxRankingLimit     = 10000
+)
+
+// Page is a limit/offset window over a ranking.
+type Page struct {
+	Limit  int
+	Offset int
+}
+
+// DefaultPage is the window applied when the client sends no parameters.
+func DefaultPage() Page { return Page{Limit: DefaultRankingLimit} }
+
+// ParsePage reads limit/offset query parameters, applying the documented
+// defaults and caps. Malformed or non-positive limits and negative
+// offsets are client errors.
+func ParsePage(q url.Values) (Page, error) {
+	p := DefaultPage()
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return p, fmt.Errorf("service: limit %q must be a positive integer", v)
+		}
+		if n > MaxRankingLimit {
+			n = MaxRankingLimit
+		}
+		p.Limit = n
+	}
+	if v := q.Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return p, fmt.Errorf("service: offset %q must be a non-negative integer", v)
+		}
+		p.Offset = n
+	}
+	return p, nil
+}
+
+// clip resolves the window against a ranking of n entries.
+func (p Page) clip(n int) (lo, hi int) {
+	lo = p.Offset
+	if lo > n {
+		lo = n
+	}
+	hi = n
+	if p.Limit > 0 && lo+p.Limit < hi {
+		hi = lo + p.Limit
+	}
+	return lo, hi
+}
+
+// PartialEntry is one completed ligand of a still-running (or finished)
+// screen. Unlike RankEntry it carries the ligand's own modeled time and
+// evaluation count, so a coordinator merging shards can rebuild the
+// screen totals in library order — bit-identical to a single-node sum.
+type PartialEntry struct {
+	Rank        int     `json:"rank"`
+	Ligand      string  `json:"ligand"`
+	Atoms       int     `json:"atoms"`
+	Score       float64 `json:"score"`
+	Spot        int     `json:"spot"`
+	SimSeconds  float64 `json:"sim_seconds"`
+	Evaluations int64   `json:"evaluations"`
+}
+
+// PartialView is a point-in-time ranking of the ligands a job has
+// completed so far, sorted by the same score-then-name rule as the final
+// ranking. For a terminal job it holds the complete ranking.
+type PartialView struct {
+	ID        string         `json:"id"`
+	State     JobState       `json:"state"`
+	Completed int            `json:"completed"`
+	Total     int            `json:"total"`
+	Entries   []PartialEntry `json:"entries"`
+	// EntriesTotal and EntriesOffset window Entries like a paginated
+	// ranking; EntriesTotal always counts every completed ligand.
+	EntriesTotal  int `json:"entries_total,omitempty"`
+	EntriesOffset int `json:"entries_offset,omitempty"`
+}
+
+// Partial snapshots the per-ligand results a job has produced so far.
+// The entries come from the in-memory mirror of the screen's checkpoint,
+// so they exist for every running job (durable or not); a job that
+// finished in this process serves its full set.
+func (s *Service) Partial(id string) (PartialView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return PartialView{}, ErrNotFound
+	}
+	total := j.req.Library
+	if len(j.req.Ligands) > 0 {
+		total = len(j.req.Ligands)
+	}
+	pv := PartialView{ID: j.id, State: j.state, Total: total}
+	switch {
+	case len(j.partial) > 0:
+		for _, rec := range j.partial {
+			pv.Entries = append(pv.Entries, PartialEntry{
+				Ligand:      rec.Name,
+				Atoms:       rec.Atoms,
+				Score:       rec.Best.Score,
+				Spot:        rec.Best.Spot,
+				SimSeconds:  rec.SimulatedSeconds,
+				Evaluations: rec.Evaluations,
+			})
+		}
+	case j.state == StateDone && j.restored != nil:
+		// A job restored from the journal lost its per-ligand work
+		// counters with the previous process; the ranking itself is
+		// intact, so serve it with zero sim/evaluation detail.
+		for _, e := range j.restored.Ranking {
+			pv.Entries = append(pv.Entries, PartialEntry{
+				Ligand: e.Ligand, Atoms: e.Atoms, Score: e.Score, Spot: e.Spot,
+			})
+		}
+	}
+	sort.Slice(pv.Entries, func(a, b int) bool {
+		if pv.Entries[a].Score != pv.Entries[b].Score {
+			return pv.Entries[a].Score < pv.Entries[b].Score
+		}
+		return pv.Entries[a].Ligand < pv.Entries[b].Ligand
+	})
+	for i := range pv.Entries {
+		pv.Entries[i].Rank = i + 1
+	}
+	pv.Completed = len(pv.Entries)
+	pv.EntriesTotal = len(pv.Entries)
+	return pv, nil
+}
+
+// Paginate clips the entries to the page window.
+func (pv *PartialView) Paginate(p Page) {
+	lo, hi := p.clip(len(pv.Entries))
+	pv.Entries = pv.Entries[lo:hi]
+	pv.EntriesOffset = lo
+}
+
+// mirrorPartial copies a screen's completed-ligand records into the
+// job's in-memory partial set, from the checkpoint callback or a loaded
+// checkpoint snapshot.
+func (s *Service) mirrorPartial(id string, recs map[string]core.LigandRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		j.addPartial(recs)
+	}
+}
+
+// Ready reports readiness: the journal (if any) has been replayed, the
+// worker pool is up, and the service is not draining. Load balancers and
+// the distributed coordinator probe it via /readyz before routing work.
+func (s *Service) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ready && !s.draining
+}

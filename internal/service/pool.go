@@ -12,6 +12,7 @@ import (
 	"github.com/metascreen/metascreen/internal/cudasim"
 	"github.com/metascreen/metascreen/internal/forcefield"
 	"github.com/metascreen/metascreen/internal/metaheuristic"
+	"github.com/metascreen/metascreen/internal/molecule"
 	"github.com/metascreen/metascreen/internal/obs"
 	"github.com/metascreen/metascreen/internal/sched"
 	"github.com/metascreen/metascreen/internal/surface"
@@ -263,10 +264,14 @@ func (s *Service) sleepRetry(ctx context.Context, delay time.Duration) bool {
 // runScreen is the production runner: it materializes the request into
 // the exact same core screen call a library user would write, so a
 // service job and a library screen with equal parameters and seed return
-// identical rankings. With durability enabled, the screen resumes from
-// the job's checkpoint snapshot and re-snapshots it every CheckpointEvery
-// completed ligands — since seed lanes are keyed by ligand name, the
-// resumed ranking is byte-identical to an uninterrupted run.
+// identical rankings. A request naming specific Ligands screens just that
+// shard of the library, in library order. With durability enabled, the
+// screen resumes from the job's checkpoint snapshot and re-snapshots it
+// every CheckpointEvery completed ligands — since seed lanes are keyed by
+// ligand name, the resumed ranking is byte-identical to an uninterrupted
+// run. Every run goes through the resumable path so each completed ligand
+// also lands in the job's in-memory partial mirror, which the /partial
+// endpoint streams to the distributed coordinator.
 func (s *Service) runScreen(ctx context.Context, id string, req ScreenRequest) (*core.ScreenResult, error) {
 	ds, err := core.DatasetByName(req.Dataset)
 	if err != nil {
@@ -280,19 +285,27 @@ func (s *Service) runScreen(ctx context.Context, id string, req ScreenRequest) (
 		return metaheuristic.NewPaper(req.Metaheuristic, req.Scale)
 	}
 	lib := core.SyntheticLibrary(req.Library)
+	if len(req.Ligands) > 0 {
+		lib = filterLibrary(lib, req.Ligands)
+	}
 	spotOpts := surface.Options{MaxSpots: req.Spots}
 
 	s.mu.Lock()
 	durable := s.journal != nil
 	s.mu.Unlock()
-	if !durable {
-		return core.ScreenCtx(ctx, ds.Receptor, lib, spotOpts, forcefield.Options{},
-			algf, backf, req.Seed, s.cfg.ScreenWorkers)
-	}
 
-	cp := s.loadJobCheckpoint(id, req.Seed)
+	cp := &core.Checkpoint{}
+	if durable {
+		cp = s.loadJobCheckpoint(id, req.Seed)
+		if len(cp.Ligands) > 0 {
+			// A resumed job's already-completed ligands are partial
+			// results too.
+			s.mirrorPartial(id, cp.Ligands)
+		}
+	}
 	onCp := func(cp *core.Checkpoint, newly int) error {
-		if newly%s.cfg.CheckpointEvery != 0 {
+		s.mirrorPartial(id, cp.Ligands)
+		if !durable || newly%s.cfg.CheckpointEvery != 0 {
 			return nil
 		}
 		if err := s.writeJobCheckpoint(id, cp); err != nil {
@@ -313,4 +326,21 @@ func (s *Service) runScreen(ctx context.Context, id string, req ScreenRequest) (
 	}
 	return core.ScreenResumableCtx(ctx, ds.Receptor, lib, spotOpts, forcefield.Options{},
 		algf, backf, req.Seed, s.cfg.ScreenWorkers, cp, onCp)
+}
+
+// filterLibrary keeps the named ligands, preserving library order so
+// aggregate sums stay deterministic. Validation already guaranteed every
+// name exists.
+func filterLibrary(lib []*molecule.Molecule, names []string) []*molecule.Molecule {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	out := lib[:0:0]
+	for _, lig := range lib {
+		if want[lig.Name] {
+			out = append(out, lig)
+		}
+	}
+	return out
 }

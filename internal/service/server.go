@@ -15,6 +15,13 @@ import (
 //	                              admitted key returns the original job, 200)
 //	GET    /v1/screens            list jobs                  -> 200 [JobView]
 //	GET    /v1/screens/{id}       job status + ranking       -> 200 JobView
+//	                              (?limit=&offset= window the ranking;
+//	                              no limit caps it at DefaultRankingLimit,
+//	                              ranking_total reports the full length)
+//	GET    /v1/screens/{id}/partial  completed-ligand ranking so far
+//	                              -> 200 PartialView (same limit/offset
+//	                              params; the distributed coordinator
+//	                              streams shard merges from it)
 //	GET    /v1/screens/{id}/trace Chrome-trace-format job timeline -> 200
 //	                              (also served as GET /jobs/{id}/trace;
 //	                              load the payload in Perfetto or
@@ -22,6 +29,8 @@ import (
 //	DELETE /v1/screens/{id}       cancel                     -> 202 JobView
 //	                              (also served as DELETE /jobs/{id})
 //	GET    /healthz               liveness                   -> 200 Stats
+//	GET    /readyz                readiness (journal replayed, pool up,
+//	                              not draining) -> 200 / 503
 //	GET    /metrics               Prometheus text exposition -> 200
 //
 // Errors are {"error": "..."} with ErrQueueFull / ErrDeadlineUnmeetable
@@ -36,11 +45,13 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/screens", s.handleSubmit)
 	mux.HandleFunc("GET /v1/screens", s.handleList)
 	mux.HandleFunc("GET /v1/screens/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/screens/{id}/partial", s.handlePartial)
 	mux.HandleFunc("GET /v1/screens/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/screens/{id}", s.handleCancel)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -93,7 +104,31 @@ func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
+	page, err := ParsePage(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	view.Result = view.Result.Paged(page)
 	writeJSON(w, http.StatusOK, view)
+}
+
+// handlePartial serves the ranking of the ligands a job has completed so
+// far — the coordinator's streaming-merge source. Terminal jobs serve
+// their full set, so one polling loop covers a shard's whole lifecycle.
+func (s *Service) handlePartial(w http.ResponseWriter, r *http.Request) {
+	pv, err := s.Partial(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	page, err := ParsePage(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pv.Paginate(page)
+	writeJSON(w, http.StatusOK, pv)
 }
 
 // handleTrace streams a job's timeline in Chrome trace format. The export
@@ -130,6 +165,21 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, st)
+}
+
+// handleReady is the readiness probe: 200 once the journal is replayed
+// and the worker pool is up, 503 before that and while draining. The
+// coordinator and CI poll it instead of sleeping.
+func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
+	ready := s.Ready()
+	code := http.StatusOK
+	if !ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"ready":    ready,
+		"recovery": s.Recovery(),
+	})
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -153,6 +153,10 @@ type Service struct {
 	// by a finished job's backend, for the debug snapshot.
 	lastWarmup map[string][]float64
 
+	// ready flips once New finished booting: journal replayed, worker
+	// pool started. /readyz reports it (false again while draining).
+	ready bool
+
 	// now is the clock; tests pin it for stable timestamps.
 	now func() time.Time
 }
@@ -198,6 +202,9 @@ func New(cfg Config) (*Service, error) {
 		s.workers.Add(1)
 		go s.worker()
 	}
+	s.mu.Lock()
+	s.ready = true
+	s.mu.Unlock()
 	return s, nil
 }
 
