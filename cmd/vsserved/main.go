@@ -39,6 +39,14 @@
 //	             survivors, and -data-dir journals distributed state so a
 //	             restarted coordinator resumes mid-screen
 //
+// Coordinator→worker requests run under per-request timeouts with
+// bounded, jittered retries and epoch fencing against zombie workers
+// (-request-timeout, -worker-attempts, -worker-retry-delay,
+// -worker-fail-threshold, -worker-response-limit). A -chaos plan (with
+// -chaos-seed) injects deterministic network faults — partitions,
+// blackholes, latency, request duplication — into those requests for
+// replayable chaos drills; see internal/netsim.
+//
 // SIGINT/SIGTERM drain gracefully: intake stops, queued jobs are
 // cancelled, running jobs finish (up to -drain-timeout, then they are
 // force-cancelled between metaheuristic generations).
@@ -58,6 +66,7 @@ import (
 
 	"github.com/metascreen/metascreen/internal/admission"
 	"github.com/metascreen/metascreen/internal/dist"
+	"github.com/metascreen/metascreen/internal/netsim"
 	"github.com/metascreen/metascreen/internal/obs"
 	"github.com/metascreen/metascreen/internal/service"
 	"github.com/metascreen/metascreen/internal/wal"
@@ -91,6 +100,13 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", time.Second, "worker registration/heartbeat cadence")
 	workerTimeout := flag.Duration("worker-timeout", 5*time.Second, "coordinator declares a worker dead after this heartbeat silence")
 	pollInterval := flag.Duration("poll-interval", 100*time.Millisecond, "coordinator shard dispatch/merge cadence")
+	requestTimeout := flag.Duration("request-timeout", 0, "coordinator per-request deadline against a worker (0 = 15s)")
+	workerAttempts := flag.Int("worker-attempts", 0, "tries per coordinator->worker request (0 = 3, 1 disables retries)")
+	workerRetryDelay := flag.Duration("worker-retry-delay", 0, "base backoff between coordinator request retries, doubled and jittered (0 = 50ms)")
+	workerFailThreshold := flag.Int("worker-fail-threshold", 0, "consecutive failed requests before a worker is declared dead (0 = 2)")
+	workerResponseLimit := flag.Int64("worker-response-limit", 0, "byte cap on worker responses (0 = sized to the library limit)")
+	chaos := flag.String("chaos", "", "netsim fault plan injected into coordinator->worker requests, e.g. '127.0.0.1:8081:partition@3s+4s' (empty = disabled)")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the -chaos plan's probabilistic faults")
 	flag.Parse()
 
 	logger, err := obs.NewLogger(*logLevel, *logFormat, os.Stderr)
@@ -108,11 +124,31 @@ func main() {
 	// The coordinator role runs no local screening engine: it is the
 	// dist.Coordinator behind the same API surface.
 	if *role == "coordinator" {
+		var transport http.RoundTripper
+		if *chaos != "" {
+			plan, perr := netsim.ParsePlan(*chaos)
+			if perr != nil {
+				fatal(perr)
+			}
+			transport = netsim.New(plan, netsim.Config{
+				Seed: *chaosSeed,
+				Logf: func(format string, args ...any) {
+					logger.Warn(fmt.Sprintf(format, args...))
+				},
+			})
+			logger.Warn("chaos plan active on worker requests", "plan", plan.String(), "seed", *chaosSeed)
+		}
 		coord, err := dist.New(dist.Config{
 			DataDir:          *dataDir,
 			SyncPolicy:       policy,
 			HeartbeatTimeout: *workerTimeout,
 			PollInterval:     *pollInterval,
+			RequestTimeout:   *requestTimeout,
+			RequestAttempts:  *workerAttempts,
+			RetryBaseDelay:   *workerRetryDelay,
+			FailThreshold:    *workerFailThreshold,
+			MaxResponseBytes: *workerResponseLimit,
+			Transport:        transport,
 			Logger:           logger,
 		})
 		if err != nil {

@@ -2,25 +2,48 @@ package dist
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"github.com/metascreen/metascreen/internal/service"
 )
 
 // client is the coordinator's HTTP client for worker nodes. Workers are
 // plain vsserved instances — the client speaks the same JSON API any
-// other consumer does, with one addition: shard submissions always carry
-// an Idempotency-Key derived from (distributed job, shard), so a
+// other consumer does, with two additions: shard submissions always
+// carry an Idempotency-Key derived from (distributed job, shard), so a
 // coordinator that restarts and re-dispatches maps onto the worker's
-// already-running job instead of starting a duplicate screen.
+// already-running job instead of starting a duplicate screen; and every
+// shard request is tagged with the owning worker's registration epoch
+// (service.EpochHeader), which the worker echoes back — the fencing
+// handshake that lets the coordinator reject responses from zombies.
+//
+// Every request runs under a per-request timeout derived from the
+// caller's context, so a blackholed worker can never wedge a supervision
+// loop: the worst case is timeout × attempts, then the failure counts
+// toward the worker's death threshold. Transient failures — transport
+// errors, timeouts, 408/429/5xx — are retried with exponential backoff
+// and deterministic jitter; anything else (other 4xx) is fatal and
+// surfaces immediately.
 type client struct {
-	hc *http.Client
+	hc        *http.Client
+	timeout   time.Duration // per-request deadline; 0 = no extra deadline
+	attempts  int           // total tries per request (>= 1)
+	backoff   time.Duration // base retry delay, doubled per retry
+	respLimit int64         // response read cap in bytes
+	onRetry   func()        // metrics hook, called once per retry
 }
+
+// maxClientBackoff caps one retry sleep so attempt budgets stay
+// predictable even after several doublings.
+const maxClientBackoff = 2 * time.Second
 
 // apiError is a non-2xx response, decoded from the service's
 // {"error": "..."} body when possible.
@@ -36,81 +59,179 @@ func (e *apiError) Error() string {
 	return "worker: HTTP " + strconv.Itoa(e.status)
 }
 
-func (c *client) do(req *http.Request, out any) error {
-	resp, err := c.hc.Do(req)
+// retriableError marks a failure worth another attempt: the request may
+// never have reached the worker, or the worker may recover.
+type retriableError struct{ err error }
+
+func (e *retriableError) Error() string { return e.err.Error() }
+func (e *retriableError) Unwrap() error { return e.err }
+
+// retriable reports whether an error is marked transient.
+func retriable(err error) bool {
+	var re *retriableError
+	return errors.As(err, &re)
+}
+
+// do runs one logical request with retries. body may be nil; epoch > 0
+// tags the request for fencing. The decoded 2xx body lands in out.
+func (c *client) do(ctx context.Context, method, url string, body []byte, key string, epoch uint64, out any) error {
+	for attempt := 1; ; attempt++ {
+		err := c.once(ctx, method, url, body, key, epoch, out)
+		if err == nil {
+			return nil
+		}
+		if !retriable(err) || attempt >= c.attempts || ctx.Err() != nil {
+			return err
+		}
+		if c.onRetry != nil {
+			c.onRetry()
+		}
+		if !sleepCtx(ctx, retryBackoff(c.backoff, url, attempt)) {
+			return err
+		}
+	}
+}
+
+// once performs a single attempt under the per-request timeout.
+func (c *client) once(ctx context.Context, method, url string, body []byte, key string, epoch uint64, out any) error {
+	rctx := ctx
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(rctx, method, url, rd)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if key != "" {
+		req.Header.Set("Idempotency-Key", key)
+	}
+	sentEpoch := ""
+	if epoch > 0 {
+		sentEpoch = strconv.FormatUint(epoch, 10)
+		req.Header.Set(service.EpochHeader, sentEpoch)
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		if ctx.Err() != nil {
+			return err // the caller is gone; retrying is pointless
+		}
+		// Transport-level failures — refused connections, injected
+		// partitions, per-request timeouts against a blackholed worker —
+		// are all worth another try.
+		return &retriableError{err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, c.respLimit+1))
+	if err != nil {
+		if ctx.Err() != nil {
+			return err
+		}
+		return &retriableError{err}
+	}
+	if int64(len(data)) > c.respLimit {
+		// Oversized responses repeat deterministically: fail loud instead
+		// of truncating into a JSON parse error.
+		return fmt.Errorf("dist: response from %s exceeds the %d-byte cap", url, c.respLimit)
+	}
+	if sentEpoch != "" {
+		if echo := resp.Header.Get(service.EpochHeader); echo != "" && echo != sentEpoch {
+			// The response answers a different epoch's request (a stale
+			// duplicate, a confused proxy): never trust its body.
+			return &retriableError{fmt.Errorf("dist: epoch echo mismatch from %s: sent %s, got %s", url, sentEpoch, echo)}
+		}
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var e struct {
 			Error string `json:"error"`
 		}
-		json.Unmarshal(body, &e)
-		return &apiError{status: resp.StatusCode, msg: e.Error}
+		json.Unmarshal(data, &e)
+		apiErr := &apiError{status: resp.StatusCode, msg: e.Error}
+		if resp.StatusCode == http.StatusRequestTimeout ||
+			resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode >= 500 {
+			return &retriableError{apiErr}
+		}
+		return apiErr
 	}
 	if out == nil {
 		return nil
 	}
-	return json.Unmarshal(body, out)
+	if err := json.Unmarshal(data, out); err != nil {
+		return &retriableError{err}
+	}
+	return nil
+}
+
+// retryBackoff computes the sleep before retry `attempt`: the base delay
+// doubles per retry with a deterministic jitter factor in [0.5, 1.5)
+// hashed from the URL and attempt — reproducible without a global RNG,
+// and de-synchronized across workers.
+func retryBackoff(base time.Duration, url string, attempt int) time.Duration {
+	delay := base << (attempt - 1)
+	if delay <= 0 || delay > maxClientBackoff {
+		delay = maxClientBackoff
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", url, attempt)
+	factor := 0.5 + float64(h.Sum64()%1024)/1024
+	return time.Duration(float64(delay) * factor)
+}
+
+// sleepCtx waits out one backoff; false means the context ended first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // submit posts a shard screen to a worker under the given idempotency
-// key. Both 202 (new) and 200 (the worker had already admitted this key)
-// succeed and return the worker-side job.
-func (c *client) submit(base string, req service.ScreenRequest, key string) (service.JobView, error) {
+// key and fencing epoch. Both 202 (new) and 200 (the worker had already
+// admitted this key) succeed and return the worker-side job.
+func (c *client) submit(ctx context.Context, base string, req service.ScreenRequest, key string, epoch uint64) (service.JobView, error) {
 	b, err := json.Marshal(req)
 	if err != nil {
 		return service.JobView{}, err
 	}
-	hreq, err := http.NewRequest(http.MethodPost, base+"/v1/screens", bytes.NewReader(b))
-	if err != nil {
-		return service.JobView{}, err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	hreq.Header.Set("Idempotency-Key", key)
 	var view service.JobView
-	err = c.do(hreq, &view)
+	err = c.do(ctx, http.MethodPost, base+"/v1/screens", b, key, epoch, &view)
 	return view, err
 }
 
 // partial fetches the completed-ligand ranking of a worker-side job. The
 // limit is pinned to the service's maximum so one poll always sees the
 // whole shard (shards are bounded by the library cap, which equals it).
-func (c *client) partial(base, id string) (service.PartialView, error) {
+func (c *client) partial(ctx context.Context, base, id string, epoch uint64) (service.PartialView, error) {
 	url := base + "/v1/screens/" + id + "/partial?limit=" + strconv.Itoa(service.MaxRankingLimit)
-	hreq, err := http.NewRequest(http.MethodGet, url, nil)
-	if err != nil {
-		return service.PartialView{}, err
-	}
 	var pv service.PartialView
-	err = c.do(hreq, &pv)
+	err := c.do(ctx, http.MethodGet, url, nil, "", epoch, &pv)
 	return pv, err
 }
 
 // get fetches a worker-side job view (used for terminal error detail).
-func (c *client) get(base, id string) (service.JobView, error) {
-	hreq, err := http.NewRequest(http.MethodGet, base+"/v1/screens/"+id, nil)
-	if err != nil {
-		return service.JobView{}, err
-	}
+func (c *client) get(ctx context.Context, base, id string) (service.JobView, error) {
 	var view service.JobView
-	err = c.do(hreq, &view)
+	err := c.do(ctx, http.MethodGet, base+"/v1/screens/"+id, nil, "", 0, &view)
 	return view, err
 }
 
 // cancel asks a worker to cancel a job. Already-terminal (409) and
 // unknown (404) jobs are fine — the goal state is "not running".
-func (c *client) cancel(base, id string) error {
-	hreq, err := http.NewRequest(http.MethodDelete, base+"/v1/screens/"+id, nil)
-	if err != nil {
-		return err
-	}
-	err = c.do(hreq, nil)
+func (c *client) cancel(ctx context.Context, base, id string) error {
+	err := c.do(ctx, http.MethodDelete, base+"/v1/screens/"+id, nil, "", 0, nil)
 	var ae *apiError
 	if errors.As(err, &ae) && (ae.status == http.StatusConflict || ae.status == http.StatusNotFound) {
 		return nil
@@ -119,10 +240,6 @@ func (c *client) cancel(base, id string) error {
 }
 
 // ready probes a worker's /readyz.
-func (c *client) ready(base string) bool {
-	hreq, err := http.NewRequest(http.MethodGet, base+"/readyz", nil)
-	if err != nil {
-		return false
-	}
-	return c.do(hreq, nil) == nil
+func (c *client) ready(ctx context.Context, base string) bool {
+	return c.do(ctx, http.MethodGet, base+"/readyz", nil, "", 0, nil) == nil
 }

@@ -1,0 +1,238 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/metascreen/metascreen/internal/service"
+)
+
+// Client-level tests: retry/timeout/backoff classification against stub
+// servers, independent of the coordinator machinery.
+
+func testClient(srv *httptest.Server) *client {
+	return &client{
+		hc:        srv.Client(),
+		timeout:   time.Second,
+		attempts:  3,
+		backoff:   time.Millisecond,
+		respLimit: 1 << 20,
+	}
+}
+
+// TestClientRetriesTransient: 5xx responses are retried until an attempt
+// succeeds, and each retry fires the metrics hook.
+func TestClientRetriesTransient(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+	var retries atomic.Int64
+	cl := testClient(srv)
+	cl.onRetry = func() { retries.Add(1) }
+	var out map[string]any
+	if err := cl.do(context.Background(), http.MethodGet, srv.URL, nil, "", 0, &out); err != nil {
+		t.Fatalf("request failed after retries: %v", err)
+	}
+	if calls.Load() != 3 || retries.Load() != 2 {
+		t.Fatalf("calls=%d retries=%d, want 3 and 2", calls.Load(), retries.Load())
+	}
+}
+
+// TestClientFatalOn4xx: a client error is deterministic — no retry, the
+// apiError surfaces on the first attempt.
+func TestClientFatalOn4xx(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"nope"}`))
+	}))
+	defer srv.Close()
+	err := testClient(srv).do(context.Background(), http.MethodGet, srv.URL, nil, "", 0, nil)
+	var ae *apiError
+	if !errors.As(err, &ae) || ae.status != http.StatusBadRequest {
+		t.Fatalf("got %v, want a 400 apiError", err)
+	}
+	if retriable(err) {
+		t.Error("400 classified as retriable")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("4xx retried: %d calls", calls.Load())
+	}
+}
+
+// TestClientTimeoutBounded: a blackholed server cannot wedge the caller —
+// each attempt is cut off at the per-request timeout, the failure is
+// retriable, and the whole call returns within timeout × attempts plus
+// backoff.
+func TestClientTimeoutBounded(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	defer srv.Close()
+	cl := testClient(srv)
+	cl.timeout = 50 * time.Millisecond
+	cl.attempts = 2
+	start := time.Now()
+	err := cl.do(context.Background(), http.MethodGet, srv.URL, nil, "", 0, nil)
+	if err == nil {
+		t.Fatal("blackholed request succeeded")
+	}
+	if !retriable(err) {
+		t.Errorf("timeout classified as fatal: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("bounded call took %v", elapsed)
+	}
+}
+
+// TestClientRespectsParentContext: when the caller's own context ends,
+// the retry loop stops instead of burning remaining attempts.
+func TestClientRespectsParentContext(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cl := testClient(srv)
+	cl.attempts = 5
+	if err := cl.do(ctx, http.MethodGet, srv.URL, nil, "", 0, nil); err == nil {
+		t.Fatal("cancelled-context request succeeded")
+	}
+	if calls.Load() > 1 {
+		t.Errorf("retried %d times under a cancelled context", calls.Load()-1)
+	}
+}
+
+// TestClientResponseCap: an oversized body fails loud and fatal instead
+// of truncating into a confusing JSON error.
+func TestClientResponseCap(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Write(make([]byte, 4096))
+	}))
+	defer srv.Close()
+	cl := testClient(srv)
+	cl.respLimit = 1024
+	err := cl.do(context.Background(), http.MethodGet, srv.URL, nil, "", 0, nil)
+	if err == nil {
+		t.Fatal("oversized response accepted")
+	}
+	if retriable(err) {
+		t.Errorf("oversized response classified as retriable: %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("oversized response retried: %d calls", calls.Load())
+	}
+}
+
+// TestClientEpochEchoMismatch: a response echoing a different fencing
+// epoch than the request carried is never trusted (retriable — the next
+// attempt may reach the real worker).
+func TestClientEpochEchoMismatch(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(service.EpochHeader, "42")
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+	cl := testClient(srv)
+	cl.attempts = 1
+	err := cl.do(context.Background(), http.MethodGet, srv.URL, nil, "", 7, nil)
+	if err == nil {
+		t.Fatal("mismatched epoch echo accepted")
+	}
+	if !retriable(err) {
+		t.Errorf("epoch mismatch classified as fatal: %v", err)
+	}
+}
+
+// TestServiceEchoesEpoch: the worker side of the fencing handshake — a
+// real service reflects the epoch header on its responses.
+func TestServiceEchoesEpoch(t *testing.T) {
+	w := startWorker(t)
+	req, err := http.NewRequest(http.MethodGet, w.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(service.EpochHeader, "5")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(service.EpochHeader); got != "5" {
+		t.Fatalf("service echoed epoch %q, want 5", got)
+	}
+}
+
+// TestRetryBackoffShape: exponential growth, the cap, and the jitter
+// band, all deterministic per (url, attempt).
+func TestRetryBackoffShape(t *testing.T) {
+	base := 50 * time.Millisecond
+	for attempt := 1; attempt <= 8; attempt++ {
+		d := retryBackoff(base, "http://w:1", attempt)
+		if d != retryBackoff(base, "http://w:1", attempt) {
+			t.Fatal("backoff not deterministic")
+		}
+		nominal := base << (attempt - 1)
+		if nominal <= 0 || nominal > maxClientBackoff {
+			nominal = maxClientBackoff
+		}
+		// Jitter keeps each sleep inside [0.5, 1.5) × the nominal delay.
+		if d < nominal/2 || d >= nominal+nominal/2 {
+			t.Fatalf("attempt %d backoff %v outside the jitter band of %v", attempt, d, nominal)
+		}
+	}
+}
+
+// TestBeatJitterBounds: heartbeat waits stay inside ±20% of the interval,
+// spread across beats, and replay identically.
+func TestBeatJitterBounds(t *testing.T) {
+	interval := time.Second
+	seen := make(map[time.Duration]bool)
+	for n := uint64(0); n < 200; n++ {
+		d := beatJitter(interval, "http://w:1", n)
+		if d < 800*time.Millisecond || d >= 1200*time.Millisecond {
+			t.Fatalf("beat %d jittered to %v, outside [0.8s, 1.2s)", n, d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("jitter produced only %d distinct waits over 200 beats", len(seen))
+	}
+	if beatJitter(interval, "http://w:1", 3) != beatJitter(interval, "http://w:1", 3) {
+		t.Error("beat jitter not deterministic")
+	}
+}
+
+// TestConfigValidate: nonsense tuning is rejected before any state is
+// built or journaled.
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{RequestAttempts: -1},
+		{FailThreshold: -2},
+		{MaxResponseBytes: -5},
+		{MaxResponseBytes: 1024}, // below the 64 KiB floor
+		{RetryBaseDelay: -time.Second},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

@@ -53,13 +53,60 @@ type Config struct {
 	// polls, merge, death checks); default 100ms.
 	PollInterval time.Duration
 	// RequestTimeout bounds each HTTP request to a worker; default 15s.
+	// With RequestAttempts retries, one logical call takes at most about
+	// RequestTimeout × RequestAttempts plus backoff.
 	RequestTimeout time.Duration
+	// RequestAttempts is the total number of tries per worker request;
+	// transient failures (transport errors, timeouts, 408/429/5xx) are
+	// retried with exponential backoff and jitter. 0 means 3; 1 disables
+	// retries.
+	RequestAttempts int
+	// RetryBaseDelay seeds the retry backoff, doubled per retry and
+	// jittered; default 50ms.
+	RetryBaseDelay time.Duration
+	// FailThreshold is how many consecutive failed requests to one worker
+	// declare it dead, independent of its heartbeat age; default 2 — one
+	// transient refusal is forgiven, a flapping node is not waited out.
+	FailThreshold int
+	// MaxResponseBytes caps how much of a worker response is read; 0
+	// sizes the cap to the service's library limit (MaxRankingLimit
+	// entries plus headroom), the largest partial a shard can produce.
+	MaxResponseBytes int64
+	// Transport overrides the HTTP transport for worker requests —
+	// netsim fault injection in tests and chaos drills, proxies in odd
+	// deployments. nil = http.DefaultTransport.
+	Transport http.RoundTripper
 	// CompactBytes triggers journal compaction; default 4 MiB.
 	CompactBytes int64
 	// Logger receives coordinator events; default slog text to stderr.
 	Logger *slog.Logger
 
 	now func() time.Time // test hook; default time.Now
+}
+
+// maxPartialEntryBytes is the sizing assumption behind the default
+// response cap: one JSON partial entry with headroom for long ligand
+// names and large counters.
+const maxPartialEntryBytes = 512
+
+// validate rejects nonsensical tuning before any of it journals.
+func (c Config) validate() error {
+	if c.RequestAttempts < 0 {
+		return fmt.Errorf("dist: RequestAttempts %d must be >= 0", c.RequestAttempts)
+	}
+	if c.FailThreshold < 0 {
+		return fmt.Errorf("dist: FailThreshold %d must be >= 0", c.FailThreshold)
+	}
+	if c.MaxResponseBytes < 0 {
+		return fmt.Errorf("dist: MaxResponseBytes %d must be >= 0", c.MaxResponseBytes)
+	}
+	if c.MaxResponseBytes > 0 && c.MaxResponseBytes < 64<<10 {
+		return fmt.Errorf("dist: MaxResponseBytes %d is below the 64 KiB floor (too small for a shard partial)", c.MaxResponseBytes)
+	}
+	if c.RetryBaseDelay < 0 {
+		return fmt.Errorf("dist: RetryBaseDelay %v must be >= 0", c.RetryBaseDelay)
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +118,19 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 15 * time.Second
+	}
+	if c.RequestAttempts == 0 {
+		c.RequestAttempts = 3
+	}
+	if c.RetryBaseDelay == 0 {
+		c.RetryBaseDelay = 50 * time.Millisecond
+	}
+	if c.FailThreshold == 0 {
+		c.FailThreshold = 2
+	}
+	if c.MaxResponseBytes == 0 {
+		// Sized to the library cap: the biggest partial one poll can see.
+		c.MaxResponseBytes = int64(service.MaxRankingLimit)*maxPartialEntryBytes + 64<<10
 	}
 	if c.CompactBytes <= 0 {
 		c.CompactBytes = 4 << 20
@@ -84,11 +144,6 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// workerFailThreshold is how many consecutive failed requests to one
-// worker declare it dead, independent of its heartbeat age. Two strikes:
-// one transient refusal is forgiven, a flapping node is not waited out.
-const workerFailThreshold = 2
-
 // throughputAlpha is the EWMA weight of the newest per-poll throughput
 // sample (completed ligands per second) in a worker's running estimate.
 const throughputAlpha = 0.3
@@ -97,6 +152,7 @@ const throughputAlpha = 0.3
 type worker struct {
 	url        string
 	alive      bool
+	epoch      uint64 // fencing epoch, bumped on every dead→alive transition
 	lastBeat   time.Time
 	throughput float64 // EWMA completed ligands/second, 0 until observed
 	shards     int64   // shards ever assigned here
@@ -107,10 +163,11 @@ type worker struct {
 type shard struct {
 	id      string   // "s0", "s1", ... unique within the job, stable across restarts
 	worker  string   // owning worker URL
+	epoch   uint64   // owner's registration epoch at assignment; immutable after creation
 	ligands []string // assigned ligand names, library order
 	remote  string   // worker-side job ID; "" until the dispatch is acknowledged
 	done    bool     // every assigned ligand merged
-	moved   bool     // worker died; unfinished ligands were re-split away
+	moved   bool     // worker died or was fenced; unfinished ligands were re-split away
 
 	dispatched time.Time
 	lastPoll   time.Time
@@ -149,34 +206,50 @@ type Coordinator struct {
 	cl      *client
 	metrics *Metrics
 
-	mu       sync.Mutex
-	workers  map[string]*worker
-	jobs     map[string]*job
-	order    []string
-	idem     map[string]string // idempotency key -> job ID
-	nextID   uint64
-	journal  *wal.Journal
-	draining bool
+	mu        sync.Mutex
+	workers   map[string]*worker
+	jobs      map[string]*job
+	order     []string
+	idem      map[string]string // idempotency key -> job ID
+	nextID    uint64
+	nextEpoch uint64      // monotonic fencing-epoch counter, journaled
+	fenced    []remoteRef // zombie worker-side jobs awaiting best-effort cancel
+	journal   *wal.Journal
+	draining  bool
 
-	done     chan struct{}
-	stopOnce sync.Once
-	wg       sync.WaitGroup
+	reqCtx    context.Context // lifetime context for all worker requests
+	reqCancel context.CancelFunc
+	done      chan struct{}
+	stopOnce  sync.Once
+	wg        sync.WaitGroup
 }
 
 // New builds a coordinator, replaying its journal (when DataDir is set)
 // and resuming every non-terminal distributed job found there.
 func New(cfg Config) (*Coordinator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
+	metrics := NewMetrics()
 	c := &Coordinator{
-		cfg:     cfg,
-		log:     cfg.Logger,
-		cl:      &client{hc: &http.Client{Timeout: cfg.RequestTimeout}},
-		metrics: NewMetrics(),
+		cfg: cfg,
+		log: cfg.Logger,
+		cl: &client{
+			hc:        &http.Client{Transport: cfg.Transport},
+			timeout:   cfg.RequestTimeout,
+			attempts:  cfg.RequestAttempts,
+			backoff:   cfg.RetryBaseDelay,
+			respLimit: cfg.MaxResponseBytes,
+			onRetry:   metrics.RequestRetried,
+		},
+		metrics: metrics,
 		workers: make(map[string]*worker),
 		jobs:    make(map[string]*job),
 		idem:    make(map[string]string),
 		done:    make(chan struct{}),
 	}
+	c.reqCtx, c.reqCancel = context.WithCancel(context.Background())
 	if cfg.DataDir != "" {
 		if err := c.openJournal(); err != nil {
 			return nil, err
@@ -233,8 +306,12 @@ func (c *Coordinator) Ready() bool {
 }
 
 // Register upserts a worker by URL and counts as a heartbeat. A dead or
-// unknown worker becomes alive; re-registration after a death is how a
-// restarted node rejoins. Returns the current membership size.
+// unknown worker becomes alive under a fresh fencing epoch; shards the
+// worker owned under its previous epoch are thereby invalidated — a node
+// that was declared dead and comes back (a zombie, in the partition
+// sense) cannot have its stale results merged, because every dispatch
+// and poll compares the shard's epoch against this one. Returns the
+// current membership size.
 func (c *Coordinator) Register(rawURL string) (int, error) {
 	u, err := url.Parse(rawURL)
 	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
@@ -252,9 +329,11 @@ func (c *Coordinator) Register(rawURL string) (int, error) {
 	if !w.alive {
 		w.alive = true
 		w.throughput = 0
+		c.nextEpoch++
+		w.epoch = c.nextEpoch
 		c.metrics.WorkerJoined()
-		c.appendEvent(event{Type: evWorker, Worker: base, Alive: true})
-		c.log.Info("worker joined", "worker", base, "members", len(c.workers))
+		c.appendEvent(event{Type: evWorker, Worker: base, Alive: true, Epoch: w.epoch})
+		c.log.Info("worker joined", "worker", base, "epoch", w.epoch, "members", len(c.workers))
 	}
 	w.lastBeat = now
 	return len(c.workers), nil
@@ -264,6 +343,7 @@ func (c *Coordinator) Register(rawURL string) (int, error) {
 type WorkerView struct {
 	URL                 string  `json:"url"`
 	Alive               bool    `json:"alive"`
+	Epoch               uint64  `json:"epoch,omitempty"`
 	HeartbeatAgeSeconds float64 `json:"heartbeat_age_seconds"`
 	ThroughputLPS       float64 `json:"throughput_lps,omitempty"`
 	Shards              int64   `json:"shards,omitempty"`
@@ -279,6 +359,7 @@ func (c *Coordinator) Workers() []WorkerView {
 		out = append(out, WorkerView{
 			URL:                 w.url,
 			Alive:               w.alive,
+			Epoch:               w.epoch,
 			HeartbeatAgeSeconds: now.Sub(w.lastBeat).Seconds(),
 			ThroughputLPS:       w.throughput,
 			Shards:              w.shards,
@@ -292,6 +373,7 @@ func (c *Coordinator) Workers() []WorkerView {
 type ShardView struct {
 	ID      string `json:"id"`
 	Worker  string `json:"worker"`
+	Epoch   uint64 `json:"epoch,omitempty"`
 	Ligands int    `json:"ligands"`
 	Merged  int    `json:"merged"`
 	Remote  string `json:"remote,omitempty"`
@@ -448,7 +530,12 @@ func (c *Coordinator) Shutdown(ctx context.Context) error {
 	c.mu.Lock()
 	c.draining = true
 	c.mu.Unlock()
-	c.stopOnce.Do(func() { close(c.done) })
+	c.stopOnce.Do(func() {
+		close(c.done)
+		// Cancel in-flight worker requests so supervisors blocked in a
+		// retry or against a blackholed worker exit promptly.
+		c.reqCancel()
+	})
 	done := make(chan struct{})
 	go func() { c.wg.Wait(); close(done) }()
 	var err error
@@ -517,7 +604,7 @@ func (c *Coordinator) viewLocked(j *job) JobView {
 			}
 		}
 		v.Shards = append(v.Shards, ShardView{
-			ID: sh.id, Worker: sh.worker, Ligands: len(sh.ligands),
+			ID: sh.id, Worker: sh.worker, Epoch: sh.epoch, Ligands: len(sh.ligands),
 			Merged: mv, Remote: sh.remote, Done: sh.done, Moved: sh.moved,
 		})
 	}

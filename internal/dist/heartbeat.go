@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
+	"hash/fnv"
 	"net/http"
 	"time"
 )
@@ -15,6 +17,11 @@ import (
 // forgot everyone, converges on the next beat without a special rejoin
 // path. Failures are logged and retried on the normal cadence; the
 // worker keeps serving either way.
+//
+// Beats are jittered ±20% around the interval, deterministically from
+// the advertised URL and beat count, so a fleet of workers started
+// together (or revived together after a partition heals) doesn't
+// thunder the coordinator on synchronized ticks.
 func RegisterLoop(ctx context.Context, coordinator, advertise string, interval time.Duration, logf func(format string, args ...any)) {
 	if interval <= 0 {
 		interval = time.Second
@@ -43,14 +50,25 @@ func RegisterLoop(ctx context.Context, coordinator, advertise string, interval t
 		}
 	}
 	beat()
-	t := time.NewTicker(interval)
+	t := time.NewTimer(beatJitter(interval, advertise, 0))
 	defer t.Stop()
-	for {
+	for n := uint64(1); ; n++ {
 		select {
 		case <-ctx.Done():
 			return
 		case <-t.C:
 			beat()
+			t.Reset(beatJitter(interval, advertise, n))
 		}
 	}
+}
+
+// beatJitter spreads one heartbeat wait into [0.8, 1.2) × interval using
+// the same FNV-hash idiom as the client's retry backoff: reproducible
+// without a global RNG, different per worker and per beat.
+func beatJitter(interval time.Duration, advertise string, n uint64) time.Duration {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", advertise, n)
+	factor := 0.8 + 0.4*float64(h.Sum64()%1024)/1024
+	return time.Duration(float64(interval) * factor)
 }

@@ -49,6 +49,7 @@ type event struct {
 	Request *service.ScreenRequest `json:"request,omitempty"`
 	Worker  string                 `json:"worker,omitempty"`
 	Alive   bool                   `json:"alive"`
+	Epoch   uint64                 `json:"epoch,omitempty"`
 	Shard   string                 `json:"shard,omitempty"`
 	Ligands []string               `json:"ligands,omitempty"`
 	Entries []service.PartialEntry `json:"entries,omitempty"`
@@ -96,7 +97,7 @@ func (c *Coordinator) compactLocked() {
 	}
 	sort.Strings(urls)
 	for _, u := range urls {
-		if !add(event{Type: evWorker, Worker: u, Alive: c.workers[u].alive}) {
+		if !add(event{Type: evWorker, Worker: u, Alive: c.workers[u].alive, Epoch: c.workers[u].epoch}) {
 			return
 		}
 	}
@@ -117,7 +118,7 @@ func (c *Coordinator) compactLocked() {
 			if sh.moved {
 				continue
 			}
-			if !add(event{Type: evAssign, Job: j.id, Shard: sh.id, Worker: sh.worker, Ligands: sh.ligands}) {
+			if !add(event{Type: evAssign, Job: j.id, Shard: sh.id, Worker: sh.worker, Epoch: sh.epoch, Ligands: sh.ligands}) {
 				return
 			}
 		}
@@ -234,6 +235,15 @@ func (c *Coordinator) applyEvent(ev event, boot time.Time) {
 			c.workers[ev.Worker] = w
 		}
 		w.alive = ev.Alive
+		if ev.Epoch > w.epoch {
+			w.epoch = ev.Epoch
+		}
+		// Epochs must keep advancing after a restart, or a revived zombie
+		// could collide with a pre-crash epoch and slip the fence.
+		// nextEpoch tracks the last epoch issued; Register pre-increments.
+		if w.epoch > c.nextEpoch {
+			c.nextEpoch = w.epoch
+		}
 		// Fresh grace window: the node must re-heartbeat or be reaped.
 		w.lastBeat = boot
 	case evAssign:
@@ -241,7 +251,7 @@ func (c *Coordinator) applyEvent(ev event, boot time.Time) {
 		if jb == nil || ev.Shard == "" {
 			return
 		}
-		sh := &shard{id: ev.Shard, worker: ev.Worker, ligands: ev.Ligands}
+		sh := &shard{id: ev.Shard, worker: ev.Worker, epoch: ev.Epoch, ligands: ev.Ligands}
 		jb.shards = append(jb.shards, sh)
 		if n, perr := strconv.Atoi(strings.TrimPrefix(ev.Shard, "s")); perr == nil && n >= jb.nextShard {
 			jb.nextShard = n + 1

@@ -20,6 +20,9 @@ type Metrics struct {
 	reshards      int64
 	merged        int64
 	pollErrors    int64
+	retries       int64
+	staleRejected int64
+	shardsFenced  int64
 	journalErrors int64
 	submitted     int64
 	finished      map[service.JobState]int64
@@ -37,6 +40,17 @@ func (m *Metrics) Reshard()       { m.add(&m.reshards, 1) }
 func (m *Metrics) PollError()     { m.add(&m.pollErrors, 1) }
 func (m *Metrics) JournalError()  { m.add(&m.journalErrors, 1) }
 func (m *Metrics) JobSubmitted()  { m.add(&m.submitted, 1) }
+
+// RequestRetried counts one client retry after a transient failure.
+func (m *Metrics) RequestRetried() { m.add(&m.retries, 1) }
+
+// StalePartialRejected counts a worker partial dropped by the epoch
+// fence instead of merged.
+func (m *Metrics) StalePartialRejected() { m.add(&m.staleRejected, 1) }
+
+// ShardFenced counts shards re-split because their owner revived under
+// a newer registration epoch.
+func (m *Metrics) ShardFenced() { m.add(&m.shardsFenced, 1) }
 
 func (m *Metrics) LigandsMerged(n int) { m.add(&m.merged, int64(n)) }
 
@@ -90,6 +104,18 @@ func (m *Metrics) WriteTo(w io.Writer, st Stats) {
 	p("# HELP metascreen_dist_poll_errors_total Failed worker dispatch/poll requests.\n")
 	p("# TYPE metascreen_dist_poll_errors_total counter\n")
 	p("metascreen_dist_poll_errors_total %d\n", m.pollErrors)
+
+	p("# HELP metascreen_dist_request_retries_total Worker requests retried after a transient failure.\n")
+	p("# TYPE metascreen_dist_request_retries_total counter\n")
+	p("metascreen_dist_request_retries_total %d\n", m.retries)
+
+	p("# HELP metascreen_dist_stale_partials_rejected_total Worker partials dropped by the epoch fence.\n")
+	p("# TYPE metascreen_dist_stale_partials_rejected_total counter\n")
+	p("metascreen_dist_stale_partials_rejected_total %d\n", m.staleRejected)
+
+	p("# HELP metascreen_dist_shards_fenced_total Shards re-split because their worker revived under a newer epoch.\n")
+	p("# TYPE metascreen_dist_shards_fenced_total counter\n")
+	p("metascreen_dist_shards_fenced_total %d\n", m.shardsFenced)
 
 	p("# HELP metascreen_dist_journal_errors_total Coordinator journal append/compact failures.\n")
 	p("# TYPE metascreen_dist_journal_errors_total counter\n")

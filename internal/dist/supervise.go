@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"sync"
 
 	"github.com/metascreen/metascreen/internal/service"
 	"github.com/metascreen/metascreen/internal/trace"
@@ -16,17 +17,20 @@ import (
 //
 //  1. reap workers whose heartbeat expired;
 //  2. under the lock — honour a pending cancel, move unfinished ligands
-//     off dead workers, and (re-)assign unassigned ligands to shards;
-//  3. off the lock — dispatch undispatched shards and poll dispatched
-//     ones for partial rankings;
+//     off dead or fenced workers, and (re-)assign unassigned ligands to
+//     shards;
+//  3. off the lock — cancel fenced zombie jobs (best effort), dispatch
+//     undispatched shards and poll dispatched ones for partial rankings,
+//     all concurrently so one slow or blackholed worker never delays the
+//     others past its own request timeout;
 //  4. under the lock — merge fresh entries (journaled), update worker
 //     throughput estimates, and finish the job when every target ligand
 //     has merged.
 //
 // All HTTP happens between the two locked sections, so a slow worker
-// never stalls the coordinator's API; the locked re-checks make the
-// HTTP results safe to apply even if another supervisor declared the
-// worker dead in the meantime.
+// never stalls the coordinator's API; the locked re-checks — including
+// the epoch fence — make the HTTP results safe to apply even if the
+// worker died, revived or was re-split around in the meantime.
 
 // remoteRef names a worker-side job for cancellation fan-out.
 type remoteRef struct{ worker, remote string }
@@ -54,36 +58,68 @@ func (c *Coordinator) step(j *job) bool {
 		switch {
 		case sh.done || sh.moved:
 		case sh.remote == "":
-			if w := c.workers[sh.worker]; w != nil && w.alive {
+			if c.epochValidLocked(sh) {
 				dispatches = append(dispatches, sh)
 			}
 		default:
 			polls = append(polls, sh)
 		}
 	}
+	fenced := c.fenced
+	c.fenced = nil
 	c.mu.Unlock()
 
+	if len(fenced) > 0 {
+		// Zombie worker-side jobs: the worker revived under a new epoch
+		// while its old job kept running. Cancel them so revenants stop
+		// burning device time on ligands that were re-split elsewhere.
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.cancelRemotes(fenced)
+		}()
+	}
+
+	// Dispatches and polls run concurrently: each request is bounded by
+	// the client's timeout × attempts, and no shard waits behind another
+	// shard's blackholed worker.
+	var wg sync.WaitGroup
+	var failMu sync.Mutex
+	var failMsg string
+	var failed bool
 	for _, sh := range dispatches {
-		c.dispatch(j, sh)
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			c.dispatch(j, sh)
+		}(sh)
 	}
 	for _, sh := range polls {
-		if msg, fatal := c.poll(j, sh); fatal {
-			c.mu.Lock()
-			if j.state.Terminal() {
-				c.mu.Unlock()
-				return true
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			if msg, fatal := c.poll(j, sh); fatal {
+				failMu.Lock()
+				if !failed {
+					failed, failMsg = true, msg
+				}
+				failMu.Unlock()
 			}
-			refs := j.remoteRefsLocked()
-			c.finishLocked(j, service.StateFailed, msg)
-			c.mu.Unlock()
-			c.cancelRemotes(refs)
-			return true
-		}
+		}(sh)
 	}
+	wg.Wait()
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if j.state.Terminal() {
+		return true
+	}
+	if failed {
+		refs := j.remoteRefsLocked()
+		c.finishLocked(j, service.StateFailed, failMsg)
+		c.mu.Unlock()
+		c.cancelRemotes(refs)
+		c.mu.Lock()
 		return true
 	}
 	if len(j.merged) == len(j.names) {
@@ -91,6 +127,17 @@ func (c *Coordinator) step(j *job) bool {
 		return true
 	}
 	return false
+}
+
+// epochValidLocked reports whether a shard's owner is alive in the same
+// registration epoch the shard was assigned under. A worker that was
+// declared dead and re-registered carries a newer epoch, so its old
+// shards fail this fence even though the URL is reachable again — the
+// stale revenant's results are rejected and its ligands re-split, never
+// double-merged. Caller holds c.mu.
+func (c *Coordinator) epochValidLocked(sh *shard) bool {
+	w := c.workers[sh.worker]
+	return w != nil && w.alive && w.epoch == sh.epoch
 }
 
 // reapWorkers declares every worker whose heartbeat aged past the
@@ -132,10 +179,23 @@ func (c *Coordinator) assignLocked(j *job) {
 		if sh.done || sh.moved {
 			continue
 		}
-		if w := c.workers[sh.worker]; w != nil && w.alive {
+		if c.epochValidLocked(sh) {
 			continue
 		}
 		sh.moved = true
+		if w := c.workers[sh.worker]; w != nil && w.alive && w.epoch != sh.epoch {
+			// The owner died and came back: the shard is fenced, not just
+			// orphaned. Its old worker-side job may still be running as a
+			// zombie — queue a best-effort cancel so it stops burning time
+			// on ligands about to be re-split.
+			c.metrics.ShardFenced()
+			if sh.remote != "" {
+				c.fenced = append(c.fenced, remoteRef{worker: sh.worker, remote: sh.remote})
+			}
+			c.log.Warn("fencing shard from revived worker",
+				"job", j.id, "shard", sh.id, "worker", sh.worker,
+				"shardEpoch", sh.epoch, "workerEpoch", w.epoch)
+		}
 		var remaining []string
 		for _, n := range sh.ligands {
 			if _, ok := j.merged[n]; !ok {
@@ -185,12 +245,12 @@ func (c *Coordinator) assignLocked(j *job) {
 		if len(chunk) == 0 {
 			continue
 		}
-		sh := &shard{id: "s" + strconv.Itoa(j.nextShard), worker: alive[i].url, ligands: chunk}
+		sh := &shard{id: "s" + strconv.Itoa(j.nextShard), worker: alive[i].url, epoch: alive[i].epoch, ligands: chunk}
 		j.nextShard++
 		j.shards = append(j.shards, sh)
 		alive[i].shards++
 		c.metrics.ShardAssigned()
-		c.appendEvent(event{Type: evAssign, Job: j.id, Shard: sh.id, Worker: sh.worker, Ligands: chunk})
+		c.appendEvent(event{Type: evAssign, Job: j.id, Shard: sh.id, Worker: sh.worker, Epoch: sh.epoch, Ligands: chunk})
 		c.log.Info("shard assigned",
 			"job", j.id, "shard", sh.id, "worker", sh.worker, "ligands", len(chunk))
 	}
@@ -246,11 +306,11 @@ func (c *Coordinator) aliveWorkersLocked() []*worker {
 func (c *Coordinator) dispatch(j *job, sh *shard) {
 	req := j.req
 	req.Ligands = sh.ligands
-	view, err := c.cl.submit(sh.worker, req, j.id+"/"+sh.id)
+	view, err := c.cl.submit(c.reqCtx, sh.worker, req, j.id+"/"+sh.id, sh.epoch)
 	now := c.cfg.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if sh.moved || j.state.Terminal() {
+	if sh.moved || j.state.Terminal() || !c.epochValidLocked(sh) {
 		return
 	}
 	if err != nil {
@@ -258,7 +318,7 @@ func (c *Coordinator) dispatch(j *job, sh *shard) {
 		sh.errs++
 		c.log.Warn("shard dispatch failed",
 			"job", j.id, "shard", sh.id, "worker", sh.worker, "err", err)
-		if sh.errs >= workerFailThreshold {
+		if sh.errs >= c.cfg.FailThreshold {
 			c.markWorkerDeadLocked(sh.worker, "dispatch failures")
 		}
 		return
@@ -281,7 +341,7 @@ func (c *Coordinator) dispatch(j *job, sh *shard) {
 // or cancelled out from under us) — a deterministic failure re-running
 // elsewhere would only repeat.
 func (c *Coordinator) poll(j *job, sh *shard) (msg string, fatal bool) {
-	pv, err := c.cl.partial(sh.worker, sh.remote)
+	pv, err := c.cl.partial(c.reqCtx, sh.worker, sh.remote, sh.epoch)
 	now := c.cfg.now()
 	if err != nil {
 		var ae *apiError
@@ -299,7 +359,7 @@ func (c *Coordinator) poll(j *job, sh *shard) (msg string, fatal bool) {
 		defer c.mu.Unlock()
 		c.metrics.PollError()
 		sh.errs++
-		if sh.errs >= workerFailThreshold {
+		if sh.errs >= c.cfg.FailThreshold {
 			c.markWorkerDeadLocked(sh.worker, "poll failures")
 		}
 		return "", false
@@ -308,6 +368,17 @@ func (c *Coordinator) poll(j *job, sh *shard) (msg string, fatal bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if sh.moved || j.state.Terminal() {
+		return "", false
+	}
+	if !c.epochValidLocked(sh) {
+		// The response is from a shard whose owner died or revived under a
+		// newer epoch while the poll was in flight: its ligands were (or
+		// are about to be) re-split, so merging this body could double-
+		// count. Drop it — the byte-identical-ranking invariant depends on
+		// every ligand merging exactly once.
+		c.metrics.StalePartialRejected()
+		c.log.Warn("rejecting stale partial from fenced shard",
+			"job", j.id, "shard", sh.id, "worker", sh.worker, "shardEpoch", sh.epoch)
 		return "", false
 	}
 	sh.errs = 0
@@ -406,9 +477,10 @@ func (j *job) remoteRefsLocked() []remoteRef {
 }
 
 // cancelRemotes best-effort cancels worker-side jobs (no lock held).
+// Runs under reqCtx so Shutdown can abort in-flight cancels.
 func (c *Coordinator) cancelRemotes(refs []remoteRef) {
 	for _, r := range refs {
-		if err := c.cl.cancel(r.worker, r.remote); err != nil {
+		if err := c.cl.cancel(c.reqCtx, r.worker, r.remote); err != nil {
 			c.log.Warn("remote cancel failed", "worker", r.worker, "remote", r.remote, "err", err)
 		}
 	}

@@ -1,0 +1,217 @@
+// Package netsim injects deterministic network faults into HTTP
+// clients. It is the network-layer sibling of cudasim's FaultPlan: where
+// cudasim makes simulated GPUs fail, hang and throttle on a replayable
+// schedule, netsim makes the coordinator↔worker HTTP path drop, delay,
+// blackhole, partition and duplicate requests on one — so every messy
+// cluster failure the paper's heterogeneous deployments hit (slow links,
+// partitions, stale revenants) can be reproduced exactly, in unit tests,
+// the e2e suite and live chaos drills, from a seed and a one-line plan.
+//
+// A plan is a comma-separated list of per-target clauses in the same
+// spirit as the -faults DSL:
+//
+//	<target>:<kind>@<value>
+//
+// where target is the host:port a request is addressed to ("*" matches
+// every target) and kind@value is one of
+//
+//	error@R          fail the request with a transport error, probability R in (0,1]
+//	latency@D±J      delay the request by D with uniform jitter ±J (±J optional)
+//	hang@T           blackhole: requests starting at elapsed time >= T never
+//	                 complete (they block until the request context ends)
+//	partition@T+D    requests in the window [T, T+D) fail immediately with a
+//	                 connection error; +D optional (open-ended partition)
+//	dup@R            deliver the request twice, probability R in (0,1] —
+//	                 at-least-once delivery against idempotency handling
+//
+// Times are Go durations measured from the transport's first request
+// (tests can override the clock), so "partition@3s+4s" means "partition
+// this worker 3 seconds into the screen, heal 4 seconds later".
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind is a fault clause's kind.
+type Kind string
+
+// The five fault kinds, in the order the transport applies them.
+const (
+	KindPartition Kind = "partition"
+	KindHang      Kind = "hang"
+	KindError     Kind = "error"
+	KindLatency   Kind = "latency"
+	KindDup       Kind = "dup"
+)
+
+// Rule is one parsed fault clause. Which value fields are meaningful
+// depends on Kind.
+type Rule struct {
+	Target string // host:port the rule applies to; "*" matches every target
+	Kind   Kind
+
+	Rate   float64       // error, dup: per-request probability in (0,1]
+	Base   time.Duration // latency: injected delay
+	Jitter time.Duration // latency: uniform jitter, applied in [-Jitter, +Jitter]
+	At     time.Duration // hang, partition: start of the fault window
+	Dur    time.Duration // partition: window length; 0 = open-ended
+}
+
+// matches reports whether the rule applies to a request host.
+func (r Rule) matches(host string) bool {
+	return r.Target == "*" || r.Target == host
+}
+
+// value renders the clause's value part in canonical form.
+func (r Rule) value() string {
+	switch r.Kind {
+	case KindError, KindDup:
+		return strconv.FormatFloat(r.Rate, 'g', -1, 64)
+	case KindLatency:
+		if r.Jitter > 0 {
+			return r.Base.String() + "±" + r.Jitter.String()
+		}
+		return r.Base.String()
+	case KindHang:
+		return r.At.String()
+	case KindPartition:
+		if r.Dur > 0 {
+			return r.At.String() + "+" + r.Dur.String()
+		}
+		return r.At.String()
+	}
+	return ""
+}
+
+// String renders the clause in the canonical form ParsePlan accepts.
+func (r Rule) String() string {
+	return r.Target + ":" + string(r.Kind) + "@" + r.value()
+}
+
+// Plan is an ordered set of fault rules. Order is preserved: rules apply
+// in plan order within each kind, and String round-trips through
+// ParsePlan rule for rule.
+type Plan struct {
+	Rules []Rule
+}
+
+// Empty reports whether the plan injects nothing.
+func (p Plan) Empty() bool { return len(p.Rules) == 0 }
+
+// String renders the plan in the canonical comma-separated clause form;
+// ParsePlan(p.String()) reproduces p exactly.
+func (p Plan) String() string {
+	parts := make([]string, len(p.Rules))
+	for i, r := range p.Rules {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParsePlan parses the fault-plan DSL. An empty spec is an empty plan.
+// Targets may contain colons (host:port), so each clause is split at its
+// LAST colon: everything before it is the target, everything after is
+// kind@value.
+func ParsePlan(spec string) (Plan, error) {
+	var p Plan
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		cut := strings.LastIndex(clause, ":")
+		if cut <= 0 {
+			return Plan{}, fmt.Errorf("netsim: bad fault clause %q (want target:kind@value)", clause)
+		}
+		target, rest := clause[:cut], clause[cut+1:]
+		kindPart, valPart, ok := strings.Cut(rest, "@")
+		if !ok {
+			return Plan{}, fmt.Errorf("netsim: bad fault clause %q (missing @value)", clause)
+		}
+		r := Rule{Target: target, Kind: Kind(kindPart)}
+		var err error
+		switch r.Kind {
+		case KindError, KindDup:
+			r.Rate, err = parseRate(valPart)
+		case KindLatency:
+			r.Base, r.Jitter, err = parseLatency(valPart)
+		case KindHang:
+			r.At, err = parseAt(valPart)
+		case KindPartition:
+			r.At, r.Dur, err = parsePartition(valPart)
+		default:
+			err = fmt.Errorf("unknown fault kind %q (want error, latency, hang, partition or dup)", kindPart)
+		}
+		if err != nil {
+			return Plan{}, fmt.Errorf("netsim: bad fault clause %q: %v", clause, err)
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	return p, nil
+}
+
+func parseRate(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("rate %q is not a number", s)
+	}
+	if math.IsNaN(v) || v <= 0 || v > 1 {
+		return 0, fmt.Errorf("rate %v must be in (0,1]", v)
+	}
+	return v, nil
+}
+
+func parseLatency(s string) (base, jitter time.Duration, err error) {
+	basePart, jitPart, hasJitter := strings.Cut(s, "±")
+	base, err = time.ParseDuration(basePart)
+	if err != nil {
+		return 0, 0, fmt.Errorf("latency %q is not a duration", basePart)
+	}
+	if base <= 0 {
+		return 0, 0, fmt.Errorf("latency %v must be positive", base)
+	}
+	if hasJitter {
+		jitter, err = time.ParseDuration(jitPart)
+		if err != nil {
+			return 0, 0, fmt.Errorf("jitter %q is not a duration", jitPart)
+		}
+		if jitter < 0 {
+			return 0, 0, fmt.Errorf("jitter %v must be non-negative", jitter)
+		}
+	}
+	return base, jitter, nil
+}
+
+func parseAt(s string) (time.Duration, error) {
+	at, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("start %q is not a duration", s)
+	}
+	if at < 0 {
+		return 0, fmt.Errorf("start %v must be non-negative", at)
+	}
+	return at, nil
+}
+
+func parsePartition(s string) (at, dur time.Duration, err error) {
+	atPart, durPart, hasDur := strings.Cut(s, "+")
+	at, err = parseAt(atPart)
+	if err != nil {
+		return 0, 0, err
+	}
+	if hasDur {
+		dur, err = time.ParseDuration(durPart)
+		if err != nil {
+			return 0, 0, fmt.Errorf("duration %q is not a duration", durPart)
+		}
+		if dur <= 0 {
+			return 0, 0, fmt.Errorf("duration %v must be positive", dur)
+		}
+	}
+	return at, dur, nil
+}

@@ -1,0 +1,213 @@
+package netsim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// rtFunc adapts a function to http.RoundTripper for stub backends.
+type rtFunc func(*http.Request) (*http.Response, error)
+
+func (f rtFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+// okBackend counts deliveries and returns 200 with the request body
+// echoed, so dup tests can check both deliveries carried the payload.
+func okBackend(calls *atomic.Int64, bodies *[]string) http.RoundTripper {
+	return rtFunc(func(r *http.Request) (*http.Response, error) {
+		calls.Add(1)
+		var body string
+		if r.Body != nil {
+			b, _ := io.ReadAll(r.Body)
+			r.Body.Close()
+			body = string(b)
+		}
+		if bodies != nil {
+			*bodies = append(*bodies, body)
+		}
+		return &http.Response{
+			StatusCode: http.StatusOK,
+			Body:       io.NopCloser(strings.NewReader(body)),
+			Header:     make(http.Header),
+		}, nil
+	})
+}
+
+func mustParse(t *testing.T, spec string) Plan {
+	t.Helper()
+	p, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func get(t *testing.T, tr *Transport, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.RoundTrip(req)
+}
+
+// TestDeterministicReplay: the tentpole determinism contract. The same
+// seed and plan driven through the same request sequence produce the
+// identical decision log, and a different seed produces a different one.
+func TestDeterministicReplay(t *testing.T) {
+	plan := mustParse(t, "w1:80:error@0.4,w1:80:dup@0.3,w1:80:latency@1ms±1ms,w2:80:error@0.5")
+	run := func(seed uint64) []Decision {
+		var calls atomic.Int64
+		tr := New(plan, Config{
+			Seed:  seed,
+			Base:  okBackend(&calls, nil),
+			Clock: func() time.Duration { return 0 },
+		})
+		for i := 0; i < 100; i++ {
+			target := "http://w1:80/x"
+			if i%3 == 0 {
+				target = "http://w2:80/x"
+			}
+			if resp, err := get(t, tr, target); err == nil {
+				resp.Body.Close()
+			}
+		}
+		return tr.Decisions()
+	}
+	first, second := run(42), run(42)
+	if len(first) == 0 {
+		t.Fatal("plan injected no faults over 100 requests")
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("same seed+plan produced different fault sequences:\n%+v\nvs\n%+v", first, second)
+	}
+	if other := run(43); reflect.DeepEqual(first, other) {
+		t.Error("different seeds produced the identical fault sequence")
+	}
+}
+
+func TestPartitionWindow(t *testing.T) {
+	var now atomic.Int64 // nanoseconds of plan time
+	var calls atomic.Int64
+	tr := New(mustParse(t, "w1:80:partition@4s+10s"), Config{
+		Base:  okBackend(&calls, nil),
+		Clock: func() time.Duration { return time.Duration(now.Load()) },
+	})
+	check := func(at time.Duration, wantErr bool) {
+		t.Helper()
+		now.Store(int64(at))
+		resp, err := get(t, tr, "http://w1:80/x")
+		if wantErr {
+			var inj *InjectedError
+			if !errors.As(err, &inj) || inj.Kind != KindPartition {
+				t.Fatalf("at %v: got (%v, %v), want injected partition", at, resp, err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("at %v: unexpected error %v", at, err)
+		}
+		resp.Body.Close()
+	}
+	check(0, false)
+	check(3999*time.Millisecond, false)
+	check(4*time.Second, true)
+	check(13999*time.Millisecond, true)
+	check(14*time.Second, false) // healed
+}
+
+func TestHangHonorsContext(t *testing.T) {
+	var calls atomic.Int64
+	tr := New(mustParse(t, "*:hang@0s"), Config{Base: okBackend(&calls, nil)})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://w1:80/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = tr.RoundTrip(req)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blackholed request returned %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("blackholed request took %v to honour a 50ms deadline", elapsed)
+	}
+	if calls.Load() != 0 {
+		t.Error("blackholed request reached the backend")
+	}
+}
+
+func TestDupDeliversTwice(t *testing.T) {
+	var calls atomic.Int64
+	var bodies []string
+	tr := New(mustParse(t, "*:dup@1"), Config{Base: okBackend(&calls, &bodies)})
+	req, err := http.NewRequest(http.MethodPost, "http://w1:80/x", bytes.NewReader([]byte("payload")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := tr.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if calls.Load() != 2 {
+		t.Fatalf("dup@1 delivered %d times, want 2", calls.Load())
+	}
+	if !reflect.DeepEqual(bodies, []string{"payload", "payload"}) {
+		t.Fatalf("deliveries carried bodies %q, want the payload twice", bodies)
+	}
+	if string(got) != "payload" {
+		t.Fatalf("returned response echoed %q", got)
+	}
+}
+
+func TestErrorRateCertain(t *testing.T) {
+	var calls atomic.Int64
+	tr := New(mustParse(t, "w1:80:error@1"), Config{Base: okBackend(&calls, nil)})
+	for i := 0; i < 10; i++ {
+		_, err := get(t, tr, "http://w1:80/x")
+		var inj *InjectedError
+		if !errors.As(err, &inj) || inj.Kind != KindError {
+			t.Fatalf("request %d: got %v, want injected error", i, err)
+		}
+	}
+	if calls.Load() != 0 {
+		t.Error("error@1 let requests through")
+	}
+}
+
+func TestLatencyInjected(t *testing.T) {
+	var calls atomic.Int64
+	tr := New(mustParse(t, "*:latency@30ms"), Config{Base: okBackend(&calls, nil)})
+	start := time.Now()
+	resp, err := get(t, tr, "http://w1:80/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("latency@30ms delayed only %v", elapsed)
+	}
+}
+
+func TestTargetSelectivity(t *testing.T) {
+	var calls atomic.Int64
+	tr := New(mustParse(t, "w1:80:error@1"), Config{Base: okBackend(&calls, nil)})
+	resp, err := get(t, tr, "http://w2:80/x")
+	if err != nil {
+		t.Fatalf("rule for w1:80 hit w2:80: %v", err)
+	}
+	resp.Body.Close()
+	if _, err := get(t, tr, "http://w1:80/x"); err == nil {
+		t.Fatal("rule for w1:80 did not fire on w1:80")
+	}
+}

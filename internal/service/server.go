@@ -39,6 +39,13 @@ import (
 // additionally carry a Retry-After header and a structured body with
 // reason, retry_after_seconds, queue_depth and limit.
 
+// EpochHeader carries the distributed coordinator's fencing epoch on
+// shard requests. Workers echo it verbatim so the coordinator's client
+// can verify a response answers the epoch it asked under — a stale or
+// replayed response from before a worker was declared dead and revived
+// fails the echo check and is never merged.
+const EpochHeader = "X-Metascreen-Epoch"
+
 // Handler returns the service's HTTP API.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -53,7 +60,18 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return echoEpoch(mux)
+}
+
+// echoEpoch reflects the coordinator's fencing epoch back on every
+// response that carried one.
+func echoEpoch(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if e := r.Header.Get(EpochHeader); e != "" {
+			w.Header().Set(EpochHeader, e)
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
