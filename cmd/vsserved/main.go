@@ -47,6 +47,14 @@
 // blackholes, latency, request duplication — into those requests for
 // replayable chaos drills; see internal/netsim.
 //
+// Storage faults get the same treatment: a -disk-chaos plan (with
+// -disk-chaos-seed) injects deterministic disk faults — EIO, ENOSPC,
+// fsync failures, torn writes, bit rot — into journal and checkpoint
+// I/O; see internal/fsim. When the disk fills or fail-stops, the node
+// degrades to read-only (submissions get 507 + Retry-After) and
+// recovers in place once space frees; -on-full stop drains and exits
+// non-zero instead, for supervised deployments that prefer rescheduling.
+//
 // SIGINT/SIGTERM drain gracefully: intake stops, queued jobs are
 // cancelled, running jobs finish (up to -drain-timeout, then they are
 // force-cancelled between metaheuristic generations).
@@ -66,6 +74,7 @@ import (
 
 	"github.com/metascreen/metascreen/internal/admission"
 	"github.com/metascreen/metascreen/internal/dist"
+	"github.com/metascreen/metascreen/internal/fsim"
 	"github.com/metascreen/metascreen/internal/netsim"
 	"github.com/metascreen/metascreen/internal/obs"
 	"github.com/metascreen/metascreen/internal/service"
@@ -107,6 +116,9 @@ func main() {
 	workerResponseLimit := flag.Int64("worker-response-limit", 0, "byte cap on worker responses (0 = sized to the library limit)")
 	chaos := flag.String("chaos", "", "netsim fault plan injected into coordinator->worker requests, e.g. '127.0.0.1:8081:partition@3s+4s' (empty = disabled)")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the -chaos plan's probabilistic faults")
+	diskChaos := flag.String("disk-chaos", "", "fsim fault plan injected into journal/checkpoint I/O, e.g. '*.wal:fsync-fail@0.01,*:enospc@1048576' (empty = disabled)")
+	diskChaosSeed := flag.Uint64("disk-chaos-seed", 1, "seed for the -disk-chaos plan's probabilistic faults")
+	onFull := flag.String("on-full", "degrade", "reaction to a full or failing disk: degrade (serve reads, 507 writes) or stop (drain and exit)")
 	flag.Parse()
 
 	logger, err := obs.NewLogger(*logLevel, *logFormat, os.Stderr)
@@ -116,6 +128,23 @@ func main() {
 	policy, err := wal.ParseSyncPolicy(*fsync)
 	if err != nil {
 		fatal(err)
+	}
+	if *onFull != "degrade" && *onFull != "stop" {
+		fatal(fmt.Errorf("unknown -on-full %q (want degrade or stop)", *onFull))
+	}
+	var diskFS fsim.FS
+	if *diskChaos != "" {
+		plan, perr := fsim.ParsePlan(*diskChaos)
+		if perr != nil {
+			fatal(perr)
+		}
+		diskFS = fsim.New(plan, fsim.Config{
+			Seed: *diskChaosSeed,
+			Logf: func(format string, args ...any) {
+				logger.Warn(fmt.Sprintf(format, args...))
+			},
+		})
+		logger.Warn("disk chaos plan active on durability I/O", "plan", plan.String(), "seed", *diskChaosSeed)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -140,6 +169,7 @@ func main() {
 		}
 		coord, err := dist.New(dist.Config{
 			DataDir:          *dataDir,
+			FS:               diskFS,
 			SyncPolicy:       policy,
 			HeartbeatTimeout: *workerTimeout,
 			PollInterval:     *pollInterval,
@@ -190,6 +220,7 @@ func main() {
 		MaxAttempts:     *maxAttempts,
 		RetryBaseDelay:  *retryDelay,
 		DataDir:         *dataDir,
+		FS:              diskFS,
 		Fsync:           policy,
 		FsyncInterval:   *fsyncInterval,
 		CheckpointEvery: *checkpointEvery,
@@ -242,9 +273,25 @@ func main() {
 		logger.Info("registering with coordinator", "coordinator", *coordinator, "advertise", adv)
 	}
 
+	// -on-full stop turns storage degradation into a drain: operators who
+	// prefer a crashed node over a read-only one (e.g. under an external
+	// supervisor that reschedules elsewhere) get a clean exit instead of
+	// serving 507s indefinitely. The default keeps serving reads.
+	storageFull := make(chan struct{})
+	if *onFull == "stop" {
+		go func() {
+			<-svc.StorageFull()
+			logger.Error("storage degraded and -on-full=stop, draining")
+			close(storageFull)
+		}()
+	}
+
+	stoppedOnFull := false
 	select {
 	case <-ctx.Done():
 		logger.Info("draining")
+	case <-storageFull:
+		stoppedOnFull = true
 	case err := <-errCh:
 		fatal(err)
 	}
@@ -260,6 +307,11 @@ func main() {
 	}
 	if err := svc.Shutdown(drainCtx); err != nil {
 		logger.Error("drain deadline exceeded, running jobs force-cancelled", "err", err)
+		os.Exit(1)
+	}
+	if stoppedOnFull {
+		// Non-zero so a restart=on-failure supervisor reschedules the node.
+		logger.Info("drained after storage failure")
 		os.Exit(1)
 	}
 	logger.Info("drained cleanly")

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"github.com/metascreen/metascreen/internal/core"
+	"github.com/metascreen/metascreen/internal/fsim"
 	"github.com/metascreen/metascreen/internal/service"
 	"github.com/metascreen/metascreen/internal/trace"
 	"github.com/metascreen/metascreen/internal/wal"
@@ -46,6 +47,9 @@ type Config struct {
 	DataDir string
 	// SyncPolicy is the journal's fsync policy (wal.SyncAlways default).
 	SyncPolicy wal.SyncPolicy
+	// FS is the filesystem the journal writes through; nil means the real
+	// one. Storage chaos plans (-disk-chaos) inject a fsim.Faulty here.
+	FS fsim.FS
 	// HeartbeatTimeout declares a worker dead when no heartbeat (or
 	// successful request) has been seen for this long; default 5s.
 	HeartbeatTimeout time.Duration

@@ -150,6 +150,11 @@ func (c *Coordinator) openJournal() error {
 	j, info, err := wal.Open(filepath.Join(c.cfg.DataDir, "dist-journal"), wal.Options{
 		Policy: c.cfg.SyncPolicy,
 		Logf:   func(format string, args ...any) { c.log.Warn(fmt.Sprintf(format, args...)) },
+		FS:     c.cfg.FS,
+		OnIOError: func(op string, err error) {
+			c.metrics.JournalError()
+			c.log.Warn("dist journal io error", "op", op, "err", err)
+		},
 	})
 	if err != nil {
 		return err

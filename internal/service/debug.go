@@ -60,6 +60,15 @@ type DebugSnapshot struct {
 	Admission admission.Snapshot `json:"admission"`
 	// Shed counts overload rejections and culls by reason.
 	Shed map[string]int64 `json:"shed,omitempty"`
+	// Storage reports the durability layer's degraded-mode state.
+	Storage StorageStatus `json:"storage"`
+}
+
+// StorageStatus is the /debug/snapshot view of storage-degraded mode.
+type StorageStatus struct {
+	Degraded     bool    `json:"degraded"`
+	Reason       string  `json:"reason,omitempty"`
+	SinceSeconds float64 `json:"since_seconds,omitempty"`
 }
 
 // Snapshot builds the debug snapshot.
@@ -75,6 +84,10 @@ func (s *Service) DebugSnapshot() DebugSnapshot {
 	warm := s.lastWarmup
 	started := s.started
 	jobs := len(s.jobs)
+	storage := StorageStatus{Degraded: s.storageDegraded, Reason: s.storageReason}
+	if s.storageDegraded {
+		storage.SinceSeconds = s.now().Sub(s.storageSince).Seconds()
+	}
 	s.mu.Unlock()
 
 	busy := map[string]float64{}
@@ -91,6 +104,7 @@ func (s *Service) DebugSnapshot() DebugSnapshot {
 		WarmupFactors: warm,
 		Admission:     s.ctrl.Snapshot(),
 		Shed:          s.metrics.ShedCounts(),
+		Storage:       storage,
 	}
 	for track, b := range busy {
 		snap.DeviceBusy = append(snap.DeviceBusy, DeviceBusy{Track: track, BusySeconds: b})

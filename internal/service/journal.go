@@ -20,10 +20,14 @@ package service
 // replay of old events followed by a snapshot converges on the snapshot.
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"github.com/metascreen/metascreen/internal/admission"
@@ -72,13 +76,15 @@ type RecoveryStats struct {
 // every job that was queued or running when the previous process died.
 // Called from New before the workers start, so no lock is needed.
 func (s *Service) openJournal() error {
-	if err := os.MkdirAll(s.checkpointDir(), 0o755); err != nil {
+	if err := s.fs.MkdirAll(s.checkpointDir(), 0o755); err != nil {
 		return fmt.Errorf("service: %w", err)
 	}
 	j, info, err := wal.Open(filepath.Join(s.cfg.DataDir, "journal"), wal.Options{
 		Policy:       s.cfg.Fsync,
 		SyncInterval: s.cfg.FsyncInterval,
 		Logf:         func(format string, args ...any) { s.log.Warn(fmt.Sprintf(format, args...)) },
+		FS:           s.fs,
+		OnIOError:    func(op string, err error) { s.metrics.WALIOError(op) },
 	})
 	if err != nil {
 		return err
@@ -241,12 +247,24 @@ func (s *Service) bumpNextID(id string) {
 	}
 }
 
-// appendEvent journals one event. Callers hold s.mu. Append failures are
-// counted and reported to stderr but do not fail the operation: the
-// in-memory service stays correct, durability degrades.
-func (s *Service) appendEvent(ev jobEvent) {
+// appendEvent journals one event, reporting whether the record is in the
+// journal. Callers hold s.mu.
+//
+// Failure policy: while the service is storage-degraded the append is
+// skipped outright (counted as skipped — in-flight jobs finish
+// un-journaled by design). A fresh failure gets exactly one
+// Recover-and-retry for transient causes; ENOSPC, or a retry that also
+// fails, flips the service into degraded read-only mode. The in-memory
+// service stays correct either way — only durability degrades — but
+// SubmitIdem refuses to acknowledge a submission whose record did not
+// land, so a 202 always means "journaled".
+func (s *Service) appendEvent(ev jobEvent) bool {
 	if s.journal == nil {
-		return
+		return true
+	}
+	if s.storageDegraded {
+		s.metrics.JournalSkipped()
+		return false
 	}
 	b, err := json.Marshal(ev)
 	if err == nil {
@@ -255,33 +273,108 @@ func (s *Service) appendEvent(ev jobEvent) {
 	if err != nil {
 		s.metrics.JournalError()
 		s.log.Error("journal append failed", "job", ev.Job, "err", err)
-		return
+		// One shot at recovery for transient I/O faults. A full disk is
+		// not transient — retrying the same bytes cannot help.
+		if !errors.Is(err, syscall.ENOSPC) {
+			if rerr := s.journal.Recover(); rerr == nil {
+				if err2 := s.journal.Append(b); err2 == nil {
+					s.metrics.StorageRecovered()
+					s.log.Info("journal append recovered after transient failure", "job", ev.Job)
+					return s.afterAppendLocked(b)
+				}
+			}
+		}
+		s.enterDegradedLocked(err)
+		return false
 	}
+	return s.afterAppendLocked(b)
+}
+
+// afterAppendLocked finishes a successful append: counters and size-based
+// compaction. Caller holds s.mu.
+func (s *Service) afterAppendLocked(b []byte) bool {
 	s.metrics.JournalAppend(len(b))
 	if s.journal.Size() > s.cfg.CompactBytes {
 		s.compactLocked()
 	}
+	return true
 }
 
-// compactLocked rewrites the journal as one snapshot record per job.
-// Caller holds s.mu.
-func (s *Service) compactLocked() {
+// compactLocked rewrites the journal as one snapshot record per job,
+// reporting success. Caller holds s.mu.
+func (s *Service) compactLocked() bool {
 	live := make([][]byte, 0, len(s.order))
 	for _, id := range s.order {
 		v := s.jobs[id].view()
 		b, err := json.Marshal(jobEvent{Type: evSnapshot, Job: id, View: &v})
 		if err != nil {
 			s.metrics.JournalError()
-			return
+			return false
 		}
 		live = append(live, b)
 	}
 	if err := s.journal.Compact(live); err != nil {
 		s.metrics.JournalError()
 		s.log.Error("journal compact failed", "err", err)
-		return
+		return false
 	}
 	s.metrics.JournalCompaction()
+	return true
+}
+
+// enterDegradedLocked flips the service into storage-degraded read-only
+// mode: new submissions are shed with ErrStorageFull (HTTP 507 +
+// Retry-After), reads keep serving, in-flight jobs finish un-journaled.
+// tryRecoverStorageLocked probes the way back out. Caller holds s.mu.
+func (s *Service) enterDegradedLocked(cause error) {
+	if s.storageDegraded {
+		return
+	}
+	s.storageDegraded = true
+	s.storageReason = "io_error"
+	if errors.Is(cause, syscall.ENOSPC) {
+		s.storageReason = "disk_full"
+	}
+	s.storageSince = s.now()
+	s.storageOnce.Do(func() { close(s.storageNotify) })
+	s.log.Error("entering storage-degraded read-only mode",
+		"reason", s.storageReason, "err", cause)
+}
+
+// storageProbeInterval rate-limits degraded-mode recovery probes (each
+// probe attempts a journal Recover plus a full compaction). Package var so
+// tests can zero it.
+var storageProbeInterval = time.Second
+
+// tryRecoverStorageLocked probes whether degraded mode can end: the WAL
+// must Recover, and a full compaction — which writes a snapshot of every
+// job, closing the un-journaled gap AND proving the disk takes writes
+// again — must succeed. True means the service is (back) in journaling
+// mode. Caller holds s.mu.
+func (s *Service) tryRecoverStorageLocked() bool {
+	if !s.storageDegraded {
+		return true
+	}
+	if s.journal == nil {
+		return false
+	}
+	now := s.now()
+	if storageProbeInterval > 0 && now.Sub(s.lastStorageProbe) < storageProbeInterval {
+		return false
+	}
+	s.lastStorageProbe = now
+	if err := s.journal.Recover(); err != nil {
+		return false
+	}
+	if !s.compactLocked() || s.journal.Failed() != nil {
+		return false
+	}
+	s.storageDegraded = false
+	s.storageReason = ""
+	s.metrics.StorageRecovered()
+	s.log.Info("storage recovered, journaling re-enabled",
+		"degraded_seconds", now.Sub(s.storageSince).Seconds())
+	return true
 }
 
 // checkpointDir and checkpointPath locate per-job checkpoint snapshots.
@@ -290,47 +383,118 @@ func (s *Service) checkpointPath(id string) string {
 	return filepath.Join(s.checkpointDir(), id+".json")
 }
 
+// Checkpoint files end with a CRC32 trailer line over the JSON payload:
+// "#crc32 xxxxxxxx\n". A snapshot that fails verification (truncated,
+// bit-flipped, zero-length) is quarantined under <DataDir>/quarantine and
+// the job re-docks from its WAL state instead of failing the boot or
+// silently resuming from rot.
+const checkpointTrailerLen = len("#crc32 ") + 8 + 1
+
+// appendCheckpointTrailer appends the CRC trailer for payload.
+func appendCheckpointTrailer(payload []byte) []byte {
+	return append(payload, fmt.Sprintf("#crc32 %08x\n", crc32.ChecksumIEEE(payload))...)
+}
+
+// verifyCheckpointTrailer checks and strips the CRC trailer, returning
+// the JSON payload and whether the file verified.
+func verifyCheckpointTrailer(data []byte) ([]byte, bool) {
+	if len(data) < checkpointTrailerLen {
+		return nil, false
+	}
+	payload := data[:len(data)-checkpointTrailerLen]
+	trailer := data[len(data)-checkpointTrailerLen:]
+	var sum uint32
+	if _, err := fmt.Sscanf(string(trailer), "#crc32 %08x\n", &sum); err != nil {
+		return nil, false
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, false
+	}
+	return payload, true
+}
+
+// quarantineCheckpoint preserves a corrupt checkpoint file under
+// <DataDir>/quarantine/<id>.json for post-mortem. Best effort — recovery
+// proceeds on a fresh checkpoint either way.
+func (s *Service) quarantineCheckpoint(id string, reason string) {
+	qdir := filepath.Join(s.cfg.DataDir, "quarantine")
+	if err := s.fs.MkdirAll(qdir, 0o755); err != nil {
+		s.metrics.WALIOError("quarantine")
+		return
+	}
+	if err := s.fs.Rename(s.checkpointPath(id), filepath.Join(qdir, id+".json")); err != nil {
+		s.metrics.WALIOError("quarantine")
+		s.log.Warn("could not quarantine corrupt checkpoint", "job", id, "err", err)
+		return
+	}
+	s.metrics.CheckpointQuarantined()
+	s.log.Warn("corrupt checkpoint quarantined, re-docking from WAL state",
+		"job", id, "reason", reason, "quarantine", filepath.Join(qdir, id+".json"))
+}
+
 // loadJobCheckpoint reads a job's checkpoint snapshot, returning a fresh
-// checkpoint when none exists, the file is corrupt (a crash can tear at
-// most the temp file, but be defensive), or its seed does not match the
-// request — resuming would silently mix runs.
+// checkpoint when none exists, quarantining it first when it is corrupt
+// (bad CRC trailer or undecodable JSON), and ignoring it when its seed
+// does not match the request — resuming would silently mix runs.
 func (s *Service) loadJobCheckpoint(id string, seed uint64) *core.Checkpoint {
-	f, err := os.Open(s.checkpointPath(id))
+	data, err := s.fs.ReadFile(s.checkpointPath(id))
 	if err != nil {
 		return &core.Checkpoint{}
 	}
-	defer f.Close()
-	cp, err := core.LoadCheckpoint(f)
-	if err != nil || cp.Seed != seed {
-		s.log.Warn("checkpoint unusable, re-docking from scratch", "job", id, "err", err)
+	payload, ok := verifyCheckpointTrailer(data)
+	if !ok {
+		s.quarantineCheckpoint(id, "crc mismatch or truncated")
+		return &core.Checkpoint{}
+	}
+	cp, err := core.LoadCheckpoint(bytes.NewReader(payload))
+	if err != nil {
+		s.quarantineCheckpoint(id, err.Error())
+		return &core.Checkpoint{}
+	}
+	if cp.Seed != seed {
+		s.log.Warn("checkpoint seed mismatch, re-docking from scratch", "job", id)
 		return &core.Checkpoint{}
 	}
 	return cp
 }
 
 // writeJobCheckpoint snapshots a checkpoint atomically: temp file, fsync,
-// rename. A crash leaves either the old snapshot or the new one, never a
-// torn file.
+// rename, directory fsync. A crash leaves either the old snapshot or the
+// new one, never a torn file — and the directory fsync makes sure the
+// rename itself survives a power loss, not just the temp file's bytes.
 func (s *Service) writeJobCheckpoint(id string, cp *core.Checkpoint) error {
 	path := s.checkpointPath(id)
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	var buf bytes.Buffer
+	if err := core.SaveCheckpoint(&buf, cp); err != nil {
+		return err
+	}
+	framed := appendCheckpointTrailer(buf.Bytes())
+	f, err := s.fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
-	if err := core.SaveCheckpoint(f, cp); err != nil {
+	if _, err := f.Write(framed); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := s.fs.Rename(tmp, path); err != nil {
+		s.fs.Remove(tmp)
+		return err
+	}
+	if err := s.fs.SyncDir(s.checkpointDir()); err != nil {
+		s.metrics.WALIOError("dirsync")
+		return err
+	}
+	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -83,10 +84,10 @@ type Metrics struct {
 	shed      map[string]int64 // overload rejections/culls by reason
 	degraded  int64            // jobs run with reduced effort
 
-	latency    *histogram // submission -> terminal state
-	queueWait  *histogram // submission -> worker start
-	runTime    *histogram // worker start -> terminal state
-	genSim     *histogram // simulated seconds per metaheuristic generation
+	latency    *histogram                     // submission -> terminal state
+	queueWait  *histogram                     // submission -> worker start
+	runTime    *histogram                     // worker start -> terminal state
+	genSim     *histogram                     // simulated seconds per metaheuristic generation
 	classQueue map[admission.Class]*histogram // queue wait split by priority class
 
 	evaluations      int64
@@ -105,6 +106,12 @@ type Metrics struct {
 	replayedRecords    int64
 	recoveredJobs      int64
 	truncatedBytes     int64
+
+	walIOErrors       map[string]int64 // absorbed/surfaced storage I/O failures by op
+	journalSkipped    int64            // appends skipped in storage-degraded mode
+	checkpointsQuar   int64            // corrupt checkpoints quarantined
+	checkpointErrors  int64            // checkpoint snapshot write failures
+	storageRecoveries int64            // successful storage recoveries (journal re-enabled)
 }
 
 // defaultLatencyBuckets spans interactive modeled screens (tens of
@@ -118,20 +125,21 @@ var defaultGenBuckets = []float64{0.0001, 0.001, 0.01, 0.1, 1, 10, 100}
 // shedReasons lists every shed-counter label in exposition order.
 var shedReasons = []string{
 	"queue_full", "deadline_admission", "deadline_dequeue",
-	"deadline_backoff", "breaker_open",
+	"deadline_backoff", "breaker_open", "storage_full",
 }
 
 // NewMetrics builds an empty registry for a pool of `workers` workers.
 func NewMetrics(workers int) *Metrics {
 	m := &Metrics{
-		workers:    workers,
-		finished:   make(map[JobState]int64),
-		shed:       make(map[string]int64),
-		latency:    newHistogram(defaultLatencyBuckets),
-		queueWait:  newHistogram(defaultLatencyBuckets),
-		runTime:    newHistogram(defaultLatencyBuckets),
-		genSim:     newHistogram(defaultGenBuckets),
-		classQueue: make(map[admission.Class]*histogram),
+		workers:     workers,
+		finished:    make(map[JobState]int64),
+		shed:        make(map[string]int64),
+		latency:     newHistogram(defaultLatencyBuckets),
+		queueWait:   newHistogram(defaultLatencyBuckets),
+		runTime:     newHistogram(defaultLatencyBuckets),
+		genSim:      newHistogram(defaultGenBuckets),
+		classQueue:  make(map[admission.Class]*histogram),
+		walIOErrors: make(map[string]int64),
 	}
 	for _, c := range admission.Classes() {
 		m.classQueue[c] = newHistogram(defaultLatencyBuckets)
@@ -273,6 +281,57 @@ func (m *Metrics) JournalCompaction() {
 func (m *Metrics) CheckpointWritten() {
 	m.mu.Lock()
 	m.checkpointsWritten++
+	m.mu.Unlock()
+}
+
+// WALIOError counts one storage I/O failure by operation label ("sync",
+// "dirsync", "remove", "quarantine", ...). Many are absorbed (logged and
+// survived); the counter is how a quietly failing disk gets noticed.
+func (m *Metrics) WALIOError(op string) {
+	m.mu.Lock()
+	m.walIOErrors[op]++
+	m.mu.Unlock()
+}
+
+// WALIOErrorCounts copies the per-op storage I/O failure counters.
+func (m *Metrics) WALIOErrorCounts() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.walIOErrors))
+	for k, v := range m.walIOErrors {
+		out[k] = v
+	}
+	return out
+}
+
+// JournalSkipped counts one append skipped in storage-degraded mode.
+func (m *Metrics) JournalSkipped() {
+	m.mu.Lock()
+	m.journalSkipped++
+	m.mu.Unlock()
+}
+
+// CheckpointQuarantined counts one corrupt checkpoint snapshot moved to
+// quarantine instead of being resumed from.
+func (m *Metrics) CheckpointQuarantined() {
+	m.mu.Lock()
+	m.checkpointsQuar++
+	m.mu.Unlock()
+}
+
+// CheckpointError counts one failed checkpoint snapshot write (the screen
+// continues; the job keeps its previous snapshot).
+func (m *Metrics) CheckpointError() {
+	m.mu.Lock()
+	m.checkpointErrors++
+	m.mu.Unlock()
+}
+
+// StorageRecovered counts one successful storage recovery: a journal
+// append retried clean, or degraded mode ended.
+func (m *Metrics) StorageRecovered() {
+	m.mu.Lock()
+	m.storageRecoveries++
 	m.mu.Unlock()
 }
 
@@ -432,6 +491,37 @@ func (m *Metrics) WriteTo(w io.Writer, st Stats) error {
 	p("# TYPE metascreen_journal_truncated_bytes_total counter\n")
 	p("metascreen_journal_truncated_bytes_total %d\n", m.truncatedBytes)
 
+	p("# HELP metascreen_wal_io_errors_total Storage I/O failures absorbed or surfaced by the durability layer, by operation.\n")
+	p("# TYPE metascreen_wal_io_errors_total counter\n")
+	ops := make([]string, 0, len(m.walIOErrors))
+	for op := range m.walIOErrors {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		p("metascreen_wal_io_errors_total{op=%q} %d\n", op, m.walIOErrors[op])
+	}
+
+	p("# HELP metascreen_journal_skipped_total Journal appends skipped while storage-degraded.\n")
+	p("# TYPE metascreen_journal_skipped_total counter\n")
+	p("metascreen_journal_skipped_total %d\n", m.journalSkipped)
+
+	p("# HELP metascreen_checkpoints_quarantined_total Corrupt checkpoint snapshots quarantined during recovery.\n")
+	p("# TYPE metascreen_checkpoints_quarantined_total counter\n")
+	p("metascreen_checkpoints_quarantined_total %d\n", m.checkpointsQuar)
+
+	p("# HELP metascreen_checkpoint_errors_total Checkpoint snapshot write failures (screen continued).\n")
+	p("# TYPE metascreen_checkpoint_errors_total counter\n")
+	p("metascreen_checkpoint_errors_total %d\n", m.checkpointErrors)
+
+	p("# HELP metascreen_storage_recoveries_total Successful storage recoveries (journaling re-enabled).\n")
+	p("# TYPE metascreen_storage_recoveries_total counter\n")
+	p("metascreen_storage_recoveries_total %d\n", m.storageRecoveries)
+
+	p("# HELP metascreen_storage_degraded Whether the service is in storage-degraded read-only mode.\n")
+	p("# TYPE metascreen_storage_degraded gauge\n")
+	p("metascreen_storage_degraded %d\n", boolGauge(st.StorageDegraded))
+
 	p("# HELP metascreen_jobs_shed_total Overload rejections and culls by reason.\n")
 	p("# TYPE metascreen_jobs_shed_total counter\n")
 	for _, r := range shedReasons {
@@ -467,6 +557,14 @@ func (m *Metrics) WriteTo(w io.Writer, st Stats) error {
 	}
 
 	return err
+}
+
+// boolGauge renders a boolean gauge as 0/1.
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // breakerGauge maps a breaker state name to its gauge value.

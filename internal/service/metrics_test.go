@@ -42,18 +42,27 @@ func TestMetricsExpositionGolden(t *testing.T) {
 	m.Recovered(7, 2, 13)
 	m.Shed("queue_full")
 	m.Shed("breaker_open")
+	m.Shed("storage_full")
 	m.Degraded()
+	m.WALIOError("sync")
+	m.WALIOError("sync")
+	m.WALIOError("dirsync")
+	m.JournalSkipped()
+	m.CheckpointQuarantined()
+	m.CheckpointError()
+	m.StorageRecovered()
 	m.ClassQueueWait(admission.ClassHigh, 20*time.Millisecond)
 	m.ClassQueueWait(admission.ClassNormal, 300*time.Millisecond)
 
 	var b strings.Builder
 	st := Stats{
-		QueueDepth:   1,
-		Running:      1,
-		Limit:        2,
-		InFlight:     1,
-		Breaker:      "half-open",
-		QueueByClass: map[string]int{"normal": 1},
+		QueueDepth:      1,
+		Running:         1,
+		Limit:           2,
+		InFlight:        1,
+		Breaker:         "half-open",
+		QueueByClass:    map[string]int{"normal": 1},
+		StorageDegraded: true,
 	}
 	if err := m.WriteTo(&b, st); err != nil {
 		t.Fatal(err)
@@ -184,6 +193,25 @@ metascreen_recovered_jobs_total 2
 # HELP metascreen_journal_truncated_bytes_total Torn-tail journal bytes dropped during recovery.
 # TYPE metascreen_journal_truncated_bytes_total counter
 metascreen_journal_truncated_bytes_total 13
+# HELP metascreen_wal_io_errors_total Storage I/O failures absorbed or surfaced by the durability layer, by operation.
+# TYPE metascreen_wal_io_errors_total counter
+metascreen_wal_io_errors_total{op="dirsync"} 1
+metascreen_wal_io_errors_total{op="sync"} 2
+# HELP metascreen_journal_skipped_total Journal appends skipped while storage-degraded.
+# TYPE metascreen_journal_skipped_total counter
+metascreen_journal_skipped_total 1
+# HELP metascreen_checkpoints_quarantined_total Corrupt checkpoint snapshots quarantined during recovery.
+# TYPE metascreen_checkpoints_quarantined_total counter
+metascreen_checkpoints_quarantined_total 1
+# HELP metascreen_checkpoint_errors_total Checkpoint snapshot write failures (screen continued).
+# TYPE metascreen_checkpoint_errors_total counter
+metascreen_checkpoint_errors_total 1
+# HELP metascreen_storage_recoveries_total Successful storage recoveries (journaling re-enabled).
+# TYPE metascreen_storage_recoveries_total counter
+metascreen_storage_recoveries_total 1
+# HELP metascreen_storage_degraded Whether the service is in storage-degraded read-only mode.
+# TYPE metascreen_storage_degraded gauge
+metascreen_storage_degraded 1
 # HELP metascreen_jobs_shed_total Overload rejections and culls by reason.
 # TYPE metascreen_jobs_shed_total counter
 metascreen_jobs_shed_total{reason="queue_full"} 1
@@ -191,6 +219,7 @@ metascreen_jobs_shed_total{reason="deadline_admission"} 0
 metascreen_jobs_shed_total{reason="deadline_dequeue"} 0
 metascreen_jobs_shed_total{reason="deadline_backoff"} 0
 metascreen_jobs_shed_total{reason="breaker_open"} 1
+metascreen_jobs_shed_total{reason="storage_full"} 1
 # HELP metascreen_jobs_degraded_total Jobs run with reduced search effort under pressure.
 # TYPE metascreen_jobs_degraded_total counter
 metascreen_jobs_degraded_total 1

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"strconv"
+	"syscall"
 	"time"
 
 	"github.com/metascreen/metascreen/internal/core"
@@ -308,8 +309,27 @@ func (s *Service) runScreen(ctx context.Context, id string, req ScreenRequest) (
 		if !durable || newly%s.cfg.CheckpointEvery != 0 {
 			return nil
 		}
+		s.mu.Lock()
+		degraded := s.storageDegraded
+		s.mu.Unlock()
+		if degraded {
+			// Read-only mode: in-flight jobs finish un-journaled; the job
+			// keeps its last good snapshot.
+			return nil
+		}
 		if err := s.writeJobCheckpoint(id, cp); err != nil {
-			return err
+			// A failed snapshot must not abort the screen: the job keeps
+			// its previous checkpoint and the WAL still replays its
+			// lifecycle. A full disk flips degraded mode so the service
+			// stops promising durability it cannot deliver.
+			s.metrics.CheckpointError()
+			s.log.Warn("checkpoint write failed, screen continues", "job", id, "err", err)
+			if errors.Is(err, syscall.ENOSPC) {
+				s.mu.Lock()
+				s.enterDegradedLocked(err)
+				s.mu.Unlock()
+			}
+			return nil
 		}
 		s.mu.Lock()
 		if j, ok := s.jobs[id]; ok {

@@ -29,6 +29,11 @@ var (
 	// ErrBreakerOpen is returned while the device-health circuit breaker
 	// is rejecting machine jobs.
 	ErrBreakerOpen = errors.New("service: device pool circuit breaker open")
+	// ErrStorageFull is returned while the service is in storage-degraded
+	// read-only mode (full or failing journal disk): submissions would be
+	// acknowledged without being journaled. Handlers map it to HTTP 507
+	// with a Retry-After; reads keep serving.
+	ErrStorageFull = errors.New("service: journal storage full or failing, not accepting jobs")
 )
 
 // ShedError wraps an overload rejection with what the client needs to

@@ -101,13 +101,17 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // submitStatus maps an admission error to its HTTP status: retryable
-// backpressure is 429, outright unavailability 503.
+// backpressure is 429, outright unavailability 503, and a full or failing
+// journal disk 507 (Insufficient Storage) — the client's request is fine,
+// the server cannot durably accept it right now.
 func submitStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDeadlineUnmeetable):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrBreakerOpen):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrStorageFull):
+		return http.StatusInsufficientStorage
 	}
 	return http.StatusBadRequest
 }

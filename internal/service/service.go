@@ -32,6 +32,7 @@ import (
 
 	"github.com/metascreen/metascreen/internal/admission"
 	"github.com/metascreen/metascreen/internal/core"
+	"github.com/metascreen/metascreen/internal/fsim"
 	"github.com/metascreen/metascreen/internal/obs"
 	"github.com/metascreen/metascreen/internal/trace"
 	"github.com/metascreen/metascreen/internal/wal"
@@ -75,6 +76,10 @@ type Config struct {
 	// CompactBytes compacts the journal into per-job snapshots when it
 	// grows past this size; 0 means 4 MiB.
 	CompactBytes int64
+	// FS is the filesystem the journal and checkpoints write through; nil
+	// means the real one. The -disk-chaos flag and the crash-point
+	// explorer inject a fsim.Faulty here.
+	FS fsim.FS
 
 	// Admission tunes overload protection (adaptive concurrency limiter,
 	// circuit breaker, deadline shedding, graceful degradation). Zero
@@ -141,9 +146,20 @@ type Service struct {
 
 	// Durability (nil journal when DataDir is unset).
 	journal  *wal.Journal
+	fs       fsim.FS
 	idem     map[string]string // idempotency key -> job ID
 	recovery RecoveryStats
 	crashed  bool // crashForTest: suppress terminal side effects
+
+	// Storage-degraded read-only mode (see enterDegradedLocked): new
+	// submissions shed with 507 while reads keep serving; probes flip the
+	// service back once the disk takes writes again.
+	storageDegraded  bool
+	storageReason    string // "disk_full" or "io_error"
+	storageSince     time.Time
+	lastStorageProbe time.Time
+	storageNotify    chan struct{}
+	storageOnce      sync.Once
 
 	// checkpointHook observes checkpoint snapshots; recovery tests use it
 	// to crash at a deterministic mid-screen point.
@@ -188,6 +204,12 @@ func New(cfg Config) (*Service, error) {
 		queue:   newJobQueue(cfg.QueueDepth),
 		ctrl:    admission.NewController(acfg),
 		now:     now,
+		fs:      cfg.FS,
+
+		storageNotify: make(chan struct{}),
+	}
+	if s.fs == nil {
+		s.fs = fsim.OSFS()
 	}
 	if s.log == nil {
 		s.log = obs.Nop()
@@ -216,6 +238,16 @@ func (s *Service) Recovery() RecoveryStats {
 	return s.recovery
 }
 
+// storageRetryAfter is the Retry-After handed to submissions shed in
+// storage-degraded mode: long enough that clients do not hammer a full
+// disk, short enough to notice space being freed promptly.
+const storageRetryAfter = 5 * time.Second
+
+// StorageFull is closed the first time the service enters
+// storage-degraded mode. vsserved's -on-full=stop policy drains on it;
+// the default -on-full=degrade keeps serving reads.
+func (s *Service) StorageFull() <-chan struct{} { return s.storageNotify }
+
 // Submit validates and enqueues a screen, returning the queued job's
 // snapshot. It fails fast with ErrQueueFull or ErrDraining.
 func (s *Service) Submit(req ScreenRequest) (JobView, error) {
@@ -242,6 +274,13 @@ func (s *Service) SubmitIdem(req ScreenRequest, key string) (v JobView, existing
 	}
 	if s.draining {
 		return JobView{}, false, ErrDraining
+	}
+	// Storage-degraded read-only mode: a 202 must mean the submission is
+	// journaled, which a failed disk cannot promise. Each rejected submit
+	// is also a (rate-limited) recovery probe, so journaling resumes
+	// without a restart once space is freed.
+	if s.storageDegraded && !s.tryRecoverStorageLocked() {
+		return JobView{}, false, s.shedLocked(ErrStorageFull, "storage_full", storageRetryAfter)
 	}
 
 	// Admission pipeline: breaker gate (machine jobs only), deadline
@@ -295,10 +334,20 @@ func (s *Service) SubmitIdem(req ScreenRequest, key string) (v JobView, existing
 		s.idem[key] = j.id
 	}
 	s.metrics.Submitted()
-	s.appendEvent(jobEvent{
+	if !s.appendEvent(jobEvent{
 		Type: evSubmitted, Job: j.id, Time: j.submitted,
 		Request: &j.req, IdemKey: key,
-	})
+	}) && s.journal != nil {
+		// The ack oracle: a 202 promises the submission survives a crash,
+		// and this one's record never reached the journal. Shed the job
+		// (the queued entry is skipped when popped) instead of acking.
+		if key != "" {
+			delete(s.idem, key)
+		}
+		j.idemKey = ""
+		s.finishLocked(j, StateShed, nil, "shed: journal unavailable at admission")
+		return JobView{}, false, s.shedLocked(ErrStorageFull, "storage_full", storageRetryAfter)
+	}
 	s.log.Info("job submitted", "job", j.id,
 		"dataset", req.Dataset, "library", req.Library,
 		"metaheuristic", req.Metaheuristic, "machine", req.Machine)
@@ -432,7 +481,9 @@ func (s *Service) finishLocked(j *Job, state JobState, res *core.ScreenResult, e
 	if s.journal != nil {
 		v := j.view()
 		s.appendEvent(jobEvent{Type: evTerminal, Job: j.id, Time: j.finished, View: &v})
-		os.Remove(s.checkpointPath(j.id))
+		if err := s.fs.Remove(s.checkpointPath(j.id)); err != nil && !os.IsNotExist(err) {
+			s.metrics.WALIOError("remove")
+		}
 	}
 	s.log.Info("job finished", "job", j.id, "state", string(state),
 		"latency_seconds", j.finished.Sub(j.submitted).Seconds(), "err", errMsg)
@@ -559,6 +610,10 @@ type Stats struct {
 	Limit    int    `json:"limit"`
 	InFlight int    `json:"in_flight"`
 	Breaker  string `json:"breaker"`
+	// StorageDegraded reports read-only mode after a journal I/O failure;
+	// StorageReason is "disk_full" or "io_error" while degraded.
+	StorageDegraded bool   `json:"storage_degraded,omitempty"`
+	StorageReason   string `json:"storage_reason,omitempty"`
 }
 
 // Stats snapshots the live gauges.
@@ -567,13 +622,15 @@ func (s *Service) Stats() Stats {
 	defer s.mu.Unlock()
 	snap := s.ctrl.Snapshot()
 	st := Stats{
-		QueueDepth:   s.queue.depth(),
-		Workers:      s.cfg.Workers,
-		Draining:     s.draining,
-		QueueByClass: make(map[string]int),
-		Limit:        snap.Limit,
-		InFlight:     snap.InFlight,
-		Breaker:      snap.Breaker,
+		QueueDepth:      s.queue.depth(),
+		Workers:         s.cfg.Workers,
+		Draining:        s.draining,
+		QueueByClass:    make(map[string]int),
+		Limit:           snap.Limit,
+		InFlight:        snap.InFlight,
+		Breaker:         snap.Breaker,
+		StorageDegraded: s.storageDegraded,
+		StorageReason:   s.storageReason,
 	}
 	for _, c := range admission.Classes() {
 		st.QueueByClass[c.String()] = s.queue.depthClass(c)

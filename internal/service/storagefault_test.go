@@ -1,0 +1,263 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/metascreen/metascreen/internal/fsim"
+)
+
+// corruptCheckpoint rewrites the interrupted job's checkpoint file with
+// mutate applied to its current bytes.
+func corruptCheckpoint(t *testing.T, dir, id string, mutate func([]byte) []byte) {
+	t.Helper()
+	path := filepath.Join(dir, "checkpoints", id+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, mutate(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointCorruptionFallback: a damaged checkpoint must never stop
+// a job from finishing. The service quarantines the corrupt file (for
+// post-mortem, under <DataDir>/quarantine/) and falls back to WAL-only
+// replay — the job restarts from scratch and still produces the
+// reference ranking.
+func TestCheckpointCorruptionFallback(t *testing.T) {
+	want := referenceResult(t)
+	cases := []struct {
+		name       string
+		mutate     func([]byte) []byte
+		quarantine bool
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }, true},
+		{"bit_flipped", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)/3] ^= 0x10
+			return c
+		}, true},
+		{"zero_length", func(b []byte) []byte { return nil }, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			id := crashAfterCheckpoints(t, dir, 2)
+			corruptCheckpoint(t, dir, id, tc.mutate)
+
+			s, err := New(durableConfig(dir))
+			if err != nil {
+				t.Fatalf("boot with corrupt checkpoint failed: %v", err)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				s.Shutdown(ctx)
+			}()
+
+			waitFor(t, func() bool {
+				v, err := s.Get(id)
+				return err == nil && v.State.Terminal()
+			})
+			v, err := s.Get(id)
+			if err != nil || v.State != StateDone {
+				t.Fatalf("job %s after corrupt-checkpoint reboot: state %q err %v, want done", id, v.State, err)
+			}
+			assertMatchesReference(t, v.Result, want)
+
+			if tc.quarantine {
+				qpath := filepath.Join(dir, "quarantine", id+".json")
+				if _, err := os.Stat(qpath); err != nil {
+					t.Errorf("corrupt checkpoint not preserved under quarantine/: %v", err)
+				}
+			}
+			var buf strings.Builder
+			if err := s.metrics.WriteTo(&buf, s.Stats()); err != nil {
+				t.Fatal(err)
+			}
+			if strings.Contains(buf.String(), "metascreen_checkpoints_quarantined_total 0\n") {
+				t.Errorf("checkpoints_quarantined_total = 0, want >= 1")
+			}
+		})
+	}
+}
+
+// TestStorageFullDegradedMode: when the disk fills, the service degrades
+// to read-only — submissions get 507 + Retry-After while ranking, list
+// and metrics reads keep being served — and recovers in place (no
+// restart) once space frees, re-enabling journaling. A restart over the
+// same dir must still know every job that was acknowledged with a 202.
+func TestStorageFullDegradedMode(t *testing.T) {
+	saved := storageProbeInterval
+	storageProbeInterval = 0
+	defer func() { storageProbeInterval = saved }()
+
+	dir := t.TempDir()
+	// Roomy enough to boot, admit a few jobs and (after the operator
+	// frees space) run one more to completion — compaction, checkpoints
+	// and all — yet small enough that the submit loop fills it.
+	plan, err := fsim.ParsePlan("*:enospc@131072")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := fsim.New(plan, fsim.Config{Seed: 99})
+	cfg := durableConfig(dir)
+	cfg.FS = faulty
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	post := func(key string) (JobView, int, string) {
+		t.Helper()
+		req, err := http.NewRequest("POST", srv.URL+"/v1/screens", jsonBody(t, recoveryRequest))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Idempotency-Key", key)
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		retryAfter := resp.Header.Get("Retry-After")
+		var v JobView
+		if resp.StatusCode == http.StatusAccepted {
+			decodeJSON(t, resp, &v)
+		} else {
+			io.Copy(io.Discard, resp.Body)
+		}
+		return v, resp.StatusCode, retryAfter
+	}
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	// Submit until the simulated disk fills. Every 202 is an acknowledged,
+	// journaled admission; the first refusal must be a 507 with advice on
+	// when to retry.
+	var ackedIDs []string
+	var sawFull bool
+	var retryAfter string
+	for i := 0; i < 200; i++ {
+		v, code, ra := post(fmt.Sprintf("full-%d", i))
+		if code == http.StatusAccepted {
+			ackedIDs = append(ackedIDs, v.ID)
+			waitFor(t, func() bool {
+				got, err := s.Get(v.ID)
+				return err == nil && got.State.Terminal()
+			})
+			continue
+		}
+		sawFull, retryAfter = true, ra
+		if code != http.StatusInsufficientStorage {
+			t.Fatalf("submit %d: status %d, want 507", i, code)
+		}
+		break
+	}
+	if !sawFull {
+		t.Fatal("disk never filled: no 507 observed")
+	}
+	if retryAfter == "" {
+		t.Error("507 response missing Retry-After header")
+	}
+	if len(ackedIDs) == 0 {
+		t.Fatal("no job was acknowledged before the disk filled")
+	}
+
+	// Degraded means read-only, not down: rankings, listings, traces and
+	// metrics keep flowing.
+	if code, _ := get("/v1/screens"); code != http.StatusOK {
+		t.Errorf("GET /v1/screens while degraded: %d, want 200", code)
+	}
+	if code, _ := get("/v1/screens/" + ackedIDs[0]); code != http.StatusOK {
+		t.Errorf("GET job while degraded: %d, want 200", code)
+	}
+	if code, _ := get("/v1/screens/" + ackedIDs[0] + "/trace"); code != http.StatusOK {
+		t.Errorf("GET trace while degraded: %d, want 200", code)
+	}
+	code, metrics := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics while degraded: %d, want 200", code)
+	}
+	if !strings.Contains(metrics, "metascreen_storage_degraded 1") {
+		t.Errorf("metrics do not report metascreen_storage_degraded 1")
+	}
+	st := s.Stats()
+	if !st.StorageDegraded || st.StorageReason != "disk_full" {
+		t.Errorf("Stats() = degraded=%v reason=%q, want degraded with reason disk_full", st.StorageDegraded, st.StorageReason)
+	}
+	if snap := s.DebugSnapshot(); !snap.Storage.Degraded {
+		t.Errorf("debug snapshot does not flag storage degradation")
+	}
+
+	// Free the disk: the next submission probes, recovers the journal in
+	// place and is admitted — no restart needed.
+	faulty.FreeSpace()
+	v, code2, _ := post("after-recovery")
+	if code2 != http.StatusAccepted {
+		t.Fatalf("submit after FreeSpace: status %d, want 202", code2)
+	}
+	ackedIDs = append(ackedIDs, v.ID)
+	waitFor(t, func() bool {
+		got, err := s.Get(v.ID)
+		return err == nil && got.State.Terminal()
+	})
+	st = s.Stats()
+	if st.StorageDegraded {
+		t.Error("service still degraded after successful recovery")
+	}
+	_, body := get("/metrics")
+	if !strings.Contains(body, "metascreen_storage_degraded 0") {
+		t.Error("metrics still report storage degraded after recovery")
+	}
+	if strings.Contains(body, "metascreen_storage_recoveries_total 0\n") {
+		t.Error("storage_recoveries_total = 0 after in-place recovery")
+	}
+
+	// Restart over the same dir with a healthy disk: every 202 survived.
+	srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s2.Shutdown(ctx)
+	}()
+	for _, id := range ackedIDs {
+		if _, err := s2.Get(id); err != nil {
+			t.Errorf("acknowledged job %s lost across restart: %v", id, err)
+		}
+	}
+}

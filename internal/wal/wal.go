@@ -12,10 +12,23 @@
 //     replayed corrupt — recovery yields the longest valid prefix.
 //   - Open never panics on damaged input; any file content, including
 //     fuzz-generated garbage, recovers to a consistent journal (see
-//     FuzzJournalReplay).
+//     FuzzJournalReplay). Corrupt tail bytes and segments that followed a
+//     corrupt record are quarantined under <dir>/quarantine for
+//     post-mortem, never silently deleted.
 //   - Appends go to the newest segment; segments rotate at SegmentBytes so
-//     compaction can atomically replace history (temp file + rename) with
-//     a snapshot of the live records without rewriting unbounded data.
+//     compaction can atomically replace history (temp file + rename +
+//     directory fsync) with a snapshot of the live records without
+//     rewriting unbounded data.
+//   - A write or fsync failure fail-stops the journal (fsyncgate
+//     semantics): after a failed fsync the kernel may have dropped the
+//     dirty pages, so retrying the same fd can report success for data
+//     that never reached the platter. Every Append after a failure returns
+//     the sticky error until Recover reopens the segment from its last
+//     acknowledged size and proves a fresh fsync works.
+//
+// All file I/O goes through an injectable fsim.FS, so the storage chaos
+// plans (-disk-chaos) and the crash-point explorer exercise these paths
+// deterministically.
 //
 // Records are opaque bytes to this package; the service stores one JSON
 // object per record (JSONL with framing).
@@ -31,6 +44,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/metascreen/metascreen/internal/fsim"
 )
 
 const (
@@ -44,6 +59,9 @@ const (
 	defaultSegmentBytes = 8 << 20
 	// defaultSyncInterval is the SyncInterval policy's default cadence.
 	defaultSyncInterval = 100 * time.Millisecond
+	// quarantineDir is the subdirectory corrupt segments and tails are
+	// moved into during recovery, preserved for post-mortem.
+	quarantineDir = "quarantine"
 )
 
 // SyncPolicy says when appends reach the disk platter.
@@ -96,9 +114,18 @@ type Options struct {
 	Policy SyncPolicy
 	// SyncInterval is the SyncInterval policy's cadence; 0 means 100ms.
 	SyncInterval time.Duration
-	// Logf receives recovery warnings (torn tails, dropped segments); nil
-	// discards them.
+	// Logf receives recovery warnings (torn tails, quarantined segments)
+	// and I/O error reports; nil discards them.
 	Logf func(format string, args ...any)
+	// FS is the filesystem the journal writes through; nil means the real
+	// one (fsim.OSFS()). Chaos tests and the crash-point explorer inject a
+	// fsim.Faulty here.
+	FS fsim.FS
+	// OnIOError observes every I/O failure the journal absorbs or
+	// surfaces, labeled by operation ("append", "sync", "dirsync",
+	// "remove", "quarantine", ...). The service counts these in
+	// wal_io_errors_total. Nil ignores.
+	OnIOError func(op string, err error)
 }
 
 func (o Options) withDefaults() Options {
@@ -111,6 +138,12 @@ func (o Options) withDefaults() Options {
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
+	if o.FS == nil {
+		o.FS = fsim.OSFS()
+	}
+	if o.OnIOError == nil {
+		o.OnIOError = func(string, error) {}
+	}
 	return o
 }
 
@@ -120,11 +153,13 @@ type RecoveryInfo struct {
 	Segments int
 	// Records is the number of valid records available for replay.
 	Records int
-	// TruncatedBytes counts bytes dropped from a torn or corrupt tail.
+	// TruncatedBytes counts bytes dropped from a torn or corrupt tail
+	// (preserved under quarantine/ as <segment>.tail).
 	TruncatedBytes int64
-	// DroppedSegments counts whole segments discarded because they
-	// followed a corrupt record (replay keeps a consistent prefix).
-	DroppedSegments int
+	// QuarantinedSegments counts whole segments moved to quarantine/
+	// because they followed a corrupt record (replay keeps a consistent
+	// prefix).
+	QuarantinedSegments int
 }
 
 // Journal is an open write-ahead journal. Append, Sync, Compact and Close
@@ -133,12 +168,14 @@ type Journal struct {
 	mu   sync.Mutex
 	dir  string
 	opts Options
+	fs   fsim.FS
 
-	f        *os.File // active segment, opened for append
-	seg      int      // active segment index
-	segSize  int64    // active segment size
-	total    int64    // all segments' bytes
+	f        fsim.File // active segment, opened for append; nil while failed
+	seg      int       // active segment index
+	segSize  int64     // active segment's acknowledged (durable-intent) size
+	total    int64     // all segments' bytes
 	lastSync time.Time
+	failed   error // sticky fail-stop cause; nil when healthy
 	closed   bool
 }
 
@@ -147,8 +184,8 @@ type Journal struct {
 func segmentName(idx int) string { return fmt.Sprintf("seg-%08d.wal", idx) }
 
 // listSegments returns the sorted segment indices present in dir.
-func listSegments(dir string) ([]int, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fs fsim.FS, dir string) ([]int, error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -164,29 +201,40 @@ func listSegments(dir string) ([]int, error) {
 	return idx, nil
 }
 
+// ioError reports one absorbed or surfaced I/O failure.
+func (j *Journal) ioError(op string, err error) {
+	j.opts.OnIOError(op, err)
+	j.opts.Logf("wal: %s failed: %v", op, err)
+}
+
 // Open opens (or creates) the journal in dir, recovering from any torn or
-// corrupt tail: the damaged suffix is truncated with a warning and later
-// segments are dropped, so the surviving records form the longest valid
-// prefix of what was written. It never panics on damaged input.
+// corrupt tail: the damaged suffix is truncated with a warning — its bytes
+// preserved under quarantine/ — and later segments are quarantined, so the
+// surviving records form the longest valid prefix of what was written. It
+// never panics on damaged input.
 func Open(dir string, opts Options) (*Journal, RecoveryInfo, error) {
 	opts = opts.withDefaults()
+	fs := opts.FS
 	var info RecoveryInfo
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, info, fmt.Errorf("wal: %w", err)
 	}
 	// Leftover temp files are failed compactions; they were never live.
-	if tmps, err := filepath.Glob(filepath.Join(dir, "*.tmp")); err == nil {
+	if tmps, err := fs.Glob(filepath.Join(dir, "*.tmp")); err == nil {
 		for _, t := range tmps {
-			os.Remove(t)
+			if rerr := fs.Remove(t); rerr != nil {
+				opts.OnIOError("remove", rerr)
+				opts.Logf("wal: removing stale temp %s failed: %v", t, rerr)
+			}
 		}
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fs, dir)
 	if err != nil {
 		return nil, info, fmt.Errorf("wal: %w", err)
 	}
 	if len(segs) == 0 {
 		segs = []int{1}
-		f, err := os.OpenFile(filepath.Join(dir, segmentName(1)),
+		f, err := fs.OpenFile(filepath.Join(dir, segmentName(1)),
 			os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 		if err != nil {
 			return nil, info, fmt.Errorf("wal: %w", err)
@@ -195,12 +243,13 @@ func Open(dir string, opts Options) (*Journal, RecoveryInfo, error) {
 	}
 
 	// Scan segments in order; the first invalid record ends the valid
-	// prefix — its segment is truncated there and later segments dropped.
-	j := &Journal{dir: dir, opts: opts, lastSync: time.Now()}
+	// prefix — its segment is truncated there (tail bytes quarantined) and
+	// later segments moved aside whole.
+	j := &Journal{dir: dir, opts: opts, fs: fs, lastSync: time.Now()}
 	active := 0 // position in segs of the segment that ends the prefix
 	for k, idx := range segs {
 		path := filepath.Join(dir, segmentName(idx))
-		data, err := os.ReadFile(path)
+		data, err := fs.ReadFile(path)
 		if err != nil {
 			return nil, info, fmt.Errorf("wal: %w", err)
 		}
@@ -210,15 +259,17 @@ func Open(dir string, opts Options) (*Journal, RecoveryInfo, error) {
 		active = k
 		if valid < len(data) {
 			info.TruncatedBytes += int64(len(data) - valid)
-			opts.Logf("wal: segment %s: dropping %d corrupt tail bytes (kept %d records)",
+			opts.Logf("wal: recovery warning: segment %s: quarantining %d corrupt tail bytes (kept %d records)",
 				segmentName(idx), len(data)-valid, len(recs))
-			if err := os.Truncate(path, int64(valid)); err != nil {
+			quarantineBytes(fs, opts, dir, segmentName(idx)+".tail", data[valid:])
+			if err := fs.Truncate(path, int64(valid)); err != nil {
 				return nil, info, fmt.Errorf("wal: truncate %s: %w", segmentName(idx), err)
 			}
 			for _, later := range segs[k+1:] {
-				info.DroppedSegments++
-				opts.Logf("wal: dropping segment %s after corrupt record", segmentName(later))
-				os.Remove(filepath.Join(dir, segmentName(later)))
+				info.QuarantinedSegments++
+				opts.Logf("wal: recovery warning: quarantining segment %s after corrupt record in %s",
+					segmentName(later), segmentName(idx))
+				quarantineSegment(fs, opts, dir, segmentName(later))
 			}
 			break
 		}
@@ -227,7 +278,7 @@ func Open(dir string, opts Options) (*Journal, RecoveryInfo, error) {
 	info.Segments = len(segs)
 
 	j.seg = segs[len(segs)-1]
-	f, err := os.OpenFile(filepath.Join(dir, segmentName(j.seg)),
+	f, err := fs.OpenFile(filepath.Join(dir, segmentName(j.seg)),
 		os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, info, fmt.Errorf("wal: %w", err)
@@ -239,10 +290,52 @@ func Open(dir string, opts Options) (*Journal, RecoveryInfo, error) {
 	}
 	j.f = f
 	j.segSize = st.Size()
-	if info.TruncatedBytes > 0 || info.DroppedSegments > 0 {
-		syncDir(dir)
+	if info.TruncatedBytes > 0 || info.QuarantinedSegments > 0 {
+		if err := fs.SyncDir(dir); err != nil {
+			j.ioError("dirsync", err)
+		}
 	}
 	return j, info, nil
+}
+
+// quarantineBytes preserves corrupt bytes under dir/quarantine/name for
+// post-mortem. Best effort: a failure is reported, not fatal — losing the
+// post-mortem copy must never block recovery.
+func quarantineBytes(fs fsim.FS, opts Options, dir, name string, data []byte) {
+	qdir := filepath.Join(dir, quarantineDir)
+	if err := fs.MkdirAll(qdir, 0o755); err != nil {
+		opts.OnIOError("quarantine", err)
+		return
+	}
+	f, err := fs.OpenFile(filepath.Join(qdir, name), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		opts.OnIOError("quarantine", err)
+		return
+	}
+	if _, err := f.Write(data); err != nil {
+		opts.OnIOError("quarantine", err)
+	}
+	f.Close()
+}
+
+// quarantineSegment moves a whole segment into dir/quarantine. If the
+// move fails the segment is removed instead — it must not be replayed,
+// because its records follow a corrupt record in an earlier segment.
+func quarantineSegment(fs fsim.FS, opts Options, dir, name string) {
+	qdir := filepath.Join(dir, quarantineDir)
+	if err := fs.MkdirAll(qdir, 0o755); err == nil {
+		if err := fs.Rename(filepath.Join(dir, name), filepath.Join(qdir, name)); err == nil {
+			return
+		} else {
+			opts.OnIOError("quarantine", err)
+		}
+	} else {
+		opts.OnIOError("quarantine", err)
+	}
+	if err := fs.Remove(filepath.Join(dir, name)); err != nil {
+		opts.OnIOError("remove", err)
+		opts.Logf("wal: could not quarantine or remove segment %s: %v", name, err)
+	}
 }
 
 // ScanRecords parses framed records out of raw segment bytes, returning
@@ -282,7 +375,9 @@ func AppendFrame(buf, payload []byte) []byte {
 }
 
 // Append journals one record, rotating the segment and syncing per the
-// configured policy.
+// configured policy. After a write or sync failure the journal is
+// fail-stopped: every further Append returns the sticky error until
+// Recover succeeds.
 func (j *Journal) Append(payload []byte) error {
 	if int64(len(payload)) > MaxRecordBytes {
 		return fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(payload), int64(MaxRecordBytes))
@@ -294,36 +389,122 @@ func (j *Journal) Append(payload []byte) error {
 	if j.closed {
 		return fmt.Errorf("wal: journal closed")
 	}
+	if j.failed != nil {
+		return fmt.Errorf("wal: journal fail-stopped: %w", j.failed)
+	}
 	if j.segSize > 0 && j.segSize+int64(len(frame)) > j.opts.SegmentBytes {
 		if err := j.rotateLocked(); err != nil {
 			return err
 		}
 	}
 	if _, err := j.f.Write(frame); err != nil {
+		// The segment now holds an unacknowledged (possibly torn) suffix;
+		// fail-stop. Recover truncates back to segSize — the last size
+		// whose bytes were acknowledged.
+		j.failStopLocked("append", err)
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	j.segSize += int64(len(frame))
 	j.total += int64(len(frame))
-	return j.maybeSyncLocked()
+	if err := j.maybeSyncLocked(); err != nil {
+		// The append was not acknowledged: exclude its frame from the
+		// acknowledged size so Recover truncates it away rather than
+		// replaying a record whose durability is unknown.
+		j.segSize -= int64(len(frame))
+		j.total -= int64(len(frame))
+		return err
+	}
+	return nil
+}
+
+// failStopLocked records the sticky failure. Caller holds j.mu.
+func (j *Journal) failStopLocked(op string, err error) {
+	j.failed = err
+	j.ioError(op, err)
+	j.opts.Logf("wal: fail-stop on segment %s after %s failure: %v", segmentName(j.seg), op, err)
+}
+
+// Failed returns the sticky fail-stop cause, nil while healthy.
+func (j *Journal) Failed() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.failed
+}
+
+// Recover attempts to return a fail-stopped journal to service after the
+// underlying condition clears (disk space freed, transient controller
+// error gone). Per fsyncgate semantics the poisoned fd is abandoned, not
+// retried: the active segment is truncated back to its last acknowledged
+// size, reopened fresh, and a probe fsync of both the file and the
+// directory must succeed before appends are accepted again. A no-op on a
+// healthy journal.
+func (j *Journal) Recover() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("wal: journal closed")
+	}
+	if j.failed == nil {
+		return nil
+	}
+	path := filepath.Join(j.dir, segmentName(j.seg))
+	if j.f != nil {
+		j.f.Close() // abandon the poisoned fd; its error tells us nothing new
+		j.f = nil
+	}
+	if err := j.fs.Truncate(path, j.segSize); err != nil {
+		j.ioError("truncate", err)
+		return fmt.Errorf("wal: recover truncate: %w", err)
+	}
+	f, err := j.fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		j.ioError("reopen", err)
+		return fmt.Errorf("wal: recover reopen: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		j.ioError("sync", err)
+		return fmt.Errorf("wal: recover probe sync: %w", err)
+	}
+	if err := j.fs.SyncDir(j.dir); err != nil {
+		f.Close()
+		j.ioError("dirsync", err)
+		return fmt.Errorf("wal: recover dir sync: %w", err)
+	}
+	j.f = f
+	j.failed = nil
+	j.lastSync = time.Now()
+	j.opts.Logf("wal: recovered segment %s at %d bytes", segmentName(j.seg), j.segSize)
+	return nil
 }
 
 // rotateLocked seals the active segment and starts the next one.
 func (j *Journal) rotateLocked() error {
 	if err := j.f.Sync(); err != nil {
+		j.failStopLocked("sync", err)
 		return fmt.Errorf("wal: rotate sync: %w", err)
 	}
 	if err := j.f.Close(); err != nil {
+		j.failStopLocked("close", err)
 		return fmt.Errorf("wal: rotate close: %w", err)
 	}
 	j.seg++
-	f, err := os.OpenFile(filepath.Join(j.dir, segmentName(j.seg)),
+	j.segSize = 0
+	f, err := j.fs.OpenFile(filepath.Join(j.dir, segmentName(j.seg)),
 		os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
+		j.f = nil
+		j.failStopLocked("rotate", err)
 		return fmt.Errorf("wal: rotate: %w", err)
 	}
 	j.f = f
-	j.segSize = 0
-	syncDir(j.dir)
+	if err := j.fs.SyncDir(j.dir); err != nil {
+		// The new segment's dir entry may not survive a power loss; records
+		// appended to it would vanish. Fail-stop until Recover proves the
+		// directory syncs.
+		j.failStopLocked("dirsync", err)
+		return fmt.Errorf("wal: rotate dir sync: %w", err)
+	}
 	return nil
 }
 
@@ -342,6 +523,10 @@ func (j *Journal) maybeSyncLocked() error {
 
 func (j *Journal) syncLocked() error {
 	if err := j.f.Sync(); err != nil {
+		// fsyncgate: after a failed fsync the dirty pages may already be
+		// gone; a retry that reports success proves nothing. Fail-stop and
+		// make Recover reopen from the last acknowledged size.
+		j.failStopLocked("sync", err)
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	j.lastSync = time.Now()
@@ -354,6 +539,9 @@ func (j *Journal) Sync() error {
 	defer j.mu.Unlock()
 	if j.closed {
 		return nil
+	}
+	if j.failed != nil {
+		return fmt.Errorf("wal: journal fail-stopped: %w", j.failed)
 	}
 	return j.syncLocked()
 }
@@ -370,14 +558,14 @@ func (j *Journal) Size() int64 {
 // recovered (concurrent Appends during a replay may or may not be seen).
 func (j *Journal) Replay(fn func(rec []byte) error) error {
 	j.mu.Lock()
-	dir := j.dir
+	dir, fs := j.dir, j.fs
 	j.mu.Unlock()
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fs, dir)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	for _, idx := range segs {
-		data, err := os.ReadFile(filepath.Join(dir, segmentName(idx)))
+		data, err := fs.ReadFile(filepath.Join(dir, segmentName(idx)))
 		if err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
@@ -393,22 +581,31 @@ func (j *Journal) Replay(fn func(rec []byte) error) error {
 
 // Compact atomically replaces the journal's history with the given live
 // records: they are written to a temp file, fsynced, renamed into place as
-// the next segment, and only then are the old segments deleted. A crash at
-// any point leaves either the old history, or the old history plus the
-// snapshot — callers' records must therefore be last-write-wins (the
-// service journals full job snapshots), which makes both replays converge.
+// the next segment, and the directory is fsynced — only then are the old
+// segments deleted. A crash at any point leaves either the old history, or
+// the old history plus the snapshot — callers' records must therefore be
+// last-write-wins (the service journals full job snapshots), which makes
+// both replays converge.
 func (j *Journal) Compact(live [][]byte) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
 		return fmt.Errorf("wal: journal closed")
 	}
+	if j.failed != nil {
+		return fmt.Errorf("wal: journal fail-stopped: %w", j.failed)
+	}
 	newIdx := j.seg + 1
 	newPath := filepath.Join(j.dir, segmentName(newIdx))
 	tmp := newPath + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := j.fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: compact: %w", err)
+	}
+	discard := func() {
+		if rerr := j.fs.Remove(tmp); rerr != nil {
+			j.ioError("remove", rerr)
+		}
 	}
 	var buf []byte
 	for _, rec := range live {
@@ -416,39 +613,60 @@ func (j *Journal) Compact(live [][]byte) error {
 	}
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		discard()
 		return fmt.Errorf("wal: compact: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		discard()
 		return fmt.Errorf("wal: compact: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		discard()
 		return fmt.Errorf("wal: compact: %w", err)
 	}
-	if err := os.Rename(tmp, newPath); err != nil {
-		os.Remove(tmp)
+	if err := j.fs.Rename(tmp, newPath); err != nil {
+		discard()
 		return fmt.Errorf("wal: compact: %w", err)
 	}
-	syncDir(j.dir)
+	// An atomic replace is not durable until the directory entry is: a
+	// crash here could resurrect the old name order on some filesystems.
+	// The snapshot must be durably in place before history is retired.
+	if err := j.fs.SyncDir(j.dir); err != nil {
+		j.ioError("dirsync", err)
+		return fmt.Errorf("wal: compact dir sync: %w", err)
+	}
 
-	// The snapshot is durable; retire the history it replaces.
+	// The snapshot is durable; retire the history it replaces. Failures
+	// here are absorbed (an orphan old segment is harmless: replay of old
+	// events followed by the snapshot converges on the snapshot) but
+	// logged and counted — silent leaks hide failing disks.
 	oldSeg := j.seg
-	j.f.Close()
-	segs, err := listSegments(j.dir)
+	if cerr := j.f.Close(); cerr != nil {
+		j.ioError("close", cerr)
+	}
+	j.f = nil
+	segs, err := listSegments(j.fs, j.dir)
 	if err == nil {
 		for _, idx := range segs {
 			if idx <= oldSeg {
-				os.Remove(filepath.Join(j.dir, segmentName(idx)))
+				if rerr := j.fs.Remove(filepath.Join(j.dir, segmentName(idx))); rerr != nil {
+					j.ioError("remove", rerr)
+				}
 			}
 		}
 	}
-	syncDir(j.dir)
+	if err := j.fs.SyncDir(j.dir); err != nil {
+		j.ioError("dirsync", err)
+	}
 
-	nf, err := os.OpenFile(newPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	nf, err := j.fs.OpenFile(newPath, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		// No usable fd: the journal is fail-stopped until Recover reopens.
+		j.segSize = int64(len(buf))
+		j.total = int64(len(buf))
+		j.seg = newIdx
+		j.failStopLocked("reopen", err)
 		return fmt.Errorf("wal: compact reopen: %w", err)
 	}
 	j.f = nf
@@ -466,7 +684,13 @@ func (j *Journal) Close() error {
 		return nil
 	}
 	j.closed = true
-	serr := j.f.Sync()
+	if j.f == nil {
+		return nil
+	}
+	var serr error
+	if j.failed == nil {
+		serr = j.f.Sync()
+	}
 	cerr := j.f.Close()
 	if serr != nil {
 		return fmt.Errorf("wal: close sync: %w", serr)
@@ -475,13 +699,4 @@ func (j *Journal) Close() error {
 		return fmt.Errorf("wal: close: %w", cerr)
 	}
 	return nil
-}
-
-// syncDir fsyncs a directory so renames and unlinks are durable; errors
-// are ignored (some filesystems reject directory fsync).
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
 }

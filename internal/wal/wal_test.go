@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"github.com/metascreen/metascreen/internal/fsim"
 )
 
 // reopen closes j and opens the same directory again.
@@ -90,7 +92,7 @@ func TestSegmentRotation(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fsim.OSFS(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +179,7 @@ func TestBitFlipDropsSuffix(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(fsim.OSFS(), dir)
 	if len(segs) < 3 {
 		t.Fatalf("want >= 3 segments, got %v", segs)
 	}
@@ -202,8 +204,8 @@ func TestBitFlipDropsSuffix(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer j2.Close()
-	if info.DroppedSegments != len(segs)-2 {
-		t.Errorf("dropped %d segments, want %d", info.DroppedSegments, len(segs)-2)
+	if info.QuarantinedSegments != len(segs)-2 {
+		t.Errorf("quarantined %d segments, want %d", info.QuarantinedSegments, len(segs)-2)
 	}
 	if info.TruncatedBytes == 0 {
 		t.Error("bit flip not counted as truncation")
@@ -239,7 +241,7 @@ func TestCompact(t *testing.T) {
 	if j.Size() >= before {
 		t.Errorf("size %d not reduced from %d", j.Size(), before)
 	}
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(fsim.OSFS(), dir)
 	if len(segs) != 1 {
 		t.Fatalf("compaction left %v segments", segs)
 	}
