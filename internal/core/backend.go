@@ -56,11 +56,48 @@ func newCompute(p *Problem, real bool, scorerKind, improver string) (compute, er
 		if err != nil {
 			return nil, err
 		}
-		return &realCompute{scorer: s, ligand: p.LigandPositions(), ts: p.TorsionSet()}, nil
+		rc := &realCompute{scorer: s, ligand: p.LigandPositions(), ts: p.TorsionSet()}
+		if bs, ok := s.(forcefield.BatchScorer); ok {
+			rc.batch = bs
+		}
+		// The cell-list scorer additionally gets one neighbor list per
+		// spot: built once here, reused every generation.
+		if cl, ok := s.(*forcefield.CellList); ok {
+			rc.nl = p.SpotNeighborLists(cl)
+		}
+		return rc, nil
 	case "gradient":
 		return &gradientCompute{scorer: p.NewGradientScorer(), ligand: p.LigandPositions(), ts: p.TorsionSet()}, nil
 	}
 	return nil, fmt.Errorf("core: unknown improver %q (want stochastic or gradient)", improver)
+}
+
+// poseArena is a worker-owned scoring workspace: one flat coordinate array
+// sliced into per-conformation pose buffers, plus the batched score output.
+// resize reuses capacity, so steady-state generations allocate nothing.
+type poseArena struct {
+	flat  []vec.V3
+	poses [][]vec.V3
+	out   []float64
+}
+
+func (a *poseArena) resize(n, atoms int) {
+	need := n * atoms
+	if cap(a.flat) < need {
+		a.flat = make([]vec.V3, need)
+	}
+	a.flat = a.flat[:need]
+	if cap(a.poses) < n {
+		a.poses = make([][]vec.V3, n)
+	}
+	a.poses = a.poses[:n]
+	for i := range a.poses {
+		a.poses[i] = a.flat[i*atoms : (i+1)*atoms : (i+1)*atoms]
+	}
+	if cap(a.out) < n {
+		a.out = make([]float64, n)
+	}
+	a.out = a.out[:n]
 }
 
 // compute is the scoring strategy shared by backends: real force-field
@@ -69,28 +106,81 @@ type compute interface {
 	// score evaluates c in place. buf is a caller-owned scratch pose
 	// buffer of ligand size.
 	score(c *conformation.Conformation, buf []vec.V3)
+	// scoreBatch evaluates every conformation of the slice using a's
+	// pooled pose buffers. It assigns exactly the scores score would.
+	scoreBatch(confs []*conformation.Conformation, a *poseArena)
 	// improve runs moves hill-climbing steps on c in place.
 	improve(it ImproveItem, moves int, scale conformation.MoveScale, buf []vec.V3)
 	// ligandAtoms returns the pose buffer size.
 	ligandAtoms() int
 }
 
+// scoreChunk scores one worker's span of a generation batch, chunkSize
+// conformations per batched call (<= 0 means the whole span at once).
+func scoreChunk(comp compute, confs []*conformation.Conformation, a *poseArena, chunkSize int) {
+	if chunkSize <= 0 || chunkSize > len(confs) {
+		chunkSize = len(confs)
+	}
+	for lo := 0; lo < len(confs); lo += chunkSize {
+		hi := lo + chunkSize
+		if hi > len(confs) {
+			hi = len(confs)
+		}
+		comp.scoreBatch(confs[lo:hi], a)
+	}
+}
+
 // realCompute actually evaluates the force field. A non-nil torsion set
 // makes posing flexible (ApplyFlex bends the ligand before the rigid
 // transform).
 type realCompute struct {
-	scorer interface {
-		Score(ligPos []vec.V3) float64
-	}
+	scorer forcefield.Scorer
+	// batch is scorer's batched entry point, nil if it has none.
+	batch forcefield.BatchScorer
+	// nl holds one precomputed candidate list per spot (cell-list scorer
+	// only): the receptor atoms within the cutoff of the spot's search
+	// region, gathered once and reused across all generations.
+	nl     []*forcefield.NeighborList
 	ligand []vec.V3
 	ts     *molecule.TorsionSet
 }
 
 func (rc *realCompute) ligandAtoms() int { return len(rc.ligand) }
 
+// scorePose picks the cheapest exact scorer for a posed ligand: the spot's
+// neighbor list when the pose stays inside its covered region, the full
+// scorer otherwise (flexible poses can swing atoms out of the region).
+// Both score and scoreBatch go through it, so batched and unbatched runs
+// produce byte-identical scores.
+func (rc *realCompute) scorePose(spot int, pose []vec.V3) float64 {
+	if spot >= 0 && spot < len(rc.nl) {
+		if nl := rc.nl[spot]; nl != nil && nl.Covers(pose) {
+			return nl.Score(pose)
+		}
+	}
+	return rc.scorer.Score(pose)
+}
+
 func (rc *realCompute) score(c *conformation.Conformation, buf []vec.V3) {
 	c.ApplyFlex(rc.ts, rc.ligand, buf)
-	c.Score = rc.scorer.Score(buf)
+	c.Score = rc.scorePose(c.Spot, buf)
+}
+
+func (rc *realCompute) scoreBatch(confs []*conformation.Conformation, a *poseArena) {
+	a.resize(len(confs), len(rc.ligand))
+	for i, c := range confs {
+		c.ApplyFlex(rc.ts, rc.ligand, a.poses[i])
+	}
+	if rc.nl != nil || rc.batch == nil {
+		for i, c := range confs {
+			c.Score = rc.scorePose(c.Spot, a.poses[i])
+		}
+		return
+	}
+	rc.batch.ScoreBatch(a.poses, a.out)
+	for i, c := range confs {
+		c.Score = a.out[i]
+	}
 }
 
 func (rc *realCompute) improve(it ImproveItem, moves int, scale conformation.MoveScale, buf []vec.V3) {
@@ -149,6 +239,14 @@ func (gc *gradientCompute) ligandAtoms() int { return len(gc.ligand) }
 func (gc *gradientCompute) score(c *conformation.Conformation, buf []vec.V3) {
 	c.ApplyFlex(gc.ts, gc.ligand, buf)
 	c.Score = gc.scorer.Score(buf)
+}
+
+func (gc *gradientCompute) scoreBatch(confs []*conformation.Conformation, a *poseArena) {
+	a.resize(len(confs), len(gc.ligand))
+	for i, c := range confs {
+		c.ApplyFlex(gc.ts, gc.ligand, a.poses[i])
+		c.Score = gc.scorer.Score(a.poses[i])
+	}
 }
 
 func (gc *gradientCompute) improve(it ImproveItem, moves int, _ conformation.MoveScale, buf []vec.V3) {
@@ -264,6 +362,12 @@ func (mc *modeledCompute) surrogate(c conformation.Conformation) float64 {
 
 func (mc *modeledCompute) score(c *conformation.Conformation, _ []vec.V3) {
 	c.Score = mc.surrogate(*c)
+}
+
+func (mc *modeledCompute) scoreBatch(confs []*conformation.Conformation, _ *poseArena) {
+	for _, c := range confs {
+		c.Score = mc.surrogate(*c)
+	}
 }
 
 // improve models the outcome of `moves` hill-climbing steps: the pose

@@ -75,6 +75,12 @@ type GenPoint struct {
 	Best float64
 }
 
+// improveTarget names one conformation selected for local search: spot
+// index and conformation index within that spot's offspring.
+type improveTarget struct {
+	spot, conf int
+}
+
 // energyReporter is implemented by backends that model energy.
 type energyReporter interface {
 	EnergyJoules() float64
@@ -211,6 +217,15 @@ func run(ctx context.Context, p *Problem, alg metaheuristic.Algorithm, backend B
 	var history []GenPoint
 	deadlineHit := false
 	gens := 0
+	// Per-generation work lists, allocated once and reused: steady-state
+	// generations must not allocate on the host side.
+	scoms := make([]metaheuristic.Population, len(states))
+	var (
+		toScore  []*conformation.Conformation
+		items    []ImproveItem
+		itemRNGs []rng.Source
+		targets  []improveTarget
+	)
 	for gen := 0; !states[0].Done(gen); gen++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -222,8 +237,7 @@ func run(ctx context.Context, p *Problem, alg metaheuristic.Algorithm, backend B
 		gens++
 		genStart := backend.SimTime()
 		// Select + Combine on the host, per spot.
-		scoms := make([]metaheuristic.Population, len(states))
-		var toScore []*conformation.Conformation
+		toScore = toScore[:0]
 		popTotal := 0
 		for i, st := range states {
 			scoms[i] = st.Propose()
@@ -239,18 +253,29 @@ func run(ctx context.Context, p *Problem, alg metaheuristic.Algorithm, backend B
 
 		// Improve kernel over the selected fraction.
 		if params.ImproveMoves > 0 {
-			var items []ImproveItem
+			targets = targets[:0]
 			for i, st := range states {
-				targets := st.ImproveTargets(scoms[i])
-				for _, ti := range targets {
-					items = append(items, ImproveItem{
-						Conf:    &scoms[i][ti],
-						Sampler: samplers[i],
-						// Stream per (generation, conformation): local
-						// search is reproducible under any parallel order.
-						RNG: improveRNGs[i].Split(uint64(gen)<<20 | uint64(ti)),
-					})
+				for _, ti := range st.ImproveTargets(scoms[i]) {
+					targets = append(targets, improveTarget{spot: i, conf: ti})
 				}
+			}
+			// The items hold pointers into itemRNGs, so size it up front
+			// (growing it mid-build would strand pointers in the old
+			// backing array).
+			if cap(itemRNGs) < len(targets) {
+				itemRNGs = make([]rng.Source, len(targets))
+			}
+			itemRNGs = itemRNGs[:len(targets)]
+			items = items[:0]
+			for k, tg := range targets {
+				// Stream per (generation, conformation): local search is
+				// reproducible under any parallel order.
+				improveRNGs[tg.spot].SplitInto(uint64(gen)<<20|uint64(tg.conf), &itemRNGs[k])
+				items = append(items, ImproveItem{
+					Conf:    &scoms[tg.spot][tg.conf],
+					Sampler: samplers[tg.spot],
+					RNG:     &itemRNGs[k],
+				})
 			}
 			backend.ImproveBatch(items, params.ImproveMoves, scale)
 		}

@@ -26,6 +26,14 @@ type HostConfig struct {
 	// Workers is the number of goroutines used for Real evaluation;
 	// 0 means all CPUs.
 	Workers int
+	// BatchChunk caps the number of conformations a worker scores per
+	// batched call; 0 means the worker's whole static chunk at once.
+	// Smaller chunks trade batching efficiency for smaller pose arenas.
+	BatchChunk int
+	// DisableBatch forces the one-pose-at-a-time scoring path. Rankings
+	// are byte-identical either way; this is a differential-testing and
+	// debugging knob.
+	DisableBatch bool
 	// ModelCores and ModelClockMHz describe the simulated machine's CPU
 	// for the timeline (e.g. Jupiter: 12 cores at 2000 MHz).
 	ModelCores    int
@@ -58,9 +66,28 @@ type HostBackend struct {
 	comp  compute
 	team  *hostpar.Team
 	pairs int
+	// scratch holds one persistent workspace per team worker; reusing it
+	// across generations keeps the scoring hot path allocation-free.
+	scratch []workerScratch
 
 	simTime float64
 	evals   atomic.Int64
+}
+
+// workerScratch is one worker goroutine's persistent buffers: a single-pose
+// buffer for the improve path and a pose arena for batched scoring.
+type workerScratch struct {
+	buf   []vec.V3
+	arena poseArena
+}
+
+// newScratch sizes one workspace per team worker.
+func newScratch(team *hostpar.Team, comp compute) []workerScratch {
+	scratch := make([]workerScratch, team.Size())
+	for t := range scratch {
+		scratch[t].buf = make([]vec.V3, comp.ligandAtoms())
+	}
+	return scratch
 }
 
 // NewHostBackend builds the multicore backend for a problem.
@@ -76,6 +103,7 @@ func NewHostBackend(p *Problem, cfg HostConfig) (*HostBackend, error) {
 		return nil, err
 	}
 	b.comp = comp
+	b.scratch = newScratch(b.team, comp)
 	return b, nil
 }
 
@@ -93,9 +121,15 @@ func (b *HostBackend) ScoreBatch(confs []*conformation.Conformation) {
 	if len(confs) == 0 {
 		return
 	}
-	b.runParallel(len(confs), func(i int, buf []vec.V3) {
-		b.comp.score(confs[i], buf)
-	})
+	if b.cfg.DisableBatch {
+		b.runParallel(len(confs), func(i int, buf []vec.V3) {
+			b.comp.score(confs[i], buf)
+		})
+	} else {
+		b.team.ForChunk(len(confs), hostpar.Static, 0, func(lo, hi, tid int) {
+			scoreChunk(b.comp, confs[lo:hi], &b.scratch[tid].arena, b.cfg.BatchChunk)
+		})
+	}
 	b.evals.Add(int64(len(confs)))
 	b.simTime += b.cfg.Model.CPUTime(b.cfg.ModelCores, b.cfg.ModelClockMHz, cudasim.ScoringLaunch{
 		Kind:                 cudasim.KernelScoring,
@@ -138,16 +172,13 @@ func (b *HostBackend) EnergyJoules() float64 {
 // Evaluations implements Backend.
 func (b *HostBackend) Evaluations() int64 { return b.evals.Load() }
 
-// runParallel executes body over [0, n) with one scratch pose buffer per
-// worker goroutine.
+// runParallel executes body over [0, n) with each worker goroutine's
+// persistent scratch pose buffer.
 func (b *HostBackend) runParallel(n int, body func(i int, buf []vec.V3)) {
-	bufs := make([][]vec.V3, b.team.Size())
-	for t := range bufs {
-		bufs[t] = make([]vec.V3, b.comp.ligandAtoms())
-	}
 	b.team.ForChunk(n, hostpar.Static, 0, func(lo, hi, tid int) {
+		buf := b.scratch[tid].buf
 		for i := lo; i < hi; i++ {
-			body(i, bufs[tid])
+			body(i, buf)
 		}
 	})
 }

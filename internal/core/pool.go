@@ -13,7 +13,6 @@ import (
 	"github.com/metascreen/metascreen/internal/obs"
 	"github.com/metascreen/metascreen/internal/sched"
 	"github.com/metascreen/metascreen/internal/trace"
-	"github.com/metascreen/metascreen/internal/vec"
 )
 
 // PoolConfig configures the multi-GPU backend.
@@ -98,6 +97,9 @@ type PoolBackend struct {
 	comp  compute
 	team  *hostpar.Team
 	pairs int
+	// scratch holds one persistent workspace per team worker (see
+	// workerScratch); steady-state generations allocate nothing.
+	scratch []workerScratch
 
 	// weights holds the warm-up throughput shares per kernel kind
 	// (Heterogeneous mode only). The paper's warm-up runs iterations of
@@ -164,6 +166,7 @@ func NewPoolBackend(p *Problem, cfg PoolConfig) (*PoolBackend, error) {
 		return nil, err
 	}
 	b.comp = comp
+	b.scratch = newScratch(b.team, comp)
 	if cfg.Mode == sched.Heterogeneous {
 		b.weights = make(map[cudasim.KernelKind][]float64)
 		b.percent = make(map[cudasim.KernelKind][]float64)
@@ -329,14 +332,8 @@ func (b *PoolBackend) ScoreBatch(confs []*conformation.Conformation) {
 		return
 	}
 	b.dispatch(len(confs), cudasim.KernelScoring, 1)
-	bufs := make([][]vec.V3, b.team.Size())
-	for t := range bufs {
-		bufs[t] = make([]vec.V3, b.comp.ligandAtoms())
-	}
 	b.team.ForChunk(len(confs), hostpar.Static, 0, func(lo, hi, tid int) {
-		for i := lo; i < hi; i++ {
-			b.comp.score(confs[i], bufs[tid])
-		}
+		scoreChunk(b.comp, confs[lo:hi], &b.scratch[tid].arena, 0)
 	})
 	b.evals.Add(int64(len(confs)))
 }
@@ -347,13 +344,10 @@ func (b *PoolBackend) ImproveBatch(items []ImproveItem, moves int, scale conform
 		return
 	}
 	b.dispatch(len(items), cudasim.KernelImprove, moves)
-	bufs := make([][]vec.V3, b.team.Size())
-	for t := range bufs {
-		bufs[t] = make([]vec.V3, b.comp.ligandAtoms())
-	}
 	b.team.ForChunk(len(items), hostpar.Static, 0, func(lo, hi, tid int) {
+		buf := b.scratch[tid].buf
 		for i := lo; i < hi; i++ {
-			b.comp.improve(items[i], moves, scale, bufs[tid])
+			b.comp.improve(items[i], moves, scale, buf)
 		}
 	})
 	b.evals.Add(int64(len(items)) * int64(moves))

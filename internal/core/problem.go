@@ -102,6 +102,30 @@ func (p *Problem) NewScorer(kind string) (forcefield.Scorer, error) {
 	return nil, fmt.Errorf("core: unknown scorer %q", kind)
 }
 
+// SpotNeighborLists gathers, for every spot, the receptor atoms within the
+// interaction cutoff of the spot's search region — the precomputed
+// neighborhood a whole run's worth of poses at that spot is scored
+// against. The region bounds every pose the spot's sampler can produce:
+// translations stay inside the spot sphere, and atoms extend at most the
+// ligand's reach beyond the translation (doubled for flexible ligands,
+// whose torsioned branches can swing past the rigid bounding radius; the
+// neighbor list's Covers check catches any pose that still escapes).
+func (p *Problem) SpotNeighborLists(cells *forcefield.CellList) []*forcefield.NeighborList {
+	reach := p.LigandRadius()
+	if p.torsions != nil && p.torsions.Len() > 0 {
+		reach *= 2
+	}
+	standoff := p.LigandRadius() + 1.5
+	out := make([]*forcefield.NeighborList, len(p.Spots))
+	for i, s := range p.Spots {
+		base := s.Center.Add(s.Normal.Scale(standoff))
+		half := vec.V3{X: 1, Y: 1, Z: 1}.Scale(s.Radius + reach + 1e-6)
+		region := vec.NewAABB(base.Sub(half), base.Add(half))
+		out[i] = forcefield.NewNeighborList(cells, p.recTopo, region)
+	}
+	return out
+}
+
 // NewGradientScorer builds a scorer with analytic forces (the tiled
 // kernel), for gradient-descent local search.
 func (p *Problem) NewGradientScorer() forcefield.GradientScorer {

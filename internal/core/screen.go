@@ -7,7 +7,8 @@ import (
 	"io"
 	"log/slog"
 	"runtime"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
 
 	"github.com/metascreen/metascreen/internal/forcefield"
@@ -257,12 +258,14 @@ func ligandSeed(seed uint64, name string) uint64 {
 // sortRanking orders a screen's ranking best-first, breaking equal scores
 // by ligand name so the ranking never depends on library order.
 func sortRanking(out *ScreenResult) {
-	sort.SliceStable(out.Ranking, func(a, b int) bool {
-		ea, eb := out.Ranking[a], out.Ranking[b]
-		if ea.Result.Best.Score != eb.Result.Best.Score {
-			return ea.Result.Best.Score < eb.Result.Best.Score
+	slices.SortStableFunc(out.Ranking, func(ea, eb ScreenEntry) int {
+		switch {
+		case ea.Result.Best.Score < eb.Result.Best.Score:
+			return -1
+		case eb.Result.Best.Score < ea.Result.Best.Score:
+			return 1
 		}
-		return ea.Ligand.Name < eb.Ligand.Name
+		return strings.Compare(ea.Ligand.Name, eb.Ligand.Name)
 	})
 }
 

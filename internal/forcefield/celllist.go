@@ -10,6 +10,10 @@ import (
 // ligand atom only visits receptor atoms in the 27 cells around it, so the
 // cost is proportional to the atoms actually within the cutoff rather than
 // to the whole receptor. It is the fast scorer for Real-mode screening runs.
+//
+// Receptor atoms are stored sorted by cell in structure-of-arrays form, so
+// a cell's atoms are contiguous in memory and the inner loop streams them
+// without the index indirection a CSR-of-indices layout would need.
 type CellList struct {
 	lig   *Topology
 	table *PairTable
@@ -19,14 +23,16 @@ type CellList struct {
 	cellSize   float64
 	nx, ny, nz int
 
-	// CSR layout: cellStart[c]..cellStart[c+1] indexes into atomIdx.
+	// cellStart[c]..cellStart[c+1] indexes the cell-sorted SoA arrays.
 	cellStart []int32
-	atomIdx   []int32
-
-	// Receptor atom data in original order.
-	pos []vec.V3
-	typ []uint8
-	chg []float64
+	// Receptor atom data in cell-sorted order (ascending original index
+	// within each cell, so traversal order matches the old CSR layout).
+	px, py, pz []float64
+	typ        []uint8
+	chg        []float64
+	// atomIdx maps a cell-sorted slot back to the original receptor atom
+	// index (used by grid tabulation's visitNear).
+	atomIdx []int32
 }
 
 // NewCellList builds the neighbour grid with cell edge equal to the cutoff.
@@ -34,7 +40,6 @@ func NewCellList(rec, lig *Topology, opts Options) *CellList {
 	c := &CellList{
 		lig: lig, table: NewPairTable(), opts: opts,
 		cellSize: Cutoff,
-		pos:      rec.Pos, typ: rec.Type, chg: rec.Charge,
 	}
 	b := vec.BoundPoints(rec.Pos)
 	if b.Empty() {
@@ -58,12 +63,22 @@ func NewCellList(rec, lig *Topology, opts Options) *CellList {
 		counts[i] += counts[i-1]
 	}
 	c.cellStart = counts
-	c.atomIdx = make([]int32, len(rec.Pos))
+	n := len(rec.Pos)
+	c.px = make([]float64, n)
+	c.py = make([]float64, n)
+	c.pz = make([]float64, n)
+	c.typ = make([]uint8, n)
+	c.chg = make([]float64, n)
+	c.atomIdx = make([]int32, n)
 	cursor := make([]int32, nCells)
-	for i := range rec.Pos {
+	for i, p := range rec.Pos {
 		cell := cellOf[i]
-		c.atomIdx[c.cellStart[cell]+cursor[cell]] = int32(i)
+		k := c.cellStart[cell] + cursor[cell]
 		cursor[cell]++
+		c.px[k], c.py[k], c.pz[k] = p.X, p.Y, p.Z
+		c.typ[k] = rec.Type[i]
+		c.chg[k] = rec.Charge[i]
+		c.atomIdx[k] = int32(i)
 	}
 	return c
 }
@@ -94,7 +109,7 @@ func (c *CellList) Score(ligPos []vec.V3) float64 {
 	const cutoff2 = Cutoff * Cutoff
 	e := 0.0
 	for j, lp := range ligPos {
-		lt := c.lig.Type[j]
+		lt := int32(c.lig.Type[j])
 		lq := c.lig.Charge[j]
 		// Cell coordinates of the ligand atom, unclamped so that atoms
 		// outside the receptor box still scan the correct border cells.
@@ -104,32 +119,50 @@ func (c *CellList) Score(ligPos []vec.V3) float64 {
 		ix0, ix1 := neighborRange(fx, c.nx)
 		iy0, iy1 := neighborRange(fy, c.ny)
 		iz0, iz1 := neighborRange(fz, c.nz)
+		if ix0 > ix1 || iy0 > iy1 || iz0 > iz1 {
+			continue // beyond the cutoff of every cell on some axis
+		}
 		for ix := ix0; ix <= ix1; ix++ {
 			for iy := iy0; iy <= iy1; iy++ {
-				for iz := iz0; iz <= iz1; iz++ {
-					cell := (ix*c.ny+iy)*c.nz + iz
-					for k := c.cellStart[cell]; k < c.cellStart[cell+1]; k++ {
-						i := c.atomIdx[k]
-						r2 := c.pos[i].Dist2(lp)
-						if r2 > cutoff2 {
-							continue
-						}
-						if r2 < minDist2 {
-							r2 = minDist2
-						}
-						p := c.table.At(c.typ[i], lt)
-						inv2 := 1 / r2
-						inv6 := inv2 * inv2 * inv2
-						e += inv6 * (p.A*inv6 - p.B)
-						if c.opts.Coulomb {
-							e += coulombK * c.chg[i] * lq * inv2 / 4
-						}
+				// The z-neighbour cells are contiguous in the cell-sorted
+				// arrays, so the three cells collapse into one linear scan.
+				row := (ix*c.ny + iy) * c.nz
+				lo := c.cellStart[row+iz0]
+				hi := c.cellStart[row+iz1+1]
+				for k := lo; k < hi; k++ {
+					dx := c.px[k] - lp.X
+					dy := c.py[k] - lp.Y
+					dz := c.pz[k] - lp.Z
+					r2 := dx*dx + dy*dy + dz*dz
+					if r2 > cutoff2 {
+						continue
+					}
+					if r2 < minDist2 {
+						r2 = minDist2
+					}
+					p := c.table[int32(c.typ[k])*int32(numTypes)+lt]
+					inv2 := 1 / r2
+					inv6 := inv2 * inv2 * inv2
+					e += inv6 * (p.A*inv6 - p.B)
+					if c.opts.Coulomb {
+						e += coulombK * c.chg[k] * lq * inv2 / 4
 					}
 				}
 			}
 		}
 	}
 	return e
+}
+
+// ScoreBatch implements BatchScorer. Each pose takes the same cell walk as
+// Score — per-pose results are bit-identical by construction — while the
+// batch amortizes the scorer's dispatch and keeps the receptor's cell
+// neighbourhood hot in cache across consecutive poses of the same spot.
+func (c *CellList) ScoreBatch(poses [][]vec.V3, out []float64) {
+	checkBatch(poses, out)
+	for i, pose := range poses {
+		out[i] = c.Score(pose)
+	}
 }
 
 // neighborRange returns the clamped [lo, hi] cell range around fractional

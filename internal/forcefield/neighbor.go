@@ -1,0 +1,150 @@
+package forcefield
+
+import (
+	"sort"
+
+	"github.com/metascreen/metascreen/internal/vec"
+)
+
+// NeighborList is the precomputed receptor neighbourhood of one search
+// region: exactly the receptor atoms whose distance to the region's box is
+// at most the interaction cutoff, packed in structure-of-arrays form in
+// ascending original-atom order.
+//
+// Metaheuristic search confines every pose of a spot to a fixed region, so
+// the list is built once per (receptor, ligand, spot) and reused across all
+// generations — each scoring call then streams a compact candidate array
+// instead of re-walking the receptor's spatial grid per ligand atom. This
+// is the host analogue of staging a binding-site neighbourhood once in GPU
+// shared memory and reusing it for the whole population.
+type NeighborList struct {
+	lig    *Topology
+	table  *PairTable
+	opts   Options
+	region vec.AABB
+
+	// idx holds the original receptor atom indices, ascending.
+	idx []int32
+	// Atom data in idx order.
+	x, y, z []float64
+	typ     []uint8
+	chg     []float64
+}
+
+// NewNeighborList gathers the receptor atoms within Cutoff of region using
+// cell-list bins (O(region volume), not O(receptor)). The region must
+// contain every ligand atom of every pose the list will score; Covers
+// checks a pose at runtime so callers can fall back to a full scorer for
+// out-of-region poses.
+func NewNeighborList(cells *CellList, rec *Topology, region vec.AABB) *NeighborList {
+	nl := &NeighborList{
+		lig: cells.lig, table: cells.table, opts: cells.opts, region: region,
+	}
+	if region.Empty() || rec.Len() == 0 {
+		return nl
+	}
+	const cutoff2 = Cutoff * Cutoff
+	// Cells overlapping the region padded by the cutoff; cellSize==Cutoff,
+	// so one extra cell ring on each side suffices.
+	pad := region.Pad(Cutoff)
+	lo := pad.Lo.Sub(cells.origin)
+	hi := pad.Hi.Sub(cells.origin)
+	ix0 := clamp(int(lo.X/cells.cellSize), 0, cells.nx-1)
+	iy0 := clamp(int(lo.Y/cells.cellSize), 0, cells.ny-1)
+	iz0 := clamp(int(lo.Z/cells.cellSize), 0, cells.nz-1)
+	ix1 := clamp(int(hi.X/cells.cellSize), 0, cells.nx-1)
+	iy1 := clamp(int(hi.Y/cells.cellSize), 0, cells.ny-1)
+	iz1 := clamp(int(hi.Z/cells.cellSize), 0, cells.nz-1)
+	for ix := ix0; ix <= ix1; ix++ {
+		for iy := iy0; iy <= iy1; iy++ {
+			row := (ix*cells.ny + iy) * cells.nz
+			for k := cells.cellStart[row+iz0]; k < cells.cellStart[row+iz1+1]; k++ {
+				p := vec.V3{X: cells.px[k], Y: cells.py[k], Z: cells.pz[k]}
+				if region.Dist2ToPoint(p) <= cutoff2 {
+					nl.idx = append(nl.idx, cells.atomIdx[k])
+				}
+			}
+		}
+	}
+	// Cell traversal order is not atom order; restore ascending indices so
+	// the summation order is deterministic and matches Direct's.
+	sort.Slice(nl.idx, func(a, b int) bool { return nl.idx[a] < nl.idx[b] })
+	n := len(nl.idx)
+	nl.x = make([]float64, n)
+	nl.y = make([]float64, n)
+	nl.z = make([]float64, n)
+	nl.typ = make([]uint8, n)
+	nl.chg = make([]float64, n)
+	for i, ai := range nl.idx {
+		p := rec.Pos[ai]
+		nl.x[i], nl.y[i], nl.z[i] = p.X, p.Y, p.Z
+		nl.typ[i] = rec.Type[ai]
+		nl.chg[i] = rec.Charge[ai]
+	}
+	return nl
+}
+
+// Len returns the number of receptor atoms in the list.
+func (nl *NeighborList) Len() int { return len(nl.idx) }
+
+// Indices returns the gathered receptor atom indices in ascending order.
+// Callers must not mutate the slice.
+func (nl *NeighborList) Indices() []int32 { return nl.idx }
+
+// Region returns the ligand-atom region the list covers.
+func (nl *NeighborList) Region() vec.AABB { return nl.region }
+
+// Covers reports whether every atom of the pose lies inside the covered
+// region, i.e. whether Score over this list is exact for the pose.
+func (nl *NeighborList) Covers(pose []vec.V3) bool {
+	for _, p := range pose {
+		if !nl.region.Contains(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Name implements Scorer.
+func (nl *NeighborList) Name() string { return "neighborlist" }
+
+// Score implements Scorer over the gathered candidate atoms. The caller
+// must ensure the pose is covered (see Covers); atoms outside the region
+// would silently miss interactions.
+func (nl *NeighborList) Score(ligPos []vec.V3) float64 {
+	const cutoff2 = Cutoff * Cutoff
+	e := 0.0
+	for j, lp := range ligPos {
+		lt := int32(nl.lig.Type[j])
+		lq := nl.lig.Charge[j]
+		for k := range nl.x {
+			dx := nl.x[k] - lp.X
+			dy := nl.y[k] - lp.Y
+			dz := nl.z[k] - lp.Z
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 > cutoff2 {
+				continue
+			}
+			if r2 < minDist2 {
+				r2 = minDist2
+			}
+			p := nl.table[int32(nl.typ[k])*int32(numTypes)+lt]
+			inv2 := 1 / r2
+			inv6 := inv2 * inv2 * inv2
+			e += inv6 * (p.A*inv6 - p.B)
+			if nl.opts.Coulomb {
+				e += coulombK * nl.chg[k] * lq * inv2 / 4
+			}
+		}
+	}
+	return e
+}
+
+// ScoreBatch implements BatchScorer: one pass per pose over the compact
+// candidate arrays, bit-identical to looped Score.
+func (nl *NeighborList) ScoreBatch(poses [][]vec.V3, out []float64) {
+	checkBatch(poses, out)
+	for i, pose := range poses {
+		out[i] = nl.Score(pose)
+	}
+}

@@ -1,0 +1,67 @@
+package forcefield
+
+import (
+	"math"
+	"testing"
+
+	"github.com/metascreen/metascreen/internal/molecule"
+	"github.com/metascreen/metascreen/internal/vec"
+)
+
+// FuzzNeighborListGather checks the cell-binned neighbor-list gather against
+// brute-force pair enumeration: for a fuzzed search region over a fuzzed
+// receptor, the gathered atom set must equal exactly the set of atoms within
+// Cutoff of the region — no atom missed (coverage), none repeated (no
+// duplicates), none beyond the cutoff (correctness) — in ascending index
+// order.
+func FuzzNeighborListGather(f *testing.F) {
+	f.Add(uint64(1), 0.0, 0.0, 0.0, 8.0, 6.0, 10.0)
+	f.Add(uint64(7), 15.0, -10.0, 3.0, 0.5, 0.5, 0.5)      // tiny region
+	f.Add(uint64(42), -80.0, 70.0, -60.0, 20.0, 1.0, 40.0) // mostly off-receptor
+	f.Add(uint64(3), 0.0, 0.0, 0.0, 200.0, 200.0, 200.0)   // swallows the receptor
+	f.Add(uint64(9), 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)         // degenerate point region
+	f.Fuzz(func(t *testing.T, seed uint64, cx, cy, cz, hx, hy, hz float64) {
+		for _, v := range []float64{cx, cy, cz, hx, hy, hz} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip("non-finite region")
+			}
+		}
+		clamp := func(v, lim float64) float64 {
+			return math.Min(math.Max(v, -lim), lim)
+		}
+		center := vec.New(clamp(cx, 200), clamp(cy, 200), clamp(cz, 200))
+		half := vec.New(
+			math.Min(math.Abs(hx), 100),
+			math.Min(math.Abs(hy), 100),
+			math.Min(math.Abs(hz), 100),
+		)
+		rec := NewTopology(molecule.SyntheticProtein("rec", 250, seed%1024+1))
+		lig := NewTopology(molecule.SyntheticLigand("lig", 4, 2))
+		cells := NewCellList(rec, lig, Options{})
+		region := vec.NewAABB(center.Sub(half), center.Add(half))
+		nl := NewNeighborList(cells, rec, region)
+
+		const cutoff2 = Cutoff * Cutoff
+		var want []int32
+		for i, p := range rec.Pos {
+			if region.Dist2ToPoint(p) <= cutoff2 {
+				want = append(want, int32(i))
+			}
+		}
+		got := nl.Indices()
+		if len(got) != len(want) {
+			t.Fatalf("gathered %d atoms, brute force %d (region %v)", len(got), len(want), region)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("index %d: gathered atom %d, brute force %d", i, got[i], want[i])
+			}
+			if i > 0 && got[i] <= got[i-1] {
+				t.Fatalf("indices not strictly ascending at %d: %d after %d", i, got[i], got[i-1])
+			}
+		}
+		if nl.Len() != len(want) {
+			t.Fatalf("Len() = %d, want %d", nl.Len(), len(want))
+		}
+	})
+}

@@ -22,6 +22,14 @@ type Options struct {
 	// Coulomb adds the electrostatic term with distance-dependent
 	// dielectric (the paper's future-work scoring extension).
 	Coulomb bool
+	// Lattice32 makes the grid scorer interpolate its tabulated lattice in
+	// float32 instead of float64. The lattice is stored in float32 either
+	// way; this flag moves the interpolation arithmetic to float32 too,
+	// halving the precision of the blend weights for a small speed gain.
+	// Scores differ from the float64 path in the low bits, so rankings are
+	// only guaranteed rank-concordant within tolerance, not byte-identical.
+	// Ignored by the exact (direct/tiled/celllist) scorers.
+	Lattice32 bool
 }
 
 // coulombK is the electrostatic constant in kcal*A/(mol*e^2).
@@ -63,6 +71,27 @@ type Scorer interface {
 	Score(ligPos []vec.V3) float64
 	// Name identifies the implementation for reports and benchmarks.
 	Name() string
+}
+
+// BatchScorer is a Scorer that can evaluate many poses per receptor pass —
+// the batched-kernel evaluation scheme every production docking engine uses
+// (and the paper's mapping of candidate solutions to CUDA warps), brought
+// to the host scorers. Implementations must make ScoreBatch bit-identical
+// to calling Score on each pose in order: batching is a throughput
+// optimization, never a semantic one.
+type BatchScorer interface {
+	Scorer
+	// ScoreBatch stores Score(poses[i]) into out[i] for every i. It panics
+	// unless len(out) == len(poses). Implementations allocate nothing, so
+	// steady-state batched scoring with reused pose buffers is alloc-free.
+	ScoreBatch(poses [][]vec.V3, out []float64)
+}
+
+// checkBatch validates a ScoreBatch call's buffer lengths.
+func checkBatch(poses [][]vec.V3, out []float64) {
+	if len(poses) != len(out) {
+		panic(fmt.Sprintf("forcefield: batch has %d poses but %d outputs", len(poses), len(out)))
+	}
 }
 
 // Direct is the reference scorer: the full O(R*L) double loop over atom
@@ -113,4 +142,13 @@ func (d *Direct) Score(ligPos []vec.V3) float64 {
 		}
 	}
 	return e
+}
+
+// ScoreBatch implements BatchScorer by looping Score: the reference the
+// batched kernels are differentially tested against.
+func (d *Direct) ScoreBatch(poses [][]vec.V3, out []float64) {
+	checkBatch(poses, out)
+	for i, pose := range poses {
+		out[i] = d.Score(pose)
+	}
 }

@@ -12,6 +12,11 @@ const TileSize = 32
 // cache lines exactly the way the CUDA kernel streams shared memory; this is
 // the host analogue of the paper's "tilling implementation via shared
 // memory" and the kernel whose cost the GPU simulator models.
+//
+// ScoreBatch is the batched receptor pass: each tile is brought through the
+// cache once and applied against every pose of the batch, instead of once
+// per pose — the same reuse pattern that lets the paper's kernel amortize a
+// shared-memory stage over a whole grid of conformations.
 type Tiled struct {
 	lig   *Topology
 	table *PairTable
@@ -21,6 +26,9 @@ type Tiled struct {
 	x, y, z []float64
 	typ     []uint8
 	chg     []float64
+	// rowBase[i] is typ[i]*numTypes, the precomputed pair-table row offset
+	// of receptor atom i.
+	rowBase []int32
 	n       int
 }
 
@@ -30,12 +38,14 @@ func NewTiled(rec, lig *Topology, opts Options) *Tiled {
 	t := &Tiled{
 		lig: lig, table: NewPairTable(), opts: opts,
 		x: make([]float64, n), y: make([]float64, n), z: make([]float64, n),
-		typ: make([]uint8, n), chg: make([]float64, n), n: n,
+		typ: make([]uint8, n), chg: make([]float64, n),
+		rowBase: make([]int32, n), n: n,
 	}
 	for i, p := range rec.Pos {
 		t.x[i], t.y[i], t.z[i] = p.X, p.Y, p.Z
 		t.typ[i] = rec.Type[i]
 		t.chg[i] = rec.Charge[i]
+		t.rowBase[i] = int32(rec.Type[i]) * int32(numTypes)
 	}
 	return t
 }
@@ -43,40 +53,67 @@ func NewTiled(rec, lig *Topology, opts Options) *Tiled {
 // Name implements Scorer.
 func (t *Tiled) Name() string { return "tiled" }
 
+// tileEnergy accumulates the interaction of one pose with receptor atoms
+// [base, end) onto e, in the fixed (ligand atom, receptor atom) order that
+// both Score and ScoreBatch share — keeping the two bit-identical.
+func (t *Tiled) tileEnergy(e float64, ligPos []vec.V3, base, end int) float64 {
+	const cutoff2 = Cutoff * Cutoff
+	for j, lp := range ligPos {
+		lt := int32(t.lig.Type[j])
+		lq := t.lig.Charge[j]
+		for i := base; i < end; i++ {
+			dx := t.x[i] - lp.X
+			dy := t.y[i] - lp.Y
+			dz := t.z[i] - lp.Z
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 > cutoff2 {
+				continue
+			}
+			if r2 < minDist2 {
+				r2 = minDist2
+			}
+			p := t.table[t.rowBase[i]+lt]
+			inv2 := 1 / r2
+			inv6 := inv2 * inv2 * inv2
+			e += inv6 * (p.A*inv6 - p.B)
+			if t.opts.Coulomb {
+				e += coulombK * t.chg[i] * lq * inv2 / 4
+			}
+		}
+	}
+	return e
+}
+
 // Score implements Scorer.
 func (t *Tiled) Score(ligPos []vec.V3) float64 {
-	const cutoff2 = Cutoff * Cutoff
 	e := 0.0
 	for base := 0; base < t.n; base += TileSize {
 		end := base + TileSize
 		if end > t.n {
 			end = t.n
 		}
-		for j, lp := range ligPos {
-			lt := t.lig.Type[j]
-			lq := t.lig.Charge[j]
-			for i := base; i < end; i++ {
-				dx := t.x[i] - lp.X
-				dy := t.y[i] - lp.Y
-				dz := t.z[i] - lp.Z
-				r2 := dx*dx + dy*dy + dz*dz
-				if r2 > cutoff2 {
-					continue
-				}
-				if r2 < minDist2 {
-					r2 = minDist2
-				}
-				p := t.table.At(t.typ[i], lt)
-				inv2 := 1 / r2
-				inv6 := inv2 * inv2 * inv2
-				e += inv6 * (p.A*inv6 - p.B)
-				if t.opts.Coulomb {
-					e += coulombK * t.chg[i] * lq * inv2 / 4
-				}
-			}
-		}
+		e = t.tileEnergy(e, ligPos, base, end)
 	}
 	return e
+}
+
+// ScoreBatch implements BatchScorer: the tile loop moves outermost, so each
+// receptor tile is streamed from memory once per batch rather than once per
+// pose. Every out[i] accumulates in exactly Score's order.
+func (t *Tiled) ScoreBatch(poses [][]vec.V3, out []float64) {
+	checkBatch(poses, out)
+	for i := range out {
+		out[i] = 0
+	}
+	for base := 0; base < t.n; base += TileSize {
+		end := base + TileSize
+		if end > t.n {
+			end = t.n
+		}
+		for pi, pose := range poses {
+			out[pi] = t.tileEnergy(out[pi], pose, base, end)
+		}
+	}
 }
 
 // PairOps returns the number of atom-pair interactions one Score call

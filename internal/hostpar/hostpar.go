@@ -76,14 +76,24 @@ func (t *Team) ForThread(body func(tid int)) {
 // With Static scheduling each thread gets one balanced chunk; with Dynamic,
 // chunks of the given size (0 means a heuristic n/(8*threads), minimum 1)
 // are claimed from a shared counter. Every index is processed exactly once.
-func (t *Team) ForChunk(n int, sched Schedule, chunk int, body func(lo, hi, tid int)) {
+func (t *Team) ForChunk(n int, sched Schedule, chunkParam int, body func(lo, hi, tid int)) {
 	if n <= 0 {
 		return
 	}
-	threads := t.n
-	if threads > n {
-		threads = n
+	// threads and chunk are initialized exactly once and never reassigned:
+	// the goroutine closures below capture them, and a reassigned captured
+	// variable is captured by reference, which would heap-allocate it on
+	// every call — including the sequential fast path.
+	threads := minInt(t.n, n)
+	// A one-thread Static team runs inline: no goroutine spawn, no
+	// WaitGroup, zero allocations — the sequential scoring hot loop relies
+	// on this. Dynamic and Guided keep their chunked claiming even with one
+	// thread, so the schedule's chunk-size sequence stays observable.
+	if threads == 1 && sched == Static {
+		body(0, n, 0)
+		return
 	}
+	chunk := effectiveChunk(chunkParam, n, threads, sched)
 	switch sched {
 	case Static:
 		var wg sync.WaitGroup
@@ -100,12 +110,6 @@ func (t *Team) ForChunk(n int, sched Schedule, chunk int, body func(lo, hi, tid 
 		}
 		wg.Wait()
 	case Dynamic:
-		if chunk <= 0 {
-			chunk = n / (8 * threads)
-			if chunk < 1 {
-				chunk = 1
-			}
-		}
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		wg.Add(threads)
@@ -127,9 +131,6 @@ func (t *Team) ForChunk(n int, sched Schedule, chunk int, body func(lo, hi, tid 
 		}
 		wg.Wait()
 	case Guided:
-		if chunk < 1 {
-			chunk = 1
-		}
 		var mu sync.Mutex
 		next := 0
 		claim := func() (lo, hi int) {
@@ -168,6 +169,30 @@ func (t *Team) ForChunk(n int, sched Schedule, chunk int, body func(lo, hi, tid 
 	default:
 		panic("hostpar: unknown schedule")
 	}
+}
+
+// minInt returns the smaller of a and b.
+func minInt(a, b int) int {
+	if b < a {
+		return b
+	}
+	return a
+}
+
+// effectiveChunk resolves the chunk parameter for a schedule: Dynamic's
+// zero value means the n/(8*threads) heuristic, Guided's floor is 1, and
+// Static ignores it.
+func effectiveChunk(chunk, n, threads int, sched Schedule) int {
+	switch sched {
+	case Dynamic:
+		if chunk <= 0 {
+			chunk = n / (8 * threads)
+		}
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	return chunk
 }
 
 // ReduceFloat64 runs produce(tid) on every thread and combines the results

@@ -1,7 +1,7 @@
 package metaheuristic
 
 import (
-	"sort"
+	"slices"
 
 	"github.com/metascreen/metascreen/internal/conformation"
 )
@@ -43,6 +43,10 @@ type geneticState struct {
 	ctx *SpotContext
 	pop Population
 	gen int
+	// scom and spare are per-generation buffers reused across generations
+	// (offspring and elitist output respectively).
+	scom  Population
+	spare Population
 }
 
 func (s *geneticState) Seed() Population {
@@ -63,21 +67,23 @@ func (s *geneticState) Propose() Population {
 	r := s.ctx.RNG
 	p := s.alg.params
 	// Select: the best SelectFraction of S form the mating pool (Ssel).
+	// s.pop is kept sorted best-first by Begin and Integrate, so selection
+	// is a prefix view — no per-generation clone or re-sort.
 	nsel := int(float64(len(s.pop))*p.SelectFraction + 0.5)
 	if nsel < 2 {
 		nsel = min(2, len(s.pop))
 	}
-	pool := s.pop.Clone()
-	pool.SortByScore()
-	pool = pool[:nsel]
+	pool := s.pop[:nsel]
 
 	// Combine: tournament-pick parent pairs and blend them.
-	scom := make(Population, 0, p.PopulationPerSpot)
+	if cap(s.scom) < p.PopulationPerSpot {
+		s.scom = make(Population, 0, p.PopulationPerSpot)
+	}
+	scom := s.scom[:0]
 	pick := func() int {
 		best := r.Intn(len(pool))
 		for t := 1; t < s.alg.tournament; t++ {
-			c := r.Intn(len(pool))
-			if pool[c].Better(pool[best]) {
+			if c := r.Intn(len(pool)); pool[c].Score < pool[best].Score {
 				best = c
 			}
 		}
@@ -91,6 +97,7 @@ func (s *geneticState) Propose() Population {
 		}
 		scom = append(scom, child)
 	}
+	s.scom = scom
 	return scom
 }
 
@@ -99,7 +106,8 @@ func (s *geneticState) ImproveTargets(scom Population) []int {
 }
 
 func (s *geneticState) Integrate(scom Population) {
-	s.pop = elitist(s.pop, scom, s.alg.params.PopulationPerSpot)
+	s.spare = elitistInto(s.spare, s.pop, scom, s.alg.params.PopulationPerSpot)
+	s.pop, s.spare = s.spare, s.pop
 	s.gen++
 }
 
@@ -131,13 +139,17 @@ func improveFraction(scom Population, frac float64) []int {
 	for i := range order {
 		order[i] = i
 	}
-	// Best-first by score; unevaluated last; ties by index.
-	sort.SliceStable(order, func(x, y int) bool {
-		a, b := order[x], order[y]
-		if scom[a].Score != scom[b].Score {
-			return scom[a].Score < scom[b].Score
+	// Best-first by score; unevaluated last; ties by index. The index
+	// tie-break makes the order total, so the non-stable generic sort
+	// reproduces the stable one without reflection overhead.
+	slices.SortFunc(order, func(a, b int) int {
+		switch {
+		case scom[a].Score < scom[b].Score:
+			return -1
+		case scom[b].Score < scom[a].Score:
+			return 1
 		}
-		return a < b
+		return a - b
 	})
 	return order[:n]
 }

@@ -40,6 +40,9 @@ type localSearchState struct {
 	alg *LocalSearch
 	ctx *SpotContext
 	pop Population
+	// scom is the reused proposal buffer (a working copy of pop the
+	// driver's improve kernel mutates in place).
+	scom Population
 }
 
 func (s *localSearchState) Seed() Population {
@@ -55,7 +58,14 @@ func (s *localSearchState) Begin(pop Population) { s.pop = pop.Clone() }
 
 // Propose hands the whole (already scored) population to the driver; the
 // generation's only work is the improve kernel.
-func (s *localSearchState) Propose() Population { return s.pop.Clone() }
+func (s *localSearchState) Propose() Population {
+	if cap(s.scom) < len(s.pop) {
+		s.scom = make(Population, len(s.pop))
+	}
+	s.scom = s.scom[:len(s.pop)]
+	copy(s.scom, s.pop)
+	return s.scom
+}
 
 func (s *localSearchState) ImproveTargets(scom Population) []int {
 	idx := make([]int, len(scom))
@@ -69,8 +79,8 @@ func (s *localSearchState) ImproveTargets(scom Population) []int {
 // individual: local search never worsens a solution.
 func (s *localSearchState) Integrate(scom Population) {
 	for i := range scom {
-		if i < len(s.pop) {
-			s.pop[i] = bestOf(s.pop[i], scom[i])
+		if i < len(s.pop) && scom[i].Score < s.pop[i].Score {
+			s.pop[i] = scom[i]
 		}
 	}
 }

@@ -21,7 +21,7 @@ package metaheuristic
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/metascreen/metascreen/internal/conformation"
 	"github.com/metascreen/metascreen/internal/rng"
@@ -35,11 +35,11 @@ type Population []conformation.Conformation
 // or -1 for an empty or fully unevaluated population.
 func (p Population) Best() int {
 	best := -1
-	for i, c := range p {
-		if !c.Evaluated() {
+	for i := range p {
+		if !p[i].Evaluated() {
 			continue
 		}
-		if best == -1 || c.Score < p[best].Score {
+		if best == -1 || p[i].Score < p[best].Score {
 			best = i
 		}
 	}
@@ -48,9 +48,19 @@ func (p Population) Best() int {
 
 // SortByScore orders the population best-first. Unevaluated individuals
 // sort last. The sort is stable so equal scores keep their order, which
-// keeps runs deterministic.
+// keeps runs deterministic. It uses the generic stable sort rather than
+// sort.SliceStable: no reflection-based swapping, which matters because
+// population sorting is on the per-generation host path.
 func (p Population) SortByScore() {
-	sort.SliceStable(p, func(i, j int) bool { return p[i].Score < p[j].Score })
+	slices.SortStableFunc(p, func(a, b conformation.Conformation) int {
+		switch {
+		case a.Score < b.Score:
+			return -1
+		case b.Score < a.Score:
+			return 1
+		}
+		return 0
+	})
 }
 
 // Clone returns a deep copy (conformations are values, so this is a plain
@@ -184,14 +194,60 @@ func bestOf(a, b conformation.Conformation) conformation.Conformation {
 	return a
 }
 
-// elitist returns the best n individuals of the union of a and b.
+// elitist returns the best n individuals of the union of a and b: the
+// first n elements of a stable best-first sort of a followed by b.
 func elitist(a, b Population, n int) Population {
-	u := make(Population, 0, len(a)+len(b))
-	u = append(u, a...)
-	u = append(u, b...)
-	u.SortByScore()
-	if len(u) > n {
-		u = u[:n]
+	return elitistInto(nil, a, b, n)
+}
+
+// elitistInto is elitist writing into dst's backing array (grown as
+// needed), the form per-spot states use so the per-generation Include
+// phase reuses one buffer instead of reallocating.
+//
+// It requires a to already be sorted best-first — every caller maintains
+// that invariant between generations — so b is sorted through an index
+// permutation (16-byte key moves instead of whole-conformation moves) and
+// the two halves are merged, ties taking a's element first: exactly the
+// order a full stable sort of the concatenation would produce, at a
+// fraction of the copying. dst must not alias a or b.
+func elitistInto(dst, a, b Population, n int) Population {
+	ord := make([]int32, len(b))
+	for i := range ord {
+		ord[i] = int32(i)
 	}
-	return u
+	// Best-first; the index tie-break reproduces a stable sort of b.
+	slices.SortFunc(ord, func(x, y int32) int {
+		switch {
+		case b[x].Score < b[y].Score:
+			return -1
+		case b[y].Score < b[x].Score:
+			return 1
+		}
+		return int(x - y)
+	})
+	if total := len(a) + len(b); n > total {
+		n = total
+	}
+	if cap(dst) < n {
+		dst = make(Population, 0, n)
+	}
+	dst = dst[:0]
+	i, j := 0, 0
+	for len(dst) < n {
+		switch {
+		case i >= len(a):
+			dst = append(dst, b[ord[j]])
+			j++
+		case j >= len(b):
+			dst = append(dst, a[i])
+			i++
+		case b[ord[j]].Score < a[i].Score:
+			dst = append(dst, b[ord[j]])
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+		}
+	}
+	return dst
 }

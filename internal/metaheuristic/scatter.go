@@ -43,6 +43,10 @@ type scatterState struct {
 	ctx *SpotContext
 	pop Population
 	gen int
+	// scom and spare are per-generation buffers reused across generations
+	// (offspring and elitist output respectively).
+	scom  Population
+	spare Population
 }
 
 func (s *scatterState) Seed() Population {
@@ -63,14 +67,14 @@ func (s *scatterState) Propose() Population {
 	r := s.ctx.RNG
 	p := s.alg.params
 	// Select: the reference subset is the best refSubset individuals of
-	// the SelectFraction pool.
-	pool := s.pop.Clone()
-	pool.SortByScore()
-	nsel := int(float64(len(pool))*p.SelectFraction + 0.5)
+	// the SelectFraction pool. s.pop is kept sorted best-first by Begin
+	// and Integrate, so selection is a prefix view — no per-generation
+	// clone or re-sort.
+	nsel := int(float64(len(s.pop))*p.SelectFraction + 0.5)
 	if nsel < 2 {
-		nsel = min(2, len(pool))
+		nsel = min(2, len(s.pop))
 	}
-	pool = pool[:nsel]
+	pool := s.pop[:nsel]
 	b := s.alg.refSubset
 	if b > len(pool) {
 		b = len(pool)
@@ -79,7 +83,10 @@ func (s *scatterState) Propose() Population {
 	// Combine: all ordered pairs of the subset, cycled until the offspring
 	// set reaches the population size (scatter search generates solutions
 	// from systematic subset combinations).
-	scom := make(Population, 0, p.PopulationPerSpot)
+	if cap(s.scom) < p.PopulationPerSpot {
+		s.scom = make(Population, 0, p.PopulationPerSpot)
+	}
+	scom := s.scom[:0]
 	for len(scom) < p.PopulationPerSpot {
 		for i := 0; i < b && len(scom) < p.PopulationPerSpot; i++ {
 			for j := i + 1; j < b && len(scom) < p.PopulationPerSpot; j++ {
@@ -91,6 +98,7 @@ func (s *scatterState) Propose() Population {
 			scom = append(scom, s.ctx.Sampler.Random(r))
 		}
 	}
+	s.scom = scom
 	return scom
 }
 
@@ -99,7 +107,8 @@ func (s *scatterState) ImproveTargets(scom Population) []int {
 }
 
 func (s *scatterState) Integrate(scom Population) {
-	s.pop = elitist(s.pop, scom, s.alg.params.PopulationPerSpot)
+	s.spare = elitistInto(s.spare, s.pop, scom, s.alg.params.PopulationPerSpot)
+	s.pop, s.spare = s.spare, s.pop
 	s.gen++
 }
 

@@ -64,15 +64,22 @@ func (r *Source) Uint64() uint64 {
 // function of (parent state, lane): parallel executions can derive their
 // streams in any order and still reproduce the same run.
 func (r *Source) Split(lane uint64) *Source {
-	var c Source
+	c := new(Source)
+	r.SplitInto(lane, c)
+	return c
+}
+
+// SplitInto is Split writing the child stream into dst instead of
+// allocating one — the form hot per-generation loops use so that deriving
+// thousands of per-conformation streams costs no allocations.
+func (r *Source) SplitInto(lane uint64, dst *Source) {
 	x := r.s[0] ^ rotl(r.s[2], 29) ^ (lane * 0xd2b74407b1ce6e93)
-	for i := range c.s {
-		c.s[i] = splitMix64(&x)
+	for i := range dst.s {
+		dst.s[i] = splitMix64(&x)
 	}
-	if c.s[0]|c.s[1]|c.s[2]|c.s[3] == 0 {
-		c.s[0] = 1
+	if dst.s[0]|dst.s[1]|dst.s[2]|dst.s[3] == 0 {
+		dst.s[0] = 1
 	}
-	return &c
 }
 
 // Float64 returns a uniform value in [0, 1).

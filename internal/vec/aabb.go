@@ -80,6 +80,27 @@ func (b AABB) Contains(p V3) bool {
 		p.Z >= b.Lo.Z && p.Z <= b.Hi.Z
 }
 
+// Dist2ToPoint returns the squared distance from p to the closest point of
+// b (0 when p is inside). The distance to an empty box is +Inf.
+func (b AABB) Dist2ToPoint(p V3) float64 {
+	if !b.valid {
+		return math.Inf(1)
+	}
+	d2 := 0.0
+	for _, ax := range [3][3]float64{
+		{p.X, b.Lo.X, b.Hi.X},
+		{p.Y, b.Lo.Y, b.Hi.Y},
+		{p.Z, b.Lo.Z, b.Hi.Z},
+	} {
+		if d := ax[1] - ax[0]; d > 0 {
+			d2 += d * d
+		} else if d := ax[0] - ax[2]; d > 0 {
+			d2 += d * d
+		}
+	}
+	return d2
+}
+
 // Volume returns the volume of b, zero for an empty box.
 func (b AABB) Volume() float64 {
 	s := b.Size()

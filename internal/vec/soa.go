@@ -1,0 +1,47 @@
+package vec
+
+// SoA is a structure-of-arrays coordinate buffer: the same points as a
+// []V3, but with each component contiguous. The scoring kernels in
+// internal/forcefield stream these arrays the way the paper's CUDA kernels
+// stream shared memory, and reusing one SoA across calls keeps the hot
+// path allocation-free.
+type SoA struct {
+	X, Y, Z []float64
+}
+
+// NewSoA returns an SoA with capacity (and length) n.
+func NewSoA(n int) *SoA {
+	s := &SoA{}
+	s.Resize(n)
+	return s
+}
+
+// Len returns the number of points.
+func (s *SoA) Len() int { return len(s.X) }
+
+// Resize sets the length to n, growing the backing arrays only when the
+// capacity is insufficient. Existing contents are preserved up to n.
+func (s *SoA) Resize(n int) {
+	if cap(s.X) < n {
+		s.X = append(s.X[:cap(s.X)], make([]float64, n-cap(s.X))...)
+		s.Y = append(s.Y[:cap(s.Y)], make([]float64, n-cap(s.Y))...)
+		s.Z = append(s.Z[:cap(s.Z)], make([]float64, n-cap(s.Z))...)
+	}
+	s.X, s.Y, s.Z = s.X[:n], s.Y[:n], s.Z[:n]
+}
+
+// Set stores p at index i.
+func (s *SoA) Set(i int, p V3) {
+	s.X[i], s.Y[i], s.Z[i] = p.X, p.Y, p.Z
+}
+
+// At returns the point at index i.
+func (s *SoA) At(i int) V3 { return V3{s.X[i], s.Y[i], s.Z[i]} }
+
+// FromV3s resizes s to len(pts) and copies the points in.
+func (s *SoA) FromV3s(pts []V3) {
+	s.Resize(len(pts))
+	for i, p := range pts {
+		s.X[i], s.Y[i], s.Z[i] = p.X, p.Y, p.Z
+	}
+}

@@ -1,0 +1,46 @@
+package vec
+
+import "testing"
+
+func TestSoARoundTrip(t *testing.T) {
+	pts := []V3{{1, 2, 3}, {-4, 5, -6}, {0, 0, 7}}
+	s := NewSoA(0)
+	s.FromV3s(pts)
+	if s.Len() != len(pts) {
+		t.Fatalf("len = %d, want %d", s.Len(), len(pts))
+	}
+	for i, p := range pts {
+		if s.At(i) != p {
+			t.Errorf("At(%d) = %v, want %v", i, s.At(i), p)
+		}
+	}
+}
+
+func TestSoAResizeReusesCapacity(t *testing.T) {
+	s := NewSoA(8)
+	base := &s.X[0]
+	s.Resize(4)
+	s.Resize(8)
+	if &s.X[0] != base {
+		t.Error("Resize within capacity reallocated")
+	}
+	s.Set(7, V3{1, 1, 1})
+	if s.At(7) != (V3{1, 1, 1}) {
+		t.Error("Set after Resize lost data")
+	}
+}
+
+func TestSoAResizeGrows(t *testing.T) {
+	s := NewSoA(2)
+	s.Set(1, V3{9, 9, 9})
+	s.Resize(100)
+	if s.Len() != 100 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.At(1) != (V3{9, 9, 9}) {
+		t.Error("grow lost existing contents")
+	}
+	if s.At(99) != Zero {
+		t.Error("grown tail not zeroed")
+	}
+}

@@ -1,20 +1,32 @@
 #!/bin/sh
-# Captures one smoke run of the paper-table benchmarks as JSON, starting
+# Captures one smoke run of the paper-table benchmarks as JSON, continuing
 # the repo's perf-trajectory record (BENCH_<n>.json per PR). The tables
 # replay the paper workloads through the modeled backends, so the
 # interesting numbers are the simulated-seconds custom metrics, which are
-# stable across machines; ns/op is kept for context only.
+# stable across machines; ns/op measures the host-side engine overhead the
+# batched scoring path optimizes.
 #
-# Usage: scripts/bench_capture.sh [output.json]
+# Usage: scripts/bench_capture.sh [output.json] [baseline.json [max_regression_pct]]
+#
+# With a baseline, the script also compares ns/op per Table benchmark and
+# exits non-zero if any case regressed by more than max_regression_pct
+# (default 10). Speedups are reported either way, so the CI log shows the
+# current trajectory against the committed baseline.
+#
+# BENCHTIME overrides -benchtime (default 1x); regression gates should use
+# a few iterations to average out single-shot noise.
 set -eu
 cd "$(dirname "$0")/.."
-out=${1:-BENCH_4.json}
+out=${1:-BENCH.json}
+baseline=${2:-}
+maxpct=${3:-10}
+benchtime=${BENCHTIME:-1x}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench Table -benchtime=1x . | tee "$raw"
+go test -run '^$' -bench Table -benchtime="$benchtime" . | tee "$raw"
 
-awk -v cmd="go test -run '^$' -bench Table -benchtime=1x ." '
+awk -v cmd="go test -run '^$' -bench Table -benchtime=$benchtime ." '
 BEGIN {
     print "{"
     printf "  \"command\": \"%s\",\n", cmd
@@ -38,3 +50,46 @@ END {
 }' "$raw" > "$out"
 
 echo "wrote $out"
+
+[ -n "$baseline" ] || exit 0
+[ -f "$baseline" ] || { echo "baseline $baseline not found" >&2; exit 1; }
+
+# Compare ns/op per benchmark name against the baseline capture. Both files
+# are produced by the awk block above (one benchmark object per line), so a
+# line-oriented extraction is reliable here.
+awk -v maxpct="$maxpct" -v base="$baseline" -v cur="$out" '
+function extract(file, dest,    line, name, ns) {
+    while ((getline line < file) > 0) {
+        if (line !~ /"name": "Benchmark/) continue
+        name = line; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+        ns = line; sub(/.*"ns\/op": /, "", ns); sub(/[,}].*/, "", ns)
+        if (name != "" && ns + 0 > 0) dest[name] = ns + 0
+    }
+    close(file)
+}
+BEGIN {
+    extract(base, old)
+    extract(cur, new)
+    matched = 0
+    failed = 0
+    printf "%-60s %14s %14s %9s\n", "benchmark", "baseline ns/op", "current ns/op", "speedup"
+    for (name in new) {
+        if (!(name in old)) continue
+        matched++
+        printf "%-60s %14.0f %14.0f %8.2fx", name, old[name], new[name], old[name] / new[name]
+        if (new[name] > old[name] * (1 + maxpct / 100)) {
+            printf "  REGRESSION >%s%%", maxpct
+            failed++
+        }
+        print ""
+    }
+    if (matched == 0) {
+        print "no common benchmarks between " cur " and " base > "/dev/stderr"
+        exit 1
+    }
+    if (failed > 0) {
+        print failed " benchmark(s) regressed more than " maxpct "% vs " base > "/dev/stderr"
+        exit 1
+    }
+    print matched " benchmark(s) within " maxpct "% of " base
+}'
