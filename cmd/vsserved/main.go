@@ -42,7 +42,11 @@
 // Coordinator→worker requests run under per-request timeouts with
 // bounded, jittered retries and epoch fencing against zombie workers
 // (-request-timeout, -worker-attempts, -worker-retry-delay,
-// -worker-fail-threshold, -worker-response-limit). A -chaos plan (with
+// -worker-fail-threshold, -worker-response-limit). Slowness is treated
+// as a fault too: the coordinator steals straggling shards onto idle
+// workers, hedge-dispatches the tail of each screen, and quarantines
+// persistently slow workers (-steal-threshold, -hedge-tail,
+// -quarantine-factor). A -chaos plan (with
 // -chaos-seed) injects deterministic network faults — partitions,
 // blackholes, latency, request duplication — into those requests for
 // replayable chaos drills; see internal/netsim.
@@ -114,6 +118,9 @@ func main() {
 	workerRetryDelay := flag.Duration("worker-retry-delay", 0, "base backoff between coordinator request retries, doubled and jittered (0 = 50ms)")
 	workerFailThreshold := flag.Int("worker-fail-threshold", 0, "consecutive failed requests before a worker is declared dead (0 = 2)")
 	workerResponseLimit := flag.Int64("worker-response-limit", 0, "byte cap on worker responses (0 = sized to the library limit)")
+	stealThreshold := flag.Float64("steal-threshold", 0, "steal a shard when its ETA exceeds this multiple of the median (0 = 3, negative disables)")
+	hedgeTail := flag.Int("hedge-tail", 0, "hedge-dispatch duplicates for the last N unfinished shards of a screen (0 = disabled)")
+	quarantineFactor := flag.Float64("quarantine-factor", 0, "quarantine workers slower than the median by this factor and shrink their split weight by it (0 = 4, negative disables)")
 	chaos := flag.String("chaos", "", "netsim fault plan injected into coordinator->worker requests, e.g. '127.0.0.1:8081:partition@3s+4s' (empty = disabled)")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the -chaos plan's probabilistic faults")
 	diskChaos := flag.String("disk-chaos", "", "fsim fault plan injected into journal/checkpoint I/O, e.g. '*.wal:fsync-fail@0.01,*:enospc@1048576' (empty = disabled)")
@@ -178,6 +185,9 @@ func main() {
 			RetryBaseDelay:   *workerRetryDelay,
 			FailThreshold:    *workerFailThreshold,
 			MaxResponseBytes: *workerResponseLimit,
+			StealThreshold:   *stealThreshold,
+			HedgeTail:        *hedgeTail,
+			QuarantineFactor: *quarantineFactor,
 			Transport:        transport,
 			Logger:           logger,
 		})

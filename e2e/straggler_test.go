@@ -1,0 +1,162 @@
+package e2e
+
+// Straggler drill, black box: a 3-worker cluster where one worker is
+// both lagged (netsim latency on every coordinator->victim request) and
+// genuinely stalled (a soak screen submitted directly to its one-slot
+// pool, so the coordinator's shard queues behind it at zero progress).
+// The coordinator must notice the straggler, steal its shard onto the
+// idle healthy workers, and finish within a bounded multiple of the
+// healthy-cluster makespan — with a ranking still byte-identical to the
+// single-node run and every ligand merged exactly once.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// snapshotWorker mirrors the worker rows of GET /debug/snapshot.
+type snapshotWorker struct {
+	URL           string  `json:"url"`
+	Alive         bool    `json:"alive"`
+	ThroughputLPS float64 `json:"throughput_lps"`
+	Quarantined   bool    `json:"quarantined"`
+	StolenFrom    int64   `json:"stolen_from"`
+}
+
+type snapshotView struct {
+	Workers []snapshotWorker `json:"workers"`
+}
+
+// stragglerArgs is the coordinator tuning both clusters share, so the
+// makespan comparison is apples to apples: only the chaos differs.
+var stragglerArgs = []string{
+	"-worker-timeout", "2s",
+	"-poll-interval", "50ms",
+	"-request-timeout", "3s",
+	"-steal-threshold", "2",
+	"-hedge-tail", "1",
+	"-quarantine-factor", "4",
+}
+
+func TestDistributedStraggler(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and launches real server binaries")
+	}
+	bin := buildServer(t)
+	workerArgs := []string{"-workers", "1", "-screen-workers", "1"}
+
+	// Healthy cluster: the single-node reference ranking and the makespan
+	// the chaos run is judged against.
+	coordURL, _, workerURLs := startCluster(t, bin, 3, stragglerArgs, workerArgs)
+	baseline := submitDist(t, workerURLs[0], distScreen)
+	ref := waitDist(t, workerURLs[0], baseline.ID, 120*time.Second, terminalDist)
+	if ref.State != "done" {
+		t.Fatalf("baseline screen ended %s: %s", ref.State, ref.Error)
+	}
+	healthyStart := time.Now()
+	v := submitDist(t, coordURL, distScreen)
+	healthy := waitDist(t, coordURL, v.ID, 120*time.Second, terminalDist)
+	healthyMakespan := time.Since(healthyStart)
+	if healthy.State != "done" {
+		t.Fatalf("healthy-cluster screen ended %s: %s", healthy.State, healthy.Error)
+	}
+	if got, want := rankingBytes(t, healthy.Result.Ranking), rankingBytes(t, ref.Result.Ranking); got != want {
+		t.Fatalf("healthy 3-node ranking != 1-node ranking:\n got %s\nwant %s", got, want)
+	}
+
+	// Chaos cluster: the victim's address must be known before the
+	// coordinator starts so the latency plan can target it.
+	victimAddr := freeAddr(t)
+	plan := fmt.Sprintf("%s:latency@500ms±100ms", victimAddr)
+	chaosCoord, _ := startProc(t, bin, freeAddr(t), append([]string{
+		"-role", "coordinator", "-chaos", plan, "-chaos-seed", "7",
+	}, stragglerArgs...)...)
+	victimURL, _ := startProc(t, bin, victimAddr, append([]string{
+		"-role", "worker", "-coordinator", chaosCoord, "-heartbeat", "200ms",
+	}, workerArgs...)...)
+	for i := 0; i < 2; i++ {
+		startProc(t, bin, freeAddr(t), append([]string{
+			"-role", "worker", "-coordinator", chaosCoord, "-heartbeat", "200ms",
+		}, workerArgs...)...)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var rows []workerRow
+		getJSON(t, chaosCoord+"/v1/workers", &rows)
+		alive := 0
+		for _, r := range rows {
+			if r.Alive {
+				alive++
+			}
+		}
+		if alive == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of 3 workers registered with the chaos coordinator", alive)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Stall the victim for real: its pool has one slot, so a soak screen
+	// submitted directly serializes the coordinator's shard behind it at
+	// zero progress — the shard's ETA is +Inf until stolen.
+	soak := distScreen
+	soak.Library = 60
+	soak.Scale = 1.0
+	soak.Seed = 3
+	submitDist(t, victimURL, soak)
+
+	chaosStart := time.Now()
+	cv := submitDist(t, chaosCoord, distScreen)
+	final := waitDist(t, chaosCoord, cv.ID, 180*time.Second, terminalDist)
+	chaosMakespan := time.Since(chaosStart)
+	if final.State != "done" {
+		t.Fatalf("chaos screen ended %s: %s", final.State, final.Error)
+	}
+
+	// Correctness first: byte-identical ranking, every ligand exactly once.
+	if got, want := rankingBytes(t, final.Result.Ranking), rankingBytes(t, ref.Result.Ranking); got != want {
+		t.Fatalf("post-steal ranking != 1-node ranking:\n got %s\nwant %s", got, want)
+	}
+	metrics := getText(t, chaosCoord+"/metrics")
+	if got := metricValue(t, metrics, "metascreen_dist_ligands_merged_total"); got != float64(distScreen.Library) {
+		t.Errorf("ligands_merged_total = %v, want exactly %d", got, distScreen.Library)
+	}
+	if got := metricValue(t, metrics, "metascreen_dist_shards_stolen_total"); got < 1 {
+		t.Errorf("shards_stolen_total = %v, want >= 1 — the stalled shard was never stolen", got)
+	}
+
+	// The mitigation bound: the stalled worker costs at most the healthy
+	// makespan again (grace + re-run of its shard), with an absolute floor
+	// so a very fast healthy run doesn't turn the bound into noise.
+	limit := 2 * healthyMakespan
+	if floor := healthyMakespan + 6*time.Second; limit < floor {
+		limit = floor
+	}
+	if chaosMakespan > limit {
+		t.Errorf("chaos makespan %v exceeds %v (healthy %v): straggler not mitigated",
+			chaosMakespan, limit, healthyMakespan)
+	}
+
+	// The victim is visible in the operator surface: quarantined, stolen
+	// from, and slower than the fleet in /debug/snapshot.
+	var snap snapshotView
+	getJSON(t, chaosCoord+"/debug/snapshot", &snap)
+	found := false
+	for _, w := range snap.Workers {
+		if w.URL == victimURL {
+			found = true
+			if !w.Quarantined {
+				t.Error("victim not quarantined in /debug/snapshot")
+			}
+			if w.StolenFrom < 1 {
+				t.Error("victim's stolen_from counter is zero in /debug/snapshot")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("victim %s missing from /debug/snapshot workers: %+v", victimURL, snap.Workers)
+	}
+}

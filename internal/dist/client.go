@@ -6,12 +6,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"net/http"
 	"strconv"
 	"time"
 
+	"github.com/metascreen/metascreen/internal/rng"
 	"github.com/metascreen/metascreen/internal/service"
 )
 
@@ -46,10 +46,13 @@ type client struct {
 const maxClientBackoff = 2 * time.Second
 
 // apiError is a non-2xx response, decoded from the service's
-// {"error": "..."} body when possible.
+// {"error": "..."} body when possible. retryAfter carries the server's
+// Retry-After hint (429/503 shedding responses) so the retry loop can
+// wait exactly as long as the server asked instead of guessing.
 type apiError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter time.Duration
 }
 
 func (e *apiError) Error() string {
@@ -86,7 +89,7 @@ func (c *client) do(ctx context.Context, method, url string, body []byte, key st
 		if c.onRetry != nil {
 			c.onRetry()
 		}
-		if !sleepCtx(ctx, retryBackoff(c.backoff, url, attempt)) {
+		if !sleepCtx(ctx, c.retryDelay(err, url, attempt)) {
 			return err
 		}
 	}
@@ -154,7 +157,11 @@ func (c *client) once(ctx context.Context, method, url string, body []byte, key 
 			Error string `json:"error"`
 		}
 		json.Unmarshal(data, &e)
-		apiErr := &apiError{status: resp.StatusCode, msg: e.Error}
+		apiErr := &apiError{
+			status:     resp.StatusCode,
+			msg:        e.Error,
+			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 		if resp.StatusCode == http.StatusRequestTimeout ||
 			resp.StatusCode == http.StatusTooManyRequests ||
 			resp.StatusCode >= 500 {
@@ -171,6 +178,35 @@ func (c *client) once(ctx context.Context, method, url string, body []byte, key 
 	return nil
 }
 
+// retryDelay picks the sleep before retry `attempt`. A server that said
+// how long it wants to be left alone (Retry-After on a 429/503 shed
+// response) is believed, clamped to the backoff cap; otherwise the usual
+// jittered exponential backoff applies.
+func (c *client) retryDelay(err error, url string, attempt int) time.Duration {
+	var ae *apiError
+	if errors.As(err, &ae) && ae.retryAfter > 0 {
+		if ae.retryAfter > maxClientBackoff {
+			return maxClientBackoff
+		}
+		return ae.retryAfter
+	}
+	return retryBackoff(c.backoff, url, attempt)
+}
+
+// parseRetryAfter reads a Retry-After header in its delay-seconds form
+// (the only form the service emits). Malformed or negative values are
+// ignored rather than trusted.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
 // retryBackoff computes the sleep before retry `attempt`: the base delay
 // doubles per retry with a deterministic jitter factor in [0.5, 1.5)
 // hashed from the URL and attempt — reproducible without a global RNG,
@@ -180,10 +216,7 @@ func retryBackoff(base time.Duration, url string, attempt int) time.Duration {
 	if delay <= 0 || delay > maxClientBackoff {
 		delay = maxClientBackoff
 	}
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s/%d", url, attempt)
-	factor := 0.5 + float64(h.Sum64()%1024)/1024
-	return time.Duration(float64(delay) * factor)
+	return rng.Jitter(delay, 0.5, url, uint64(attempt))
 }
 
 // sleepCtx waits out one backoff; false means the context ended first.

@@ -200,6 +200,73 @@ func TestRetryBackoffShape(t *testing.T) {
 	}
 }
 
+// TestParseRetryAfter: only the delay-seconds form is trusted; malformed,
+// zero, or negative headers fall back to the computed backoff.
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		header string
+		want   time.Duration
+	}{
+		{"", 0},
+		{"abc", 0},
+		{"-3", 0},
+		{"0", 0},
+		{"1", time.Second},
+		{"2", 2 * time.Second},
+		{"Fri, 07 Aug 2026 09:00:00 GMT", 0}, // HTTP-date form is not emitted by the service
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.header); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.header, got, tc.want)
+		}
+	}
+}
+
+// TestRetryDelayHonorsRetryAfter: a server that said how long it wants to
+// be left alone is believed — exactly, clamped to the backoff cap — and
+// everything else gets the usual jittered exponential.
+func TestRetryDelayHonorsRetryAfter(t *testing.T) {
+	cl := &client{backoff: 50 * time.Millisecond}
+	shed := &retriableError{&apiError{status: http.StatusTooManyRequests, retryAfter: time.Second}}
+	if got := cl.retryDelay(shed, "http://w:1", 1); got != time.Second {
+		t.Errorf("Retry-After 1s produced delay %v, want exactly 1s", got)
+	}
+	far := &retriableError{&apiError{status: http.StatusServiceUnavailable, retryAfter: time.Minute}}
+	if got := cl.retryDelay(far, "http://w:1", 1); got != maxClientBackoff {
+		t.Errorf("Retry-After 1m produced delay %v, want the %v clamp", got, maxClientBackoff)
+	}
+	plain := &retriableError{&apiError{status: http.StatusInternalServerError}}
+	if got, want := cl.retryDelay(plain, "http://w:1", 2), retryBackoff(cl.backoff, "http://w:1", 2); got != want {
+		t.Errorf("no Retry-After: delay %v, want the computed backoff %v", got, want)
+	}
+}
+
+// TestClientWaitsOutRetryAfter: end to end through do() — a 429 carrying
+// Retry-After: 1 delays the retry by a full second instead of the
+// millisecond-scale backoff the test client would otherwise use.
+func TestClientWaitsOutRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+	start := time.Now()
+	if err := testClient(srv).do(context.Background(), http.MethodGet, srv.URL, nil, "", 0, nil); err != nil {
+		t.Fatalf("request failed: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("%d calls, want 2", calls.Load())
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond || elapsed > 5*time.Second {
+		t.Fatalf("retry waited %v, want ~1s per the server's Retry-After", elapsed)
+	}
+}
+
 // TestBeatJitterBounds: heartbeat waits stay inside ±20% of the interval,
 // spread across beats, and replay identically.
 func TestBeatJitterBounds(t *testing.T) {

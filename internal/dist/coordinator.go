@@ -35,6 +35,7 @@ import (
 
 	"github.com/metascreen/metascreen/internal/core"
 	"github.com/metascreen/metascreen/internal/fsim"
+	"github.com/metascreen/metascreen/internal/sched"
 	"github.com/metascreen/metascreen/internal/service"
 	"github.com/metascreen/metascreen/internal/trace"
 	"github.com/metascreen/metascreen/internal/wal"
@@ -82,6 +83,24 @@ type Config struct {
 	Transport http.RoundTripper
 	// CompactBytes triggers journal compaction; default 4 MiB.
 	CompactBytes int64
+	// StealThreshold flags a shard as a straggler when its projected
+	// finish time (unfinished ligands / owner's observed rate) exceeds
+	// this multiple of the reference ETA — the median over the job's
+	// active shards, falling back to the median completed-shard duration.
+	// An idle worker then steals the unfinished remainder. 0 means 3;
+	// negative disables stealing.
+	StealThreshold float64
+	// HedgeTail speculatively re-dispatches the remaining ligands of the
+	// job's last K unfinished shards to idle workers; the first complete
+	// result wins and the loser is cancelled. 0 disables hedging.
+	HedgeTail int
+	// QuarantineFactor demotes persistently slow workers to a brownout:
+	// a worker whose observed rate stays below the alive-fleet median
+	// divided by this factor is quarantined — its weight in re-splits is
+	// divided by the same factor and it stops receiving steals, hedges,
+	// and initial equal-split shards — until its rate recovers. 0 means
+	// 4; negative disables quarantine.
+	QuarantineFactor float64
 	// Logger receives coordinator events; default slog text to stderr.
 	Logger *slog.Logger
 
@@ -109,6 +128,12 @@ func (c Config) validate() error {
 	}
 	if c.RetryBaseDelay < 0 {
 		return fmt.Errorf("dist: RetryBaseDelay %v must be >= 0", c.RetryBaseDelay)
+	}
+	if c.HedgeTail < 0 {
+		return fmt.Errorf("dist: HedgeTail %d must be >= 0", c.HedgeTail)
+	}
+	if c.QuarantineFactor > 0 && c.QuarantineFactor <= 1 {
+		return fmt.Errorf("dist: QuarantineFactor %v must exceed 1 (or be 0 for the default, negative to disable)", c.QuarantineFactor)
 	}
 	return nil
 }
@@ -139,6 +164,12 @@ func (c Config) withDefaults() Config {
 	if c.CompactBytes <= 0 {
 		c.CompactBytes = 4 << 20
 	}
+	if c.StealThreshold == 0 {
+		c.StealThreshold = 3
+	}
+	if c.QuarantineFactor == 0 {
+		c.QuarantineFactor = 4
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
@@ -148,18 +179,22 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// throughputAlpha is the EWMA weight of the newest per-poll throughput
-// sample (completed ligands per second) in a worker's running estimate.
-const throughputAlpha = 0.3
-
 // worker is one registered node. Guarded by the coordinator's mutex.
 type worker struct {
-	url        string
-	alive      bool
-	epoch      uint64 // fencing epoch, bumped on every dead→alive transition
-	lastBeat   time.Time
-	throughput float64 // EWMA completed ligands/second, 0 until observed
-	shards     int64   // shards ever assigned here
+	url      string
+	alive    bool
+	epoch    uint64 // fencing epoch, bumped on every dead→alive transition
+	lastBeat time.Time
+	rate     sched.RateEWMA // observed completed ligands/second across its shards
+	selfRate float64        // last rate the worker reported about itself (PartialView.RateLPS)
+	shards   int64          // shards ever assigned here
+
+	// Straggler quarantine. A quarantined worker stays alive and keeps
+	// its shards, but its split weight is browned out and it receives no
+	// stolen or hedged work until its rate recovers.
+	quarantined bool
+	slowStreak  int   // consecutive assessments below the quarantine bar
+	stolenFrom  int64 // shards stolen away from this worker, ever
 }
 
 // shard is one contiguous slice of a distributed job's ligands, owned by
@@ -171,11 +206,20 @@ type shard struct {
 	ligands []string // assigned ligand names, library order
 	remote  string   // worker-side job ID; "" until the dispatch is acknowledged
 	done    bool     // every assigned ligand merged
-	moved   bool     // worker died or was fenced; unfinished ligands were re-split away
+	moved   bool     // fenced out: worker died, remainder stolen, or hedge race lost
+	stolen  bool     // moved because an idle worker stole the unfinished remainder
+
+	// Hedge linkage: a hedge shard carries hedgeOf = the primary shard it
+	// backs; a hedged primary carries hedgedBy = its twin's ID. The two
+	// cover the same unfinished ligands — first complete wins, the loser
+	// is fenced (moved) and cancelled.
+	hedgeOf  string
+	hedgedBy string
 
 	dispatched time.Time
+	doneAt     time.Time // completion time, for straggler reference durations
 	lastPoll   time.Time
-	lastSeen   int // merged count at the previous poll, for throughput samples
+	lastSeen   int // merged count at the previous poll
 	errs       int // consecutive failed requests for this shard
 }
 
@@ -217,9 +261,10 @@ type Coordinator struct {
 	idem      map[string]string // idempotency key -> job ID
 	nextID    uint64
 	nextEpoch uint64      // monotonic fencing-epoch counter, journaled
-	fenced    []remoteRef // zombie worker-side jobs awaiting best-effort cancel
-	journal   *wal.Journal
-	draining  bool
+	fenced     []remoteRef // zombie worker-side jobs awaiting best-effort cancel
+	journal    *wal.Journal
+	draining   bool
+	lastAssess time.Time // last quarantine assessment, rate-limited to PollInterval
 
 	reqCtx    context.Context // lifetime context for all worker requests
 	reqCancel context.CancelFunc
@@ -272,12 +317,13 @@ func New(cfg Config) (*Coordinator, error) {
 
 // Stats is the coordinator's /healthz snapshot.
 type Stats struct {
-	Workers      int  `json:"workers"`
-	WorkersAlive int  `json:"workers_alive"`
-	Jobs         int  `json:"jobs"`
-	Queued       int  `json:"queued"`
-	Running      int  `json:"running"`
-	Draining     bool `json:"draining"`
+	Workers             int  `json:"workers"`
+	WorkersAlive        int  `json:"workers_alive"`
+	WorkersQuarantined  int  `json:"workers_quarantined,omitempty"`
+	Jobs                int  `json:"jobs"`
+	Queued              int  `json:"queued"`
+	Running             int  `json:"running"`
+	Draining            bool `json:"draining"`
 }
 
 // Stats snapshots coordinator-level gauges.
@@ -288,6 +334,9 @@ func (c *Coordinator) Stats() Stats {
 	for _, w := range c.workers {
 		if w.alive {
 			st.WorkersAlive++
+			if w.quarantined {
+				st.WorkersQuarantined++
+			}
 		}
 	}
 	for _, j := range c.jobs {
@@ -332,7 +381,10 @@ func (c *Coordinator) Register(rawURL string) (int, error) {
 	}
 	if !w.alive {
 		w.alive = true
-		w.throughput = 0
+		w.rate.Reset()
+		w.selfRate = 0
+		w.quarantined = false
+		w.slowStreak = 0
 		c.nextEpoch++
 		w.epoch = c.nextEpoch
 		c.metrics.WorkerJoined()
@@ -343,14 +395,20 @@ func (c *Coordinator) Register(rawURL string) (int, error) {
 	return len(c.workers), nil
 }
 
-// WorkerView is one membership row on the wire.
+// WorkerView is one membership row on the wire. ThroughputLPS is the
+// coordinator's own poll-delta estimate; SelfRateLPS is what the worker
+// last reported about itself via PartialView — comparing the two is the
+// first diagnostic when a shard looks slow.
 type WorkerView struct {
 	URL                 string  `json:"url"`
 	Alive               bool    `json:"alive"`
 	Epoch               uint64  `json:"epoch,omitempty"`
 	HeartbeatAgeSeconds float64 `json:"heartbeat_age_seconds"`
 	ThroughputLPS       float64 `json:"throughput_lps,omitempty"`
+	SelfRateLPS         float64 `json:"self_rate_lps,omitempty"`
 	Shards              int64   `json:"shards,omitempty"`
+	Quarantined         bool    `json:"quarantined,omitempty"`
+	StolenFrom          int64   `json:"stolen_from,omitempty"`
 }
 
 // Workers lists membership sorted by URL.
@@ -365,12 +423,29 @@ func (c *Coordinator) Workers() []WorkerView {
 			Alive:               w.alive,
 			Epoch:               w.epoch,
 			HeartbeatAgeSeconds: now.Sub(w.lastBeat).Seconds(),
-			ThroughputLPS:       w.throughput,
+			ThroughputLPS:       w.rate.Value(),
+			SelfRateLPS:         w.selfRate,
 			Shards:              w.shards,
+			Quarantined:         w.quarantined,
+			StolenFrom:          w.stolenFrom,
 		})
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].URL < out[b].URL })
 	return out
+}
+
+// DebugSnapshot is the coordinator's one-call operational dump, served at
+// /debug/snapshot: membership with per-worker rates and quarantine state,
+// coordinator gauges, and every job with its shard table.
+type DebugSnapshot struct {
+	Stats   Stats        `json:"stats"`
+	Workers []WorkerView `json:"workers"`
+	Jobs    []JobView    `json:"jobs"`
+}
+
+// Snapshot assembles the debug dump.
+func (c *Coordinator) Snapshot() DebugSnapshot {
+	return DebugSnapshot{Stats: c.Stats(), Workers: c.Workers(), Jobs: c.List()}
 }
 
 // ShardView is one shard's status on the wire.
@@ -383,6 +458,8 @@ type ShardView struct {
 	Remote  string `json:"remote,omitempty"`
 	Done    bool   `json:"done,omitempty"`
 	Moved   bool   `json:"moved,omitempty"`
+	Stolen  bool   `json:"stolen,omitempty"`
+	HedgeOf string `json:"hedge_of,omitempty"`
 }
 
 // JobView is a distributed screen on the wire (and in the journal's
@@ -610,6 +687,7 @@ func (c *Coordinator) viewLocked(j *job) JobView {
 		v.Shards = append(v.Shards, ShardView{
 			ID: sh.id, Worker: sh.worker, Epoch: sh.epoch, Ligands: len(sh.ligands),
 			Merged: mv, Remote: sh.remote, Done: sh.done, Moved: sh.moved,
+			Stolen: sh.stolen, HedgeOf: sh.hedgeOf,
 		})
 	}
 	if len(j.merged) > 0 {

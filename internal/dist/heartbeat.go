@@ -4,10 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"fmt"
-	"hash/fnv"
 	"net/http"
 	"time"
+
+	"github.com/metascreen/metascreen/internal/rng"
 )
 
 // RegisterLoop is the worker side of membership: it POSTs the worker's
@@ -63,12 +63,8 @@ func RegisterLoop(ctx context.Context, coordinator, advertise string, interval t
 	}
 }
 
-// beatJitter spreads one heartbeat wait into [0.8, 1.2) × interval using
-// the same FNV-hash idiom as the client's retry backoff: reproducible
-// without a global RNG, different per worker and per beat.
+// beatJitter spreads one heartbeat wait into [0.8, 1.2) × interval:
+// reproducible without a global RNG, different per worker and per beat.
 func beatJitter(interval time.Duration, advertise string, n uint64) time.Duration {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s/%d", advertise, n)
-	factor := 0.8 + 0.4*float64(h.Sum64()%1024)/1024
-	return time.Duration(float64(interval) * factor)
+	return rng.Jitter(interval, 0.2, advertise, n)
 }

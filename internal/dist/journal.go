@@ -33,6 +33,7 @@ const (
 	evJob      = "job"      // distributed screen admitted
 	evWorker   = "worker"   // membership change (alive flag is the new state)
 	evAssign   = "assign"   // shard assigned to a worker
+	evMoved    = "moved"    // shard fenced mid-run (remainder stolen, hedge race lost)
 	evEntries  = "entries"  // per-ligand results merged from a worker partial
 	evCancel   = "cancel"   // cancellation requested
 	evTerminal = "terminal" // job reached a terminal state (full snapshot)
@@ -51,6 +52,7 @@ type event struct {
 	Alive   bool                   `json:"alive"`
 	Epoch   uint64                 `json:"epoch,omitempty"`
 	Shard   string                 `json:"shard,omitempty"`
+	HedgeOf string                 `json:"hedge_of,omitempty"`
 	Ligands []string               `json:"ligands,omitempty"`
 	Entries []service.PartialEntry `json:"entries,omitempty"`
 	View    *JobView               `json:"view,omitempty"`
@@ -118,7 +120,7 @@ func (c *Coordinator) compactLocked() {
 			if sh.moved {
 				continue
 			}
-			if !add(event{Type: evAssign, Job: j.id, Shard: sh.id, Worker: sh.worker, Epoch: sh.epoch, Ligands: sh.ligands}) {
+			if !add(event{Type: evAssign, Job: j.id, Shard: sh.id, Worker: sh.worker, Epoch: sh.epoch, Ligands: sh.ligands, HedgeOf: sh.hedgeOf}) {
 				return
 			}
 		}
@@ -188,6 +190,12 @@ func (c *Coordinator) openJournal() error {
 		}
 		covered := make(map[string]bool, len(jb.names))
 		for _, sh := range jb.shards {
+			if sh.moved {
+				// A fenced shard covers nothing: if the crash landed between
+				// the steal's moved record and the thief's assignment, its
+				// remainder must land back in unassigned, not vanish.
+				continue
+			}
 			for _, n := range sh.ligands {
 				covered[n] = true
 			}
@@ -256,10 +264,29 @@ func (c *Coordinator) applyEvent(ev event, boot time.Time) {
 		if jb == nil || ev.Shard == "" {
 			return
 		}
-		sh := &shard{id: ev.Shard, worker: ev.Worker, epoch: ev.Epoch, ligands: ev.Ligands}
+		sh := &shard{id: ev.Shard, worker: ev.Worker, epoch: ev.Epoch, ligands: ev.Ligands, hedgeOf: ev.HedgeOf}
 		jb.shards = append(jb.shards, sh)
+		if sh.hedgeOf != "" {
+			// Reconnect the twin link so the race still resolves after a
+			// restart (first completion fences the other leg).
+			for _, p := range jb.shards {
+				if p.id == sh.hedgeOf {
+					p.hedgedBy = sh.id
+				}
+			}
+		}
 		if n, perr := strconv.Atoi(strings.TrimPrefix(ev.Shard, "s")); perr == nil && n >= jb.nextShard {
 			jb.nextShard = n + 1
+		}
+	case evMoved:
+		jb := c.jobs[ev.Job]
+		if jb == nil {
+			return
+		}
+		for _, sh := range jb.shards {
+			if sh.id == ev.Shard {
+				sh.moved = true
+			}
 		}
 	case evEntries:
 		jb := c.jobs[ev.Job]

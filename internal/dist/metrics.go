@@ -23,6 +23,10 @@ type Metrics struct {
 	retries       int64
 	staleRejected int64
 	shardsFenced  int64
+	shardsStolen  int64
+	hedgesIssued  int64
+	hedgeWins     int64
+	quarantines   int64
 	journalErrors int64
 	submitted     int64
 	finished      map[service.JobState]int64
@@ -51,6 +55,19 @@ func (m *Metrics) StalePartialRejected() { m.add(&m.staleRejected, 1) }
 // ShardFenced counts shards re-split because their owner revived under
 // a newer registration epoch.
 func (m *Metrics) ShardFenced() { m.add(&m.shardsFenced, 1) }
+
+// ShardStolen counts a straggling shard whose unfinished remainder was
+// fenced and re-dispatched to faster workers.
+func (m *Metrics) ShardStolen() { m.add(&m.shardsStolen, 1) }
+
+// HedgeIssued counts a duplicate dispatch raced against a tail shard.
+func (m *Metrics) HedgeIssued() { m.add(&m.hedgesIssued, 1) }
+
+// HedgeWon counts a hedge twin that finished before its primary.
+func (m *Metrics) HedgeWon() { m.add(&m.hedgeWins, 1) }
+
+// WorkerQuarantined counts quarantine entries (steals and brownouts).
+func (m *Metrics) WorkerQuarantined() { m.add(&m.quarantines, 1) }
 
 func (m *Metrics) LigandsMerged(n int) { m.add(&m.merged, int64(n)) }
 
@@ -116,6 +133,26 @@ func (m *Metrics) WriteTo(w io.Writer, st Stats) {
 	p("# HELP metascreen_dist_shards_fenced_total Shards re-split because their worker revived under a newer epoch.\n")
 	p("# TYPE metascreen_dist_shards_fenced_total counter\n")
 	p("metascreen_dist_shards_fenced_total %d\n", m.shardsFenced)
+
+	p("# HELP metascreen_dist_shards_stolen_total Straggling shards fenced and re-dispatched to faster workers.\n")
+	p("# TYPE metascreen_dist_shards_stolen_total counter\n")
+	p("metascreen_dist_shards_stolen_total %d\n", m.shardsStolen)
+
+	p("# HELP metascreen_dist_hedges_issued_total Duplicate dispatches raced against tail shards.\n")
+	p("# TYPE metascreen_dist_hedges_issued_total counter\n")
+	p("metascreen_dist_hedges_issued_total %d\n", m.hedgesIssued)
+
+	p("# HELP metascreen_dist_hedge_wins_total Hedge twins that finished before their primary.\n")
+	p("# TYPE metascreen_dist_hedge_wins_total counter\n")
+	p("metascreen_dist_hedge_wins_total %d\n", m.hedgeWins)
+
+	p("# HELP metascreen_dist_quarantines_total Slow-worker quarantine entries.\n")
+	p("# TYPE metascreen_dist_quarantines_total counter\n")
+	p("metascreen_dist_quarantines_total %d\n", m.quarantines)
+
+	p("# HELP metascreen_dist_workers_quarantined Alive workers currently quarantined.\n")
+	p("# TYPE metascreen_dist_workers_quarantined gauge\n")
+	p("metascreen_dist_workers_quarantined %d\n", st.WorkersQuarantined)
 
 	p("# HELP metascreen_dist_journal_errors_total Coordinator journal append/compact failures.\n")
 	p("# TYPE metascreen_dist_journal_errors_total counter\n")

@@ -25,6 +25,7 @@ import (
 //	GET    /healthz               liveness                    -> 200 Stats
 //	GET    /readyz                readiness                   -> 200/503
 //	GET    /metrics               Prometheus text exposition  -> 200
+//	GET    /debug/snapshot        stats + per-worker rates + jobs -> 200
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/screens", c.handleSubmit)
@@ -37,6 +38,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", c.handleHealth)
 	mux.HandleFunc("GET /readyz", c.handleReady)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.HandleFunc("GET /debug/snapshot", c.handleSnapshot)
 	return mux
 }
 
@@ -144,6 +146,10 @@ func (c *Coordinator) handleReady(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, map[string]bool{"ready": ready})
+}
+
+func (c *Coordinator) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Snapshot())
 }
 
 func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -128,6 +128,54 @@ func TestSplitWeightedZeroWeightsFallsBackToEqual(t *testing.T) {
 	}
 }
 
+// TestSplitWeightedSingleSurvivor: the degenerate memberships a steal or
+// re-split can reach — one member, or one survivor among the dead — must
+// hand the whole input to that member, in order.
+func TestSplitWeightedSingleSurvivor(t *testing.T) {
+	names := syntheticNames(37)
+	for _, tc := range []struct {
+		weights []float64
+		alive   []bool
+		want    int // index of the sole recipient
+	}{
+		{[]float64{0.5}, []bool{true}, 0},
+		{[]float64{0}, []bool{true}, 0}, // no observed rate yet
+		{[]float64{3, 2, 1}, []bool{false, true, false}, 1},
+	} {
+		chunks := SplitWeighted(names, tc.weights, tc.alive)
+		for i, ch := range chunks {
+			if i == tc.want {
+				if !reflect.DeepEqual(ch, names) {
+					t.Fatalf("alive=%v: survivor %d got %d of %d ligands", tc.alive, i, len(ch), len(names))
+				}
+				continue
+			}
+			if len(ch) != 0 {
+				t.Fatalf("alive=%v: member %d got %d ligands, want 0", tc.alive, i, len(ch))
+			}
+		}
+	}
+}
+
+// TestSplitWeightedQuarantineRenormalization pins the brownout split: a
+// quarantined worker's weight is divided by QuarantineFactor before the
+// split, so with equal raw rates of 8 and factor 4 the healthy worker
+// takes ~80% of the backlog — reduced share, not exclusion.
+func TestSplitWeightedQuarantineRenormalization(t *testing.T) {
+	names := syntheticNames(100)
+	chunks := SplitWeighted(names, []float64{8, 8.0 / 4}, []bool{true, true})
+	if len(chunks[0]) != 80 || len(chunks[1]) != 20 {
+		t.Fatalf("8 vs 8/4 weights split %d/%d, want 80/20", len(chunks[0]), len(chunks[1]))
+	}
+	var joined []string
+	for _, ch := range chunks {
+		joined = append(joined, ch...)
+	}
+	if !reflect.DeepEqual(joined, names) {
+		t.Fatal("brownout split lost or reordered ligands")
+	}
+}
+
 // TestReshardMovesOnlyDeadNodesLigands: the recovery invariant, as a
 // property over random membership: after a node dies, survivors keep
 // every ligand they already owned, and the moved set is exactly the dead

@@ -15,10 +15,11 @@ import (
 // The supervision loop. Each distributed job runs one supervisor
 // goroutine that ticks every PollInterval through the same step:
 //
-//  1. reap workers whose heartbeat expired;
+//  1. reap workers whose heartbeat expired and reassess quarantine;
 //  2. under the lock — honour a pending cancel, move unfinished ligands
-//     off dead or fenced workers, and (re-)assign unassigned ligands to
-//     shards;
+//     off dead or fenced workers, (re-)assign unassigned ligands to
+//     shards, then run the straggler pass (steal remainders from shards
+//     projected to blow the median ETA, hedge the tail — straggler.go);
 //  3. off the lock — cancel fenced zombie jobs (best effort), dispatch
 //     undispatched shards and poll dispatched ones for partial rankings,
 //     all concurrently so one slow or blackholed worker never delays the
@@ -46,13 +47,15 @@ func (c *Coordinator) step(j *job) bool {
 		return true
 	}
 	if j.cancelRequested {
-		refs := j.remoteRefsLocked()
+		refs := append(j.remoteRefsLocked(), c.fenced...)
+		c.fenced = nil
 		c.finishLocked(j, service.StateCancelled, "cancelled by client")
 		c.mu.Unlock()
 		c.cancelRemotes(refs)
 		return true
 	}
 	c.assignLocked(j)
+	c.stealHedgeLocked(j)
 	var dispatches, polls []*shard
 	for _, sh := range j.shards {
 		switch {
@@ -115,7 +118,8 @@ func (c *Coordinator) step(j *job) bool {
 		return true
 	}
 	if failed {
-		refs := j.remoteRefsLocked()
+		refs := append(j.remoteRefsLocked(), c.fenced...)
+		c.fenced = nil
 		c.finishLocked(j, service.StateFailed, failMsg)
 		c.mu.Unlock()
 		c.cancelRemotes(refs)
@@ -124,6 +128,17 @@ func (c *Coordinator) step(j *job) bool {
 	}
 	if len(j.merged) == len(j.names) {
 		c.finishLocked(j, service.StateDone, "")
+		// A hedge race resolved by this very step's merge leaves its loser
+		// on the fenced queue — and no later step to drain it. Cancel now,
+		// off the lock, so the slow worker stops burning device time.
+		if fenced := c.fenced; len(fenced) > 0 {
+			c.fenced = nil
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				c.cancelRemotes(fenced)
+			}()
+		}
 		return true
 	}
 	return false
@@ -152,6 +167,7 @@ func (c *Coordinator) reapWorkers() {
 			c.markWorkerDeadLocked(w.url, "heartbeat timeout")
 		}
 	}
+	c.assessQuarantineLocked()
 }
 
 // markWorkerDeadLocked flips a worker to dead (idempotent). The actual
@@ -206,13 +222,22 @@ func (c *Coordinator) assignLocked(j *job) {
 			sh.done = true
 			continue
 		}
+		if partner := j.livePartnerLocked(sh); partner != nil {
+			// The shard's hedge twin is still racing and covers every
+			// unfinished ligand here; re-splitting would triple the work.
+			// Unlink the survivor so it becomes a plain shard again.
+			partner.hedgeOf, partner.hedgedBy = "", ""
+			c.log.Warn("hedged shard lost its worker; twin carries on",
+				"job", j.id, "shard", sh.id, "twin", partner.id, "worker", sh.worker)
+			continue
+		}
 		j.unassigned = append(j.unassigned, remaining...)
 		j.resplits++
 		c.metrics.Reshard()
 		t := j.rec.Now()
 		j.rec.AddSpan(trace.Span{
 			Track: "membership", Name: "reshard " + sh.id + " off " + sh.worker,
-			Cat: "shard", Start: t, End: t,
+			Cat: trace.CatShard, Start: t, End: t,
 			Args: map[string]string{"ligands": strconv.Itoa(len(remaining))},
 		})
 		c.log.Warn("re-splitting shard off dead worker",
@@ -231,12 +256,29 @@ func (c *Coordinator) assignLocked(j *job) {
 	}
 	var chunks [][]string
 	if j.nextShard == 0 {
+		// Initial equal split: leave quarantined workers out entirely when
+		// anyone healthy is available — an equal share is exactly what a
+		// known-slow worker must not get.
+		var healthy []*worker
+		for _, w := range alive {
+			if !w.quarantined {
+				healthy = append(healthy, w)
+			}
+		}
+		if len(healthy) > 0 {
+			alive = healthy
+		}
 		chunks = ShardByHash(pending, len(alive))
 	} else {
 		weights := make([]float64, len(alive))
 		mask := make([]bool, len(alive))
 		for i, w := range alive {
-			weights[i] = w.throughput
+			weights[i] = w.rate.Value()
+			if w.quarantined && c.cfg.QuarantineFactor > 0 {
+				// Brownout: a quarantined worker still contributes, at a
+				// fraction of the weight its raw rate would earn.
+				weights[i] /= c.cfg.QuarantineFactor
+			}
 			mask[i] = true
 		}
 		chunks = SplitWeighted(pending, weights, mask)
@@ -412,29 +454,53 @@ func (c *Coordinator) poll(j *job, sh *shard) (msg string, fatal bool) {
 	}
 	if w != nil && !sh.lastPoll.IsZero() {
 		if dt := now.Sub(sh.lastPoll).Seconds(); dt > 0 {
-			sample := float64(completed-sh.lastSeen) / dt
-			if w.throughput == 0 {
-				w.throughput = sample
-			} else {
-				w.throughput = (1-throughputAlpha)*w.throughput + throughputAlpha*sample
+			// Credit the worker only with ligands its own poll delivered
+			// first — in a hedge race both twins' counters move when either
+			// side merges, and the loser must not inherit the winner's rate.
+			freshOwn := 0
+			if len(fresh) > 0 {
+				freshSet := make(map[string]bool, len(fresh))
+				for _, e := range fresh {
+					freshSet[e.Ligand] = true
+				}
+				for _, n := range sh.ligands {
+					if freshSet[n] {
+						freshOwn++
+					}
+				}
 			}
+			w.rate.Observe(float64(freshOwn) / dt)
 		}
+		w.selfRate = pv.RateLPS
 	}
 	sh.lastPoll = now
 	sh.lastSeen = completed
 
 	if completed == len(sh.ligands) {
 		sh.done = true
+		sh.doneAt = now
 		j.rec.AddSpan(trace.Span{
-			Track: sh.worker, Name: "shard " + sh.id, Cat: "shard",
+			Track: sh.worker, Name: "shard " + sh.id, Cat: trace.CatShard,
 			Start: sh.dispatched.Sub(j.rec.Epoch()).Seconds(), End: j.rec.Now(),
 			Args: map[string]string{
 				"job": j.id, "remote": sh.remote, "ligands": strconv.Itoa(len(sh.ligands)),
 			},
 		})
+		c.resolveHedgeLocked(j, sh)
 		return "", false
 	}
 	if pv.State.Terminal() {
+		if partner := j.livePartnerLocked(sh); partner != nil {
+			// One leg of a hedge pair died (shed, external cancel, …) but
+			// its twin still covers every unfinished ligand: fence this leg
+			// and let the race finish instead of failing the whole job.
+			sh.moved = true
+			partner.hedgeOf, partner.hedgedBy = "", ""
+			c.appendEvent(event{Type: evMoved, Job: j.id, Shard: sh.id})
+			c.log.Warn("hedge leg ended terminally; twin carries on",
+				"job", j.id, "shard", sh.id, "state", pv.State, "twin", partner.id)
+			return "", false
+		}
 		// The worker-side job ended without producing every assigned
 		// ligand: a real failure (bad run, shed deadline, external
 		// cancel), not a liveness problem. Retrying the same request on

@@ -1,0 +1,31 @@
+package rng
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// JitterFactor returns a deterministic multiplier in [1-spread, 1+spread)
+// derived from the FNV-1a hash of "key/seq". Retry loops, heartbeats, and
+// backoff schedules all need jitter to avoid thundering herds, but this
+// codebase's tests replay whole failure scenarios byte-for-byte — so the
+// jitter must be a pure function of who is waiting (key) and how many
+// times they have waited (seq), never of wall-clock entropy.
+//
+// The quantisation to 1024 steps keeps the factor reproducible across
+// platforms (no float accumulation ordering) and is plenty of spread for
+// de-synchronising fleets.
+func JitterFactor(spread float64, key string, seq uint64) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", key, seq)
+	return 1 - spread + 2*spread*float64(h.Sum64()%1024)/1024
+}
+
+// Jitter scales d by JitterFactor(spread, key, seq). spread 0.5 yields
+// delays in [d/2, 3d/2) — the classic "equal jitter" band used by the
+// dist client and the service retry loop; spread 0.2 yields the ±20%
+// band heartbeat senders use.
+func Jitter(d time.Duration, spread float64, key string, seq uint64) time.Duration {
+	return time.Duration(float64(d) * JitterFactor(spread, key, seq))
+}

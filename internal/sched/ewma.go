@@ -1,0 +1,52 @@
+package sched
+
+// DefaultRateAlpha is the smoothing weight a RateEWMA uses when none is
+// set: the newest sample contributes 30%, matching the warm-up weighting
+// the per-device scheduler has always used for throughput estimates.
+const DefaultRateAlpha = 0.3
+
+// RateEWMA smooths a stream of rate samples (ligands/second, poses/second
+// — any throughput) into a stable estimate. It is the one rate estimator
+// shared by the device scheduler, the coordinator's per-worker straggler
+// detection, and the service's self-reported shard progress, so that all
+// three layers agree on what "observed rate" means.
+//
+// The zero value is ready to use. RateEWMA is not safe for concurrent
+// use; callers guard it with their own locks.
+type RateEWMA struct {
+	// Alpha is the weight of the newest sample; 0 means DefaultRateAlpha.
+	Alpha float64
+
+	value float64
+	seen  bool
+}
+
+func (e *RateEWMA) alpha() float64 {
+	if e.Alpha > 0 {
+		return e.Alpha
+	}
+	return DefaultRateAlpha
+}
+
+// Observe folds one rate sample into the estimate. The first sample is
+// taken verbatim so cold starts converge immediately instead of climbing
+// from zero.
+func (e *RateEWMA) Observe(sample float64) {
+	if !e.seen {
+		e.value, e.seen = sample, true
+		return
+	}
+	a := e.alpha()
+	e.value = (1-a)*e.value + a*sample
+}
+
+// Value returns the current estimate, 0 until the first sample.
+func (e *RateEWMA) Value() float64 { return e.value }
+
+// Observed reports whether any sample has been folded in — callers that
+// compare workers must not mistake "no data yet" for "rate zero".
+func (e *RateEWMA) Observed() bool { return e.seen }
+
+// Reset discards all history, as when a worker re-registers after a death
+// and its old throughput no longer describes it.
+func (e *RateEWMA) Reset() { e.value, e.seen = 0, false }

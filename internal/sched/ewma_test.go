@@ -1,0 +1,59 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRateEWMAFirstSampleTakenVerbatim(t *testing.T) {
+	var e RateEWMA
+	if e.Observed() {
+		t.Fatal("zero value claims to have observed a sample")
+	}
+	e.Observe(12.5)
+	if !e.Observed() || e.Value() != 12.5 {
+		t.Fatalf("first sample not taken verbatim: value %v observed %v", e.Value(), e.Observed())
+	}
+}
+
+func TestRateEWMASmoothing(t *testing.T) {
+	e := RateEWMA{Alpha: 0.5}
+	e.Observe(10)
+	e.Observe(20)
+	if got := e.Value(); math.Abs(got-15) > 1e-12 {
+		t.Fatalf("alpha 0.5 blend of 10,20 = %v, want 15", got)
+	}
+	// Default alpha path: 0.7*old + 0.3*new.
+	var d RateEWMA
+	d.Observe(10)
+	d.Observe(20)
+	if got := d.Value(); math.Abs(got-13) > 1e-12 {
+		t.Fatalf("default alpha blend of 10,20 = %v, want 13", got)
+	}
+}
+
+func TestRateEWMAZeroSamplesDecayTheEstimate(t *testing.T) {
+	// A stalled worker keeps producing zero-progress samples; the
+	// estimate must sink toward zero rather than freeze at its last
+	// healthy value — straggler ETAs depend on this.
+	var e RateEWMA
+	e.Observe(100)
+	for i := 0; i < 40; i++ {
+		e.Observe(0)
+	}
+	if e.Value() > 1e-3 {
+		t.Fatalf("estimate failed to decay under zero samples: %v", e.Value())
+	}
+	if !e.Observed() {
+		t.Fatal("decay must not clear the observed bit")
+	}
+}
+
+func TestRateEWMAReset(t *testing.T) {
+	var e RateEWMA
+	e.Observe(3)
+	e.Reset()
+	if e.Observed() || e.Value() != 0 {
+		t.Fatalf("reset left state behind: value %v observed %v", e.Value(), e.Observed())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"net/url"
 	"sort"
 	"strconv"
+	"time"
 
 	"github.com/metascreen/metascreen/internal/core"
 )
@@ -97,6 +98,11 @@ type PartialView struct {
 	// ranking; EntriesTotal always counts every completed ligand.
 	EntriesTotal  int `json:"entries_total,omitempty"`
 	EntriesOffset int `json:"entries_offset,omitempty"`
+	// RateLPS is the job's self-reported completion rate in
+	// ligands/second, smoothed over checkpoint deltas. A coordinator
+	// polling shards folds it into its per-worker straggler estimates —
+	// finer-grained than what it can infer from poll-to-poll deltas.
+	RateLPS float64 `json:"rate_lps,omitempty"`
 }
 
 // Partial snapshots the per-ligand results a job has produced so far.
@@ -148,6 +154,7 @@ func (s *Service) Partial(id string) (PartialView, error) {
 	}
 	pv.Completed = len(pv.Entries)
 	pv.EntriesTotal = len(pv.Entries)
+	pv.RateLPS = j.rate.Value()
 	return pv, nil
 }
 
@@ -165,7 +172,9 @@ func (s *Service) mirrorPartial(id string, recs map[string]core.LigandRecord) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if j, ok := s.jobs[id]; ok {
+		before := len(j.partial)
 		j.addPartial(recs)
+		j.observeRate(len(j.partial)-before, time.Now())
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"strconv"
 	"syscall"
 	"time"
@@ -15,6 +14,7 @@ import (
 	"github.com/metascreen/metascreen/internal/metaheuristic"
 	"github.com/metascreen/metascreen/internal/molecule"
 	"github.com/metascreen/metascreen/internal/obs"
+	"github.com/metascreen/metascreen/internal/rng"
 	"github.com/metascreen/metascreen/internal/sched"
 	"github.com/metascreen/metascreen/internal/surface"
 	"github.com/metascreen/metascreen/internal/trace"
@@ -243,10 +243,7 @@ func (s *Service) retryDelay(jobID string, attempt int) time.Duration {
 		delay = maxRetryDelay
 	}
 	// Jitter factor in [0.5, 1.5), hashed from the job and attempt.
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s/%d", jobID, attempt)
-	factor := 0.5 + float64(h.Sum64()%1024)/1024
-	return time.Duration(float64(delay) * factor)
+	return rng.Jitter(delay, 0.5, jobID, uint64(attempt))
 }
 
 // sleepRetry waits out one retry backoff; false means the job was

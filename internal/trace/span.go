@@ -35,6 +35,9 @@ const (
 	CatLigand     = "ligand"
 	CatGeneration = "generation"
 	CatDevice     = "device"
+	// CatShard marks distributed-coordinator spans: shard lifetimes,
+	// re-splits, steals, hedges, and quarantine transitions.
+	CatShard = "shard"
 )
 
 // Span is one named interval on a named track. The zero Clock means

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Straggler drill for distributed screening: a coordinator with straggler
+# mitigation enabled, one worker that is both lagged (netsim latency on
+# every coordinator->victim request) and genuinely stalled (a soak screen
+# hogging its single worker slot), and two healthy workers. Verify that
+#
+#   - the stalled shard is stolen (shards_stolen_total >= 1),
+#   - the victim lands in quarantine (visible in /debug/snapshot),
+#   - the screen still finishes "done" with every ligand merged exactly
+#     once (ligands_merged_total == library size).
+#
+# Run from the repo root: scripts/straggler_chaos.sh
+set -euo pipefail
+
+COORD_PORT="${COORD_PORT:-8491}"
+VICTIM_PORT="${VICTIM_PORT:-8492}"
+W1_PORT="${W1_PORT:-8493}"
+W2_PORT="${W2_PORT:-8494}"
+COORD="http://localhost:$COORD_PORT"
+VICTIM="http://localhost:$VICTIM_PORT"
+LIBRARY=18
+WORK="$(mktemp -d)"
+PIDS=()
+trap 'for p in "${PIDS[@]:-}"; do kill -9 "$p" 2>/dev/null || true; done; rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/vsserved" ./cmd/vsserved
+
+wait_healthy() {
+    for _ in $(seq 1 50); do
+        if curl -fsS "$1/healthz" >/dev/null 2>&1; then return; fi
+        sleep 0.2
+    done
+    echo "straggler_chaos: $1 did not come up; logs:" >&2
+    cat "$WORK"/*.log >&2
+    exit 1
+}
+
+"$WORK/vsserved" -addr ":$COORD_PORT" -role coordinator \
+    -chaos "127.0.0.1:$VICTIM_PORT:latency@500ms±100ms" -chaos-seed 7 \
+    -worker-timeout 2s -poll-interval 50ms -request-timeout 3s \
+    -steal-threshold 2 -hedge-tail 1 -quarantine-factor 4 \
+    >"$WORK/coord.log" 2>&1 &
+PIDS+=($!)
+wait_healthy "$COORD"
+
+for port in "$VICTIM_PORT" "$W1_PORT" "$W2_PORT"; do
+    "$WORK/vsserved" -addr ":$port" -role worker -coordinator "$COORD" \
+        -heartbeat 200ms -workers 1 -screen-workers 1 \
+        >"$WORK/worker-$port.log" 2>&1 &
+    PIDS+=($!)
+done
+for port in "$VICTIM_PORT" "$W1_PORT" "$W2_PORT"; do
+    wait_healthy "http://localhost:$port"
+done
+
+# All three workers registered and alive.
+for _ in $(seq 1 50); do
+    ALIVE="$(curl -fsS "$COORD/v1/workers" | grep -c '"alive": true' || true)"
+    [ "$ALIVE" = 3 ] && break
+    sleep 0.2
+done
+[ "$ALIVE" = 3 ] || { echo "straggler_chaos: only $ALIVE of 3 workers alive" >&2; exit 1; }
+echo "straggler_chaos: cluster up (3 workers)"
+
+# jsonfield FILE KEY extracts a string field from vsserved's indented JSON.
+jsonfield() {
+    sed -n "s/.*\"$2\": \"\([^\"]*\)\".*/\1/p" "$1" | head -1
+}
+
+# Stall the victim: one worker slot, so this soak serializes the
+# coordinator's shard behind it at zero progress.
+SOAK='{"dataset":"2BSM","library":60,"spots":2,"metaheuristic":"M3","scale":1.0,"seed":3}'
+curl -fsS -X POST "$VICTIM/v1/screens" -d "$SOAK" >/dev/null
+echo "straggler_chaos: victim soaked at $VICTIM"
+
+REQ='{"dataset":"2BSM","library":'"$LIBRARY"',"spots":2,"metaheuristic":"M3","scale":0.3,"seed":7}'
+curl -fsS -X POST "$COORD/v1/screens" -d "$REQ" >"$WORK/submit.json"
+JOB="$(jsonfield "$WORK/submit.json" id)"
+[ -n "$JOB" ] || { echo "straggler_chaos: no job id in submit response" >&2; exit 1; }
+echo "straggler_chaos: submitted $JOB"
+
+for _ in $(seq 1 600); do
+    curl -fsS "$COORD/v1/screens/$JOB" >"$WORK/job.json"
+    STATE="$(jsonfield "$WORK/job.json" state)"
+    case "$STATE" in
+    done) break ;;
+    failed | cancelled)
+        echo "straggler_chaos: $JOB ended as $STATE" >&2
+        cat "$WORK/job.json" "$WORK/coord.log" >&2
+        exit 1
+        ;;
+    esac
+    sleep 0.2
+done
+[ "$STATE" = done ] || { echo "straggler_chaos: $JOB never finished" >&2; cat "$WORK/coord.log" >&2; exit 1; }
+echo "straggler_chaos: $JOB done"
+
+curl -fsS "$COORD/metrics" >"$WORK/metrics"
+STOLEN="$(awk '$1 == "metascreen_dist_shards_stolen_total" {print $2}' "$WORK/metrics")"
+MERGED="$(awk '$1 == "metascreen_dist_ligands_merged_total" {print $2}' "$WORK/metrics")"
+if [ -z "$STOLEN" ] || [ "$STOLEN" -lt 1 ]; then
+    echo "straggler_chaos: shards_stolen_total=$STOLEN, want >= 1" >&2
+    cat "$WORK/coord.log" >&2
+    exit 1
+fi
+if [ "$MERGED" != "$LIBRARY" ]; then
+    echo "straggler_chaos: ligands_merged_total=$MERGED, want exactly $LIBRARY" >&2
+    exit 1
+fi
+echo "straggler_chaos: $STOLEN shard(s) stolen, $MERGED/$LIBRARY ligands merged exactly once"
+
+curl -fsS "$COORD/debug/snapshot" >"$WORK/snapshot.json"
+if ! grep -q '"quarantined": true' "$WORK/snapshot.json"; then
+    echo "straggler_chaos: no quarantined worker in /debug/snapshot" >&2
+    cat "$WORK/snapshot.json" >&2
+    exit 1
+fi
+echo "straggler_chaos: victim visible as quarantined in /debug/snapshot"
+grep -E 'metascreen_dist_(shards_stolen|hedges_issued|hedge_wins|quarantines)_total|metascreen_dist_workers_quarantined' "$WORK/metrics"
